@@ -1,0 +1,49 @@
+//! Benchmarks of the consistency checkers: they run after every
+//! experiment, so their cost bounds experiment throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynareg_sim::{NodeId, Time};
+use dynareg_verify::{AtomicityChecker, History, LivenessChecker, RegularityChecker};
+use std::hint::black_box;
+
+/// A history with `writes` serialized writes and `reads` reads scattered
+/// between them (all valid).
+fn big_history(writes: u64, reads: u64) -> History<u64> {
+    let mut h: History<u64> = History::new(0);
+    let writer = NodeId::from_raw(0);
+    let mut t = 1u64;
+    let reads_per_write = reads / writes.max(1);
+    for v in 1..=writes {
+        let w = h.invoke_write(writer, Time::at(t), v * 10);
+        h.complete_write(w, Time::at(t + 3));
+        t += 4;
+        let last = v * 10;
+        for k in 0..reads_per_write {
+            let r = h.invoke_read(NodeId::from_raw(1 + k % 20), Time::at(t));
+            h.complete_read(r, Time::at(t), last);
+            t += 1;
+        }
+    }
+    h
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkers");
+    group.sample_size(15);
+
+    let h = big_history(200, 10_000);
+    group.bench_function("regularity_10k_reads", |b| {
+        b.iter(|| black_box(RegularityChecker::check(&h).is_ok()));
+    });
+    group.bench_function("atomicity_10k_reads", |b| {
+        b.iter(|| black_box(AtomicityChecker::check(&h).is_ok()));
+    });
+    group.bench_function("liveness_10k_reads", |b| {
+        b.iter(|| black_box(LivenessChecker::check(&h).is_ok()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Macro-benchmark: full simulated runs (protocol + network + churn +
+//! history + checkers), i.e. the cost of one experiment cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynareg_sim::{Span, Time};
+use dynareg_testkit::Scenario;
+use std::hint::black_box;
+
+fn bench_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("sync_n50_300ticks", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let report = Scenario::synchronous(50, Span::ticks(4))
+                .churn_fraction_of_bound(0.5)
+                .duration(Span::ticks(300))
+                .seed(seed)
+                .run();
+            black_box(report.total_messages);
+        });
+    });
+
+    group.bench_function("es_n25_300ticks", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let report = Scenario::eventually_synchronous(25, Span::ticks(4), Time::ZERO)
+                .churn_fraction_of_bound(0.5)
+                .duration(Span::ticks(300))
+                .seed(seed)
+                .run();
+            black_box(report.total_messages);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the deterministic event queue — the simulator's
+//! hot path (every message, timer and tick goes through it).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dynareg_sim::{EventQueue, Span, Time};
+use std::hint::black_box;
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(20);
+
+    group.bench_function("schedule_pop_10k_ordered", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.schedule(Time::at(i), i);
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e.payload);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("schedule_pop_10k_interleaved", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                // Messages landing at scattered future instants, popped as
+                // time advances — the realistic access pattern. Offsets are
+                // relative to the watermark so no event lands in the past.
+                for i in 0..10_000u64 {
+                    q.schedule(q.now() + Span::ticks((i * 7919) % 64), i);
+                    if i % 4 == 0 {
+                        black_box(q.pop());
+                    }
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e.payload);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("same_instant_fifo_1k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..1_000u64 {
+                    q.schedule_class(Time::at(5), (i % 3) as u8, i);
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e.seq);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_pop);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the network substrate: broadcast fan-out and
+//! presence queries (the `A(τ, τ+3δ)` computation behind Lemma 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynareg_net::delay::Synchronous;
+use dynareg_net::{Network, Presence};
+use dynareg_sim::{DetRng, NodeId, Span, Time};
+use std::hint::black_box;
+
+fn presence_with(n: u64) -> Presence {
+    let mut p = Presence::new();
+    p.bootstrap((0..n).map(NodeId::from_raw), Time::ZERO);
+    p
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+    group.sample_size(20);
+
+    for &n in &[100u64, 1000] {
+        group.bench_function(format!("broadcast_fanout_n{n}"), |b| {
+            let presence = presence_with(n);
+            let mut net = Network::new(
+                Box::new(Synchronous::new(Span::ticks(5))),
+                DetRng::seed(1),
+            );
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                let envs = net.broadcast(
+                    &presence,
+                    Time::at(t),
+                    NodeId::from_raw(0),
+                    "BENCH",
+                    7u64,
+                );
+                black_box(envs.len());
+            });
+        });
+    }
+
+    group.bench_function("active_window_query_n1000", |b| {
+        // A churned presence: 1000 nodes entering/leaving over 500 ticks.
+        let mut p = Presence::new();
+        for i in 0..1000u64 {
+            let enter = i % 400;
+            p.enter(NodeId::from_raw(i), Time::at(enter));
+            p.activate(NodeId::from_raw(i), Time::at(enter + 5));
+            if i % 3 == 0 {
+                p.leave(NodeId::from_raw(i), Time::at(enter + 100));
+            }
+        }
+        b.iter(|| {
+            black_box(p.active_count_throughout(Time::at(200), Time::at(215)));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

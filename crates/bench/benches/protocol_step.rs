@@ -1,0 +1,93 @@
+//! Micro-benchmarks of single protocol state-machine transitions — what a
+//! real deployment would execute per received message.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dynareg_core::es::{EsConfig, EsMsg, EsRegister, Timestamp};
+use dynareg_core::sync::{SyncConfig, SyncMsg, SyncRegister};
+use dynareg_core::RegisterProcess;
+use dynareg_sim::{NodeId, OpId, Span, Time};
+use std::hint::black_box;
+
+fn bench_sync_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_protocol");
+    group.sample_size(30);
+
+    group.bench_function("write_delivery", |b| {
+        b.iter_batched(
+            || SyncRegister::new_bootstrap(NodeId::from_raw(0), SyncConfig::new(Span::ticks(4)), 0u64),
+            |mut p| {
+                for sn in 1..100i64 {
+                    black_box(p.on_message(
+                        Time::at(sn as u64),
+                        NodeId::from_raw(1),
+                        SyncMsg::Write { value: sn as u64, sn },
+                    ));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("local_read", |b| {
+        let mut p =
+            SyncRegister::new_bootstrap(NodeId::from_raw(0), SyncConfig::new(Span::ticks(4)), 0u64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(p.on_read(Time::at(i), OpId::from_raw(i)));
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_es_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("es_protocol");
+    group.sample_size(30);
+
+    group.bench_function("full_read_round_n25", |b| {
+        let cfg = EsConfig::new(25); // quorum 13
+        b.iter_batched(
+            || EsRegister::new_bootstrap(NodeId::from_raw(0), cfg, 0u64),
+            |mut p| {
+                black_box(p.on_read(Time::at(1), OpId::from_raw(1)));
+                for i in 1..=13u64 {
+                    black_box(p.on_message(
+                        Time::at(2),
+                        NodeId::from_raw(i),
+                        EsMsg::Reply {
+                            value: Some(9),
+                            ts: Timestamp { sn: 3, writer: 0 },
+                            r_sn: 1,
+                        },
+                    ));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("write_delivery_and_ack", |b| {
+        b.iter_batched(
+            || EsRegister::new_bootstrap(NodeId::from_raw(0), EsConfig::new(25), 0u64),
+            |mut p| {
+                for sn in 1..50i64 {
+                    black_box(p.on_message(
+                        Time::at(sn as u64),
+                        NodeId::from_raw(1),
+                        EsMsg::Write {
+                            value: sn as u64,
+                            ts: Timestamp { sn, writer: 1 },
+                        },
+                    ));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_steps, bench_es_steps);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E8 — §5.2's two assumptions, violated on purpose.
+//!
+//! (a) churn sweep across the ES threshold `1/(3δn)` and far beyond it:
+//!     moderate churn above the (very conservative) threshold still works
+//!     on average, but extreme churn erodes the active majority and blocks
+//!     quorums;
+//! (b) forced majority loss: churn so violent that `|A(τ)| > n/2` fails —
+//!     joins and reads stop terminating (liveness), while safety persists.
+
+use dynareg_bench::{expectation, header};
+use dynareg_churn::LeaveSelector;
+use dynareg_sim::{Span, Time};
+use dynareg_testkit::experiment::run_seeds;
+use dynareg_testkit::table::{fnum, Table};
+use dynareg_testkit::Scenario;
+
+fn main() {
+    header(
+        "E8",
+        "§5.2 assumptions (majority of actives; c ≤ 1/(3δn))",
+        "the protocol blocks — never lies — when its assumptions break",
+    );
+
+    let (n, delta) = (15usize, Span::ticks(3));
+    let quorum = n / 2 + 1;
+    println!("churn sweep (multiples of the ES threshold 1/(3δn)), ActiveFirst eviction:\n");
+    let mut table = Table::new([
+        "c / (1/3δn)",
+        "min |A|",
+        "mean |A|",
+        "majority held?",
+        "unsafe runs",
+        "stuck runs",
+        "stuck ops",
+    ]);
+    for fraction in [0.5, 1.0, 4.0, 16.0, 48.0, 96.0] {
+        let reports = run_seeds(0..6, |seed| {
+            Scenario::eventually_synchronous(n, delta, Time::ZERO)
+                .churn_fraction_of_bound(fraction)
+                .leave_selector(LeaveSelector::ActiveFirst)
+                .duration(Span::ticks(600))
+                .drain(Span::ticks(150))
+                .reads_per_tick(1.0)
+                .seed(seed)
+                .run()
+        });
+        let min_active = reports
+            .iter()
+            .filter_map(|r| r.metrics.histogram("gauge.active").and_then(|h| h.min()))
+            .min()
+            .unwrap_or(0);
+        let mean_active = reports
+            .iter()
+            .filter_map(|r| r.metrics.histogram("gauge.active").and_then(|h| h.mean()))
+            .sum::<f64>()
+            / reports.len() as f64;
+        let unsafe_runs = reports.iter().filter(|r| !r.safety.is_ok()).count();
+        let stuck_runs = reports.iter().filter(|r| !r.liveness.is_ok()).count();
+        let stuck_ops: usize = reports
+            .iter()
+            .map(|r| r.liveness.incomplete_stayer_count())
+            .sum();
+        table.row([
+            fnum(fraction),
+            min_active.to_string(),
+            fnum(mean_active),
+            if min_active as usize >= quorum { "yes" } else { "NO" }.to_string(),
+            format!("{unsafe_runs}/6"),
+            format!("{stuck_runs}/6"),
+            stuck_ops.to_string(),
+        ]);
+    }
+    println!("{table}");
+    expectation(
+        "safety column is clean everywhere (quorums cannot be wrong). While \
+         min |A| stays at or above the majority of n (= {quorum} here), \
+         operations terminate; once violent churn drags the active set below \
+         the majority, quorums cannot form and stuck operations appear — the \
+         liveness face of losing the §5.2 assumption. The paper's threshold \
+         1/(3δn) is conservative: moderate multiples of it still leave a \
+         healthy majority.",
+    );
+}

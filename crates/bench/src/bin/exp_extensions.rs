@@ -1,0 +1,94 @@
+//! E10 — §7 future-work directions, implemented and measured.
+//!
+//! (a) **Atomic upgrade**: the ABD-style read write-back removes all
+//!     new/old inversions at the cost of one extra quorum round per read.
+//! (b) **Multi-writer timestamps**: `(sn, writer)` pairs let *concurrent*
+//!     writers — excluded by assumption in §5.3 — serialize
+//!     deterministically; replicas converge regardless of delivery order.
+
+use dynareg_bench::{expectation, header};
+use dynareg_core::es::{EsConfig, EsMsg, EsRegister, Timestamp};
+use dynareg_core::RegisterProcess;
+use dynareg_sim::{NodeId, Span, Time};
+use dynareg_testkit::experiment::{run_seeds, Aggregate};
+use dynareg_testkit::table::{fnum, Table};
+use dynareg_testkit::Scenario;
+
+fn main() {
+    header(
+        "E10",
+        "§7 extensions (atomic upgrade; multi-writer timestamps)",
+        "write-back kills inversions at +1 RTT per read; timestamps serialize concurrent writers",
+    );
+
+    println!("(a) atomic upgrade — same load, regular vs atomic ES:\n");
+    let mut table = Table::new([
+        "variant",
+        "inversions",
+        "read lat (mean)",
+        "msgs/run",
+        "verdict",
+    ]);
+    for variant in ["sync (regular)", "es (regular)", "es + write-back"] {
+        let reports = run_seeds(0..8, |seed| {
+            let s = match variant {
+                "sync (regular)" => Scenario::synchronous(10, Span::ticks(6)),
+                "es (regular)" => Scenario::eventually_synchronous(10, Span::ticks(6), Time::ZERO),
+                _ => Scenario::es_atomic(10, Span::ticks(6), Time::ZERO),
+            };
+            s.duration(Span::ticks(400))
+                .reads_per_tick(5.0)
+                .write_every(Span::ticks(12))
+                .seed(seed)
+                .run()
+        });
+        let agg = Aggregate::from_reports(&reports);
+        let inversions: usize = reports.iter().map(|r| r.inversions()).sum();
+        let atomic_ok = reports.iter().all(|r| r.atomicity.is_ok());
+        table.row([
+            variant.to_string(),
+            inversions.to_string(),
+            fnum(agg.mean_read_latency),
+            fnum(agg.mean_messages),
+            if variant == "es + write-back" {
+                if atomic_ok { "atomic-OK" } else { "ATOMIC VIOLATED" }.to_string()
+            } else {
+                "regular-OK (inversions allowed)".to_string()
+            },
+        ]);
+    }
+    println!("{table}");
+
+    println!("\n(b) multi-writer convergence — two writers, all interleavings of");
+    println!("    their WRITE deliveries on a third replica:\n");
+    let mut t2 = Table::new(["delivery order", "replica value", "replica ts"]);
+    let ts_a = Timestamp { sn: 1, writer: 3 };
+    let ts_b = Timestamp { sn: 1, writer: 7 };
+    for order in ["A then B", "B then A"] {
+        let mut replica = EsRegister::new_bootstrap(NodeId::from_raw(0), EsConfig::new(5), 0u64);
+        let msgs: [(NodeId, EsMsg<u64>); 2] = [
+            (NodeId::from_raw(3), EsMsg::Write { value: 333, ts: ts_a }),
+            (NodeId::from_raw(7), EsMsg::Write { value: 777, ts: ts_b }),
+        ];
+        let seq: Vec<usize> = if order == "A then B" { vec![0, 1] } else { vec![1, 0] };
+        for (t, &i) in seq.iter().enumerate() {
+            let (from, msg) = msgs[i].clone();
+            replica.on_message(Time::at(t as u64 + 1), from, msg);
+        }
+        t2.row([
+            order.to_string(),
+            format!("{:?}", replica.local_value()),
+            replica.local_ts().to_string(),
+        ]);
+    }
+    println!("{t2}");
+    expectation(
+        "(a) the synchronous protocol's local reads invert freely (legal for \
+         a regular register); plain ES inverts rarely — its quorum reads \
+         already adopt-and-return a majority-fresh value — and the write-back \
+         variant is *provably* inversion-free at roughly double the read \
+         latency. (b) both delivery orders leave the replica at value 777, \
+         ts ⟨1,7⟩ — concurrent writes serialize by (sn, writer) instead of \
+         clobbering.",
+    );
+}

@@ -1,0 +1,90 @@
+//! E9 — §3.3's "fast reads" design goal, quantified.
+//!
+//! The synchronous protocol makes reads free (local, zero messages) by
+//! paying at joins and writes; the ES protocol charges every read a quorum
+//! round trip and Θ(n) messages. We sweep n and compare latencies and
+//! per-operation message complexity.
+
+use dynareg_bench::{expectation, header};
+use dynareg_sim::{Span, Time};
+use dynareg_testkit::experiment::{run_seeds, Aggregate};
+use dynareg_testkit::table::{fnum, Table};
+use dynareg_testkit::Scenario;
+
+fn main() {
+    header(
+        "E9",
+        "§3.3 design point: read cost (sync vs ES)",
+        "sync reads: 0 latency, 0 messages; ES reads: ≥1 RTT, Θ(n) messages",
+    );
+
+    let delta = Span::ticks(4);
+    let mut table = Table::new([
+        "n",
+        "protocol",
+        "read lat (mean)",
+        "write lat (mean)",
+        "join lat (mean)",
+        "msgs per read",
+        "msgs per op (all)",
+    ]);
+    for &n in &[10usize, 25, 50, 100, 200] {
+        for sync in [true, false] {
+            let reports = run_seeds(0..4, |seed| {
+                let s = if sync {
+                    Scenario::synchronous(n, delta)
+                } else {
+                    Scenario::eventually_synchronous(n, delta, Time::ZERO)
+                };
+                s.churn_rate(0.001)
+                    .duration(Span::ticks(500))
+                    .reads_per_tick(1.0)
+                    .write_every(Span::ticks(16))
+                    .seed(seed)
+                    .run()
+            });
+            let agg = Aggregate::from_reports(&reports);
+            // Messages attributable to reads: READ broadcasts + their
+            // REPLYs (ES only; the sync protocol has no read messages).
+            let read_msgs: u64 = reports
+                .iter()
+                .flat_map(|r| r.messages.iter())
+                .filter(|(l, _)| *l == "READ")
+                .map(|(_, c)| *c)
+                .sum();
+            let reply_msgs: u64 = reports
+                .iter()
+                .flat_map(|r| r.messages.iter())
+                .filter(|(l, _)| *l == "REPLY")
+                .map(|(_, c)| *c)
+                .sum();
+            let reads: usize = reports.iter().map(|r| r.reads_checked()).sum();
+            let ops: usize = reports.iter().map(|r| r.liveness.completed).sum();
+            let total: u64 = reports.iter().map(|r| r.total_messages).sum();
+            let per_read = if sync {
+                0.0
+            } else {
+                (read_msgs + reply_msgs) as f64 / reads.max(1) as f64
+            };
+            table.row([
+                n.to_string(),
+                if sync { "sync" } else { "es" }.to_string(),
+                fnum(agg.mean_read_latency),
+                fnum(agg.mean_write_latency),
+                fnum(agg.mean_join_latency),
+                fnum(per_read),
+                fnum(total as f64 / ops.max(1) as f64),
+            ]);
+        }
+    }
+    println!("{table}");
+    expectation(
+        "sync read latency and msgs-per-read are exactly 0 at every n; ES \
+         reads cost roughly one round trip in latency and ≈ 2n messages \
+         (broadcast + replies, the replies majority-counted but all actives \
+         answer). Write and join costs are the mirror image: the sync \
+         protocol pays δ/3δ waits, the ES protocol pays quorum rounds that \
+         also scale in messages with n — who wins depends entirely on the \
+         read:write ratio, the trade the paper designs for.",
+    );
+}

@@ -1,0 +1,81 @@
+//! E4 — Lemma 2: `min_τ |A(τ, τ+3δ)| ≥ n(1 − 3δc)`.
+//!
+//! We measure the left-hand side under the worst-case configuration
+//! (exact-δ delays, ActiveFirst victim selection, migrating writer) and
+//! print it against both the paper's floor and the pipeline-corrected
+//! steady-state floor `n(1 − 6δc)` — the reproduction's main analytical
+//! finding (see `EXPERIMENTS.md` E4).
+
+use dynareg_bench::{expectation, header};
+use dynareg_churn::{analysis, LeaveSelector};
+use dynareg_sim::{Span, Time};
+use dynareg_testkit::table::{fnum, Table};
+use dynareg_testkit::Scenario;
+
+fn main() {
+    header(
+        "E4",
+        "Lemma 2 (active-set floor over 3δ windows)",
+        "|A(τ, τ+3δ)| ≥ n(1−3δc) > 0 whenever c ≤ 1/(3δ)",
+    );
+
+    let n = 30;
+    let mut table = Table::new([
+        "δ",
+        "c / (1/3δ)",
+        "paper floor n(1-3δc)",
+        "steady floor n(1-6δc)",
+        "measured min (adversarial)",
+        "measured min (random)",
+        "|A(0,3δ)| vs paper floor",
+    ]);
+    for &delta_ticks in &[2u64, 4, 8] {
+        let delta = Span::ticks(delta_ticks);
+        for fraction in [0.25, 0.5, 0.75, 1.0] {
+            let run = |selector: LeaveSelector| {
+                Scenario::synchronous(n, delta)
+                    .worst_case_delays()
+                    .migrating_writer()
+                    .churn_fraction_of_bound(fraction)
+                    .leave_selector(selector)
+                    .duration(Span::ticks(60 * delta_ticks))
+                    .seed(1)
+                    .run()
+            };
+            let adversarial = run(LeaveSelector::ActiveFirst);
+            let random = run(LeaveSelector::Random);
+            let window = delta.times(3);
+            let steady = |r: &dynareg_testkit::RunReport| {
+                analysis::window_active_minimum(
+                    &r.presence,
+                    Time::at(10 * delta_ticks),
+                    Time::at(50 * delta_ticks),
+                    window,
+                )
+                .unwrap()
+            };
+            let c = adversarial.churn_rate;
+            let origin = adversarial
+                .presence
+                .active_count_throughout(Time::ZERO, Time::ZERO + window);
+            table.row([
+                delta_ticks.to_string(),
+                fnum(fraction),
+                fnum(analysis::lemma2_bound(n, delta, c)),
+                fnum(analysis::lemma2_steady_bound(n, delta, c)),
+                steady(&adversarial).to_string(),
+                steady(&random).to_string(),
+                format!("{} ≥ {}", origin, fnum(analysis::lemma2_bound(n, delta, c))),
+            ]);
+        }
+    }
+    println!("{table}");
+    expectation(
+        "measured minima always dominate the steady floor n(1−6δc) and hug it \
+         under the adversarial selector; the paper's floor n(1−3δc) holds for \
+         the window at τ=0 (where its |A(τ)|=n premise is exact) but is \
+         optimistic for steady-state windows, because 3δ·c·n processes are \
+         permanently inside the join pipeline. Random victim selection sits \
+         comfortably above both floors.",
+    );
+}

@@ -1,0 +1,32 @@
+//! Shared plumbing for the `exp_*` experiment binaries.
+//!
+//! Each binary regenerates one row of the experiment index in
+//! `DESIGN.md`/`EXPERIMENTS.md`: it prints the paper's predicted shape,
+//! runs the parameter sweep, and emits a markdown table of measured
+//! results. None of them take arguments — determinism means the printed
+//! numbers are *the* numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, artifact: &str, claim: &str) {
+    println!("==============================================================");
+    println!("{id} — {artifact}");
+    println!("claim: {claim}");
+    println!("==============================================================\n");
+}
+
+/// Prints the closing expectation note.
+pub fn expectation(text: &str) {
+    println!("\nexpected shape (paper): {text}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn header_is_callable() {
+        super::header("E0", "smoke", "none");
+        super::expectation("none");
+    }
+}

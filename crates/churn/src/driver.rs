@@ -1,0 +1,230 @@
+//! Turning a churn model into concrete join/leave decisions.
+
+use dynareg_net::Presence;
+use dynareg_sim::{DetRng, IdSource, NodeId, Time};
+
+use crate::model::ChurnModel;
+use crate::selector::LeaveSelector;
+
+/// The membership changes decided for one time unit: `leaves` are existing
+/// processes to remove, `joins` are fresh identities to enter (the driver
+/// never reuses ids — infinite arrival model).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnStep {
+    /// Processes that leave this time unit.
+    pub leaves: Vec<NodeId>,
+    /// Fresh processes that enter this time unit.
+    pub joins: Vec<NodeId>,
+}
+
+impl ChurnStep {
+    /// Whether nothing changes this time unit.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty() && self.joins.is_empty()
+    }
+}
+
+/// Stateful churn driver: owns the model, the victim selector, the protected
+/// set and the fresh-id source.
+///
+/// The driver only *decides*; the simulation runtime applies the decisions
+/// (removing actors, starting `join` operations), because a join is a
+/// protocol-level operation, not a membership flag flip.
+///
+/// # Example
+///
+/// ```
+/// use dynareg_churn::{ChurnDriver, ConstantRate, LeaveSelector};
+/// use dynareg_net::Presence;
+/// use dynareg_sim::{DetRng, IdSource, NodeId, Time};
+///
+/// let mut presence = Presence::new();
+/// presence.bootstrap((0..10).map(NodeId::from_raw), Time::ZERO);
+/// let mut driver = ChurnDriver::new(
+///     Box::new(ConstantRate::new(0.2)),
+///     LeaveSelector::Random,
+///     IdSource::starting_at(10),
+/// );
+/// let mut rng = DetRng::seed(1);
+/// let step = driver.step(&presence, Time::at(1), &mut rng);
+/// assert_eq!(step.leaves.len(), 2); // c·n = 0.2 × 10
+/// assert_eq!(step.joins.len(), 2); // balanced: population stays at n
+/// ```
+#[derive(Debug)]
+pub struct ChurnDriver {
+    model: Box<dyn ChurnModel>,
+    selector: LeaveSelector,
+    ids: IdSource,
+    protected: Vec<NodeId>,
+    total_joins: u64,
+    total_leaves: u64,
+}
+
+impl ChurnDriver {
+    /// A driver over `model`, evicting per `selector`, drawing fresh ids
+    /// from `ids` (start it above the initial population).
+    pub fn new(model: Box<dyn ChurnModel>, selector: LeaveSelector, ids: IdSource) -> ChurnDriver {
+        ChurnDriver {
+            model,
+            selector,
+            ids,
+            protected: Vec::new(),
+            total_joins: 0,
+            total_leaves: 0,
+        }
+    }
+
+    /// Shields `node` from eviction (e.g. the single writer of the
+    /// synchronous protocol, whose writes the paper implicitly assumes
+    /// complete).
+    pub fn protect(&mut self, node: NodeId) {
+        if !self.protected.contains(&node) {
+            self.protected.push(node);
+        }
+    }
+
+    /// Removes eviction protection from `node`.
+    pub fn unprotect(&mut self, node: NodeId) {
+        self.protected.retain(|&p| p != node);
+    }
+
+    /// The currently protected processes.
+    pub fn protected(&self) -> &[NodeId] {
+        &self.protected
+    }
+
+    /// Decides the membership changes for the time unit starting at `now`.
+    ///
+    /// The number of leaves is capped by eligibility: if fewer unprotected
+    /// processes are present than the model requests, only those leave
+    /// (joins stay balanced with actual leaves so the population is
+    /// preserved exactly).
+    pub fn step(&mut self, presence: &Presence, now: Time, rng: &mut DetRng) -> ChurnStep {
+        let n = presence.present_count();
+        let want = self.model.refreshes(now, n, rng);
+        let mut leaves = Vec::with_capacity(want);
+        // Simulate eviction without mutating presence: track tentatively
+        // removed ids in the protection list view.
+        let mut excluded: Vec<NodeId> = self.protected.clone();
+        for _ in 0..want {
+            match self.selector.pick(presence, &excluded, rng) {
+                Some(victim) => {
+                    excluded.push(victim);
+                    leaves.push(victim);
+                }
+                None => break,
+            }
+        }
+        let joins: Vec<NodeId> = (0..leaves.len()).map(|_| self.ids.fresh_node()).collect();
+        self.total_joins += joins.len() as u64;
+        self.total_leaves += leaves.len() as u64;
+        ChurnStep { leaves, joins }
+    }
+
+    /// Total joins decided so far.
+    pub fn total_joins(&self) -> u64 {
+        self.total_joins
+    }
+
+    /// Total leaves decided so far.
+    pub fn total_leaves(&self) -> u64 {
+        self.total_leaves
+    }
+
+    /// The model's nominal churn rate, if defined.
+    pub fn nominal_rate(&self) -> Option<f64> {
+        self.model.nominal_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstantRate, NoChurn};
+
+    fn n(i: u64) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    fn world(count: u64) -> Presence {
+        let mut p = Presence::new();
+        p.bootstrap((0..count).map(NodeId::from_raw), Time::ZERO);
+        p
+    }
+
+    fn driver(c: f64, start: u64) -> ChurnDriver {
+        ChurnDriver::new(
+            Box::new(ConstantRate::new(c)),
+            LeaveSelector::Random,
+            IdSource::starting_at(start),
+        )
+    }
+
+    #[test]
+    fn balanced_step_preserves_population_arithmetic() {
+        let p = world(20);
+        let mut d = driver(0.1, 20);
+        let mut rng = DetRng::seed(1);
+        let step = d.step(&p, Time::at(1), &mut rng);
+        assert_eq!(step.leaves.len(), 2);
+        assert_eq!(step.joins.len(), 2);
+        assert!(step.joins.iter().all(|id| id.as_raw() >= 20), "fresh ids only");
+    }
+
+    #[test]
+    fn leaves_are_distinct() {
+        let p = world(10);
+        let mut d = driver(0.5, 10);
+        let mut rng = DetRng::seed(2);
+        let step = d.step(&p, Time::at(1), &mut rng);
+        let mut unique = step.leaves.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), step.leaves.len());
+    }
+
+    #[test]
+    fn protection_is_honoured_and_caps_eviction() {
+        let p = world(3);
+        let mut d = driver(1.0, 3);
+        d.protect(n(0));
+        d.protect(n(1));
+        let mut rng = DetRng::seed(3);
+        let step = d.step(&p, Time::at(1), &mut rng);
+        assert_eq!(step.leaves, vec![n(2)]);
+        assert_eq!(step.joins.len(), 1, "joins balance actual leaves");
+    }
+
+    #[test]
+    fn unprotect_restores_eligibility() {
+        let p = world(1);
+        let mut d = driver(1.0, 1);
+        d.protect(n(0));
+        d.unprotect(n(0));
+        let mut rng = DetRng::seed(4);
+        assert_eq!(d.step(&p, Time::at(1), &mut rng).leaves, vec![n(0)]);
+    }
+
+    #[test]
+    fn no_churn_driver_is_quiet() {
+        let p = world(10);
+        let mut d = ChurnDriver::new(Box::new(NoChurn), LeaveSelector::Random, IdSource::new());
+        let mut rng = DetRng::seed(5);
+        for t in 1..50 {
+            assert!(d.step(&p, Time::at(t), &mut rng).is_empty());
+        }
+        assert_eq!(d.total_joins(), 0);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let p = world(10);
+        let mut d = driver(0.2, 10);
+        let mut rng = DetRng::seed(6);
+        for t in 1..=5 {
+            d.step(&p, Time::at(t), &mut rng);
+        }
+        assert_eq!(d.total_leaves(), 10);
+        assert_eq!(d.total_joins(), 10);
+    }
+}

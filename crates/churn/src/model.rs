@@ -1,0 +1,227 @@
+//! Churn arrival/departure processes.
+
+use dynareg_sim::{DetRng, Time};
+
+/// How many processes join and leave in one time unit.
+///
+/// The paper's model keeps the population constant, so all built-in models
+/// return balanced counts; the driver pairs each leave with a join.
+pub trait ChurnModel: std::fmt::Debug {
+    /// Number of join/leave pairs in the time unit starting at `now`, for a
+    /// system of nominal size `n`.
+    fn refreshes(&mut self, now: Time, n: usize, rng: &mut DetRng) -> usize;
+
+    /// The nominal long-run churn rate `c` (refreshed fraction per time
+    /// unit), if the model has one.
+    fn nominal_rate(&self) -> Option<f64>;
+}
+
+/// The paper's constant-churn model: exactly `c·n` refreshes per time unit,
+/// with a fractional accumulator so non-integer `c·n` is exact in the long
+/// run (e.g. `c·n = 0.4` yields 2 refreshes every 5 ticks).
+#[derive(Debug, Clone)]
+pub struct ConstantRate {
+    c: f64,
+    carry: f64,
+}
+
+impl ConstantRate {
+    /// Constant churn with rate `c ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `c` is outside `[0, 1]` or not finite.
+    pub fn new(c: f64) -> ConstantRate {
+        assert!(c.is_finite() && (0.0..=1.0).contains(&c), "churn rate must be in [0,1]");
+        ConstantRate { c, carry: 0.0 }
+    }
+
+    /// The configured rate `c`.
+    pub fn rate(&self) -> f64 {
+        self.c
+    }
+}
+
+impl ChurnModel for ConstantRate {
+    fn refreshes(&mut self, _now: Time, n: usize, _rng: &mut DetRng) -> usize {
+        self.carry += self.c * n as f64;
+        let whole = self.carry.floor();
+        self.carry -= whole;
+        whole as usize
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        Some(self.c)
+    }
+}
+
+/// A static system: nobody joins or leaves. Baseline for comparing against
+/// the classical (non-dynamic) register setting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoChurn;
+
+impl ChurnModel for NoChurn {
+    fn refreshes(&mut self, _now: Time, _n: usize, _rng: &mut DetRng) -> usize {
+        0
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Poisson churn (extension, after Ko et al. \[19\]): the number of refresh
+/// pairs per time unit is Poisson-distributed with mean `c·n`. Same long-run
+/// rate as [`ConstantRate`] but bursty at fine grain — a stress test for the
+/// protocols' worst-case windows.
+#[derive(Debug, Clone)]
+pub struct PoissonChurn {
+    c: f64,
+}
+
+impl PoissonChurn {
+    /// Poisson churn with mean rate `c ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `c` is outside `[0, 1]` or not finite.
+    pub fn new(c: f64) -> PoissonChurn {
+        assert!(c.is_finite() && (0.0..=1.0).contains(&c), "churn rate must be in [0,1]");
+        PoissonChurn { c }
+    }
+}
+
+impl ChurnModel for PoissonChurn {
+    fn refreshes(&mut self, _now: Time, n: usize, rng: &mut DetRng) -> usize {
+        // Cap at n: the whole population can turn over in a unit, not more.
+        (rng.poisson(self.c * n as f64) as usize).min(n)
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        Some(self.c)
+    }
+}
+
+/// On/off burst churn (extension): alternates quiet phases (rate `c_off`)
+/// and storm phases (rate `c_on`), modelling flash crowds and diurnal
+/// effects discussed in the churn literature \[19, 22\].
+#[derive(Debug, Clone)]
+pub struct BurstChurn {
+    on: ConstantRate,
+    off: ConstantRate,
+    period_on: u64,
+    period_off: u64,
+}
+
+impl BurstChurn {
+    /// Burst churn: `period_on` ticks at `c_on`, then `period_off` ticks at
+    /// `c_off`, repeating from `Time::ZERO`.
+    ///
+    /// # Panics
+    /// Panics if either period is zero or either rate is invalid.
+    pub fn new(c_on: f64, period_on: u64, c_off: f64, period_off: u64) -> BurstChurn {
+        assert!(period_on > 0 && period_off > 0, "periods must be positive");
+        BurstChurn {
+            on: ConstantRate::new(c_on),
+            off: ConstantRate::new(c_off),
+            period_on,
+            period_off,
+        }
+    }
+
+    /// Whether `now` falls in a storm phase.
+    pub fn is_storm(&self, now: Time) -> bool {
+        let cycle = self.period_on + self.period_off;
+        now.ticks() % cycle < self.period_on
+    }
+}
+
+impl ChurnModel for BurstChurn {
+    fn refreshes(&mut self, now: Time, n: usize, rng: &mut DetRng) -> usize {
+        if self.is_storm(now) {
+            self.on.refreshes(now, n, rng)
+        } else {
+            self.off.refreshes(now, n, rng)
+        }
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        let cycle = (self.period_on + self.period_off) as f64;
+        Some(
+            (self.on.rate() * self.period_on as f64 + self.off.rate() * self.period_off as f64)
+                / cycle,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_integer_case() {
+        let mut m = ConstantRate::new(0.05);
+        let mut rng = DetRng::seed(1);
+        for t in 0..100 {
+            assert_eq!(m.refreshes(Time::at(t), 100, &mut rng), 5);
+        }
+    }
+
+    #[test]
+    fn constant_rate_fractional_case_is_exact_long_run() {
+        let mut m = ConstantRate::new(0.025); // c·n = 2.5 at n=100
+        let mut rng = DetRng::seed(1);
+        let total: usize = (0..1000).map(|t| m.refreshes(Time::at(t), 100, &mut rng)).sum();
+        assert_eq!(total, 2500);
+    }
+
+    #[test]
+    fn constant_rate_small_fraction_accumulates() {
+        let mut m = ConstantRate::new(0.004); // c·n = 0.4 at n=100
+        let mut rng = DetRng::seed(1);
+        let counts: Vec<usize> = (0..5).map(|t| m.refreshes(Time::at(t), 100, &mut rng)).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 2);
+        assert!(counts.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "churn rate must be in [0,1]")]
+    fn constant_rate_rejects_out_of_range() {
+        let _ = ConstantRate::new(1.5);
+    }
+
+    #[test]
+    fn no_churn_is_zero() {
+        let mut m = NoChurn;
+        let mut rng = DetRng::seed(1);
+        assert_eq!(m.refreshes(Time::ZERO, 100, &mut rng), 0);
+        assert_eq!(m.nominal_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn poisson_matches_mean_and_caps_at_n() {
+        let mut m = PoissonChurn::new(0.05);
+        let mut rng = DetRng::seed(2);
+        let total: usize = (0..2000).map(|t| m.refreshes(Time::at(t), 100, &mut rng)).sum();
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 5.0).abs() < 0.5, "mean {mean} should be near 5");
+        // Cap: even with c=1 the refresh count never exceeds n.
+        let mut extreme = PoissonChurn::new(1.0);
+        for t in 0..200 {
+            assert!(extreme.refreshes(Time::at(t), 10, &mut rng) <= 10);
+        }
+    }
+
+    #[test]
+    fn burst_alternates_phases() {
+        let mut m = BurstChurn::new(0.2, 10, 0.0, 40);
+        let mut rng = DetRng::seed(3);
+        assert!(m.is_storm(Time::ZERO));
+        assert!(!m.is_storm(Time::at(10)));
+        assert!(m.is_storm(Time::at(50)));
+        let storm: usize = (0..10).map(|t| m.refreshes(Time::at(t), 100, &mut rng)).sum();
+        let quiet: usize = (10..50).map(|t| m.refreshes(Time::at(t), 100, &mut rng)).sum();
+        assert_eq!(storm, 200);
+        assert_eq!(quiet, 0);
+        let nominal = m.nominal_rate().unwrap();
+        assert!((nominal - 0.04).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Departure victim selection policies.
+//!
+//! The churn model fixes *how many* processes leave per time unit; the
+//! selector fixes *which*. The paper's proofs are adversary-agnostic ("In
+//! the worst case, the `nc` processes that left the system are processes
+//! that were present at time τ", Lemma 2), so experiments sweep selectors to
+//! probe both the average and the worst case.
+
+use dynareg_net::Presence;
+use dynareg_sim::{DetRng, NodeId};
+
+/// Policy choosing which present process leaves next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeaveSelector {
+    /// Uniformly random among eligible present processes.
+    #[default]
+    Random,
+    /// The process that entered earliest leaves first — steadily erodes the
+    /// long-lived core that holds the register state (Lemma 2's worst case:
+    /// departures always hit processes active since before the window).
+    OldestFirst,
+    /// The process that entered latest leaves first — churns the joiners,
+    /// leaving the stable core intact (the paper's benign case).
+    NewestFirst,
+    /// Prefer *active* processes (oldest first among them), falling back to
+    /// listeners only when no active process is eligible. The sharpest
+    /// adversary against the active-set bounds.
+    ActiveFirst,
+}
+
+impl LeaveSelector {
+    /// Picks a victim among present processes, excluding `protected` ids.
+    /// Returns `None` if nobody is eligible.
+    ///
+    /// Determinism: candidates are scanned in id order and random choices
+    /// use the run's seeded stream.
+    pub fn pick(
+        &self,
+        presence: &Presence,
+        protected: &[NodeId],
+        rng: &mut DetRng,
+    ) -> Option<NodeId> {
+        let eligible: Vec<NodeId> = presence
+            .present_nodes()
+            .into_iter()
+            .filter(|id| !protected.contains(id))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        match self {
+            LeaveSelector::Random => Some(eligible[rng.pick_index(eligible.len())]),
+            LeaveSelector::OldestFirst => eligible
+                .into_iter()
+                .min_by_key(|&id| (presence.record(id).expect("present").entered_at, id)),
+            LeaveSelector::NewestFirst => eligible
+                .into_iter()
+                .max_by_key(|&id| (presence.record(id).expect("present").entered_at, id)),
+            LeaveSelector::ActiveFirst => {
+                let actives: Vec<NodeId> = eligible
+                    .iter()
+                    .copied()
+                    .filter(|&id| presence.is_active(id))
+                    .collect();
+                let pool = if actives.is_empty() { eligible } else { actives };
+                pool.into_iter()
+                    .min_by_key(|&id| (presence.record(id).expect("present").entered_at, id))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynareg_sim::Time;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    /// n0 active since t0, n1 active since t0, n2 listening since t5.
+    fn world() -> Presence {
+        let mut p = Presence::new();
+        p.bootstrap([n(0), n(1)], Time::ZERO);
+        p.enter(n(2), Time::at(5));
+        p
+    }
+
+    #[test]
+    fn oldest_first_picks_earliest_arrival() {
+        let p = world();
+        let mut rng = DetRng::seed(1);
+        assert_eq!(
+            LeaveSelector::OldestFirst.pick(&p, &[], &mut rng),
+            Some(n(0))
+        );
+    }
+
+    #[test]
+    fn newest_first_picks_latest_arrival() {
+        let p = world();
+        let mut rng = DetRng::seed(1);
+        assert_eq!(
+            LeaveSelector::NewestFirst.pick(&p, &[], &mut rng),
+            Some(n(2))
+        );
+    }
+
+    #[test]
+    fn active_first_prefers_actives_over_listeners() {
+        let p = world();
+        let mut rng = DetRng::seed(1);
+        assert_eq!(
+            LeaveSelector::ActiveFirst.pick(&p, &[], &mut rng),
+            Some(n(0))
+        );
+    }
+
+    #[test]
+    fn active_first_falls_back_to_listeners() {
+        let mut p = Presence::new();
+        p.enter(n(7), Time::ZERO); // listening only
+        let mut rng = DetRng::seed(1);
+        assert_eq!(
+            LeaveSelector::ActiveFirst.pick(&p, &[], &mut rng),
+            Some(n(7))
+        );
+    }
+
+    #[test]
+    fn protection_excludes_victims() {
+        let p = world();
+        let mut rng = DetRng::seed(1);
+        assert_eq!(
+            LeaveSelector::OldestFirst.pick(&p, &[n(0)], &mut rng),
+            Some(n(1))
+        );
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let p = Presence::new();
+        let mut rng = DetRng::seed(1);
+        assert_eq!(LeaveSelector::Random.pick(&p, &[], &mut rng), None);
+        let w = world();
+        assert_eq!(
+            LeaveSelector::Random.pick(&w, &[n(0), n(1), n(2)], &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_covers_pool() {
+        let p = world();
+        let picks: Vec<_> = (0..50)
+            .map(|_| {
+                let mut rng = DetRng::seed(9);
+                LeaveSelector::Random.pick(&p, &[], &mut rng).unwrap()
+            })
+            .collect();
+        assert!(picks.windows(2).all(|w| w[0] == w[1]), "same seed, same pick");
+        // Different draws from one stream cover the whole pool eventually.
+        let mut rng = DetRng::seed(10);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(LeaveSelector::Random.pick(&p, &[], &mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the churn models and driver.
+
+use dynareg_churn::{ChurnDriver, ChurnModel, ConstantRate, LeaveSelector, PoissonChurn};
+use dynareg_net::Presence;
+use dynareg_sim::{DetRng, IdSource, NodeId, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Constant churn is *exact* in the long run for any rate: total
+    /// refreshes over T ticks = ⌊T · c · n⌋ up to one unit of carry.
+    #[test]
+    fn constant_rate_is_exact(
+        c in 0.0f64..0.5,
+        n in 1usize..200,
+        ticks in 1u64..500,
+    ) {
+        let mut m = ConstantRate::new(c);
+        let mut rng = DetRng::seed(1);
+        let total: usize = (0..ticks).map(|t| m.refreshes(Time::at(t), n, &mut rng)).sum();
+        let expected = c * n as f64 * ticks as f64;
+        prop_assert!((total as f64 - expected).abs() <= 1.0,
+            "total {total} vs expected {expected}");
+    }
+
+    /// The driver never evicts protected nodes and always balances joins
+    /// with actual leaves, for any selector and rate.
+    #[test]
+    fn driver_respects_protection_and_balance(
+        c in 0.0f64..1.0,
+        n in 2u64..40,
+        protect in 0u64..5,
+        sel in prop::sample::select(vec![
+            LeaveSelector::Random,
+            LeaveSelector::OldestFirst,
+            LeaveSelector::NewestFirst,
+            LeaveSelector::ActiveFirst,
+        ]),
+        seed in 0u64..10_000,
+    ) {
+        let mut p = Presence::new();
+        p.bootstrap((0..n).map(NodeId::from_raw), Time::ZERO);
+        let mut driver = ChurnDriver::new(
+            Box::new(ConstantRate::new(c)),
+            sel,
+            IdSource::starting_at(n),
+        );
+        let protected: Vec<NodeId> = (0..protect.min(n)).map(NodeId::from_raw).collect();
+        for &node in &protected {
+            driver.protect(node);
+        }
+        let mut rng = DetRng::seed(seed);
+        for t in 1..20 {
+            let step = driver.step(&p, Time::at(t), &mut rng);
+            prop_assert_eq!(step.leaves.len(), step.joins.len());
+            for &victim in &step.leaves {
+                prop_assert!(!protected.contains(&victim), "evicted protected {victim}");
+            }
+            // Apply to presence so subsequent steps see reality.
+            for &victim in &step.leaves {
+                p.leave(victim, Time::at(t));
+            }
+            for &id in &step.joins {
+                p.enter(id, Time::at(t));
+                p.activate(id, Time::at(t));
+            }
+            prop_assert_eq!(p.present_count() as u64, n);
+        }
+    }
+
+    /// Poisson churn has the right mean and never exceeds the population.
+    #[test]
+    fn poisson_mean_and_cap(c in 0.0f64..0.3, n in 5usize..100) {
+        let mut m = PoissonChurn::new(c);
+        let mut rng = DetRng::seed(7);
+        let ticks = 3000u64;
+        let mut total = 0usize;
+        for t in 0..ticks {
+            let r = m.refreshes(Time::at(t), n, &mut rng);
+            prop_assert!(r <= n);
+            total += r;
+        }
+        let mean = total as f64 / ticks as f64;
+        let expected = c * n as f64;
+        // Poisson mean estimate over 3000 draws: allow 5 sigma.
+        let tolerance = 5.0 * (expected / ticks as f64).sqrt().max(0.02);
+        prop_assert!((mean - expected).abs() < tolerance.max(expected * 0.2).max(0.05),
+            "mean {mean} vs expected {expected}");
+    }
+
+    /// Fresh ids from the driver never collide with existing population.
+    #[test]
+    fn driver_ids_are_fresh(n in 1u64..50, seed in 0u64..10_000) {
+        let mut p = Presence::new();
+        p.bootstrap((0..n).map(NodeId::from_raw), Time::ZERO);
+        let mut driver = ChurnDriver::new(
+            Box::new(ConstantRate::new(0.5)),
+            LeaveSelector::Random,
+            IdSource::starting_at(n),
+        );
+        let mut rng = DetRng::seed(seed);
+        let mut seen: std::collections::HashSet<NodeId> =
+            (0..n).map(NodeId::from_raw).collect();
+        for t in 1..10 {
+            let step = driver.step(&p, Time::at(t), &mut rng);
+            for &id in &step.joins {
+                prop_assert!(seen.insert(id), "id {id} reused");
+            }
+            for &victim in &step.leaves {
+                p.leave(victim, Time::at(t));
+            }
+            for &id in &step.joins {
+                p.enter(id, Time::at(t));
+                p.activate(id, Time::at(t));
+            }
+        }
+    }
+}

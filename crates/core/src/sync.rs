@@ -1,0 +1,664 @@
+//! The synchronous protocol — Figures 1 and 2 of the paper, line by line.
+//!
+//! Design principle (§3.3): *fast reads*. A read is purely local — no wait
+//! statement, no messages. The price is paid at join and write time:
+//!
+//! * **join** (Figure 1): wait `δ` (line 02 — see the Figure 3 discussion
+//!   below); if no `WRITE` arrived in the meantime (line 03), broadcast
+//!   `INQUIRY` (line 05) and wait the `2δ` maximum round trip (line 06);
+//!   adopt the freshest reply (lines 07–08); become active (line 10) and
+//!   answer postponed inquiries (line 11).
+//! * **write** (Figure 2): broadcast `WRITE(v, sn)` and wait `δ` so every
+//!   process present at the broadcast has delivered it before the write
+//!   returns (timely delivery).
+//! * **read** (Figure 2): return the local copy. Zero ticks, zero messages.
+//!
+//! ## Why the `wait(δ)` at line 02 (Figure 3)
+//!
+//! A process `pᵢ` entering *just after* a write's broadcast is not covered
+//! by the broadcast's timely delivery (it was not in the system at the
+//! send). Without line 02, `pᵢ` could inquire, gather only *old* replies
+//! that raced past the in-flight `WRITE`s, and serve a stale value on a
+//! later read that is concurrent with nothing — a regularity violation.
+//! Waiting `δ` first guarantees any write concurrent with the join's start
+//! has been delivered to the repliers (and to `pᵢ` itself if it was in the
+//! system at the send). [`SyncConfig::skip_join_wait`] disables the wait to
+//! reproduce Figure 3(a) experimentally.
+//!
+//! ## Assumptions inherited from the paper
+//!
+//! Known delay bound `δ`; known constant churn `c ≤ 1/(3δ)` (Theorem 1);
+//! writes are not concurrent (single writer, or externally serialized);
+//! reliable timely broadcast.
+
+use dynareg_sim::{NodeId, OpId, Span, Time};
+
+use crate::actor::{Effect, OpOutcome, RegisterProcess, Value};
+
+/// Wire messages of the synchronous protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncMsg<V> {
+    /// `INQUIRY(i)` — a joining process asks for the register value
+    /// (Figure 1, line 05). The sender id travels in the envelope.
+    Inquiry,
+    /// `REPLY(⟨i, register, sn⟩)` — an active process's current copy
+    /// (Figure 1, lines 11 & 14). `value` is `None` only if the replier
+    /// itself never obtained a value (impossible under the paper's
+    /// assumptions; representable so over-bound churn experiments stay
+    /// well-defined).
+    Reply {
+        /// The replier's register copy.
+        value: Option<V>,
+        /// The copy's sequence number (−1 = never wrote nor adopted).
+        sn: i64,
+    },
+    /// `WRITE(val, sn)` — a write's dissemination (Figure 2, line 01).
+    Write {
+        /// The value being written.
+        value: V,
+        /// Its sequence number.
+        sn: i64,
+    },
+}
+
+impl<V> SyncMsg<V> {
+    /// Message label for traces and statistics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyncMsg::Inquiry => "INQUIRY",
+            SyncMsg::Reply { .. } => "REPLY",
+            SyncMsg::Write { .. } => "WRITE",
+        }
+    }
+}
+
+/// Configuration of the synchronous protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncConfig {
+    /// The known bound `δ` on broadcast/point-to-point latency.
+    pub delta: Span,
+    /// Disable the Figure 1 line-02 `wait(δ)` — **unsound**; exists solely
+    /// to reproduce the Figure 3(a) counter-example.
+    pub skip_join_wait: bool,
+}
+
+impl SyncConfig {
+    /// The paper's protocol with bound `delta`.
+    ///
+    /// # Panics
+    /// Panics if `delta` is zero.
+    pub fn new(delta: Span) -> SyncConfig {
+        assert!(!delta.is_zero(), "delta must be at least one tick");
+        SyncConfig {
+            delta,
+            skip_join_wait: false,
+        }
+    }
+
+    /// The Figure 3(a) ablation: same protocol without the initial join
+    /// wait.
+    pub fn without_join_wait(delta: Span) -> SyncConfig {
+        SyncConfig {
+            skip_join_wait: true,
+            ..SyncConfig::new(delta)
+        }
+    }
+
+    /// The churn threshold `1/(3δ)` under which Theorem 1 proves the
+    /// protocol correct.
+    pub fn churn_threshold(&self) -> f64 {
+        1.0 / (3.0 * self.delta.as_ticks() as f64)
+    }
+}
+
+/// Timer tags (the protocol's three `wait` statements).
+const TIMER_JOIN_WAIT: u64 = 1; // Figure 1, line 02: wait(δ)
+const TIMER_INQUIRY_WAIT: u64 = 2; // Figure 1, line 06: wait(2δ)
+const TIMER_WRITE_WAIT: u64 = 3; // Figure 2, line 02: wait(δ)
+
+/// Join-phase progression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JoinPhase {
+    /// Figure 1 line 02: waiting the initial `δ`.
+    InitialWait,
+    /// Figure 1 line 06: `INQUIRY` broadcast, waiting `2δ` for replies.
+    Inquiring,
+    /// Join returned; process is active.
+    Done,
+}
+
+/// One process running the synchronous protocol of Figures 1–2.
+///
+/// # Example
+///
+/// ```
+/// use dynareg_core::sync::{SyncConfig, SyncRegister};
+/// use dynareg_core::{RegisterProcess, Effect, OpOutcome};
+/// use dynareg_sim::{NodeId, OpId, Span, Time};
+///
+/// // A bootstrap member holds the initial value and reads it locally.
+/// let cfg = SyncConfig::new(Span::ticks(4));
+/// let mut p = SyncRegister::new_bootstrap(NodeId::from_raw(0), cfg, 0u64);
+/// let effects = p.on_read(Time::ZERO, OpId::from_raw(1));
+/// assert!(matches!(
+///     effects[0],
+///     Effect::OpComplete { outcome: OpOutcome::Read(Some(0)), .. }
+/// ));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyncRegister<V> {
+    id: NodeId,
+    config: SyncConfig,
+    /// `registerᵢ` — the local copy (`None` = ⊥).
+    register: Option<V>,
+    /// `snᵢ` — sequence number of the local copy (−1 while ⊥).
+    sn: i64,
+    /// `activeᵢ`.
+    active: bool,
+    /// `repliesᵢ` — (sender, value, sn) triples gathered while joining.
+    replies: Vec<(NodeId, Option<V>, i64)>,
+    /// `reply_toᵢ` — inquirers to answer upon activation.
+    reply_to: Vec<NodeId>,
+    phase: JoinPhase,
+    /// The in-flight write, if any (the paper's writer blocks in `wait(δ)`).
+    pending_write: Option<OpId>,
+    /// The in-flight join op id (recorded by the runtime for the history).
+    pending_join: Option<OpId>,
+}
+
+impl<V: Value> SyncRegister<V> {
+    /// A process of the initial population: active from the start, holding
+    /// the register's initial value with sequence number 0 (§3.3,
+    /// "Initially, n processes compose the system…").
+    pub fn new_bootstrap(id: NodeId, config: SyncConfig, initial: V) -> SyncRegister<V> {
+        SyncRegister {
+            id,
+            config,
+            register: Some(initial),
+            sn: 0,
+            active: true,
+            replies: Vec::new(),
+            reply_to: Vec::new(),
+            phase: JoinPhase::Done,
+            pending_write: None,
+            pending_join: None,
+        }
+    }
+
+    /// A process about to enter the system; `join_op` identifies its join
+    /// operation in the recorded history.
+    pub fn new_joiner(id: NodeId, config: SyncConfig, join_op: OpId) -> SyncRegister<V> {
+        SyncRegister {
+            id,
+            config,
+            register: None,
+            sn: -1,
+            active: false,
+            replies: Vec::new(),
+            reply_to: Vec::new(),
+            phase: JoinPhase::InitialWait,
+            pending_write: None,
+            pending_join: Some(join_op),
+        }
+    }
+
+    /// The join operation this process is executing, if any.
+    pub fn pending_join(&self) -> Option<OpId> {
+        self.pending_join
+    }
+
+    /// The local register copy (`None` = ⊥).
+    pub fn local_value(&self) -> Option<&V> {
+        self.register.as_ref()
+    }
+
+    /// The local sequence number (−1 while ⊥).
+    pub fn local_sn(&self) -> i64 {
+        self.sn
+    }
+
+    /// Figure 1, lines 10–11: switch to active and flush `reply_toᵢ`.
+    fn become_active(&mut self) -> Vec<Effect<SyncMsg<V>, V>> {
+        debug_assert!(!self.active);
+        // Line 10: activeᵢ ← true.
+        self.active = true;
+        self.phase = JoinPhase::Done;
+        let mut effects = Vec::new();
+        // Line 11: for each j ∈ reply_toᵢ send REPLY⟨i, registerᵢ, snᵢ⟩.
+        for j in std::mem::take(&mut self.reply_to) {
+            effects.push(Effect::Send {
+                to: j,
+                msg: SyncMsg::Reply {
+                    value: self.register.clone(),
+                    sn: self.sn,
+                },
+            });
+        }
+        // Line 12: return ok.
+        effects.push(Effect::JoinComplete);
+        effects
+    }
+
+    /// Figure 1, lines 07–08: adopt the reply with the largest sequence
+    /// number, if larger than ours.
+    fn adopt_best_reply(&mut self) {
+        if let Some((_, value, sn)) = self
+            .replies
+            .iter()
+            .max_by_key(|(id, _, sn)| (*sn, *id))
+            .cloned()
+        {
+            // Line 08: if sn > snᵢ then adopt.
+            if sn > self.sn {
+                self.sn = sn;
+                self.register = value;
+            }
+        }
+    }
+}
+
+impl<V: Value> RegisterProcess for SyncRegister<V> {
+    type Msg = SyncMsg<V>;
+    type Val = V;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// `operation join(i)` — Figure 1.
+    fn on_enter(&mut self, _now: Time) -> Vec<Effect<SyncMsg<V>, V>> {
+        if self.active {
+            // Bootstrap member: already active, nothing to do.
+            return vec![Effect::JoinComplete];
+        }
+        // Line 01 happened at construction (registerᵢ ← ⊥, snᵢ ← −1, …).
+        if self.config.skip_join_wait {
+            // Figure 3(a) ablation: jump straight to the line-03 check.
+            self.phase = JoinPhase::InitialWait;
+            return self.on_timer(_now, TIMER_JOIN_WAIT);
+        }
+        // Line 02: wait(δ).
+        vec![Effect::SetTimer {
+            delay: self.config.delta,
+            tag: TIMER_JOIN_WAIT,
+        }]
+    }
+
+    fn on_timer(&mut self, _now: Time, tag: u64) -> Vec<Effect<SyncMsg<V>, V>> {
+        match tag {
+            TIMER_JOIN_WAIT => {
+                debug_assert_eq!(self.phase, JoinPhase::InitialWait);
+                // Line 03: if registerᵢ = ⊥ …
+                if self.register.is_none() {
+                    // Line 04: repliesᵢ ← ∅.
+                    self.replies.clear();
+                    self.phase = JoinPhase::Inquiring;
+                    // Line 05: broadcast INQUIRY(i); line 06: wait(2δ).
+                    vec![
+                        Effect::Broadcast {
+                            msg: SyncMsg::Inquiry,
+                        },
+                        Effect::SetTimer {
+                            delay: self.config.delta.times(2),
+                            tag: TIMER_INQUIRY_WAIT,
+                        },
+                    ]
+                } else {
+                    // A WRITE arrived during the wait: lines 10-12 directly.
+                    self.become_active()
+                }
+            }
+            TIMER_INQUIRY_WAIT => {
+                debug_assert_eq!(self.phase, JoinPhase::Inquiring);
+                // Lines 07–08: adopt the freshest reply.
+                self.adopt_best_reply();
+                // Lines 10–12.
+                self.become_active()
+            }
+            TIMER_WRITE_WAIT => {
+                // Figure 2, line 02: the write's wait(δ) elapsed → return ok.
+                let op = self
+                    .pending_write
+                    .take()
+                    .expect("write timer without pending write");
+                vec![Effect::OpComplete {
+                    op,
+                    outcome: OpOutcome::WriteOk,
+                }]
+            }
+            other => panic!("unknown timer tag {other}"),
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _now: Time,
+        from: NodeId,
+        msg: SyncMsg<V>,
+    ) -> Vec<Effect<SyncMsg<V>, V>> {
+        match msg {
+            // Figure 1, lines 13–16.
+            SyncMsg::Inquiry => {
+                if self.active {
+                    // Line 14: immediate REPLY.
+                    vec![Effect::Send {
+                        to: from,
+                        msg: SyncMsg::Reply {
+                            value: self.register.clone(),
+                            sn: self.sn,
+                        },
+                    }]
+                } else {
+                    // Line 15: postpone until active.
+                    if !self.reply_to.contains(&from) {
+                        self.reply_to.push(from);
+                    }
+                    Vec::new()
+                }
+            }
+            // Figure 1, line 17.
+            SyncMsg::Reply { value, sn } => {
+                self.replies.push((from, value, sn));
+                Vec::new()
+            }
+            // Figure 2, lines 03–04.
+            SyncMsg::Write { value, sn } => {
+                if sn > self.sn {
+                    self.register = Some(value);
+                    self.sn = sn;
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// `operation read()` — Figure 2: purely local, zero latency.
+    fn on_read(&mut self, _now: Time, op: OpId) -> Vec<Effect<SyncMsg<V>, V>> {
+        assert!(self.active, "reads are invoked only after join returns");
+        vec![Effect::OpComplete {
+            op,
+            outcome: OpOutcome::Read(self.register.clone()),
+        }]
+    }
+
+    /// `operation write(v)` — Figure 2.
+    fn on_write(&mut self, _now: Time, op: OpId, value: V) -> Vec<Effect<SyncMsg<V>, V>> {
+        assert!(self.active, "writes are invoked only after join returns");
+        assert!(
+            self.pending_write.is_none(),
+            "writes are not concurrent (paper assumption)"
+        );
+        // Line 01: snᵢ ← snᵢ + 1; registerᵢ ← v; broadcast WRITE(v, snᵢ).
+        self.sn += 1;
+        self.register = Some(value.clone());
+        self.pending_write = Some(op);
+        vec![
+            Effect::Broadcast {
+                msg: SyncMsg::Write {
+                    value,
+                    sn: self.sn,
+                },
+            },
+            // Line 02: wait(δ) … return ok (on timer).
+            Effect::SetTimer {
+                delay: self.config.delta,
+                tag: TIMER_WRITE_WAIT,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::completions;
+
+    fn nid(i: u64) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    fn oid(i: u64) -> OpId {
+        OpId::from_raw(i)
+    }
+
+    fn cfg() -> SyncConfig {
+        SyncConfig::new(Span::ticks(4))
+    }
+
+    fn bootstrap(i: u64) -> SyncRegister<u64> {
+        SyncRegister::new_bootstrap(nid(i), cfg(), 0)
+    }
+
+    fn joiner(i: u64) -> SyncRegister<u64> {
+        SyncRegister::new_joiner(nid(i), cfg(), oid(900 + i))
+    }
+
+    #[test]
+    fn bootstrap_is_immediately_active_with_initial_value() {
+        let mut p = bootstrap(0);
+        assert!(p.is_active());
+        assert_eq!(p.on_enter(Time::ZERO), vec![Effect::JoinComplete]);
+        assert_eq!(p.local_value(), Some(&0));
+        assert_eq!(p.local_sn(), 0);
+    }
+
+    #[test]
+    fn read_is_local_and_immediate() {
+        let mut p = bootstrap(0);
+        let effects = p.on_read(Time::ZERO, oid(1));
+        assert_eq!(completions(&effects), vec![(oid(1), OpOutcome::Read(Some(0)))]);
+        assert_eq!(effects.len(), 1, "no messages, no timers");
+    }
+
+    #[test]
+    fn write_broadcasts_then_waits_delta() {
+        let mut p = bootstrap(0);
+        let effects = p.on_write(Time::ZERO, oid(1), 42);
+        assert_eq!(
+            effects[0],
+            Effect::Broadcast {
+                msg: SyncMsg::Write { value: 42, sn: 1 }
+            }
+        );
+        assert_eq!(
+            effects[1],
+            Effect::SetTimer {
+                delay: Span::ticks(4),
+                tag: TIMER_WRITE_WAIT
+            }
+        );
+        // Local copy updated immediately (line 01).
+        assert_eq!(p.local_value(), Some(&42));
+        // Completion fires on the timer.
+        let done = p.on_timer(Time::at(4), TIMER_WRITE_WAIT);
+        assert_eq!(completions(&done), vec![(oid(1), OpOutcome::WriteOk)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not concurrent")]
+    fn overlapping_writes_panic() {
+        let mut p = bootstrap(0);
+        p.on_write(Time::ZERO, oid(1), 42);
+        p.on_write(Time::at(1), oid(2), 43);
+    }
+
+    #[test]
+    fn join_waits_delta_then_inquires_when_bottom() {
+        let mut p = joiner(5);
+        let enter = p.on_enter(Time::ZERO);
+        assert_eq!(
+            enter,
+            vec![Effect::SetTimer {
+                delay: Span::ticks(4),
+                tag: TIMER_JOIN_WAIT
+            }]
+        );
+        let after_wait = p.on_timer(Time::at(4), TIMER_JOIN_WAIT);
+        assert_eq!(after_wait[0], Effect::Broadcast { msg: SyncMsg::Inquiry });
+        assert_eq!(
+            after_wait[1],
+            Effect::SetTimer {
+                delay: Span::ticks(8),
+                tag: TIMER_INQUIRY_WAIT
+            }
+        );
+        assert!(!p.is_active());
+    }
+
+    #[test]
+    fn join_skips_inquiry_if_write_arrived_during_wait() {
+        let mut p = joiner(5);
+        p.on_enter(Time::ZERO);
+        // A WRITE lands during the initial δ wait (listening mode).
+        p.on_message(Time::at(2), nid(0), SyncMsg::Write { value: 9, sn: 3 });
+        let effects = p.on_timer(Time::at(4), TIMER_JOIN_WAIT);
+        assert_eq!(effects, vec![Effect::JoinComplete]);
+        assert!(p.is_active());
+        assert_eq!(p.local_value(), Some(&9));
+        assert_eq!(p.local_sn(), 3);
+    }
+
+    #[test]
+    fn join_adopts_freshest_reply() {
+        let mut p = joiner(5);
+        p.on_enter(Time::ZERO);
+        p.on_timer(Time::at(4), TIMER_JOIN_WAIT);
+        p.on_message(Time::at(6), nid(1), SyncMsg::Reply { value: Some(10), sn: 1 });
+        p.on_message(Time::at(7), nid(2), SyncMsg::Reply { value: Some(20), sn: 2 });
+        p.on_message(Time::at(8), nid(3), SyncMsg::Reply { value: Some(10), sn: 1 });
+        let effects = p.on_timer(Time::at(12), TIMER_INQUIRY_WAIT);
+        assert!(effects.contains(&Effect::JoinComplete));
+        assert_eq!(p.local_value(), Some(&20));
+        assert_eq!(p.local_sn(), 2);
+    }
+
+    #[test]
+    fn join_with_no_replies_activates_bottom() {
+        // Beyond the churn bound nobody may answer; the process still
+        // activates (with ⊥) — the checker will flag any read of ⊥.
+        let mut p = joiner(5);
+        p.on_enter(Time::ZERO);
+        p.on_timer(Time::at(4), TIMER_JOIN_WAIT);
+        let effects = p.on_timer(Time::at(12), TIMER_INQUIRY_WAIT);
+        assert!(effects.contains(&Effect::JoinComplete));
+        assert_eq!(p.local_value(), None);
+    }
+
+    #[test]
+    fn write_received_during_inquiry_beats_stale_replies() {
+        let mut p = joiner(5);
+        p.on_enter(Time::ZERO);
+        p.on_timer(Time::at(4), TIMER_JOIN_WAIT);
+        p.on_message(Time::at(5), nid(1), SyncMsg::Reply { value: Some(10), sn: 1 });
+        // Concurrent write lands directly (line 03-04 of Figure 2).
+        p.on_message(Time::at(6), nid(0), SyncMsg::Write { value: 30, sn: 3 });
+        p.on_timer(Time::at(12), TIMER_INQUIRY_WAIT);
+        assert_eq!(p.local_value(), Some(&30), "stale reply must not regress the copy");
+        assert_eq!(p.local_sn(), 3);
+    }
+
+    #[test]
+    fn active_process_replies_to_inquiry_immediately() {
+        let mut p = bootstrap(0);
+        let effects = p.on_message(Time::at(1), nid(7), SyncMsg::Inquiry);
+        assert_eq!(
+            effects,
+            vec![Effect::Send {
+                to: nid(7),
+                msg: SyncMsg::Reply { value: Some(0), sn: 0 }
+            }]
+        );
+    }
+
+    #[test]
+    fn joining_process_postpones_reply_until_active() {
+        let mut p = joiner(5);
+        p.on_enter(Time::ZERO);
+        // Another joiner inquires while we are still joining.
+        assert!(p.on_message(Time::at(1), nid(8), SyncMsg::Inquiry).is_empty());
+        // Duplicate inquiries are answered once.
+        assert!(p.on_message(Time::at(2), nid(8), SyncMsg::Inquiry).is_empty());
+        p.on_message(Time::at(2), nid(0), SyncMsg::Write { value: 5, sn: 1 });
+        let effects = p.on_timer(Time::at(4), TIMER_JOIN_WAIT);
+        let replies: Vec<&Effect<SyncMsg<u64>, u64>> = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Send { .. }))
+            .collect();
+        assert_eq!(
+            replies,
+            vec![&Effect::Send {
+                to: nid(8),
+                msg: SyncMsg::Reply { value: Some(5), sn: 1 }
+            }]
+        );
+    }
+
+    #[test]
+    fn stale_write_does_not_regress() {
+        let mut p = bootstrap(0);
+        p.on_message(Time::at(1), nid(1), SyncMsg::Write { value: 7, sn: 2 });
+        p.on_message(Time::at(2), nid(1), SyncMsg::Write { value: 3, sn: 1 });
+        assert_eq!(p.local_value(), Some(&7));
+        assert_eq!(p.local_sn(), 2);
+    }
+
+    #[test]
+    fn skip_join_wait_inquires_immediately() {
+        let mut p: SyncRegister<u64> =
+            SyncRegister::new_joiner(nid(5), SyncConfig::without_join_wait(Span::ticks(4)), oid(1));
+        let effects = p.on_enter(Time::ZERO);
+        assert_eq!(effects[0], Effect::Broadcast { msg: SyncMsg::Inquiry });
+    }
+
+    #[test]
+    fn sequential_writes_increment_sn() {
+        let mut p = bootstrap(0);
+        p.on_write(Time::ZERO, oid(1), 10);
+        p.on_timer(Time::at(4), TIMER_WRITE_WAIT);
+        let effects = p.on_write(Time::at(5), oid(2), 20);
+        assert_eq!(
+            effects[0],
+            Effect::Broadcast {
+                msg: SyncMsg::Write { value: 20, sn: 2 }
+            }
+        );
+    }
+
+    #[test]
+    fn writer_handover_continues_sn_chain() {
+        // A second (non-concurrent) writer that observed sn=5 continues at 6.
+        let mut p = bootstrap(1);
+        p.on_message(Time::at(1), nid(0), SyncMsg::Write { value: 50, sn: 5 });
+        let effects = p.on_write(Time::at(10), oid(3), 60);
+        assert_eq!(
+            effects[0],
+            Effect::Broadcast {
+                msg: SyncMsg::Write { value: 60, sn: 6 }
+            }
+        );
+    }
+
+    #[test]
+    fn churn_threshold_matches_theorem_1() {
+        assert!((cfg().churn_threshold() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_cover_all_variants() {
+        assert_eq!(SyncMsg::<u64>::Inquiry.label(), "INQUIRY");
+        assert_eq!(SyncMsg::Reply { value: Some(1u64), sn: 0 }.label(), "REPLY");
+        assert_eq!(SyncMsg::Write { value: 1u64, sn: 0 }.label(), "WRITE");
+    }
+
+    #[test]
+    #[should_panic(expected = "after join returns")]
+    fn read_before_active_panics() {
+        let mut p = joiner(5);
+        p.on_enter(Time::ZERO);
+        p.on_read(Time::at(1), oid(1));
+    }
+}

@@ -1,0 +1,292 @@
+//! Message-latency models for the paper's three synchrony classes.
+//!
+//! | model | paper section | guarantee |
+//! |---|---|---|
+//! | [`Synchronous`] | §3.2 | every message delivered within `δ` of sending |
+//! | [`Asynchronous`] | §4 | no bound: heavy-tailed latencies, arbitrary cap |
+//! | [`EventuallySynchronous`] | §5.1 | after an unknown GST, delivered within `δ` |
+//! | [`Fixed`] | (testing) | exactly `d`, for scripted figure reproductions |
+//!
+//! Models are queried per message; sampling is deterministic given the run's
+//! [`DetRng`] stream.
+
+use std::fmt;
+
+use dynareg_sim::{DetRng, NodeId, Span, Time};
+
+/// Samples the in-flight latency of a message.
+///
+/// This trait is object-safe; the network stores a boxed model so scenarios
+/// can switch synchrony class at run time.
+pub trait DelayModel: fmt::Debug {
+    /// Latency of a message sent at `now` from `from` to `to`.
+    ///
+    /// Implementations must return at least one tick: the paper's model has
+    /// zero-cost local computation but *"messages take time to travel to
+    /// their destination processes"* (§3.2).
+    fn sample(&self, now: Time, from: NodeId, to: NodeId, rng: &mut DetRng) -> Span;
+
+    /// The bound `δ` that *processes are entitled to rely on* at `now`, if
+    /// any. Synchronous systems always have one; eventually synchronous
+    /// systems have one the processes never learn (returned for
+    /// instrumentation, not protocol use); asynchronous systems have none.
+    fn delta(&self) -> Option<Span>;
+
+    /// First instant from which every sent message respects `delta`
+    /// (`Time::ZERO` for synchronous, GST for eventually synchronous,
+    /// `Time::MAX` — never — for asynchronous).
+    fn synchronous_from(&self) -> Time;
+}
+
+/// §3.2 synchronous system: latency uniform in `[1, δ]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Synchronous {
+    delta: Span,
+}
+
+impl Synchronous {
+    /// A synchronous network with bound `delta`.
+    ///
+    /// # Panics
+    /// Panics if `delta` is zero (messages must take time).
+    pub fn new(delta: Span) -> Synchronous {
+        assert!(!delta.is_zero(), "delta must be at least one tick");
+        Synchronous { delta }
+    }
+
+    /// The bound `δ`.
+    pub fn bound(&self) -> Span {
+        self.delta
+    }
+}
+
+impl DelayModel for Synchronous {
+    fn sample(&self, _now: Time, _from: NodeId, _to: NodeId, rng: &mut DetRng) -> Span {
+        rng.span_between(Span::UNIT, self.delta)
+    }
+
+    fn delta(&self) -> Option<Span> {
+        Some(self.delta)
+    }
+
+    fn synchronous_from(&self) -> Time {
+        Time::ZERO
+    }
+}
+
+/// §4 fully asynchronous system: heavy-tailed latencies with *no* bound the
+/// processes can use. (A simulation must cap samples to remain finite; the
+/// cap is an artifact, not a promise — Theorem 2's adversary needs only
+/// "longer than whatever the protocol assumed".)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Asynchronous {
+    min: Span,
+    alpha: f64,
+    cap: Span,
+}
+
+impl Asynchronous {
+    /// Heavy-tailed latencies: Pareto(shape `alpha`) scaled to start at
+    /// `min`, truncated at `cap`.
+    ///
+    /// # Panics
+    /// Panics if `min` is zero, `alpha` is not positive, or `cap < min`.
+    pub fn new(min: Span, alpha: f64, cap: Span) -> Asynchronous {
+        assert!(!min.is_zero(), "min latency must be at least one tick");
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(cap >= min, "cap must dominate min");
+        Asynchronous { min, alpha, cap }
+    }
+}
+
+impl DelayModel for Asynchronous {
+    fn sample(&self, _now: Time, _from: NodeId, _to: NodeId, rng: &mut DetRng) -> Span {
+        rng.heavy_tail_span(self.min, self.alpha, self.cap)
+    }
+
+    fn delta(&self) -> Option<Span> {
+        None
+    }
+
+    fn synchronous_from(&self) -> Time {
+        Time::MAX
+    }
+}
+
+/// §5.1 eventually synchronous system: before the global stabilization time
+/// (GST) latencies are heavy-tailed; from GST on, every message sent is
+/// delivered within `δ`. Processes never learn GST or `δ` — protocols may
+/// not use them, only the instrumentation does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventuallySynchronous {
+    gst: Time,
+    delta: Span,
+    pre: Asynchronous,
+}
+
+impl EventuallySynchronous {
+    /// An eventually synchronous network stabilizing at `gst` with post-GST
+    /// bound `delta`; pre-GST latencies follow `pre`.
+    ///
+    /// # Panics
+    /// Panics if `delta` is zero.
+    pub fn new(gst: Time, delta: Span, pre: Asynchronous) -> EventuallySynchronous {
+        assert!(!delta.is_zero(), "delta must be at least one tick");
+        EventuallySynchronous { gst, delta, pre }
+    }
+
+    /// Convenience: pre-GST latencies heavy-tailed up to `10·δ`.
+    pub fn with_default_pre(gst: Time, delta: Span) -> EventuallySynchronous {
+        let pre = Asynchronous::new(Span::UNIT, 1.2, delta.times(10));
+        EventuallySynchronous::new(gst, delta, pre)
+    }
+
+    /// The global stabilization time.
+    pub fn gst(&self) -> Time {
+        self.gst
+    }
+}
+
+impl DelayModel for EventuallySynchronous {
+    fn sample(&self, now: Time, from: NodeId, to: NodeId, rng: &mut DetRng) -> Span {
+        if now >= self.gst {
+            rng.span_between(Span::UNIT, self.delta)
+        } else {
+            // Pre-GST messages may still be in flight at GST; the paper's
+            // "eventual timely delivery" only constrains messages *sent*
+            // after GST, so an unbounded pre-GST sample is faithful.
+            self.pre.sample(now, from, to, rng)
+        }
+    }
+
+    fn delta(&self) -> Option<Span> {
+        Some(self.delta)
+    }
+
+    fn synchronous_from(&self) -> Time {
+        self.gst
+    }
+}
+
+/// Deterministic latency, for scripted reproductions of the paper's figures
+/// where a message must arrive at an exact instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fixed {
+    latency: Span,
+}
+
+impl Fixed {
+    /// Every message takes exactly `latency`.
+    ///
+    /// # Panics
+    /// Panics if `latency` is zero.
+    pub fn new(latency: Span) -> Fixed {
+        assert!(!latency.is_zero(), "latency must be at least one tick");
+        Fixed { latency }
+    }
+}
+
+impl DelayModel for Fixed {
+    fn sample(&self, _now: Time, _from: NodeId, _to: NodeId, rng: &mut DetRng) -> Span {
+        let _ = rng; // deterministic by construction
+        self.latency
+    }
+
+    fn delta(&self) -> Option<Span> {
+        Some(self.latency)
+    }
+
+    fn synchronous_from(&self) -> Time {
+        Time::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    #[test]
+    fn synchronous_respects_delta() {
+        let model = Synchronous::new(Span::ticks(7));
+        let mut rng = DetRng::seed(1);
+        for _ in 0..2000 {
+            let s = model.sample(Time::ZERO, n(0), n(1), &mut rng);
+            assert!(s >= Span::UNIT && s <= Span::ticks(7));
+        }
+        assert_eq!(model.delta(), Some(Span::ticks(7)));
+        assert_eq!(model.synchronous_from(), Time::ZERO);
+    }
+
+    #[test]
+    fn synchronous_uses_full_range() {
+        let model = Synchronous::new(Span::ticks(4));
+        let mut rng = DetRng::seed(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(model.sample(Time::ZERO, n(0), n(1), &mut rng).as_ticks());
+        }
+        assert_eq!(seen, (1..=4).collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be at least one tick")]
+    fn synchronous_rejects_zero_delta() {
+        let _ = Synchronous::new(Span::ZERO);
+    }
+
+    #[test]
+    fn asynchronous_has_no_usable_bound_and_fat_tail() {
+        let model = Asynchronous::new(Span::UNIT, 1.1, Span::ticks(10_000));
+        assert_eq!(model.delta(), None);
+        assert_eq!(model.synchronous_from(), Time::MAX);
+        let mut rng = DetRng::seed(3);
+        let max = (0..5000)
+            .map(|_| model.sample(Time::ZERO, n(0), n(1), &mut rng).as_ticks())
+            .max()
+            .unwrap();
+        assert!(max > 100, "tail should wildly exceed typical sync deltas, got {max}");
+    }
+
+    #[test]
+    fn eventually_synchronous_switches_at_gst() {
+        let gst = Time::at(1000);
+        let model = EventuallySynchronous::with_default_pre(gst, Span::ticks(5));
+        let mut rng = DetRng::seed(4);
+        let pre_max = (0..2000)
+            .map(|_| model.sample(Time::at(10), n(0), n(1), &mut rng).as_ticks())
+            .max()
+            .unwrap();
+        assert!(pre_max > 5, "pre-GST latencies must be able to exceed delta");
+        for _ in 0..2000 {
+            let s = model.sample(gst, n(0), n(1), &mut rng);
+            assert!(s <= Span::ticks(5), "post-GST latency exceeded delta");
+        }
+        assert_eq!(model.gst(), gst);
+        assert_eq!(model.synchronous_from(), gst);
+    }
+
+    #[test]
+    fn fixed_is_exact() {
+        let model = Fixed::new(Span::ticks(3));
+        let mut rng = DetRng::seed(5);
+        assert_eq!(model.sample(Time::ZERO, n(0), n(1), &mut rng), Span::ticks(3));
+        assert_eq!(model.delta(), Some(Span::ticks(3)));
+    }
+
+    #[test]
+    fn models_are_object_safe() {
+        let boxed: Vec<Box<dyn DelayModel>> = vec![
+            Box::new(Synchronous::new(Span::ticks(2))),
+            Box::new(Fixed::new(Span::ticks(2))),
+            Box::new(Asynchronous::new(Span::UNIT, 2.0, Span::ticks(100))),
+        ];
+        let mut rng = DetRng::seed(6);
+        for m in &boxed {
+            assert!(m.sample(Time::ZERO, n(0), n(1), &mut rng) >= Span::UNIT);
+        }
+    }
+}

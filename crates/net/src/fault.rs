@@ -1,0 +1,177 @@
+//! Targeted latency faults layered on top of a [`crate::DelayModel`].
+//!
+//! The paper's network is reliable, so the only adversarial lever is *time*:
+//! Theorem 2's impossibility argument needs an adversary that stretches
+//! specific messages beyond whatever bound a protocol assumed, and the
+//! eventually-synchronous experiments need pre-GST turbulence aimed at
+//! specific processes. A [`FaultPlan`] is an ordered list of [`DelayFault`]
+//! rules applied after the base model's sample.
+
+use dynareg_sim::{NodeId, Span, Time};
+
+/// What a matching fault rule does to a sampled latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Add the given span to the sampled latency.
+    AddDelay(Span),
+    /// Replace the sampled latency entirely.
+    SetDelay(Span),
+}
+
+/// One latency fault rule: applies to messages matching the (optional)
+/// endpoint filters whose *send* instant falls in `[from_time, until_time)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayFault {
+    /// Only messages from this sender (any if `None`).
+    pub from: Option<NodeId>,
+    /// Only messages to this recipient (any if `None`).
+    pub to: Option<NodeId>,
+    /// Start of the active window (inclusive).
+    pub from_time: Time,
+    /// End of the active window (exclusive); `Time::MAX` = forever.
+    pub until_time: Time,
+    /// The effect on matching messages.
+    pub action: FaultAction,
+}
+
+impl DelayFault {
+    /// A rule delaying everything sent in `[from_time, until_time)` by
+    /// `extra`.
+    pub fn slow_everything(from_time: Time, until_time: Time, extra: Span) -> DelayFault {
+        DelayFault {
+            from: None,
+            to: None,
+            from_time,
+            until_time,
+            action: FaultAction::AddDelay(extra),
+        }
+    }
+
+    /// A rule isolating `victim` as a recipient: every message towards it in
+    /// the window is stretched to exactly `latency` (e.g. "longer than the
+    /// protocol's timeout", the Theorem 2 adversary).
+    pub fn starve_recipient(victim: NodeId, from_time: Time, until_time: Time, latency: Span) -> DelayFault {
+        DelayFault {
+            from: None,
+            to: Some(victim),
+            from_time,
+            until_time,
+            action: FaultAction::SetDelay(latency),
+        }
+    }
+
+    fn matches(&self, now: Time, from: NodeId, to: NodeId) -> bool {
+        self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+            && self.from_time <= now
+            && now < self.until_time
+    }
+}
+
+/// An ordered collection of fault rules; later rules see the effect of
+/// earlier ones (Add stacks, Set overrides).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<DelayFault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a rule, returning `self` for chaining.
+    pub fn with(mut self, rule: DelayFault) -> FaultPlan {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Adds a rule in place.
+    pub fn push(&mut self, rule: DelayFault) {
+        self.rules.push(rule);
+    }
+
+    /// Whether the plan has any rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Applies all matching rules in order to a base latency sample.
+    pub fn apply(&self, base: Span, now: Time, from: NodeId, to: NodeId) -> Span {
+        let mut latency = base;
+        for rule in &self.rules {
+            if rule.matches(now, from, to) {
+                latency = match rule.action {
+                    FaultAction::AddDelay(extra) => latency + extra,
+                    FaultAction::SetDelay(exact) => exact,
+                };
+            }
+        }
+        latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.apply(Span::ticks(4), Time::ZERO, n(0), n(1)), Span::ticks(4));
+    }
+
+    #[test]
+    fn window_bounds_are_half_open() {
+        let plan = FaultPlan::none().with(DelayFault::slow_everything(
+            Time::at(10),
+            Time::at(20),
+            Span::ticks(100),
+        ));
+        assert_eq!(plan.apply(Span::UNIT, Time::at(9), n(0), n(1)), Span::UNIT);
+        assert_eq!(plan.apply(Span::UNIT, Time::at(10), n(0), n(1)), Span::ticks(101));
+        assert_eq!(plan.apply(Span::UNIT, Time::at(19), n(0), n(1)), Span::ticks(101));
+        assert_eq!(plan.apply(Span::UNIT, Time::at(20), n(0), n(1)), Span::UNIT);
+    }
+
+    #[test]
+    fn recipient_filter_targets_victim_only() {
+        let plan = FaultPlan::none().with(DelayFault::starve_recipient(
+            n(5),
+            Time::ZERO,
+            Time::MAX,
+            Span::ticks(999),
+        ));
+        assert_eq!(plan.apply(Span::ticks(2), Time::at(1), n(0), n(5)), Span::ticks(999));
+        assert_eq!(plan.apply(Span::ticks(2), Time::at(1), n(0), n(6)), Span::ticks(2));
+    }
+
+    #[test]
+    fn rules_stack_in_order() {
+        let plan = FaultPlan::none()
+            .with(DelayFault {
+                from: None,
+                to: None,
+                from_time: Time::ZERO,
+                until_time: Time::MAX,
+                action: FaultAction::AddDelay(Span::ticks(3)),
+            })
+            .with(DelayFault {
+                from: Some(n(1)),
+                to: None,
+                from_time: Time::ZERO,
+                until_time: Time::MAX,
+                action: FaultAction::SetDelay(Span::ticks(50)),
+            });
+        // Non-matching sender: only the Add applies.
+        assert_eq!(plan.apply(Span::UNIT, Time::ZERO, n(0), n(2)), Span::ticks(4));
+        // Matching sender: Set overrides the stacked Add.
+        assert_eq!(plan.apply(Span::UNIT, Time::ZERO, n(1), n(2)), Span::ticks(50));
+    }
+}

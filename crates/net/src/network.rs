@@ -1,0 +1,303 @@
+//! Reliable unicast and timely broadcast over a delay model.
+//!
+//! [`Network`] is deliberately *sans-queue*: it computes delivery instants
+//! and returns [`Envelope`]s; the simulation runtime schedules them on its
+//! event queue and consults [`Network::should_deliver`] at delivery time
+//! (a recipient may have left while the message was in flight — the paper's
+//! processes "no longer send or receive messages" after leaving).
+
+use std::collections::BTreeMap;
+
+use dynareg_sim::{DetRng, NodeId, Time};
+
+use crate::delay::DelayModel;
+use crate::fault::FaultPlan;
+use crate::presence::Presence;
+
+/// A message in flight: who, what, when sent, when (tentatively) delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Instant the message was sent/broadcast.
+    pub sent_at: Time,
+    /// Instant it arrives (if the recipient is still present then).
+    pub deliver_at: Time,
+    /// Protocol-level label for tracing and statistics (e.g. `"INQUIRY"`).
+    pub label: &'static str,
+    /// The payload.
+    pub msg: M,
+}
+
+/// The communication substrate: reliable point-to-point channels plus the
+/// paper's timely broadcast, parameterized by a [`DelayModel`] and an
+/// optional [`FaultPlan`].
+///
+/// # Example
+///
+/// ```
+/// use dynareg_net::{Network, Presence};
+/// use dynareg_net::delay::Synchronous;
+/// use dynareg_sim::{DetRng, NodeId, Span, Time};
+///
+/// let mut presence = Presence::new();
+/// presence.bootstrap((0..3).map(NodeId::from_raw), Time::ZERO);
+/// let mut net = Network::new(Box::new(Synchronous::new(Span::ticks(4))), DetRng::seed(7));
+///
+/// let envs = net.broadcast(&presence, Time::ZERO, NodeId::from_raw(0), "PING", ());
+/// assert_eq!(envs.len(), 3); // self-delivery included
+/// assert!(envs.iter().all(|e| e.deliver_at <= Time::at(4)));
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    delay: Box<dyn DelayModel>,
+    faults: FaultPlan,
+    rng: DetRng,
+    sent_by_label: BTreeMap<&'static str, u64>,
+    dropped_departed: u64,
+}
+
+impl Network {
+    /// A network over the given delay model, drawing latency randomness from
+    /// `rng`.
+    pub fn new(delay: Box<dyn DelayModel>, rng: DetRng) -> Network {
+        Network {
+            delay,
+            faults: FaultPlan::none(),
+            rng,
+            sent_by_label: BTreeMap::new(),
+            dropped_departed: 0,
+        }
+    }
+
+    /// Installs a fault plan (replacing any previous one).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The delay model's advertised bound `δ`, if the synchrony class has
+    /// one.
+    pub fn delta(&self) -> Option<dynareg_sim::Span> {
+        self.delay.delta()
+    }
+
+    /// First instant from which the network is synchronous (GST).
+    pub fn synchronous_from(&self) -> Time {
+        self.delay.synchronous_from()
+    }
+
+    fn latency(&mut self, now: Time, from: NodeId, to: NodeId) -> dynareg_sim::Span {
+        let base = self.delay.sample(now, from, to, &mut self.rng);
+        self.faults.apply(base, now, from, to)
+    }
+
+    /// Sends `msg` point-to-point from `from` to `to` at `now`.
+    ///
+    /// Returns `None` when `to` is not present (already left, or never
+    /// entered): the channel to a departed process carries nothing.
+    ///
+    /// # Panics
+    /// Panics if the sender is not present — a departed process "does no
+    /// longer send … messages" (§2.1).
+    pub fn send<M>(
+        &mut self,
+        presence: &Presence,
+        now: Time,
+        from: NodeId,
+        to: NodeId,
+        label: &'static str,
+        msg: M,
+    ) -> Option<Envelope<M>> {
+        assert!(presence.is_present(from), "departed sender {from}");
+        if !presence.is_present(to) {
+            self.dropped_departed += 1;
+            return None;
+        }
+        *self.sent_by_label.entry(label).or_insert(0) += 1;
+        let deliver_at = now + self.latency(now, from, to);
+        Some(Envelope {
+            from,
+            to,
+            sent_at: now,
+            deliver_at,
+            label,
+            msg,
+        })
+    }
+
+    /// Broadcasts `msg` to **every process in the system at `now`**
+    /// (listening and active, including the sender), each copy with its own
+    /// sampled latency.
+    ///
+    /// This is the paper's timely broadcast: under a synchronous model every
+    /// copy lands within `δ`; processes entering *after* `now` receive
+    /// nothing (the Figure 3(a) hazard).
+    ///
+    /// # Panics
+    /// Panics if the sender is not present.
+    pub fn broadcast<M: Clone>(
+        &mut self,
+        presence: &Presence,
+        now: Time,
+        from: NodeId,
+        label: &'static str,
+        msg: M,
+    ) -> Vec<Envelope<M>> {
+        assert!(presence.is_present(from), "departed sender {from}");
+        let recipients = presence.present_nodes(); // sorted → deterministic
+        *self.sent_by_label.entry(label).or_insert(0) += recipients.len() as u64;
+        recipients
+            .into_iter()
+            .map(|to| {
+                let deliver_at = now + self.latency(now, from, to);
+                Envelope {
+                    from,
+                    to,
+                    sent_at: now,
+                    deliver_at,
+                    label,
+                    msg: msg.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Whether an in-flight envelope should still be delivered: the
+    /// recipient must not have left. (Listening recipients *do* receive —
+    /// the paper's listening mode starts at the beginning of `join`.)
+    pub fn should_deliver<M>(&mut self, presence: &Presence, env: &Envelope<M>) -> bool {
+        if presence.is_present(env.to) {
+            true
+        } else {
+            self.dropped_departed += 1;
+            false
+        }
+    }
+
+    /// Messages sent so far, by label (broadcast counts one per recipient).
+    pub fn sent_by_label(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.sent_by_label.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Total messages sent (all labels).
+    pub fn total_sent(&self) -> u64 {
+        self.sent_by_label.values().sum()
+    }
+
+    /// Messages abandoned because their target had left (at send or delivery
+    /// time).
+    pub fn dropped_to_departed(&self) -> u64 {
+        self.dropped_departed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{Fixed, Synchronous};
+    use crate::fault::DelayFault;
+    use dynareg_sim::Span;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    fn three_node_world() -> (Presence, Network) {
+        let mut p = Presence::new();
+        p.bootstrap([n(0), n(1), n(2)], Time::ZERO);
+        let net = Network::new(Box::new(Synchronous::new(Span::ticks(5))), DetRng::seed(1));
+        (p, net)
+    }
+
+    #[test]
+    fn unicast_within_delta() {
+        let (p, mut net) = three_node_world();
+        for _ in 0..500 {
+            let e = net.send(&p, Time::at(10), n(0), n(1), "X", 42u64).unwrap();
+            assert!(e.deliver_at > Time::at(10) && e.deliver_at <= Time::at(15));
+            assert_eq!(e.msg, 42);
+        }
+    }
+
+    #[test]
+    fn send_to_departed_returns_none() {
+        let (mut p, mut net) = three_node_world();
+        p.leave(n(1), Time::at(1));
+        assert!(net.send(&p, Time::at(2), n(0), n(1), "X", ()).is_none());
+        assert_eq!(net.dropped_to_departed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "departed sender")]
+    fn departed_sender_panics() {
+        let (mut p, mut net) = three_node_world();
+        p.leave(n(0), Time::at(1));
+        let _ = net.send(&p, Time::at(2), n(0), n(1), "X", ());
+    }
+
+    #[test]
+    fn broadcast_reaches_snapshot_including_self_and_listeners() {
+        let (mut p, mut net) = three_node_world();
+        p.enter(n(9), Time::at(1)); // listening joiner must receive
+        let envs = net.broadcast(&p, Time::at(2), n(0), "WRITE", 7u64);
+        let mut tos: Vec<NodeId> = envs.iter().map(|e| e.to).collect();
+        tos.sort_unstable();
+        assert_eq!(tos, vec![n(0), n(1), n(2), n(9)]);
+    }
+
+    #[test]
+    fn broadcast_misses_later_arrivals() {
+        let (mut p, mut net) = three_node_world();
+        let envs = net.broadcast(&p, Time::at(2), n(0), "WRITE", ());
+        p.enter(n(9), Time::at(3)); // enters after the broadcast
+        assert!(envs.iter().all(|e| e.to != n(9)));
+    }
+
+    #[test]
+    fn delivery_check_drops_for_departed_recipient() {
+        let (mut p, mut net) = three_node_world();
+        let e = net.send(&p, Time::at(1), n(0), n(2), "X", ()).unwrap();
+        p.leave(n(2), Time::at(2));
+        assert!(!net.should_deliver(&p, &e));
+        assert_eq!(net.dropped_to_departed(), 1);
+    }
+
+    #[test]
+    fn label_statistics_count_per_recipient() {
+        let (p, mut net) = three_node_world();
+        net.broadcast(&p, Time::ZERO, n(0), "INQUIRY", ());
+        net.send(&p, Time::ZERO, n(1), n(0), "REPLY", ()).unwrap();
+        let stats: std::collections::BTreeMap<_, _> = net.sent_by_label().collect();
+        assert_eq!(stats["INQUIRY"], 3);
+        assert_eq!(stats["REPLY"], 1);
+        assert_eq!(net.total_sent(), 4);
+    }
+
+    #[test]
+    fn faults_stretch_targeted_messages() {
+        let mut p = Presence::new();
+        p.bootstrap([n(0), n(1)], Time::ZERO);
+        let mut net = Network::new(Box::new(Fixed::new(Span::ticks(2))), DetRng::seed(3));
+        net.set_faults(FaultPlan::none().with(DelayFault::starve_recipient(
+            n(1),
+            Time::ZERO,
+            Time::MAX,
+            Span::ticks(500),
+        )));
+        let slow = net.send(&p, Time::ZERO, n(0), n(1), "X", ()).unwrap();
+        let fast = net.send(&p, Time::ZERO, n(1), n(0), "X", ()).unwrap();
+        assert_eq!(slow.deliver_at, Time::at(500));
+        assert_eq!(fast.deliver_at, Time::at(2));
+    }
+
+    #[test]
+    fn same_seed_same_latencies() {
+        let (p, mut net1) = three_node_world();
+        let mut net2 = Network::new(Box::new(Synchronous::new(Span::ticks(5))), DetRng::seed(1));
+        let a = net1.broadcast(&p, Time::ZERO, n(0), "X", ());
+        let b = net2.broadcast(&p, Time::ZERO, n(0), "X", ());
+        assert_eq!(a, b);
+    }
+}

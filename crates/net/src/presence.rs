@@ -1,0 +1,384 @@
+//! Process lifecycle tracking and the paper's active-set queries.
+//!
+//! §2.1 of the paper, Definition 1: *"A process is active from the time it
+//! returns from the join operation until the time it leaves the system.
+//! `A(τ)` denotes the set of processes that are active at time `τ`, while
+//! `A(τ₁, τ₂)` denotes the set of processes that are active during the whole
+//! interval `[τ₁, τ₂]`."*
+//!
+//! [`Presence`] keeps both the *current* listening/active sets (for message
+//! routing and churn victim selection) and the full per-node [`LifeRecord`]
+//! history (for `A(τ)` / `A(τ₁, τ₂)` measurements after the fact — the
+//! Lemma 2 experiment).
+
+use std::collections::{BTreeSet, HashMap};
+
+use dynareg_sim::{NodeId, Time};
+
+/// Lifecycle phase of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeStatus {
+    /// Entered the system and executing `join`: receives and processes
+    /// messages (the paper's *listening mode*) but has not yet returned from
+    /// `join`.
+    Listening,
+    /// Returned from `join`; may invoke `read`/`write` and answers inquiries.
+    Active,
+    /// Left the system (voluntarily or crashed — indistinguishable in the
+    /// model). Never comes back under this identity.
+    Left,
+}
+
+/// Immutable-once-complete lifecycle record of one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifeRecord {
+    /// Instant the process entered the system (start of `join`).
+    pub entered_at: Time,
+    /// Instant `join` returned, if it ever did.
+    pub activated_at: Option<Time>,
+    /// Instant the process left, if it has.
+    pub left_at: Option<Time>,
+}
+
+impl LifeRecord {
+    /// Whether the process was *present* (listening or active) at `t`.
+    pub fn present_at(&self, t: Time) -> bool {
+        self.entered_at <= t && self.left_at.is_none_or(|l| t < l)
+    }
+
+    /// Whether the process was *active* at `t` (the paper's `p ∈ A(t)`).
+    pub fn active_at(&self, t: Time) -> bool {
+        self.activated_at.is_some_and(|a| a <= t) && self.left_at.is_none_or(|l| t < l)
+    }
+
+    /// Whether the process was active during the whole `[t1, t2]` interval
+    /// (the paper's `p ∈ A(t1, t2)`).
+    pub fn active_throughout(&self, t1: Time, t2: Time) -> bool {
+        debug_assert!(t1 <= t2);
+        self.activated_at.is_some_and(|a| a <= t1) && self.left_at.is_none_or(|l| t2 < l)
+    }
+}
+
+/// Tracks which processes are in the system, their mode, and the full
+/// lifecycle history of the run.
+///
+/// # Example
+///
+/// ```
+/// use dynareg_net::{Presence, NodeStatus};
+/// use dynareg_sim::{NodeId, Time};
+///
+/// let mut p = Presence::new();
+/// let a = NodeId::from_raw(0);
+/// p.enter(a, Time::at(1));
+/// assert_eq!(p.status(a), Some(NodeStatus::Listening));
+/// p.activate(a, Time::at(4));
+/// assert_eq!(p.active_count(), 1);
+/// p.leave(a, Time::at(9));
+/// assert_eq!(p.status(a), Some(NodeStatus::Left));
+/// assert_eq!(p.active_set_at(Time::at(5)).len(), 1);
+/// assert_eq!(p.active_set_at(Time::at(9)).len(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Presence {
+    records: HashMap<NodeId, LifeRecord>,
+    // BTreeSets so iteration order (and thus the whole simulation) is
+    // deterministic.
+    listening: BTreeSet<NodeId>,
+    active: BTreeSet<NodeId>,
+}
+
+impl Presence {
+    /// An empty system.
+    pub fn new() -> Presence {
+        Presence::default()
+    }
+
+    /// Bootstraps the initial population: `ids` are present *and active* at
+    /// `t0`, as in the paper's initialization ("Initially, n processes
+    /// compose the system … `active_k = true`").
+    pub fn bootstrap<I: IntoIterator<Item = NodeId>>(&mut self, ids: I, t0: Time) {
+        for id in ids {
+            self.enter(id, t0);
+            self.activate(id, t0);
+        }
+    }
+
+    /// Records that `node` entered the system at `t` (listening mode).
+    ///
+    /// # Panics
+    /// Panics if `node` was ever in the system before: the infinite-arrival
+    /// model forbids identity reuse.
+    pub fn enter(&mut self, node: NodeId, t: Time) {
+        let prev = self.records.insert(
+            node,
+            LifeRecord {
+                entered_at: t,
+                activated_at: None,
+                left_at: None,
+            },
+        );
+        assert!(prev.is_none(), "{node} re-entered the system; ids are single-use");
+        self.listening.insert(node);
+    }
+
+    /// Records that `node`'s join returned at `t`.
+    ///
+    /// # Panics
+    /// Panics if `node` is not currently listening.
+    pub fn activate(&mut self, node: NodeId, t: Time) {
+        assert!(
+            self.listening.remove(&node),
+            "{node} activated while not listening"
+        );
+        self.active.insert(node);
+        let rec = self.records.get_mut(&node).expect("record exists");
+        rec.activated_at = Some(t);
+    }
+
+    /// Records that `node` left at `t`. Idempotence is *not* provided: a
+    /// node leaves at most once.
+    ///
+    /// # Panics
+    /// Panics if `node` is not currently present.
+    pub fn leave(&mut self, node: NodeId, t: Time) {
+        let was_present = self.listening.remove(&node) | self.active.remove(&node);
+        assert!(was_present, "{node} left while not present");
+        let rec = self.records.get_mut(&node).expect("record exists");
+        rec.left_at = Some(t);
+    }
+
+    /// Current status of `node`, or `None` if it never entered.
+    pub fn status(&self, node: NodeId) -> Option<NodeStatus> {
+        let rec = self.records.get(&node)?;
+        Some(if rec.left_at.is_some() {
+            NodeStatus::Left
+        } else if rec.activated_at.is_some() {
+            NodeStatus::Active
+        } else {
+            NodeStatus::Listening
+        })
+    }
+
+    /// Whether `node` is currently in the system (listening or active).
+    pub fn is_present(&self, node: NodeId) -> bool {
+        self.listening.contains(&node) || self.active.contains(&node)
+    }
+
+    /// Whether `node` is currently active.
+    pub fn is_active(&self, node: NodeId) -> bool {
+        self.active.contains(&node)
+    }
+
+    /// Currently present processes (listening ∪ active), in id order.
+    pub fn present_nodes(&self) -> Vec<NodeId> {
+        self.listening.union(&self.active).copied().collect()
+    }
+
+    /// Currently active processes, in id order.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        self.active.iter().copied().collect()
+    }
+
+    /// Currently listening (joining) processes, in id order.
+    pub fn listening_nodes(&self) -> Vec<NodeId> {
+        self.listening.iter().copied().collect()
+    }
+
+    /// Number of present processes (the paper's constant `n`, if churn is
+    /// balanced).
+    pub fn present_count(&self) -> usize {
+        self.listening.len() + self.active.len()
+    }
+
+    /// Number of active processes, `|A(now)|`.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Lifecycle record for `node`, if it ever entered.
+    pub fn record(&self, node: NodeId) -> Option<&LifeRecord> {
+        self.records.get(&node)
+    }
+
+    /// Historical `A(τ)`: processes active at instant `t`.
+    pub fn active_set_at(&self, t: Time) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .records
+            .iter()
+            .filter(|(_, r)| r.active_at(t))
+            .map(|(&id, _)| id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Historical `A(τ₁, τ₂)`: processes active during the whole interval.
+    ///
+    /// # Panics
+    /// Panics if `t1 > t2`.
+    pub fn active_set_throughout(&self, t1: Time, t2: Time) -> Vec<NodeId> {
+        assert!(t1 <= t2, "interval must be ordered");
+        let mut v: Vec<NodeId> = self
+            .records
+            .iter()
+            .filter(|(_, r)| r.active_throughout(t1, t2))
+            .map(|(&id, _)| id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// `|A(τ₁, τ₂)|` without materializing the set.
+    pub fn active_count_throughout(&self, t1: Time, t2: Time) -> usize {
+        assert!(t1 <= t2, "interval must be ordered");
+        self.records
+            .values()
+            .filter(|r| r.active_throughout(t1, t2))
+            .count()
+    }
+
+    /// Iterates over every lifecycle record of the run (including departed
+    /// processes), in node-id order.
+    pub fn records(&self) -> impl Iterator<Item = (NodeId, &LifeRecord)> + '_ {
+        let mut ids: Vec<NodeId> = self.records.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(move |id| (id, &self.records[&id]))
+    }
+
+    /// Total number of processes that ever entered over the run.
+    pub fn total_arrivals(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total number of processes that have left over the run.
+    pub fn total_departures(&self) -> usize {
+        self.records.values().filter(|r| r.left_at.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    fn system_with_three() -> Presence {
+        let mut p = Presence::new();
+        p.bootstrap([n(0), n(1), n(2)], Time::ZERO);
+        p
+    }
+
+    #[test]
+    fn bootstrap_makes_everyone_active() {
+        let p = system_with_three();
+        assert_eq!(p.active_count(), 3);
+        assert_eq!(p.present_count(), 3);
+        assert_eq!(p.listening_nodes(), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn lifecycle_transitions() {
+        let mut p = system_with_three();
+        p.enter(n(7), Time::at(5));
+        assert_eq!(p.status(n(7)), Some(NodeStatus::Listening));
+        assert!(p.is_present(n(7)));
+        assert!(!p.is_active(n(7)));
+        p.activate(n(7), Time::at(8));
+        assert_eq!(p.status(n(7)), Some(NodeStatus::Active));
+        p.leave(n(7), Time::at(12));
+        assert_eq!(p.status(n(7)), Some(NodeStatus::Left));
+        assert!(!p.is_present(n(7)));
+    }
+
+    #[test]
+    fn leaving_while_listening_is_allowed() {
+        // Joins are not guaranteed to complete if the process leaves (the
+        // liveness property only covers processes that stay).
+        let mut p = system_with_three();
+        p.enter(n(9), Time::at(3));
+        p.leave(n(9), Time::at(4));
+        assert_eq!(p.status(n(9)), Some(NodeStatus::Left));
+        assert_eq!(p.record(n(9)).unwrap().activated_at, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entered")]
+    fn identity_reuse_is_rejected() {
+        let mut p = system_with_three();
+        p.leave(n(0), Time::at(1));
+        p.enter(n(0), Time::at(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not listening")]
+    fn double_activation_is_rejected() {
+        let mut p = system_with_three();
+        p.activate(n(0), Time::at(1)); // already active from bootstrap
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn leave_of_absent_node_is_rejected() {
+        let mut p = Presence::new();
+        p.leave(n(3), Time::at(1));
+    }
+
+    #[test]
+    fn historical_active_at_queries() {
+        let mut p = Presence::new();
+        p.enter(n(1), Time::at(0));
+        p.activate(n(1), Time::at(3));
+        p.leave(n(1), Time::at(10));
+        assert!(!p.record(n(1)).unwrap().active_at(Time::at(2)));
+        assert!(p.record(n(1)).unwrap().active_at(Time::at(3)));
+        assert!(p.record(n(1)).unwrap().active_at(Time::at(9)));
+        // Departure instant is exclusive: at t=10 the process is gone.
+        assert!(!p.record(n(1)).unwrap().active_at(Time::at(10)));
+    }
+
+    #[test]
+    fn interval_query_requires_whole_interval() {
+        let mut p = Presence::new();
+        // n1 active [2, 20); n2 active [5, 8)
+        p.enter(n(1), Time::at(0));
+        p.activate(n(1), Time::at(2));
+        p.leave(n(1), Time::at(20));
+        p.enter(n(2), Time::at(4));
+        p.activate(n(2), Time::at(5));
+        p.leave(n(2), Time::at(8));
+        assert_eq!(p.active_set_throughout(Time::at(5), Time::at(7)), vec![n(1), n(2)]);
+        assert_eq!(p.active_set_throughout(Time::at(5), Time::at(8)), vec![n(1)]);
+        assert_eq!(p.active_count_throughout(Time::at(3), Time::at(4)), 1);
+    }
+
+    #[test]
+    fn present_at_includes_listening_period() {
+        let mut p = Presence::new();
+        p.enter(n(1), Time::at(5));
+        let r = *p.record(n(1)).unwrap();
+        assert!(!r.present_at(Time::at(4)));
+        assert!(r.present_at(Time::at(5)));
+        assert!(r.active_at(Time::at(5)) == false);
+    }
+
+    #[test]
+    fn arrival_departure_totals() {
+        let mut p = system_with_three();
+        p.enter(n(5), Time::at(1));
+        p.leave(n(0), Time::at(2));
+        assert_eq!(p.total_arrivals(), 4);
+        assert_eq!(p.total_departures(), 1);
+    }
+
+    #[test]
+    fn present_nodes_sorted_and_complete() {
+        let mut p = Presence::new();
+        p.bootstrap([n(3), n(1)], Time::ZERO);
+        p.enter(n(2), Time::at(1));
+        assert_eq!(p.present_nodes(), vec![n(1), n(2), n(3)]);
+        assert_eq!(p.active_nodes(), vec![n(1), n(3)]);
+    }
+}

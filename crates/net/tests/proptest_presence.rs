@@ -1,0 +1,107 @@
+//! Property tests for the presence table's interval algebra — the Lemma 2
+//! measurements are only as good as `A(τ)` / `A(τ₁, τ₂)`.
+
+use dynareg_net::Presence;
+use dynareg_sim::{NodeId, Time};
+use proptest::prelude::*;
+
+/// A random but well-formed lifecycle: enter ≤ activate ≤ leave, with
+/// optional activation/departure.
+#[derive(Debug, Clone)]
+struct Life {
+    enter: u64,
+    activate: Option<u64>,
+    leave: Option<u64>,
+}
+
+fn life_strategy() -> impl Strategy<Value = Life> {
+    (0u64..100, 0u64..50, 0u64..50, prop::bool::ANY, prop::bool::ANY).prop_map(
+        |(enter, d1, d2, has_activate, has_leave)| {
+            let activate = has_activate.then_some(enter + d1);
+            let leave = has_leave.then_some(enter + d1 + d2 + 1);
+            Life {
+                enter,
+                activate,
+                leave,
+            }
+        },
+    )
+}
+
+fn build(lives: &[Life]) -> Presence {
+    let mut p = Presence::new();
+    for (i, l) in lives.iter().enumerate() {
+        let id = NodeId::from_raw(i as u64);
+        p.enter(id, Time::at(l.enter));
+        if let Some(a) = l.activate {
+            p.activate(id, Time::at(a));
+        }
+        if let Some(d) = l.leave {
+            p.leave(id, Time::at(d));
+        }
+    }
+    p
+}
+
+proptest! {
+    /// `A(τ₁, τ₂)` is the intersection of the per-instant sets: a process is
+    /// active throughout the interval iff it is active at every integer
+    /// instant inside it.
+    #[test]
+    fn interval_set_is_pointwise_intersection(
+        lives in prop::collection::vec(life_strategy(), 1..30),
+        t1 in 0u64..150,
+        width in 0u64..20,
+    ) {
+        let p = build(&lives);
+        let (a, b) = (Time::at(t1), Time::at(t1 + width));
+        let via_interval = p.active_set_throughout(a, b);
+        let via_pointwise: Vec<NodeId> = p
+            .active_set_at(a)
+            .into_iter()
+            .filter(|&id| (t1..=t1 + width).all(|t| p.active_set_at(Time::at(t)).contains(&id)))
+            .collect();
+        prop_assert_eq!(via_interval, via_pointwise);
+    }
+
+    /// Widening the interval can only shrink the set (antitone in width).
+    #[test]
+    fn interval_sets_are_antitone_in_width(
+        lives in prop::collection::vec(life_strategy(), 1..30),
+        t1 in 0u64..150,
+        w1 in 0u64..20,
+        extra in 0u64..20,
+    ) {
+        let p = build(&lives);
+        let narrow = p.active_count_throughout(Time::at(t1), Time::at(t1 + w1));
+        let wide = p.active_count_throughout(Time::at(t1), Time::at(t1 + w1 + extra));
+        prop_assert!(wide <= narrow);
+    }
+
+    /// Current-set accessors agree with the historical query evaluated at
+    /// a time past every recorded event.
+    #[test]
+    fn live_sets_agree_with_history(
+        lives in prop::collection::vec(life_strategy(), 1..30),
+    ) {
+        let p = build(&lives);
+        let far = Time::at(10_000);
+        prop_assert_eq!(p.active_nodes(), p.active_set_at(far));
+        prop_assert_eq!(
+            p.present_count(),
+            p.records().filter(|(_, r)| r.present_at(far)).count()
+        );
+    }
+
+    /// Arrivals/departures bookkeeping is conserved.
+    #[test]
+    fn arrival_departure_conservation(
+        lives in prop::collection::vec(life_strategy(), 1..30),
+    ) {
+        let p = build(&lives);
+        prop_assert_eq!(p.total_arrivals(), lives.len());
+        let departed = lives.iter().filter(|l| l.leave.is_some()).count();
+        prop_assert_eq!(p.total_departures(), departed);
+        prop_assert_eq!(p.present_count(), lives.len() - departed);
+    }
+}

@@ -1,0 +1,268 @@
+//! The deterministic event queue at the heart of the simulator.
+//!
+//! Determinism contract: events are delivered in non-decreasing [`Time`]
+//! order, and events scheduled for the *same* instant are delivered in the
+//! order they were scheduled (FIFO). Together with [`crate::DetRng`] this
+//! makes a whole run a pure function of `(scenario, seed)`, which is what
+//! lets the experiment harness attribute every safety violation to a
+//! reproducible schedule.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// An event drawn from the queue: the instant it fires at and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The instant at which the event fires.
+    pub time: Time,
+    /// Ordering class within the instant (lower fires first).
+    pub class: u8,
+    /// Monotone sequence number assigned at scheduling time; exposes the
+    /// deterministic tie-break order for debugging.
+    pub seq: u64,
+    /// The event payload.
+    pub payload: E,
+}
+
+/// Internal heap entry — ordered so that `BinaryHeap` (a max-heap) pops the
+/// *earliest* (time, class, seq) first.
+#[derive(Debug)]
+struct Entry<E> {
+    time: Time,
+    class: u8,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.class == other.class && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earliest (time, class, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.class.cmp(&self.class))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with stable FIFO ordering at equal
+/// timestamps, refinable by an *ordering class*.
+///
+/// Classes solve a semantic boundary problem of discrete time: the paper's
+/// `wait(2δ)` must observe messages whose worst-case latency lands them at
+/// *exactly* the deadline. The runtime therefore schedules message
+/// deliveries in a lower class than timer expiries (and timer expiries lower
+/// than the once-per-unit churn/workload tick), so at any single instant
+/// the order is: deliveries → timers → tick. Within a class, FIFO.
+///
+/// # Example
+///
+/// ```
+/// use dynareg_sim::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::at(5), "b");
+/// q.schedule(Time::at(5), "c"); // same instant: FIFO after "b"
+/// q.schedule(Time::at(1), "a");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Largest time ever popped; used to enforce the no-time-travel check.
+    watermark: Time,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            watermark: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time` in the default class (0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the latest popped event: scheduling
+    /// into the past would break the simulation's causal order. (Scheduling
+    /// *at* the current instant is allowed and common: zero-delay local
+    /// computation, the paper's "processing times … are negligible".)
+    pub fn schedule(&mut self, time: Time, payload: E) -> u64 {
+        self.schedule_class(time, 0, payload)
+    }
+
+    /// Schedules `payload` to fire at `time` in ordering class `class`
+    /// (lower classes fire first within an instant).
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past (see [`EventQueue::schedule`]).
+    pub fn schedule_class(&mut self, time: Time, class: u8, payload: E) -> u64 {
+        assert!(
+            time >= self.watermark,
+            "event scheduled at {time} before current time {}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time,
+            class,
+            seq,
+            payload,
+        });
+        seq
+    }
+
+    /// Removes and returns the earliest event, or `None` when the queue is
+    /// empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.watermark);
+        self.watermark = entry.time;
+        self.popped += 1;
+        Some(ScheduledEvent {
+            time: entry.time,
+            class: entry.class,
+            seq: entry.seq,
+            payload: entry.payload,
+        })
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> Time {
+        self.watermark
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::at(10), 'x');
+        q.schedule(Time::at(2), 'y');
+        q.schedule(Time::at(7), 'z');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, ['y', 'z', 'x']);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Time::at(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::at(4), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::at(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::at(9), ());
+        q.pop();
+        q.schedule(Time::at(3), ());
+    }
+
+    #[test]
+    fn zero_delay_rescheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::at(5), 1);
+        q.pop();
+        q.schedule(Time::at(5), 2); // same instant: fine
+        assert_eq!(q.pop().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn classes_order_within_an_instant() {
+        let mut q = EventQueue::new();
+        q.schedule_class(Time::at(5), 2, "tick");
+        q.schedule_class(Time::at(5), 1, "timer");
+        q.schedule_class(Time::at(5), 0, "deliver-late-seq");
+        q.schedule_class(Time::at(4), 2, "earlier-tick");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, ["earlier-tick", "deliver-late-seq", "timer", "tick"]);
+    }
+
+    #[test]
+    fn same_class_stays_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule_class(Time::at(5), 1, 1);
+        q.schedule_class(Time::at(5), 1, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, [1, 2]);
+    }
+
+    #[test]
+    fn len_and_delivered_track_counts() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Time::at(1), ());
+        q.schedule(Time::at(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.delivered(), 1);
+    }
+}

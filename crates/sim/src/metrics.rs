@@ -1,0 +1,313 @@
+//! Lightweight counters and histograms for experiment output.
+//!
+//! The experiment harness aggregates these across seeds to produce the
+//! tables in `EXPERIMENTS.md` (operation latency, message complexity,
+//! active-set sizes, violation counts).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::Span;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An exact histogram of `u64` samples (tick latencies, set sizes, message
+/// counts). Exact because simulated quantities are small integers; no
+/// bucketing error creeps into lemma-bound comparisons.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Records a span sample (convenience for latencies).
+    pub fn record_span(&mut self, span: Span) {
+        self.record(span.as_ticks());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Arithmetic mean, if any samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) using the nearest-rank method.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (&value, &count) in &self.counts {
+            seen += count;
+            if seen >= rank {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// Merges another histogram into this one (cross-seed aggregation).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&v, &c) in &other.counts {
+            *self.counts.entry(v).or_insert(0) += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} min={} mean={:.2} p50={} p99={} max={}",
+                self.total,
+                self.min().unwrap_or(0),
+                mean,
+                self.median().unwrap_or(0),
+                self.quantile(0.99).unwrap_or(0),
+                self.max().unwrap_or(0),
+            ),
+            None => write!(f, "n=0 (empty)"),
+        }
+    }
+}
+
+/// A named registry of counters and histograms for one run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, Counter>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Increments the named counter by one, creating it if absent.
+    pub fn incr(&mut self, name: &'static str) {
+        self.counters.entry(name).or_default().incr();
+    }
+
+    /// Adds `n` to the named counter, creating it if absent.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        self.counters.entry(name).or_default().add(n);
+    }
+
+    /// Current value of the named counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.value())
+    }
+
+    /// Records a sample in the named histogram, creating it if absent.
+    pub fn sample(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Records a span sample in the named histogram.
+    pub fn sample_span(&mut self, name: &'static str, span: Span) {
+        self.sample(name, span.as_ticks());
+    }
+
+    /// The named histogram, if it has any samples.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, v)| (k, v.value()))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Merges another registry into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (&k, v) in &other.counters {
+            self.counters.entry(k).or_default().add(v.value());
+        }
+        for (&k, v) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(v);
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in self.counters() {
+            writeln!(f, "{name}: {v}")?;
+        }
+        for (name, h) in self.histograms() {
+            writeln!(f, "{name}: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn histogram_stats_are_exact() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 2, 3, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(10));
+        assert_eq!(h.mean(), Some(3.6));
+        assert_eq!(h.median(), Some(2));
+        assert_eq!(h.quantile(1.0), Some(10));
+        assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.to_string(), "n=0 (empty)");
+    }
+
+    #[test]
+    fn quantile_nearest_rank_matches_reference() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(0.01), Some(1));
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Histogram::new();
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record(3);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(3));
+        assert_eq!(a.mean(), Some(7.0 / 3.0));
+    }
+
+    #[test]
+    fn metrics_registry_round_trip() {
+        let mut m = Metrics::new();
+        m.incr("msgs.write");
+        m.add("msgs.write", 2);
+        m.sample("latency.read", 0);
+        m.sample("latency.read", 4);
+        assert_eq!(m.counter("msgs.write"), 3);
+        assert_eq!(m.counter("absent"), 0);
+        assert_eq!(m.histogram("latency.read").unwrap().count(), 2);
+        let mut other = Metrics::new();
+        other.incr("msgs.write");
+        m.merge(&other);
+        assert_eq!(m.counter("msgs.write"), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_rejects_out_of_range() {
+        let mut h = Histogram::new();
+        h.record(1);
+        let _ = h.quantile(1.5);
+    }
+}

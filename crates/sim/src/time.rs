@@ -1,0 +1,195 @@
+//! Integer time, matching the paper's time model (§2.1: "The underlying time
+//! model is the set of positive integers").
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in integer ticks since the start of
+/// the run.
+///
+/// The paper reasons about instants `τ` and delay bounds `δ`; [`Time`] is the
+/// `τ` side and [`Span`] the `δ` side. Keeping them as distinct newtypes
+/// prevents the classic instant/duration mix-up at compile time.
+///
+/// # Example
+///
+/// ```
+/// use dynareg_sim::{Time, Span};
+/// let start = Time::ZERO;
+/// let delta = Span::ticks(5);
+/// assert_eq!(start + delta, Time::at(5));
+/// assert_eq!(Time::at(8) - Time::at(3), Span::ticks(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A length of simulated time (a number of ticks); the paper's `δ`, `2δ`,
+/// `3δ` quantities are [`Span`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span(u64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0);
+
+    /// The largest representable instant; used as "never" sentinels by
+    /// delay models (e.g. `GST = Time::MAX` means "the system never becomes
+    /// synchronous", the fully asynchronous model of §4).
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant at `ticks` ticks from the origin.
+    pub const fn at(ticks: u64) -> Time {
+        Time(ticks)
+    }
+
+    /// Raw tick count of this instant.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The elapsed span since `earlier`, saturating at zero if `earlier` is
+    /// in the future.
+    pub fn since(self, earlier: Time) -> Span {
+        Span(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition; `Time::MAX` absorbs any span (a "never" stays
+    /// "never").
+    pub fn saturating_add(self, span: Span) -> Time {
+        Time(self.0.saturating_add(span.0))
+    }
+}
+
+impl Span {
+    /// The empty span.
+    pub const ZERO: Span = Span(0);
+
+    /// A single tick, the paper's "time unit" in which `c·n` processes are
+    /// refreshed.
+    pub const UNIT: Span = Span(1);
+
+    /// Creates a span of `ticks` ticks.
+    pub const fn ticks(ticks: u64) -> Span {
+        Span(ticks)
+    }
+
+    /// Raw tick count of this span.
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by an integer factor (e.g. `delta * 3` for the
+    /// paper's `3δ` join window).
+    pub const fn times(self, factor: u64) -> Span {
+        Span(self.0 * factor)
+    }
+}
+
+impl Add<Span> for Time {
+    type Output = Time;
+    fn add(self, rhs: Span) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Span> for Time {
+    fn add_assign(&mut self, rhs: Span) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Span;
+    /// # Panics
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Time::since`] for a saturating variant.
+    fn sub(self, rhs: Time) -> Span {
+        Span(self.0 - rhs.0)
+    }
+}
+
+impl Add<Span> for Span {
+    type Output = Span;
+    fn add(self, rhs: Span) -> Span {
+        Span(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Span> for Span {
+    type Output = Span;
+    fn sub(self, rhs: Span) -> Span {
+        Span(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ticks: u64) -> Time {
+        Time(ticks)
+    }
+}
+
+impl From<u64> for Span {
+    fn from(ticks: u64) -> Span {
+        Span(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = Time::at(10);
+        let d = Span::ticks(7);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t + Span::ZERO, t);
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(Time::at(3).since(Time::at(10)), Span::ZERO);
+        assert_eq!(Time::at(10).since(Time::at(3)), Span::ticks(7));
+    }
+
+    #[test]
+    fn never_absorbs_spans() {
+        assert_eq!(Time::MAX.saturating_add(Span::ticks(100)), Time::MAX);
+    }
+
+    #[test]
+    fn span_times_computes_multiples() {
+        let delta = Span::ticks(5);
+        assert_eq!(delta.times(3), Span::ticks(15));
+        assert_eq!(delta.times(0), Span::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_by_tick() {
+        assert!(Time::ZERO < Time::at(1));
+        assert!(Span::ticks(2) < Span::ticks(3));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Time::at(42).to_string(), "t42");
+        assert_eq!(Span::ticks(9).to_string(), "9t");
+    }
+}

@@ -1,0 +1,143 @@
+//! Protocol construction for the simulation world.
+
+use dynareg_core::es::{EsConfig, EsMsg, EsRegister};
+use dynareg_core::sync::{SyncConfig, SyncMsg, SyncRegister};
+use dynareg_core::RegisterProcess;
+use dynareg_sim::{NodeId, OpId};
+
+/// How the [`crate::World`] spawns protocol instances.
+///
+/// A factory fixes the protocol, its configuration and the value type; the
+/// world asks it for bootstrap members (initial population, already active)
+/// and joiners (churn arrivals, entering via the join protocol).
+pub trait ProtocolFactory {
+    /// The protocol this factory builds.
+    type Proc: RegisterProcess;
+
+    /// A member of the initial population holding `initial`.
+    fn bootstrap(
+        &self,
+        id: NodeId,
+        initial: <Self::Proc as RegisterProcess>::Val,
+    ) -> Self::Proc;
+
+    /// A fresh arrival about to run `join` (identified as `join_op` in the
+    /// history).
+    fn joiner(&self, id: NodeId, join_op: OpId) -> Self::Proc;
+
+    /// Short protocol name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Trace/statistics label of a message.
+    fn msg_label(msg: &<Self::Proc as RegisterProcess>::Msg) -> &'static str;
+}
+
+/// Factory for the synchronous protocol (Figures 1–2).
+#[derive(Debug, Clone, Copy)]
+pub struct SyncFactory {
+    /// Protocol configuration (δ and the Figure 3 ablation flag).
+    pub config: SyncConfig,
+}
+
+impl SyncFactory {
+    /// A factory for the given configuration.
+    pub fn new(config: SyncConfig) -> SyncFactory {
+        SyncFactory { config }
+    }
+}
+
+impl ProtocolFactory for SyncFactory {
+    type Proc = SyncRegister<u64>;
+
+    fn bootstrap(&self, id: NodeId, initial: u64) -> SyncRegister<u64> {
+        SyncRegister::new_bootstrap(id, self.config, initial)
+    }
+
+    fn joiner(&self, id: NodeId, join_op: OpId) -> SyncRegister<u64> {
+        SyncRegister::new_joiner(id, self.config, join_op)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.config.skip_join_wait {
+            "sync-nowait"
+        } else {
+            "sync"
+        }
+    }
+
+    fn msg_label(msg: &SyncMsg<u64>) -> &'static str {
+        msg.label()
+    }
+}
+
+/// Factory for the eventually synchronous protocol (Figures 4–6).
+#[derive(Debug, Clone, Copy)]
+pub struct EsFactory {
+    /// Protocol configuration (`n`, atomic write-back flag).
+    pub config: EsConfig,
+}
+
+impl EsFactory {
+    /// A factory for the given configuration.
+    pub fn new(config: EsConfig) -> EsFactory {
+        EsFactory { config }
+    }
+}
+
+impl ProtocolFactory for EsFactory {
+    type Proc = EsRegister<u64>;
+
+    fn bootstrap(&self, id: NodeId, initial: u64) -> EsRegister<u64> {
+        EsRegister::new_bootstrap(id, self.config, initial)
+    }
+
+    fn joiner(&self, id: NodeId, join_op: OpId) -> EsRegister<u64> {
+        EsRegister::new_joiner(id, self.config, join_op)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.config.read_write_back {
+            "es-atomic"
+        } else {
+            "es"
+        }
+    }
+
+    fn msg_label(msg: &EsMsg<u64>) -> &'static str {
+        msg.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynareg_sim::Span;
+
+    #[test]
+    fn sync_factory_builds_correct_modes() {
+        let f = SyncFactory::new(SyncConfig::new(Span::ticks(3)));
+        assert_eq!(f.name(), "sync");
+        let b = f.bootstrap(NodeId::from_raw(0), 5);
+        assert!(b.is_active());
+        assert_eq!(b.local_value(), Some(&5));
+        let j = f.joiner(NodeId::from_raw(1), OpId::from_raw(0));
+        assert!(!j.is_active());
+        let f2 = SyncFactory::new(SyncConfig::without_join_wait(Span::ticks(3)));
+        assert_eq!(f2.name(), "sync-nowait");
+    }
+
+    #[test]
+    fn es_factory_builds_correct_modes() {
+        let f = EsFactory::new(EsConfig::new(5));
+        assert_eq!(f.name(), "es");
+        assert!(f.bootstrap(NodeId::from_raw(0), 5).is_active());
+        let f2 = EsFactory::new(EsConfig::atomic(5));
+        assert_eq!(f2.name(), "es-atomic");
+    }
+
+    #[test]
+    fn labels_flow_through() {
+        assert_eq!(SyncFactory::msg_label(&SyncMsg::Inquiry), "INQUIRY");
+        assert_eq!(EsFactory::msg_label(&EsMsg::Inquiry { r_sn: 0 }), "INQUIRY");
+    }
+}

@@ -1,0 +1,46 @@
+//! # dynareg-testkit — simulation world, scenarios and experiments
+//!
+//! Glues the substrates together into runnable systems:
+//!
+//! * [`World`] — the deterministic runtime: interprets protocol
+//!   [`dynareg_core::Effect`]s against the network, applies churn, records
+//!   the operation history and the trace;
+//! * [`ProtocolFactory`] — how the world spawns bootstrap members and
+//!   joiners for a given protocol ([`SyncFactory`], [`EsFactory`]);
+//! * [`Workload`] — who reads/writes when ([`RateWorkload`] for steady
+//!   stochastic load, [`ScriptedWorkload`] for figure-exact reproductions);
+//! * [`Scenario`] — one-stop builder mapping paper parameters
+//!   `(n, δ, c, GST, seed, …)` to a full run + [`RunReport`] with safety,
+//!   atomicity and liveness verdicts;
+//! * [`experiment`] — multi-seed aggregation and markdown/CSV tables for
+//!   the experiment binaries in `dynareg-bench`.
+//!
+//! # Example
+//!
+//! ```
+//! use dynareg_testkit::Scenario;
+//! use dynareg_sim::Span;
+//!
+//! let report = Scenario::synchronous(20, Span::ticks(4))
+//!     .churn_fraction_of_bound(0.5) // c = 0.5 · 1/(3δ)
+//!     .duration(Span::ticks(300))
+//!     .seed(7)
+//!     .run();
+//! assert!(report.safety.is_ok());
+//! assert!(report.liveness.is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+mod factory;
+mod scenario;
+pub mod table;
+mod workload;
+mod world;
+
+pub use factory::{EsFactory, ProtocolFactory, SyncFactory};
+pub use scenario::{ProtocolChoice, RunReport, Scenario};
+pub use workload::{OpAction, RateWorkload, ScriptTarget, ScriptedWorkload, Workload};
+pub use world::{World, WorldConfig, WriterPolicy};

@@ -1,0 +1,578 @@
+//! One-stop scenario builder: paper parameters in, verdicts out.
+
+use dynareg_churn::{analysis, ChurnDriver, ChurnModel, ConstantRate, LeaveSelector, NoChurn};
+use dynareg_core::es::EsConfig;
+use dynareg_core::sync::SyncConfig;
+use dynareg_net::delay::{Asynchronous, EventuallySynchronous, Synchronous};
+use dynareg_net::{DelayModel, FaultPlan, Presence};
+use dynareg_sim::metrics::Metrics;
+use dynareg_sim::trace::TraceLog;
+use dynareg_sim::{DetRng, IdSource, NodeId, Span, Time};
+use dynareg_verify::{
+    AtomicityChecker, ConsistencyReport, History, LivenessChecker, LivenessReport,
+    RegularityChecker,
+};
+
+use crate::factory::{EsFactory, ProtocolFactory, SyncFactory};
+use crate::workload::{RateWorkload, ScriptedWorkload, Workload};
+use crate::world::{Val, World, WorldConfig, WriterPolicy};
+
+/// Which protocol (and variant) a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolChoice {
+    /// Figures 1–2 over a synchronous network.
+    Synchronous,
+    /// The Figure 3(a) ablation: synchronous protocol without the join
+    /// `wait(δ)`.
+    SynchronousNoWait,
+    /// Figures 4–6 over an eventually synchronous network (GST configured
+    /// on the scenario).
+    EventuallySynchronous,
+    /// The atomic extension (read write-back) over the same network.
+    EsAtomic,
+}
+
+/// Which synchrony class the network exhibits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum NetClass {
+    Synchronous,
+    /// Synchronous, but every message takes *exactly* δ — the worst case
+    /// the paper's bounds are computed against (a random-latency network is
+    /// far kinder than the adversary of Lemma 2).
+    SynchronousWorstCase,
+    EventuallySynchronous { gst: Time },
+    /// §4: no usable bound at all.
+    FullyAsynchronous { cap_factor: u64 },
+}
+
+/// Everything a run produced, plus the checker verdicts.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Protocol name ("sync", "sync-nowait", "es", "es-atomic").
+    pub protocol: &'static str,
+    /// System size `n`.
+    pub n: usize,
+    /// Delay bound `δ` (the network's, also the sync protocol's parameter).
+    pub delta: Span,
+    /// Nominal churn rate `c`.
+    pub churn_rate: f64,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Regular-register verdict (the paper's Safety property).
+    pub safety: ConsistencyReport<Option<Val>>,
+    /// Atomic-register verdict (regularity + inversion-freedom).
+    pub atomicity: ConsistencyReport<Option<Val>>,
+    /// Liveness verdict and latency statistics.
+    pub liveness: LivenessReport,
+    /// Run metrics (gauges and counters).
+    pub metrics: Metrics,
+    /// The full operation history.
+    pub history: History<Option<Val>>,
+    /// The full membership record.
+    pub presence: Presence,
+    /// Messages sent, by protocol label.
+    pub messages: Vec<(&'static str, u64)>,
+    /// Total messages sent.
+    pub total_messages: u64,
+    /// Rendered trace (empty unless tracing enabled).
+    pub trace: TraceLog,
+}
+
+impl RunReport {
+    /// New/old inversions observed (0 for an atomic run).
+    pub fn inversions(&self) -> usize {
+        self.atomicity.inversions
+    }
+
+    /// Reads checked by the safety checker.
+    pub fn reads_checked(&self) -> usize {
+        self.safety.checked_reads
+    }
+
+    /// Measured `min_τ |A(τ, τ+window)|` over the run (Lemma 2's left-hand
+    /// side), if the run is long enough.
+    pub fn min_window_active(&self, window: Span) -> Option<usize> {
+        let end = Time::at(
+            self.metrics
+                .histogram("gauge.active")
+                .map(|h| h.count())
+                .unwrap_or(0),
+        );
+        analysis::window_active_minimum(&self.presence, Time::ZERO, end, window)
+    }
+
+    /// One-line summary for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} n={} δ={} c={:.5} seed={}: safety={} inversions={} liveness={} (reads={}, msgs={})",
+            self.protocol,
+            self.n,
+            self.delta,
+            self.churn_rate,
+            self.seed,
+            if self.safety.is_ok() { "OK" } else { "VIOLATED" },
+            self.inversions(),
+            if self.liveness.is_ok() { "OK" } else { "STUCK" },
+            self.reads_checked(),
+            self.total_messages,
+        )
+    }
+}
+
+/// Churn-model choice for a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ChurnChoice {
+    None,
+    Constant(f64),
+    Poisson(f64),
+}
+
+/// Builder for a complete simulated run.
+///
+/// Defaults: no churn, random victim selection, a [`RateWorkload`] writing
+/// every `3δ` with one read per tick, duration `300` ticks, drain `12δ`,
+/// seed `0`, protected writer, no tracing.
+///
+/// # Example
+///
+/// ```
+/// use dynareg_testkit::Scenario;
+/// use dynareg_sim::Span;
+///
+/// let report = Scenario::synchronous(10, Span::ticks(3))
+///     .duration(Span::ticks(120))
+///     .run();
+/// assert!(report.safety.is_ok());
+/// ```
+#[derive(Debug)]
+pub struct Scenario {
+    protocol: ProtocolChoice,
+    net: NetClass,
+    n: usize,
+    delta: Span,
+    churn: ChurnChoice,
+    selector: LeaveSelector,
+    duration: Span,
+    drain: Option<Span>,
+    seed: u64,
+    write_every: Option<Span>,
+    reads_per_tick: f64,
+    writer_churns: bool,
+    migrating_writer: bool,
+    trace: bool,
+    script: Option<ScriptedWorkload>,
+    faults: Option<FaultPlan>,
+}
+
+impl Scenario {
+    fn base(protocol: ProtocolChoice, net: NetClass, n: usize, delta: Span) -> Scenario {
+        assert!(n > 0, "system size must be positive");
+        assert!(!delta.is_zero(), "delta must be at least one tick");
+        Scenario {
+            protocol,
+            net,
+            n,
+            delta,
+            churn: ChurnChoice::None,
+            selector: LeaveSelector::Random,
+            duration: Span::ticks(300),
+            drain: None,
+            seed: 0,
+            write_every: None,
+            reads_per_tick: 1.0,
+            writer_churns: false,
+            migrating_writer: false,
+            trace: false,
+            script: None,
+            faults: None,
+        }
+    }
+
+    /// The synchronous protocol on a synchronous network with bound `delta`.
+    pub fn synchronous(n: usize, delta: Span) -> Scenario {
+        Scenario::base(ProtocolChoice::Synchronous, NetClass::Synchronous, n, delta)
+    }
+
+    /// The Figure 3(a) ablation: synchronous protocol *without* the join
+    /// wait, on the same network.
+    pub fn synchronous_without_join_wait(n: usize, delta: Span) -> Scenario {
+        Scenario::base(
+            ProtocolChoice::SynchronousNoWait,
+            NetClass::Synchronous,
+            n,
+            delta,
+        )
+    }
+
+    /// The synchronous protocol configured for bound `delta` but running on
+    /// a **fully asynchronous** network (Theorem 2's safety face): actual
+    /// delays are heavy-tailed up to `cap_factor · δ`.
+    pub fn synchronous_over_async(n: usize, delta: Span, cap_factor: u64) -> Scenario {
+        Scenario::base(
+            ProtocolChoice::Synchronous,
+            NetClass::FullyAsynchronous { cap_factor },
+            n,
+            delta,
+        )
+    }
+
+    /// The eventually synchronous protocol; the network stabilizes at
+    /// `gst` with post-GST bound `delta`.
+    pub fn eventually_synchronous(n: usize, delta: Span, gst: Time) -> Scenario {
+        Scenario::base(
+            ProtocolChoice::EventuallySynchronous,
+            NetClass::EventuallySynchronous { gst },
+            n,
+            delta,
+        )
+    }
+
+    /// The ES protocol on a **never-synchronous** network (Theorem 2's
+    /// liveness face).
+    pub fn es_over_async(n: usize, delta: Span, cap_factor: u64) -> Scenario {
+        Scenario::base(
+            ProtocolChoice::EventuallySynchronous,
+            NetClass::FullyAsynchronous { cap_factor },
+            n,
+            delta,
+        )
+    }
+
+    /// The atomic extension (ES + read write-back), network stabilizing at
+    /// `gst`.
+    pub fn es_atomic(n: usize, delta: Span, gst: Time) -> Scenario {
+        Scenario::base(
+            ProtocolChoice::EsAtomic,
+            NetClass::EventuallySynchronous { gst },
+            n,
+            delta,
+        )
+    }
+
+    /// Constant churn at rate `c` (the paper's model).
+    pub fn churn_rate(mut self, c: f64) -> Scenario {
+        self.churn = if c == 0.0 {
+            ChurnChoice::None
+        } else {
+            ChurnChoice::Constant(c)
+        };
+        self
+    }
+
+    /// Constant churn at `fraction` of the protocol's proven threshold
+    /// (`1/(3δ)` for sync, `1/(3δn)` for ES) — `1.0` sits exactly on the
+    /// bound, `>1.0` violates it.
+    pub fn churn_fraction_of_bound(self, fraction: f64) -> Scenario {
+        let threshold = match self.protocol {
+            ProtocolChoice::Synchronous | ProtocolChoice::SynchronousNoWait => {
+                analysis::sync_churn_threshold(self.delta)
+            }
+            ProtocolChoice::EventuallySynchronous | ProtocolChoice::EsAtomic => {
+                analysis::es_churn_threshold(self.delta, self.n)
+            }
+        };
+        self.churn_rate((fraction * threshold).min(1.0))
+    }
+
+    /// Poisson churn with mean rate `c` (extension model).
+    pub fn churn_poisson(mut self, c: f64) -> Scenario {
+        self.churn = ChurnChoice::Poisson(c);
+        self
+    }
+
+    /// Victim selection policy.
+    pub fn leave_selector(mut self, selector: LeaveSelector) -> Scenario {
+        self.selector = selector;
+        self
+    }
+
+    /// Total run length.
+    pub fn duration(mut self, duration: Span) -> Scenario {
+        self.duration = duration;
+        self
+    }
+
+    /// Drain window: churn and workload stop this long before the end so
+    /// in-flight operations can finish (default `12δ`).
+    pub fn drain(mut self, drain: Span) -> Scenario {
+        self.drain = Some(drain);
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Write period (default `3δ`).
+    pub fn write_every(mut self, period: Span) -> Scenario {
+        self.write_every = Some(period);
+        self
+    }
+
+    /// Expected reads per tick (default 1.0).
+    pub fn reads_per_tick(mut self, rate: f64) -> Scenario {
+        self.reads_per_tick = rate;
+        self
+    }
+
+    /// Allow churn to evict the designated writer (default: protected).
+    pub fn writer_churns(mut self, yes: bool) -> Scenario {
+        self.writer_churns = yes;
+        self
+    }
+
+    /// Writes are issued by the current *oldest active* process instead of
+    /// a fixed protected writer; the role migrates as churn evicts its
+    /// holder. No process is immortal — required for the churn-threshold
+    /// experiments, where a protected writer would serve fresh values
+    /// forever and mask the bound.
+    pub fn migrating_writer(mut self) -> Scenario {
+        self.migrating_writer = true;
+        self.writer_churns = true;
+        self
+    }
+
+    /// Record a full trace.
+    pub fn trace(mut self, yes: bool) -> Scenario {
+        self.trace = yes;
+        self
+    }
+
+    /// Replace the stochastic workload with an exact script.
+    pub fn scripted(mut self, script: ScriptedWorkload) -> Scenario {
+        self.script = Some(script);
+        self
+    }
+
+    /// Install a delay-fault adversary.
+    pub fn faults(mut self, faults: FaultPlan) -> Scenario {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Worst-case synchronous delays: every message takes exactly `δ`
+    /// instead of uniform `[1, δ]`. This is the adversary the paper's
+    /// bounds are stated against; combined with
+    /// [`LeaveSelector::ActiveFirst`] it makes the Theorem 1 churn
+    /// threshold empirically sharp.
+    ///
+    /// # Panics
+    /// Panics if the scenario's network is not synchronous.
+    pub fn worst_case_delays(mut self) -> Scenario {
+        assert!(
+            matches!(self.net, NetClass::Synchronous | NetClass::SynchronousWorstCase),
+            "worst-case delays only apply to synchronous networks"
+        );
+        self.net = NetClass::SynchronousWorstCase;
+        self
+    }
+
+    /// The churn rate this scenario will run with.
+    pub fn effective_churn_rate(&self) -> f64 {
+        match self.churn {
+            ChurnChoice::None => 0.0,
+            ChurnChoice::Constant(c) | ChurnChoice::Poisson(c) => c,
+        }
+    }
+
+    fn build_delay(&self) -> Box<dyn DelayModel> {
+        match self.net {
+            NetClass::Synchronous => Box::new(Synchronous::new(self.delta)),
+            NetClass::SynchronousWorstCase => {
+                Box::new(dynareg_net::delay::Fixed::new(self.delta))
+            }
+            NetClass::EventuallySynchronous { gst } => {
+                Box::new(EventuallySynchronous::with_default_pre(gst, self.delta))
+            }
+            NetClass::FullyAsynchronous { cap_factor } => Box::new(Asynchronous::new(
+                Span::UNIT,
+                1.2,
+                self.delta.times(cap_factor.max(1)),
+            )),
+        }
+    }
+
+    fn build_churn(&self, stop_at: Time, n: usize) -> ChurnDriver {
+        let inner: Box<dyn ChurnModel> = match self.churn {
+            ChurnChoice::None => Box::new(NoChurn),
+            ChurnChoice::Constant(c) => Box::new(ConstantRate::new(c)),
+            ChurnChoice::Poisson(c) => Box::new(dynareg_churn::PoissonChurn::new(c)),
+        };
+        ChurnDriver::new(
+            Box::new(StopAfter { inner, stop_at }),
+            self.selector,
+            IdSource::starting_at(n as u64),
+        )
+    }
+
+    fn build_workload(&self, stop_at: Time) -> Box<dyn Workload> {
+        if let Some(script) = &self.script {
+            return Box::new(script.clone());
+        }
+        let write_every = self.write_every.unwrap_or(self.delta.times(3));
+        Box::new(RateWorkload::new(write_every, self.reads_per_tick).stopping_at(stop_at))
+    }
+
+    /// Runs the scenario to completion and checks the result.
+    pub fn run(self) -> RunReport {
+        let end = Time::ZERO + self.duration;
+        let drain = self.drain.unwrap_or(self.delta.times(12));
+        let stop_at = Time::at(self.duration.as_ticks().saturating_sub(drain.as_ticks()).max(1));
+        match self.protocol {
+            ProtocolChoice::Synchronous => {
+                let f = SyncFactory::new(SyncConfig::new(self.delta));
+                self.run_world(f, end, stop_at)
+            }
+            ProtocolChoice::SynchronousNoWait => {
+                let f = SyncFactory::new(SyncConfig::without_join_wait(self.delta));
+                self.run_world(f, end, stop_at)
+            }
+            ProtocolChoice::EventuallySynchronous => {
+                let f = EsFactory::new(EsConfig::new(self.n));
+                self.run_world(f, end, stop_at)
+            }
+            ProtocolChoice::EsAtomic => {
+                let f = EsFactory::new(EsConfig::atomic(self.n));
+                self.run_world(f, end, stop_at)
+            }
+        }
+    }
+
+    fn run_world<F>(self, factory: F, end: Time, stop_at: Time) -> RunReport
+    where
+        F: ProtocolFactory,
+        F::Proc: dynareg_core::RegisterProcess<Val = Val>,
+    {
+        let protocol = factory.name();
+        let churn_rate = self.effective_churn_rate();
+        let mut world = World::new(
+            factory,
+            WorldConfig {
+                n: self.n,
+                initial: 0,
+                delay: self.build_delay(),
+                churn: self.build_churn(stop_at, self.n),
+                workload: self.build_workload(stop_at),
+                seed: self.seed,
+                trace: self.trace,
+                writer_policy: if self.migrating_writer {
+                    WriterPolicy::OldestActive
+                } else {
+                    WriterPolicy::FixedProtected
+                },
+            },
+        );
+        if !self.writer_churns {
+            world.protect(NodeId::from_raw(0));
+        }
+        if let Some(faults) = self.faults {
+            world.set_faults(faults);
+        }
+        world.run_until(end);
+
+        let (history, presence, metrics, trace, network) = world.into_outputs();
+        let safety = RegularityChecker::check(&history);
+        let atomicity = AtomicityChecker::check(&history);
+        let liveness = LivenessChecker::check(&history);
+        let messages: Vec<(&'static str, u64)> = network.sent_by_label().collect();
+        let total_messages = network.total_sent();
+        RunReport {
+            protocol,
+            n: self.n,
+            delta: self.delta,
+            churn_rate,
+            seed: self.seed,
+            safety,
+            atomicity,
+            liveness,
+            metrics,
+            history,
+            presence,
+            messages,
+            total_messages,
+            trace,
+        }
+    }
+}
+
+/// Churn model wrapper that goes quiet at `stop_at` (the drain window).
+#[derive(Debug)]
+struct StopAfter {
+    inner: Box<dyn ChurnModel>,
+    stop_at: Time,
+}
+
+impl ChurnModel for StopAfter {
+    fn refreshes(&mut self, now: Time, n: usize, rng: &mut DetRng) -> usize {
+        if now >= self.stop_at {
+            0
+        } else {
+            self.inner.refreshes(now, n, rng)
+        }
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        self.inner.nominal_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_scenario_under_bound_is_clean() {
+        let report = Scenario::synchronous(15, Span::ticks(3))
+            .churn_fraction_of_bound(0.5)
+            .duration(Span::ticks(250))
+            .seed(1)
+            .run();
+        assert_eq!(report.protocol, "sync");
+        assert!(report.safety.is_ok(), "{}", report.safety);
+        assert!(report.liveness.is_ok(), "{}", report.liveness);
+        assert!(report.reads_checked() > 20);
+        assert!(report.presence.total_arrivals() > 15, "churn ran");
+    }
+
+    #[test]
+    fn es_scenario_synchronous_from_start_is_clean() {
+        let report = Scenario::eventually_synchronous(11, Span::ticks(3), Time::ZERO)
+            .churn_fraction_of_bound(0.5)
+            .duration(Span::ticks(400))
+            .seed(2)
+            .run();
+        assert_eq!(report.protocol, "es");
+        assert!(report.safety.is_ok(), "{}", report.safety);
+        assert!(report.liveness.is_ok(), "{}", report.liveness);
+    }
+
+    #[test]
+    fn atomic_scenario_has_no_inversions() {
+        let report = Scenario::es_atomic(9, Span::ticks(2), Time::ZERO)
+            .duration(Span::ticks(300))
+            .reads_per_tick(2.0)
+            .seed(3)
+            .run();
+        assert_eq!(report.protocol, "es-atomic");
+        assert!(report.atomicity.is_ok(), "{}", report.atomicity);
+        assert_eq!(report.inversions(), 0);
+    }
+
+    #[test]
+    fn summary_is_one_line() {
+        let report = Scenario::synchronous(5, Span::ticks(2))
+            .duration(Span::ticks(60))
+            .run();
+        let s = report.summary();
+        assert!(s.contains("sync"));
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn effective_churn_rate_reflects_fraction() {
+        let s = Scenario::synchronous(10, Span::ticks(5)).churn_fraction_of_bound(1.0);
+        assert!((s.effective_churn_rate() - 1.0 / 15.0).abs() < 1e-12);
+    }
+}

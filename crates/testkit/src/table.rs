@@ -1,0 +1,182 @@
+//! Plain-text result tables (markdown and CSV) for the experiment binaries.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// # Example
+///
+/// ```
+/// use dynareg_testkit::table::Table;
+///
+/// let mut t = Table::new(["c / bound", "violations"]);
+/// t.row(["0.5", "0"]);
+/// t.row(["2.0", "17"]);
+/// assert!(t.markdown().contains("| c / bound | violations |"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Renders as a column-aligned markdown table.
+    pub fn markdown(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (naive quoting: cells containing commas are quoted).
+    pub fn csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.markdown())
+    }
+}
+
+/// Formats an f64 compactly for table cells.
+pub fn fnum(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e12 {
+        format!("{x:.0}")
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_aligns_columns() {
+        let mut t = Table::new(["a", "longheader"]);
+        t.row(["wide-cell-content", "1"]);
+        let md = t.markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len(), "aligned widths");
+        assert!(lines[1].starts_with("|--"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["x,y", "plain"]);
+        let csv = t.csv();
+        assert_eq!(csv, "k,v\n\"x,y\",plain\n");
+    }
+
+    #[test]
+    fn fnum_formats_by_magnitude() {
+        assert_eq!(fnum(3.0), "3");
+        assert_eq!(fnum(0.0417), "0.042");
+        assert_eq!(fnum(1234.567), "1234.6");
+    }
+
+    #[test]
+    fn display_is_markdown() {
+        let mut t = Table::new(["x"]);
+        t.row(["1"]);
+        assert_eq!(t.to_string(), t.markdown());
+    }
+}

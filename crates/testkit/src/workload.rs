@@ -1,0 +1,279 @@
+//! Client operation generators.
+//!
+//! The world asks the workload once per time unit which operations to
+//! invoke. Workloads see only *eligible* processes (active, no operation in
+//! flight) so they cannot violate the per-process sequentiality the paper
+//! assumes.
+
+use dynareg_sim::{DetRng, NodeId, Span, Time};
+
+/// A client operation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpAction {
+    /// Invoke a read.
+    Read,
+    /// Invoke a write of the given value.
+    Write(u64),
+}
+
+/// Per-time-unit operation source.
+pub trait Workload: std::fmt::Debug {
+    /// Operations to invoke at `now`. `idle_actives` are the processes that
+    /// may legally accept an invocation (active, idle), in id order;
+    /// `arrivals` lists every churn arrival so far in join order (for
+    /// scripted targets); `writer_idle` tells whether the designated writer
+    /// (`writer`) can accept a write and no other write is in flight.
+    fn tick(
+        &mut self,
+        now: Time,
+        idle_actives: &[NodeId],
+        arrivals: &[NodeId],
+        writer: NodeId,
+        writer_idle: bool,
+        rng: &mut DetRng,
+    ) -> Vec<(NodeId, OpAction)>;
+
+    /// Instant after which the workload stops issuing operations (drain
+    /// window); `Time::MAX` if unbounded.
+    fn stop_at(&self) -> Time {
+        Time::MAX
+    }
+}
+
+/// Steady stochastic load: the designated writer writes a fresh value every
+/// `write_every` ticks; an average of `reads_per_tick` reads (Poisson) land
+/// on uniformly random idle active processes.
+///
+/// Values are drawn from a monotone counter starting at 1, so every write
+/// is unique (as the history requires).
+#[derive(Debug, Clone)]
+pub struct RateWorkload {
+    write_every: Span,
+    reads_per_tick: f64,
+    next_value: u64,
+    stop_at: Time,
+}
+
+impl RateWorkload {
+    /// A workload writing every `write_every` and issuing `reads_per_tick`
+    /// expected reads per tick.
+    ///
+    /// # Panics
+    /// Panics if `write_every` is zero or `reads_per_tick` is negative.
+    pub fn new(write_every: Span, reads_per_tick: f64) -> RateWorkload {
+        assert!(!write_every.is_zero(), "write period must be positive");
+        assert!(reads_per_tick >= 0.0, "read rate must be non-negative");
+        RateWorkload {
+            write_every,
+            reads_per_tick,
+            next_value: 1,
+            stop_at: Time::MAX,
+        }
+    }
+
+    /// Stops issuing operations at `t` (the scenario's drain start).
+    pub fn stopping_at(mut self, t: Time) -> RateWorkload {
+        self.stop_at = t;
+        self
+    }
+}
+
+impl Workload for RateWorkload {
+    fn tick(
+        &mut self,
+        now: Time,
+        idle_actives: &[NodeId],
+        _arrivals: &[NodeId],
+        writer: NodeId,
+        writer_idle: bool,
+        rng: &mut DetRng,
+    ) -> Vec<(NodeId, OpAction)> {
+        if now >= self.stop_at {
+            return Vec::new();
+        }
+        let mut ops = Vec::new();
+        // Writer fires on its period (tick 0 excluded: the initial value
+        // stands in for "write 0").
+        if writer_idle
+            && now.ticks() > 0
+            && now.ticks() % self.write_every.as_ticks() == 0
+        {
+            ops.push((writer, OpAction::Write(self.next_value)));
+            self.next_value += 1;
+        }
+        // Readers: Poisson number of reads over distinct idle actives.
+        if !idle_actives.is_empty() && self.reads_per_tick > 0.0 {
+            let count = (rng.poisson(self.reads_per_tick) as usize).min(idle_actives.len());
+            // Sample distinct indices via partial shuffle.
+            let mut pool: Vec<NodeId> = idle_actives.to_vec();
+            rng.shuffle(&mut pool);
+            for &node in pool.iter().take(count) {
+                if node != writer || !ops.iter().any(|(n, _)| *n == node) {
+                    ops.push((node, OpAction::Read));
+                }
+            }
+        }
+        ops
+    }
+
+    fn stop_at(&self) -> Time {
+        self.stop_at
+    }
+}
+
+/// A fully scripted operation timeline, for figure-exact reproductions
+/// (e.g. Figure 3's write-concurrent-with-join schedule).
+///
+/// Targets may be absolute node ids or "the k-th churn arrival", resolved
+/// by the world at run time.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedWorkload {
+    script: Vec<(Time, ScriptTarget, OpAction)>,
+}
+
+/// Whom a scripted operation addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptTarget {
+    /// A concrete process id (useful for bootstrap members `0..n`).
+    Node(NodeId),
+    /// The `k`-th process that joined through churn (0-based), letting
+    /// scripts address churn arrivals without knowing their fresh ids.
+    Arrival(usize),
+}
+
+impl ScriptedWorkload {
+    /// An empty script.
+    pub fn new() -> ScriptedWorkload {
+        ScriptedWorkload::default()
+    }
+
+    /// Schedules `action` on `node` at `t`.
+    pub fn at(mut self, t: Time, node: NodeId, action: OpAction) -> ScriptedWorkload {
+        self.script.push((t, ScriptTarget::Node(node), action));
+        self
+    }
+
+    /// Schedules `action` on the `k`-th churn arrival at `t`.
+    pub fn at_arrival(mut self, t: Time, k: usize, action: OpAction) -> ScriptedWorkload {
+        self.script.push((t, ScriptTarget::Arrival(k), action));
+        self
+    }
+
+    /// Fires entries due at `now`, resolving targets with `resolve`
+    /// (entries whose instant has passed unresolved are dropped).
+    fn take_due(
+        &mut self,
+        now: Time,
+        resolve: impl Fn(ScriptTarget) -> Option<NodeId>,
+    ) -> Vec<(NodeId, OpAction)> {
+        let mut due = Vec::new();
+        self.script.retain(|(t, target, action)| {
+            if *t == now {
+                if let Some(node) = resolve(*target) {
+                    due.push((node, action.clone()));
+                }
+                false
+            } else {
+                *t > now // drop missed entries too
+            }
+        });
+        due
+    }
+}
+
+impl Workload for ScriptedWorkload {
+    fn tick(
+        &mut self,
+        now: Time,
+        _idle_actives: &[NodeId],
+        arrivals: &[NodeId],
+        _writer: NodeId,
+        _writer_idle: bool,
+        _rng: &mut DetRng,
+    ) -> Vec<(NodeId, OpAction)> {
+        self.take_due(now, |t| match t {
+            ScriptTarget::Node(id) => Some(id),
+            ScriptTarget::Arrival(k) => arrivals.get(k).copied(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    #[test]
+    fn rate_workload_writes_on_period_with_unique_values() {
+        let mut w = RateWorkload::new(Span::ticks(5), 0.0);
+        let mut rng = DetRng::seed(1);
+        let idle = vec![n(0), n(1)];
+        let mut values = Vec::new();
+        for t in 0..20 {
+            for (node, op) in w.tick(Time::at(t), &idle, &[], n(0), true, &mut rng) {
+                assert_eq!(node, n(0));
+                if let OpAction::Write(v) = op {
+                    values.push(v);
+                }
+            }
+        }
+        assert_eq!(values, vec![1, 2, 3]); // t = 5, 10, 15
+    }
+
+    #[test]
+    fn rate_workload_respects_writer_busy() {
+        let mut w = RateWorkload::new(Span::ticks(5), 0.0);
+        let mut rng = DetRng::seed(1);
+        assert!(w.tick(Time::at(5), &[], &[], n(0), false, &mut rng).is_empty());
+        // The skipped value is not burned: next write uses value 1.
+        let ops = w.tick(Time::at(10), &[], &[], n(0), true, &mut rng);
+        assert_eq!(ops, vec![(n(0), OpAction::Write(1))]);
+    }
+
+    #[test]
+    fn rate_workload_read_count_tracks_rate() {
+        let mut w = RateWorkload::new(Span::ticks(1000), 2.0);
+        let mut rng = DetRng::seed(2);
+        let idle: Vec<NodeId> = (0..50).map(n).collect();
+        let total: usize = (1..500)
+            .map(|t| w.tick(Time::at(t), &idle, &[], n(0), false, &mut rng).len())
+            .sum();
+        let mean = total as f64 / 499.0;
+        assert!((mean - 2.0).abs() < 0.3, "mean reads/tick = {mean}");
+    }
+
+    #[test]
+    fn rate_workload_stops_at_drain() {
+        let mut w = RateWorkload::new(Span::ticks(2), 5.0).stopping_at(Time::at(10));
+        let mut rng = DetRng::seed(3);
+        let idle = vec![n(1)];
+        assert!(!w.tick(Time::at(8), &idle, &[], n(0), true, &mut rng).is_empty());
+        assert!(w.tick(Time::at(10), &idle, &[], n(0), true, &mut rng).is_empty());
+        assert!(w.tick(Time::at(12), &idle, &[], n(0), true, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn scripted_workload_fires_exactly_once() {
+        let mut w = ScriptedWorkload::new()
+            .at(Time::at(3), n(1), OpAction::Read)
+            .at(Time::at(3), n(2), OpAction::Write(9));
+        let mut rng = DetRng::seed(4);
+        assert!(w.tick(Time::at(2), &[], &[], n(0), true, &mut rng).is_empty());
+        let due = w.tick(Time::at(3), &[], &[], n(0), true, &mut rng);
+        assert_eq!(due.len(), 2);
+        assert!(w.tick(Time::at(3), &[], &[], n(0), true, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn scripted_arrival_targets_resolve_via_world_hook() {
+        let mut w = ScriptedWorkload::new().at_arrival(Time::at(5), 0, OpAction::Read);
+        let due = w.take_due(Time::at(5), |t| match t {
+            ScriptTarget::Arrival(0) => Some(n(77)),
+            _ => None,
+        });
+        assert_eq!(due, vec![(n(77), OpAction::Read)]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dynareg-verify — histories and consistency checkers
+//!
+//! The paper specifies the register by two properties (§2.2):
+//!
+//! * **Liveness** — *"If a process invokes a read or a write operation and
+//!   does not leave the system, it eventually returns from that operation."*
+//! * **Safety** — *"A read operation returns the last value written before
+//!   the read invocation, or a value written by a write operation concurrent
+//!   with it."*
+//!
+//! This crate makes both *checkable*: a [`History`] records every join,
+//! read and write with its invocation/response instants, and the checkers
+//! render verdicts with explainable violations:
+//!
+//! | checker | semantics | paper reference |
+//! |---|---|---|
+//! | [`RegularityChecker`] | the Safety property above | §2.2, Theorems 1 & 4 |
+//! | [`AtomicityChecker`] | regularity + no new/old inversion | §1 (the inversion figure) |
+//! | [`SafeChecker`] | Lamport's *safe* register (weakest) | §1 |
+//! | [`LivenessChecker`] | the Liveness property above | §2.2, Theorems 1 & 3 |
+//!
+//! Histories follow the paper's concurrency structure: **writes are totally
+//! ordered** (single writer, or serialized writers as assumed in §5.3); the
+//! checkers exploit this for a linear-time legal-value computation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atomic;
+mod history;
+mod liveness;
+mod regular;
+mod report;
+mod safe;
+
+pub use atomic::AtomicityChecker;
+pub use history::{History, OpKind, OpRecord};
+pub use liveness::{LivenessChecker, LivenessReport};
+pub use regular::RegularityChecker;
+pub use report::{ConsistencyReport, Violation};
+pub use safe::SafeChecker;

@@ -1,0 +1,155 @@
+//! The paper's Liveness property, §2.2: *"If a process invokes a read or a
+//! write operation and does not leave the system, it eventually returns from
+//! that operation."* (Joins have the analogous guarantee under the
+//! protocols' churn assumptions — Lemma 1 and Lemma 5.)
+
+use std::fmt;
+use std::hash::Hash;
+
+use dynareg_sim::metrics::Histogram;
+use dynareg_sim::OpId;
+
+use crate::history::{History, OpKind};
+
+/// Verdict of a liveness check, with per-operation-kind latency statistics.
+#[derive(Debug, Clone, Default)]
+pub struct LivenessReport {
+    /// Operations that never completed although their invoker never left —
+    /// these are genuine liveness violations.
+    pub stuck_ops: Vec<OpId>,
+    /// Operations that never completed because their invoker left the
+    /// system — excused by the specification.
+    pub incomplete_leavers: usize,
+    /// Completed operations.
+    pub completed: usize,
+    /// Latency (response − invocation, in ticks) of completed joins.
+    pub join_latency: Histogram,
+    /// Latency of completed reads.
+    pub read_latency: Histogram,
+    /// Latency of completed writes.
+    pub write_latency: Histogram,
+}
+
+impl LivenessReport {
+    /// Number of genuine liveness violations.
+    pub fn incomplete_stayer_count(&self) -> usize {
+        self.stuck_ops.len()
+    }
+
+    /// Whether liveness holds: every operation by a process that stayed
+    /// completed.
+    pub fn is_ok(&self) -> bool {
+        self.stuck_ops.is_empty()
+    }
+}
+
+impl fmt::Display for LivenessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "liveness: {} ({} completed, {} excused by departure, {} stuck)",
+            if self.is_ok() { "OK" } else { "VIOLATED" },
+            self.completed,
+            self.incomplete_leavers,
+            self.stuck_ops.len()
+        )?;
+        writeln!(f, "  join latency:  {}", self.join_latency)?;
+        writeln!(f, "  read latency:  {}", self.read_latency)?;
+        write!(f, "  write latency: {}", self.write_latency)
+    }
+}
+
+/// Checks the Liveness property over a finished run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LivenessChecker;
+
+impl LivenessChecker {
+    /// Runs the check. A pending operation counts as *stuck* unless its
+    /// invoker is recorded (via [`History::note_left`]) as having left.
+    ///
+    /// Note for eventually-synchronous runs: operations invoked shortly
+    /// before the end of the run may be pending merely because the run was
+    /// cut; callers typically stop the workload a few `δ` before the end.
+    /// The report does not attempt to distinguish these — the scenario
+    /// harness does (it drains in-flight operations before ending).
+    pub fn check<V: Clone + Eq + Hash + fmt::Debug>(history: &History<V>) -> LivenessReport {
+        let mut report = LivenessReport::default();
+        for op in history.ops() {
+            match op.completed_at {
+                Some(done) => {
+                    report.completed += 1;
+                    let latency = done - op.invoked_at;
+                    match op.kind {
+                        OpKind::Join => report.join_latency.record_span(latency),
+                        OpKind::Read { .. } => report.read_latency.record_span(latency),
+                        OpKind::Write { .. } => report.write_latency.record_span(latency),
+                    }
+                }
+                None => {
+                    if history.left_at(op.node).is_some() {
+                        report.incomplete_leavers += 1;
+                    } else {
+                        report.stuck_ops.push(op.op);
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynareg_sim::{NodeId, Time};
+
+    fn n(i: u64) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    #[test]
+    fn completed_ops_feed_latency_histograms() {
+        let mut h: History<u64> = History::new(0);
+        let j = h.invoke_join(n(1), Time::at(0));
+        h.complete_join(j, Time::at(6)); // 3δ with δ=2
+        let w = h.invoke_write(n(0), Time::at(10), 5);
+        h.complete_write(w, Time::at(12));
+        let r = h.invoke_read(n(1), Time::at(13));
+        h.complete_read(r, Time::at(13), 5); // local read: zero latency
+        let report = LivenessChecker::check(&h);
+        assert!(report.is_ok());
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.join_latency.max(), Some(6));
+        assert_eq!(report.write_latency.mean(), Some(2.0));
+        assert_eq!(report.read_latency.max(), Some(0));
+    }
+
+    #[test]
+    fn stuck_stayer_is_a_violation() {
+        let mut h: History<u64> = History::new(0);
+        let r = h.invoke_read(n(1), Time::at(1));
+        let report = LivenessChecker::check(&h);
+        assert!(!report.is_ok());
+        assert_eq!(report.stuck_ops, vec![r]);
+    }
+
+    #[test]
+    fn leaver_is_excused() {
+        let mut h: History<u64> = History::new(0);
+        h.invoke_read(n(1), Time::at(1));
+        h.note_left(n(1), Time::at(2));
+        let report = LivenessChecker::check(&h);
+        assert!(report.is_ok());
+        assert_eq!(report.incomplete_leavers, 1);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut h: History<u64> = History::new(0);
+        let r = h.invoke_read(n(1), Time::at(1));
+        h.complete_read(r, Time::at(1), 0);
+        let text = LivenessChecker::check(&h).to_string();
+        assert!(text.contains("liveness: OK (1 completed"));
+        assert!(text.contains("read latency"));
+    }
+}

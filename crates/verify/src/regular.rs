@@ -1,0 +1,277 @@
+//! The paper's Safety property, §2.2: *"A read operation returns the last
+//! value written before the read invocation, or a value written by a write
+//! operation concurrent with it."*
+
+use std::hash::Hash;
+
+use crate::history::{History, OpKind, OpRecord};
+use crate::report::{ConsistencyReport, Violation};
+
+/// Checks a history against **regular register** semantics.
+///
+/// For each completed read `r` the legal values are:
+///
+/// 1. the value of the *last* write whose response precedes `r`'s
+///    invocation (or the initial value if there is none), and
+/// 2. the value of every write concurrent with `r` (a pending write is
+///    concurrent with everything after its invocation).
+///
+/// Values that were never written are *fabricated* and always illegal —
+/// even a safe register may only return domain values; our harness catches
+/// protocol bugs this way.
+///
+/// # Example
+///
+/// ```
+/// use dynareg_verify::{History, RegularityChecker};
+/// use dynareg_sim::{NodeId, Time};
+///
+/// let mut h: History<u64> = History::new(0);
+/// let w = h.invoke_write(NodeId::from_raw(0), Time::at(1), 10);
+/// h.complete_write(w, Time::at(4));
+/// // Read concurrent with the write: may return 0 or 10.
+/// let r = h.invoke_read(NodeId::from_raw(1), Time::at(2));
+/// h.complete_read(r, Time::at(3), 0);
+/// assert!(RegularityChecker::check(&h).is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegularityChecker;
+
+impl RegularityChecker {
+    /// Runs the check; the report lists every illegal read.
+    pub fn check<V: Clone + Eq + Hash + std::fmt::Debug>(
+        history: &History<V>,
+    ) -> ConsistencyReport<V> {
+        let writes: Vec<&OpRecord<V>> = history.writes().collect();
+        let mut violations = Vec::new();
+        let mut checked = 0;
+
+        for read in history.completed_reads() {
+            checked += 1;
+            let returned = match &read.kind {
+                OpKind::Read { returned: Some(v) } => v,
+                _ => unreachable!("completed_reads yields completed reads"),
+            };
+            if let Some(v) = Self::judge(history, &writes, read, returned) {
+                violations.push(v);
+            }
+        }
+
+        ConsistencyReport {
+            semantics: "regular",
+            checked_reads: checked,
+            violations,
+            inversions: 0,
+        }
+    }
+
+    /// Legal write indices for a read: `None` stands for the initial value.
+    pub(crate) fn legal_indices<V: Clone + Eq + Hash + std::fmt::Debug>(
+        writes: &[&OpRecord<V>],
+        read: &OpRecord<V>,
+    ) -> Vec<Option<usize>> {
+        let mut legal = Vec::new();
+        // Last write completed *strictly* before the read's invocation.
+        // Equal instants count as concurrent, matching `OpRecord::overlaps`
+        // (closed intervals): a write completing exactly when a read starts
+        // contributes via the concurrency rule instead, and its predecessor
+        // stays legal ("the last value … before these concurrent writes").
+        let last_before = writes
+            .iter()
+            .filter(|w| w.completed_at.is_some_and(|c| c < read.invoked_at))
+            .filter_map(|w| match w.kind {
+                OpKind::Write { index, .. } => Some(index),
+                _ => None,
+            })
+            .max();
+        legal.push(last_before); // None = initial value
+        // Writes concurrent with the read.
+        for w in writes {
+            if w.overlaps(read) {
+                if let OpKind::Write { index, .. } = w.kind {
+                    legal.push(Some(index));
+                }
+            }
+        }
+        legal.sort_unstable();
+        legal.dedup();
+        legal
+    }
+
+    fn judge<V: Clone + Eq + Hash + std::fmt::Debug>(
+        history: &History<V>,
+        writes: &[&OpRecord<V>],
+        read: &OpRecord<V>,
+        returned: &V,
+    ) -> Option<Violation<V>> {
+        let provenance = match history.provenance(returned) {
+            Ok(p) => p,
+            Err(()) => {
+                return Some(Violation {
+                    read: read.op,
+                    node: read.node,
+                    returned: returned.clone(),
+                    explanation: "fabricated value: never written and not the initial value"
+                        .into(),
+                });
+            }
+        };
+        let legal = Self::legal_indices(writes, read);
+        if legal.contains(&provenance) {
+            None
+        } else {
+            let legal_desc: Vec<String> = legal
+                .iter()
+                .map(|l| match l {
+                    None => "initial".to_string(),
+                    Some(i) => format!("write#{i}"),
+                })
+                .collect();
+            let got = match provenance {
+                None => "initial".to_string(),
+                Some(i) => format!("write#{i}"),
+            };
+            Some(Violation {
+                read: read.op,
+                node: read.node,
+                returned: returned.clone(),
+                explanation: format!(
+                    "read [{}..{}] returned {got} but legal values are {{{}}}",
+                    read.invoked_at,
+                    read.completed_at.expect("completed"),
+                    legal_desc.join(", ")
+                ),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynareg_sim::{NodeId, Time};
+
+    fn n(i: u64) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    /// w1 = [1,4] → 10, w2 = [6,9] → 20.
+    fn two_write_history() -> History<u64> {
+        let mut h: History<u64> = History::new(0);
+        let w1 = h.invoke_write(n(0), Time::at(1), 10);
+        h.complete_write(w1, Time::at(4));
+        let w2 = h.invoke_write(n(0), Time::at(6), 20);
+        h.complete_write(w2, Time::at(9));
+        h
+    }
+
+    fn with_read(mut h: History<u64>, inv: u64, comp: u64, value: u64) -> History<u64> {
+        let r = h.invoke_read(n(1), Time::at(inv));
+        h.complete_read(r, Time::at(comp), value);
+        h
+    }
+
+    #[test]
+    fn read_after_write_must_see_it() {
+        let h = with_read(two_write_history(), 10, 11, 20);
+        assert!(RegularityChecker::check(&h).is_ok());
+        let stale = with_read(two_write_history(), 10, 11, 10);
+        let report = RegularityChecker::check(&stale);
+        assert_eq!(report.violation_count(), 1);
+        assert!(report.violations[0].explanation.contains("legal values are {write#1}"));
+    }
+
+    #[test]
+    fn read_concurrent_with_write_may_see_old_or_new() {
+        for value in [10, 20] {
+            let h = with_read(two_write_history(), 7, 8, value);
+            assert!(RegularityChecker::check(&h).is_ok(), "value {value} is legal");
+        }
+        // But not the ancient initial value.
+        let h = with_read(two_write_history(), 7, 8, 0);
+        assert!(!RegularityChecker::check(&h).is_ok());
+    }
+
+    #[test]
+    fn read_before_any_write_sees_initial() {
+        let mut h: History<u64> = History::new(0);
+        let r = h.invoke_read(n(1), Time::at(0));
+        h.complete_read(r, Time::at(0), 0);
+        assert!(RegularityChecker::check(&h).is_ok());
+    }
+
+    #[test]
+    fn fabricated_value_is_flagged() {
+        let h = with_read(two_write_history(), 10, 11, 999);
+        let report = RegularityChecker::check(&h);
+        assert_eq!(report.violation_count(), 1);
+        assert!(report.violations[0].explanation.contains("fabricated"));
+    }
+
+    #[test]
+    fn pending_write_is_concurrent_forever() {
+        let mut h: History<u64> = History::new(0);
+        h.invoke_write(n(0), Time::at(1), 10); // never completes (writer stays? crashed)
+        let r = h.invoke_read(n(1), Time::at(100));
+        h.complete_read(r, Time::at(101), 10);
+        assert!(RegularityChecker::check(&h).is_ok());
+        // The initial value is also still legal: no write ever *completed*.
+        let r2 = h.invoke_read(n(1), Time::at(102));
+        h.complete_read(r2, Time::at(103), 0);
+        assert!(RegularityChecker::check(&h).is_ok());
+    }
+
+    #[test]
+    fn read_spanning_both_writes_accepts_either_but_not_initial() {
+        let h = with_read(two_write_history(), 2, 8, 10);
+        assert!(RegularityChecker::check(&h).is_ok());
+        let h = with_read(two_write_history(), 2, 8, 20);
+        assert!(RegularityChecker::check(&h).is_ok());
+        // Read invoked at 2 overlaps w1 (concurrent) → initial no longer
+        // last-before? Last write completed before t=2: none → initial IS
+        // legal via rule 1.
+        let h = with_read(two_write_history(), 2, 8, 0);
+        assert!(RegularityChecker::check(&h).is_ok());
+    }
+
+    #[test]
+    fn new_old_inversion_is_legal_for_regular() {
+        // r1 = [6,7] returns 20 (new), r2 = [8,8] returns 10 (old, but w2
+        // is still concurrent? No: w2 = [6,9], r2 = [8,8] overlaps w2, so 10
+        // = value before the concurrent write → legal. This is exactly the
+        // §1 inversion figure.
+        let h = with_read(two_write_history(), 6, 7, 20);
+        let h = with_read(h, 8, 8, 10);
+        assert!(RegularityChecker::check(&h).is_ok());
+    }
+
+    #[test]
+    fn touching_endpoints_count_as_concurrent() {
+        // Write completes at 4; read invoked at 4 → w completed_at <= inv,
+        // so w is "before" AND overlapping. Both old (if later write) and
+        // new legal; with single write, both initial? Check: read [4,5]
+        // returning 10 is legal (last-before), returning 0 is not (w1
+        // completed at exactly 4 — it is last-before … but also concurrent
+        // by our closed-interval overlap, making 0 the value before the
+        // concurrent write → legal).
+        let mut h: History<u64> = History::new(0);
+        let w1 = h.invoke_write(n(0), Time::at(1), 10);
+        h.complete_write(w1, Time::at(4));
+        let h1 = with_read(h.clone(), 4, 5, 10);
+        assert!(RegularityChecker::check(&h1).is_ok());
+        let h0 = with_read(h, 4, 5, 0);
+        assert!(RegularityChecker::check(&h0).is_ok());
+    }
+
+    #[test]
+    fn report_counts_all_reads() {
+        let mut h = two_write_history();
+        for t in [10, 12, 14] {
+            let r = h.invoke_read(n(2), Time::at(t));
+            h.complete_read(r, Time::at(t + 1), 20);
+        }
+        let report = RegularityChecker::check(&h);
+        assert_eq!(report.checked_reads, 3);
+        assert!(report.is_ok());
+    }
+}

@@ -1,0 +1,115 @@
+//! Checker verdicts.
+
+use std::fmt;
+
+use dynareg_sim::{NodeId, OpId};
+
+/// One explained safety violation found by a checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation<V> {
+    /// The offending read (or the later read of an inversion pair).
+    pub read: OpId,
+    /// The process that performed it.
+    pub node: NodeId,
+    /// The value it returned.
+    pub returned: V,
+    /// Human-readable explanation citing the legal alternatives.
+    pub explanation: String,
+}
+
+impl<V: fmt::Debug> fmt::Display for Violation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} by {} returned {:?}: {}",
+            self.read, self.node, self.returned, self.explanation
+        )
+    }
+}
+
+/// Aggregate verdict of a consistency checker over one history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsistencyReport<V> {
+    /// Which semantics was checked ("regular", "atomic", "safe").
+    pub semantics: &'static str,
+    /// Completed reads examined.
+    pub checked_reads: usize,
+    /// All violations found, in history order.
+    pub violations: Vec<Violation<V>>,
+    /// New/old inversion pairs found (atomicity checks only; zero
+    /// otherwise). Inversions also appear in `violations`.
+    pub inversions: usize,
+}
+
+impl<V> ConsistencyReport<V> {
+    /// Whether the history satisfies the checked semantics.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violations.
+    pub fn violation_count(&self) -> usize {
+        self.violations.len()
+    }
+}
+
+impl<V: fmt::Debug> fmt::Display for ConsistencyReport<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            write!(
+                f,
+                "{}: OK ({} reads checked)",
+                self.semantics, self.checked_reads
+            )
+        } else {
+            writeln!(
+                f,
+                "{}: {} violation(s) over {} reads:",
+                self.semantics,
+                self.violations.len(),
+                self.checked_reads
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_report_displays_compactly() {
+        let r: ConsistencyReport<u64> = ConsistencyReport {
+            semantics: "regular",
+            checked_reads: 12,
+            violations: vec![],
+            inversions: 0,
+        };
+        assert!(r.is_ok());
+        assert_eq!(r.to_string(), "regular: OK (12 reads checked)");
+    }
+
+    #[test]
+    fn failing_report_lists_violations() {
+        let r = ConsistencyReport {
+            semantics: "regular",
+            checked_reads: 2,
+            violations: vec![Violation {
+                read: OpId::from_raw(5),
+                node: NodeId::from_raw(1),
+                returned: 7u64,
+                explanation: "stale: last completed write was 9".into(),
+            }],
+            inversions: 0,
+        };
+        assert!(!r.is_ok());
+        assert_eq!(r.violation_count(), 1);
+        let text = r.to_string();
+        assert!(text.contains("op5 by p1 returned 7"));
+        assert!(text.contains("stale"));
+    }
+}

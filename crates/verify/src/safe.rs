@@ -1,0 +1,140 @@
+//! Lamport's *safe* register semantics: the weakest rung of the ladder.
+//!
+//! §1 of the paper: a read **not** concurrent with any write must return the
+//! register's current value; a read concurrent with a write may return
+//! *anything in the value domain* — even a value never written. The checker
+//! therefore only judges quiescent reads.
+
+use std::hash::Hash;
+
+use crate::history::{History, OpKind, OpRecord};
+use crate::report::{ConsistencyReport, Violation};
+
+/// Checks a history against **safe register** semantics.
+///
+/// Quiescent reads (no concurrent write) must return the last completed
+/// write's value (or the initial value); concurrent reads are uncheckable
+/// by definition and are skipped (but still counted in `checked_reads`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SafeChecker;
+
+impl SafeChecker {
+    /// Runs the check.
+    pub fn check<V: Clone + Eq + Hash + std::fmt::Debug>(
+        history: &History<V>,
+    ) -> ConsistencyReport<V> {
+        let writes: Vec<&OpRecord<V>> = history.writes().collect();
+        let mut violations = Vec::new();
+        let mut checked = 0;
+
+        for read in history.completed_reads() {
+            checked += 1;
+            let concurrent = writes.iter().any(|w| w.overlaps(read));
+            if concurrent {
+                continue; // any value allowed, even fabricated
+            }
+            let returned = match &read.kind {
+                OpKind::Read { returned: Some(v) } => v,
+                _ => unreachable!(),
+            };
+            let expected_index = writes
+                .iter()
+                .filter(|w| w.completed_at.is_some_and(|c| c < read.invoked_at))
+                .filter_map(|w| match w.kind {
+                    OpKind::Write { index, .. } => Some(index),
+                    _ => None,
+                })
+                .max();
+            let actual = history.provenance(returned);
+            if actual != Ok(expected_index) {
+                let expected = match expected_index {
+                    None => "initial".to_string(),
+                    Some(i) => format!("write#{i}"),
+                };
+                violations.push(Violation {
+                    read: read.op,
+                    node: read.node,
+                    returned: returned.clone(),
+                    explanation: format!(
+                        "quiescent read must return {expected} (no write concurrent with it)"
+                    ),
+                });
+            }
+        }
+
+        ConsistencyReport {
+            semantics: "safe",
+            checked_reads: checked,
+            violations,
+            inversions: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynareg_sim::{NodeId, Time};
+
+    fn n(i: u64) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    fn base() -> History<u64> {
+        let mut h: History<u64> = History::new(0);
+        let w = h.invoke_write(n(0), Time::at(5), 10);
+        h.complete_write(w, Time::at(8));
+        h
+    }
+
+    #[test]
+    fn quiescent_read_must_see_current_value() {
+        let mut h = base();
+        let r = h.invoke_read(n(1), Time::at(9));
+        h.complete_read(r, Time::at(10), 10);
+        assert!(SafeChecker::check(&h).is_ok());
+
+        let mut h2 = base();
+        let r2 = h2.invoke_read(n(1), Time::at(9));
+        h2.complete_read(r2, Time::at(10), 0);
+        let report = SafeChecker::check(&h2);
+        assert_eq!(report.violation_count(), 1);
+        assert!(report.violations[0].explanation.contains("quiescent"));
+    }
+
+    #[test]
+    fn concurrent_read_may_return_garbage() {
+        let mut h = base();
+        let r = h.invoke_read(n(1), Time::at(6));
+        h.complete_read(r, Time::at(7), 424242); // fabricated — fine for safe
+        assert!(SafeChecker::check(&h).is_ok());
+    }
+
+    #[test]
+    fn quiescent_fabricated_value_is_flagged() {
+        let mut h = base();
+        let r = h.invoke_read(n(1), Time::at(20));
+        h.complete_read(r, Time::at(21), 424242);
+        assert!(!SafeChecker::check(&h).is_ok());
+    }
+
+    #[test]
+    fn read_before_all_writes_sees_initial() {
+        let mut h = base();
+        let r = h.invoke_read(n(1), Time::at(1));
+        h.complete_read(r, Time::at(2), 0);
+        assert!(SafeChecker::check(&h).is_ok());
+    }
+
+    #[test]
+    fn checked_reads_counts_concurrent_ones_too() {
+        let mut h = base();
+        let r1 = h.invoke_read(n(1), Time::at(6));
+        h.complete_read(r1, Time::at(7), 5);
+        let r2 = h.invoke_read(n(1), Time::at(9));
+        h.complete_read(r2, Time::at(10), 10);
+        let report = SafeChecker::check(&h);
+        assert_eq!(report.checked_reads, 2);
+        assert!(report.is_ok());
+    }
+}

@@ -1,0 +1,60 @@
+//! Riding out asynchrony: the quorum protocol across GST.
+//!
+//! The eventually synchronous protocol (Figures 4–6) never trusts a clock:
+//! joins, reads and writes all complete through majority quorums. This
+//! example runs the same system with the network stabilizing earlier or
+//! later (GST sweep) and shows the paper's Theorem 3/4 shape: **safety is
+//! never violated**, and operations all terminate once the system is
+//! synchronous — pre-GST turbulence only stretches latencies.
+//!
+//! Run with: `cargo run --example eventually_synchronous`
+
+use dynareg::sim::{Span, Time};
+use dynareg::testkit::experiment::{run_seeds, Aggregate};
+use dynareg::testkit::table::{fnum, Table};
+use dynareg::testkit::Scenario;
+
+fn main() {
+    let n = 21; // quorum = 11
+    let delta = Span::ticks(4);
+
+    println!("== eventually synchronous register: GST sweep ==");
+    println!("n = {n} (quorum {}), post-GST δ = {delta}", n / 2 + 1);
+    println!("duration 800 ticks; churn at half the ES bound 1/(3δn); 6 seeds per cell\n");
+
+    let mut table = Table::new([
+        "GST",
+        "unsafe runs",
+        "stuck runs",
+        "join lat (mean)",
+        "read lat (mean)",
+        "write lat (mean)",
+    ]);
+    for gst_ticks in [0u64, 200, 400] {
+        let reports = run_seeds(0..6, |seed| {
+            Scenario::eventually_synchronous(n, delta, Time::at(gst_ticks))
+                .churn_fraction_of_bound(0.5)
+                .duration(Span::ticks(800))
+                .drain(Span::ticks(200)) // generous: drain must outlast GST turbulence
+                .reads_per_tick(1.0)
+                .seed(seed)
+                .run()
+        });
+        let agg = Aggregate::from_reports(&reports);
+        table.row([
+            format!("t{gst_ticks}"),
+            format!("{}/{}", agg.unsafe_runs, agg.runs),
+            format!("{}/{}", agg.stuck_runs, agg.runs),
+            fnum(agg.mean_join_latency),
+            fnum(agg.mean_read_latency),
+            fnum(agg.mean_write_latency),
+        ]);
+    }
+    println!("{table}");
+    println!("Expected shape (paper): zero unsafe runs in every row (Theorem 4 —");
+    println!("safety never depends on synchrony); zero stuck runs (Theorem 3 —");
+    println!("termination once the system stabilizes). Mean latencies barely");
+    println!("move with GST: a majority quorum waits only for the fastest");
+    println!("⌈n/2⌉+1 replies, riding the fast side of the pre-GST heavy tail —");
+    println!("eventual synchrony buys worst-case termination, not average speed.");
+}

@@ -1,0 +1,135 @@
+//! Deterministic reproduction of the paper's Figure 3: why the join
+//! operation must `wait(δ)` before inquiring.
+//!
+//! The schedule (δ = 4, all delays legal, i.e. ≤ δ):
+//!
+//! ```text
+//! t=10  p0 (writer) broadcasts WRITE(1); the wave takes the full δ,
+//!       reaching p1, p2 at t=14; the write completes at t=14.
+//! t=11  pᵢ enters the system — too late for the WRITE broadcast.
+//! t=14  p0 leaves (it is allowed to: its write has returned).
+//! ```
+//!
+//! Without the line-02 wait (Figure 3a), pᵢ inquires immediately at t=11:
+//! its INQUIRY reaches p1, p2 at t=12 — *before* their WRITE delivery — so
+//! both reply the old value 0; the copy addressed to p0 (delayed the full
+//! δ) arrives after p0 left. pᵢ joins believing 0 and a later read returns
+//! 0 although write(1) completed at t=14: a regularity violation.
+//!
+//! With the wait (Figure 3b), pᵢ inquires at t=15; by then p1, p2 hold 1
+//! and the join adopts it. Same network, same adversary, correct register.
+
+use dynareg::churn::{ChurnDriver, LeaveSelector, NoChurn};
+use dynareg::core::sync::SyncConfig;
+use dynareg::net::delay::Fixed;
+use dynareg::net::{DelayFault, FaultAction, FaultPlan};
+use dynareg::sim::{IdSource, NodeId, Span, Time};
+use dynareg::testkit::{
+    OpAction, ScriptedWorkload, SyncFactory, World, WorldConfig, WriterPolicy,
+};
+use dynareg::verify::{LivenessChecker, RegularityChecker};
+
+const DELTA: u64 = 4;
+
+fn figure3_world(config: SyncConfig) -> World<SyncFactory> {
+    let p0 = NodeId::from_raw(0);
+    let script = ScriptedWorkload::new()
+        .at(Time::at(10), p0, OpAction::Write(1))
+        // Read well after both the write completed and the join finished
+        // (whichever join path was taken).
+        .at_arrival(Time::at(30), 0, OpAction::Read);
+    let mut world = World::new(
+        SyncFactory::new(config),
+        WorldConfig {
+            n: 3,
+            initial: 0,
+            delay: Box::new(Fixed::new(Span::ticks(1))),
+            churn: ChurnDriver::new(
+                Box::new(NoChurn),
+                LeaveSelector::Random,
+                IdSource::starting_at(3),
+            ),
+            workload: Box::new(script),
+            seed: 0,
+            trace: true,
+            writer_policy: WriterPolicy::FixedProtected,
+        },
+    );
+    world.set_faults(
+        FaultPlan::none()
+            // The WRITE wave takes the full δ.
+            .with(DelayFault {
+                from: Some(p0),
+                to: None,
+                from_time: Time::at(10),
+                until_time: Time::at(11),
+                action: FaultAction::SetDelay(Span::ticks(DELTA)),
+            })
+            // The joiner's INQUIRY towards p0 also takes the full δ —
+            // arriving after p0 has left.
+            .with(DelayFault {
+                from: None,
+                to: Some(p0),
+                from_time: Time::at(11),
+                until_time: Time::at(20),
+                action: FaultAction::SetDelay(Span::ticks(DELTA)),
+            }),
+    );
+    world.schedule_join(Time::at(11));
+    world.schedule_leave(Time::at(14), NodeId::from_raw(0));
+    world.run_until(Time::at(40));
+    world
+}
+
+/// Figure 3(a): without the wait, the joiner serves a stale value after
+/// the write completed — a regularity violation.
+#[test]
+fn without_wait_the_read_is_stale() {
+    let world = figure3_world(SyncConfig::without_join_wait(Span::ticks(DELTA)));
+    let report = RegularityChecker::check(world.history());
+    assert_eq!(report.checked_reads, 1);
+    assert_eq!(report.violation_count(), 1, "{report}");
+    let violation = &report.violations[0];
+    assert_eq!(violation.returned, Some(0), "the stale pre-write value");
+    assert!(violation.explanation.contains("legal values are {write#0}"));
+}
+
+/// Figure 3(b): with the wait, the same adversarial schedule is harmless.
+#[test]
+fn with_wait_the_read_is_fresh() {
+    let world = figure3_world(SyncConfig::new(Span::ticks(DELTA)));
+    let report = RegularityChecker::check(world.history());
+    assert_eq!(report.checked_reads, 1);
+    assert!(report.is_ok(), "{report}");
+    // And liveness holds for everyone who stayed.
+    let live = LivenessChecker::check(world.history());
+    assert!(live.is_ok(), "{live}");
+}
+
+/// The mechanism, not just the verdict: without the wait the joiner
+/// completes its join *earlier* (2δ after entry instead of 3δ) — speed is
+/// exactly what the ablation buys, at the price of correctness.
+#[test]
+fn ablation_trades_join_latency_for_safety() {
+    let fast = figure3_world(SyncConfig::without_join_wait(Span::ticks(DELTA)));
+    let safe = figure3_world(SyncConfig::new(Span::ticks(DELTA)));
+    let join_latency = |w: &World<SyncFactory>| {
+        LivenessChecker::check(w.history())
+            .join_latency
+            .max()
+            .expect("one join completed")
+    };
+    assert_eq!(join_latency(&fast), 2 * DELTA);
+    assert_eq!(join_latency(&safe), 3 * DELTA);
+}
+
+/// The trace shows the causal story: stale replies arrive before the
+/// inquirer's deadline, the fresh copy towards p0 is dropped.
+#[test]
+fn trace_exhibits_the_race() {
+    let world = figure3_world(SyncConfig::without_join_wait(Span::ticks(DELTA)));
+    let trace = world.trace().render();
+    assert!(trace.contains("p0 broadcast WRITE"));
+    assert!(trace.contains("drop INQUIRY to departed p0"));
+    assert!(trace.contains("p1000000 becomes active"));
+}

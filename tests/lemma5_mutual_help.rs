@@ -1,0 +1,120 @@
+//! Lemma 5's termination machinery, exercised at the state-machine level:
+//! concurrent joiners help each other finish through the DL_PREV channel.
+//!
+//! The proof's chain: a blocked joiner `p_i` receives the INQUIRY of a
+//! later joiner `p_j`; being inactive, `p_i` postpones a reply *and* sends
+//! `DL_PREV(i, 0)` so that `p_j`, upon activating, sends `p_i` the value it
+//! obtained — `p_i`'s missing vote arrives through a process that entered
+//! the system *after* `p_i` did. Churn, the villain everywhere else, is
+//! what keeps the supply of helpers coming.
+
+use dynareg::core::es::{EsConfig, EsMsg, EsRegister, Timestamp};
+use dynareg::core::{Effect, RegisterProcess};
+use dynareg::sim::{NodeId, OpId, Time};
+
+fn nid(i: u64) -> NodeId {
+    NodeId::from_raw(i)
+}
+
+fn reply(v: u64, sn: i64, r_sn: u64) -> EsMsg<u64> {
+    EsMsg::Reply {
+        value: Some(v),
+        ts: Timestamp { sn, writer: 0 },
+        r_sn,
+    }
+}
+
+/// The full Lemma 5 chain, step by step.
+#[test]
+fn blocked_joiner_completes_through_a_later_joiner() {
+    let cfg = EsConfig::new(5); // quorum = 3
+    let mut pi: EsRegister<u64> = EsRegister::new_joiner(nid(10), cfg, OpId::from_raw(1));
+    let mut pj: EsRegister<u64> = EsRegister::new_joiner(nid(11), cfg, OpId::from_raw(2));
+
+    // p_i enters; only two actives answer (a third reply was lost to a
+    // departure): p_i is stuck one vote short of its quorum.
+    pi.on_enter(Time::at(1));
+    pi.on_message(Time::at(2), nid(0), reply(7, 1, 0));
+    pi.on_message(Time::at(2), nid(1), reply(7, 1, 0));
+    assert!(!pi.is_active(), "two of three votes: blocked");
+
+    // p_j enters later; its INQUIRY reaches p_i, which postpones a reply
+    // and promises DL_PREV(i, 0).
+    pj.on_enter(Time::at(5));
+    let effects = pi.on_message(Time::at(6), nid(11), EsMsg::Inquiry { r_sn: 0 });
+    assert_eq!(
+        effects,
+        vec![Effect::Send {
+            to: nid(11),
+            msg: EsMsg::DlPrev { r_sn: 0 }
+        }]
+    );
+    // p_j records the promise.
+    pj.on_message(Time::at(7), nid(10), EsMsg::DlPrev { r_sn: 0 });
+
+    // p_j gathers its own quorum from the actives and activates…
+    pj.on_message(Time::at(8), nid(0), reply(7, 1, 0));
+    pj.on_message(Time::at(8), nid(1), reply(7, 1, 0));
+    let done = pj.on_message(Time::at(8), nid(2), reply(7, 1, 0));
+    assert!(done.contains(&Effect::JoinComplete));
+    // …and honours the DL_PREV promise: a REPLY to p_i with r_sn = 0.
+    let to_pi: Vec<_> = done
+        .iter()
+        .filter(|e| {
+            matches!(e, Effect::Send { to, msg: EsMsg::Reply { r_sn: 0, .. } } if *to == nid(10))
+        })
+        .collect();
+    assert_eq!(to_pi.len(), 1, "activation must answer the promised joiner");
+
+    // That reply is p_i's third vote: it activates.
+    let done = pi.on_message(Time::at(9), nid(11), reply(7, 1, 0));
+    assert!(done.contains(&Effect::JoinComplete));
+    assert!(pi.is_active());
+    assert_eq!(pi.local_value(), Some(&7));
+}
+
+/// The reading variant (Figure 4 line 14): an *active, reading* process
+/// answering an inquiry also sends DL_PREV tagged with its own pending
+/// read, so the joiner's eventual value feeds the reader's quorum.
+#[test]
+fn reader_recruits_joiner_votes() {
+    let cfg = EsConfig::new(5);
+    let mut reader: EsRegister<u64> = EsRegister::new_bootstrap(nid(0), cfg, 0);
+    reader.on_read(Time::at(1), OpId::from_raw(1)); // read_sn = 1
+    reader.on_message(Time::at(2), nid(1), reply(0, 0, 1));
+    reader.on_message(Time::at(2), nid(2), reply(0, 0, 1));
+    assert!(!dynareg::core::completions(
+        &reader.on_message(Time::at(3), nid(9), EsMsg::Inquiry { r_sn: 0 })
+    )
+    .iter()
+    .any(|_| true));
+
+    // The reply to the inquiry came with DL_PREV(read_sn = 1); the joiner
+    // will eventually answer with r_sn = 1, which counts toward the read.
+    let done = reader.on_message(Time::at(4), nid(9), reply(0, 0, 1));
+    let completed = dynareg::core::completions(&done);
+    assert_eq!(completed.len(), 1, "the joiner's vote completed the read");
+}
+
+/// Stale DL_PREV promises are harmless: replies tagged with an old request
+/// number are ignored by the filter of Figure 4 line 19.
+#[test]
+fn stale_promise_replies_are_filtered() {
+    let cfg = EsConfig::new(5);
+    let mut reader: EsRegister<u64> = EsRegister::new_bootstrap(nid(0), cfg, 0);
+    // First read completes normally.
+    reader.on_read(Time::at(1), OpId::from_raw(1));
+    for i in 1..=3 {
+        reader.on_message(Time::at(2), nid(i), reply(0, 0, 1));
+    }
+    // Second read in flight.
+    reader.on_read(Time::at(5), OpId::from_raw(2)); // read_sn = 2
+    // A joiner honours an old promise with r_sn = 1: no effect.
+    let effects = reader.on_message(Time::at(6), nid(9), reply(0, 0, 1));
+    assert!(effects.is_empty());
+    // Fresh votes still complete the second read.
+    reader.on_message(Time::at(7), nid(1), reply(0, 0, 2));
+    reader.on_message(Time::at(7), nid(2), reply(0, 0, 2));
+    let done = reader.on_message(Time::at(7), nid(3), reply(0, 0, 2));
+    assert_eq!(dynareg::core::completions(&done).len(), 1);
+}

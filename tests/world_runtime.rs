@@ -1,0 +1,160 @@
+//! Tests of the simulation runtime itself: scripted membership, fault
+//! plans, effect interpretation, and the bookkeeping the experiments rely
+//! on.
+
+use dynareg::churn::{ChurnDriver, ConstantRate, LeaveSelector, NoChurn};
+use dynareg::core::sync::SyncConfig;
+use dynareg::net::delay::{Fixed, Synchronous};
+use dynareg::net::{DelayFault, FaultPlan};
+use dynareg::sim::{IdSource, NodeId, Span, Time};
+use dynareg::testkit::{
+    OpAction, RateWorkload, ScriptedWorkload, SyncFactory, World, WorldConfig, WriterPolicy,
+};
+use dynareg::verify::LivenessChecker;
+
+fn base_world(n: usize, workload: Box<dyn dynareg::testkit::Workload>) -> World<SyncFactory> {
+    World::new(
+        SyncFactory::new(SyncConfig::new(Span::ticks(3))),
+        WorldConfig {
+            n,
+            initial: 0,
+            delay: Box::new(Synchronous::new(Span::ticks(3))),
+            churn: ChurnDriver::new(
+                Box::new(NoChurn),
+                LeaveSelector::Random,
+                IdSource::starting_at(n as u64),
+            ),
+            workload,
+            seed: 1,
+            trace: true,
+            writer_policy: WriterPolicy::FixedProtected,
+        },
+    )
+}
+
+#[test]
+fn scripted_joins_enter_and_complete() {
+    let mut w = base_world(4, Box::new(ScriptedWorkload::new()));
+    w.schedule_join(Time::at(5));
+    w.schedule_join(Time::at(5));
+    w.schedule_join(Time::at(9));
+    w.run_until(Time::at(40));
+    assert_eq!(w.presence().total_arrivals(), 7);
+    assert_eq!(w.metrics().counter("ops.join_completed"), 3);
+    assert_eq!(w.presence().present_count(), 7, "scripted joins are additive");
+}
+
+#[test]
+fn scripted_leaves_remove_and_excuse() {
+    let script = ScriptedWorkload::new().at(Time::at(4), NodeId::from_raw(1), OpAction::Read);
+    let mut w = base_world(4, Box::new(script));
+    w.schedule_leave(Time::at(10), NodeId::from_raw(1));
+    w.run_until(Time::at(30));
+    assert_eq!(w.presence().present_count(), 3);
+    let live = LivenessChecker::check(w.history());
+    assert!(live.is_ok(), "{live}"); // the read completed before the leave
+    assert_eq!(w.history().left_at(NodeId::from_raw(1)), Some(Time::at(10)));
+}
+
+#[test]
+fn leave_of_absent_node_is_ignored() {
+    let mut w = base_world(3, Box::new(ScriptedWorkload::new()));
+    w.schedule_leave(Time::at(5), NodeId::from_raw(1));
+    w.schedule_leave(Time::at(8), NodeId::from_raw(1)); // already gone: no-op
+    w.run_until(Time::at(20));
+    assert_eq!(w.presence().present_count(), 2);
+}
+
+#[test]
+fn starved_recipient_blocks_only_its_own_ops() {
+    // ES-style starvation doesn't apply to sync local reads; use delay
+    // faults on a write instead: the writer still completes after δ because
+    // sync writes wait on a local timer, proving faults only affect wires.
+    let script = ScriptedWorkload::new().at(Time::at(5), NodeId::from_raw(0), OpAction::Write(1));
+    let mut w = base_world(4, Box::new(script));
+    w.set_faults(FaultPlan::none().with(DelayFault::starve_recipient(
+        NodeId::from_raw(2),
+        Time::ZERO,
+        Time::MAX,
+        Span::ticks(100_000),
+    )));
+    w.run_until(Time::at(30));
+    assert_eq!(w.metrics().counter("ops.write_completed"), 1);
+    // p2 never received the WRITE: its copy is stale — visible via a direct
+    // read effect if we invoke one (legal: value concurrent? no — write
+    // completed; but p2's read would be stale!). The fault plan is an
+    // asynchrony adversary: the sync protocol's correctness explicitly
+    // assumes it away. We assert the mechanics, not the verdict.
+    let trace = w.trace().render();
+    assert!(trace.contains("p0 broadcast WRITE"));
+}
+
+#[test]
+fn workload_skips_busy_and_inactive_targets() {
+    // Script a read on a node that is still joining: skipped and counted.
+    let script = ScriptedWorkload::new().at_arrival(Time::at(6), 0, OpAction::Read);
+    let mut w = base_world(4, Box::new(script));
+    w.schedule_join(Time::at(5)); // join completes at 8 (δ) or 14 (3δ) — not by 6
+    w.run_until(Time::at(30));
+    assert_eq!(w.metrics().counter("workload.skipped"), 1);
+    assert_eq!(w.metrics().counter("ops.read_completed"), 0);
+}
+
+#[test]
+fn concurrent_write_requests_are_serialized_by_the_world() {
+    // Two writes scripted at the same tick on different nodes: the second
+    // is skipped (the paper's no-concurrent-writes assumption, enforced).
+    let script = ScriptedWorkload::new()
+        .at(Time::at(5), NodeId::from_raw(0), OpAction::Write(1))
+        .at(Time::at(5), NodeId::from_raw(1), OpAction::Write(2));
+    let mut w = base_world(4, Box::new(script));
+    w.run_until(Time::at(30));
+    assert_eq!(w.metrics().counter("ops.write_completed"), 1);
+    assert_eq!(w.metrics().counter("workload.skipped"), 1);
+}
+
+#[test]
+fn gauges_track_population_every_tick() {
+    let mut w = base_world(6, Box::new(RateWorkload::new(Span::ticks(9), 0.5)));
+    w.run_until(Time::at(50));
+    let present = w.metrics().histogram("gauge.present").unwrap();
+    assert_eq!(present.count(), 51, "one sample per tick incl. t=0");
+    assert_eq!(present.min(), Some(6));
+}
+
+#[test]
+fn message_stats_are_label_accurate() {
+    let script = ScriptedWorkload::new().at(Time::at(3), NodeId::from_raw(0), OpAction::Write(1));
+    let mut w = base_world(5, Box::new(script));
+    w.run_until(Time::at(20));
+    let stats: std::collections::BTreeMap<&str, u64> = w.network().sent_by_label().collect();
+    assert_eq!(stats.get("WRITE"), Some(&5), "one broadcast to five present nodes");
+    assert_eq!(stats.get("INQUIRY"), None, "nobody joined, nobody inquired");
+}
+
+#[test]
+fn churned_world_drops_messages_to_departed() {
+    let mut w = World::new(
+        SyncFactory::new(SyncConfig::new(Span::ticks(4))),
+        WorldConfig {
+            n: 10,
+            initial: 0,
+            delay: Box::new(Fixed::new(Span::ticks(4))), // slow: leaves beat deliveries
+            churn: ChurnDriver::new(
+                Box::new(ConstantRate::new(0.08)),
+                LeaveSelector::Random,
+                IdSource::starting_at(10),
+            ),
+            workload: Box::new(RateWorkload::new(Span::ticks(8), 1.0).stopping_at(Time::at(80))),
+            seed: 3,
+            trace: false,
+            writer_policy: WriterPolicy::FixedProtected,
+        },
+    );
+    w.protect(NodeId::from_raw(0));
+    w.run_until(Time::at(100));
+    assert!(
+        w.network().dropped_to_departed() > 0,
+        "slow messages must race departures and lose sometimes"
+    );
+}
