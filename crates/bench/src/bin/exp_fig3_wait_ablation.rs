@@ -92,7 +92,7 @@ fn main() {
             .completed_reads()
             .next()
             .and_then(|r| match &r.kind {
-                dynareg_verify::OpKind::Read { returned } => returned.clone(),
+                dynareg_verify::OpKind::Read { returned } => *returned,
                 _ => None,
             });
         let join_latency = LivenessChecker::check(world.history())

@@ -6,6 +6,10 @@ use dynareg_sim::{DetRng, IdSource, NodeId, Time};
 use proptest::prelude::*;
 
 proptest! {
+    // Bounded case count so CI runtime stays predictable; override with
+    // the PROPTEST_CASES environment variable for deeper local runs.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// Constant churn is *exact* in the long run for any rate: total
     /// refreshes over T ticks = ⌊T · c · n⌋ up to one unit of carry.
     #[test]

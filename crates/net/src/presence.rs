@@ -361,7 +361,7 @@ mod tests {
         let r = *p.record(n(1)).unwrap();
         assert!(!r.present_at(Time::at(4)));
         assert!(r.present_at(Time::at(5)));
-        assert!(r.active_at(Time::at(5)) == false);
+        assert!(!r.active_at(Time::at(5)));
     }
 
     #[test]

@@ -44,6 +44,10 @@ fn build(lives: &[Life]) -> Presence {
 }
 
 proptest! {
+    // Bounded case count so CI runtime stays predictable; override with
+    // the PROPTEST_CASES environment variable for deeper local runs.
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
     /// `A(τ₁, τ₂)` is the intersection of the per-instant sets: a process is
     /// active throughout the interval iff it is active at every integer
     /// instant inside it.

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the slice of the criterion API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `bench_function`, `finish`),
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it takes a configurable
+//! number of timed samples per benchmark and prints min / mean / max
+//! per-iteration wall time. Like real criterion, when cargo's test runner
+//! invokes a bench target (`cargo test` passes `--test`) every benchmark
+//! body runs exactly once as a smoke test, keeping `cargo test -q` fast.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How a batched iteration's per-batch input size should be chosen. The
+/// shim runs one input per batch regardless; the variants exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: real criterion batches many per allocation.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// Exactly one input per iteration.
+    PerIteration,
+}
+
+/// Times closures handed to [`BenchmarkGroup::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `iters` times and records total wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Runs `routine` over fresh inputs from `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    default_samples: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Criterion {
+            default_samples: 10,
+            // Like real criterion: measure only under `cargo bench` (which
+            // passes `--bench`); any other invocation — `cargo test` passes
+            // `--test` — smoke-runs each benchmark once.
+            test_mode: !args.iter().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configures the Criterion-wide default sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_samples = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<R>(&mut self, id: impl Into<String>, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let samples = self.default_samples;
+        let test_mode = self.test_mode;
+        run_one(&id.into(), samples, test_mode, routine);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Times `routine` under `<group>/<id>`.
+    pub fn bench_function<R>(&mut self, id: impl Into<String>, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.samples, self.criterion.test_mode, routine);
+        self
+    }
+
+    /// Ends the group (drop would do; mirrors the criterion API).
+    pub fn finish(self) {}
+}
+
+fn run_one<R: FnMut(&mut Bencher)>(label: &str, samples: usize, test_mode: bool, mut routine: R) {
+    if test_mode {
+        // Smoke-run: one iteration, no reporting beyond success.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        println!("bench {label}: ok (test mode)");
+        return;
+    }
+    let samples = samples.max(1);
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / b.iters.max(1) as f64);
+    }
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(0.0_f64, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "bench {label}: [{} {} {}] over {samples} samples",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group: a function that runs each target against a
+/// shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_function("iter_batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion {
+            default_samples: 2,
+            test_mode: true,
+        };
+        target(&mut c);
+        c.bench_function("top_level", |b| b.iter(|| 2 * 2));
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

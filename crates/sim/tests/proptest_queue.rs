@@ -5,6 +5,10 @@ use dynareg_sim::{DetRng, EventQueue, Span, Time};
 use proptest::prelude::*;
 
 proptest! {
+    // Bounded case count so CI runtime stays predictable; override with
+    // the PROPTEST_CASES environment variable for deeper local runs.
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
     /// Pop order is non-decreasing in time, and FIFO within (time, class).
     #[test]
     fn pops_are_time_class_seq_ordered(

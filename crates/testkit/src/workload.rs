@@ -96,7 +96,7 @@ impl Workload for RateWorkload {
         // stands in for "write 0").
         if writer_idle
             && now.ticks() > 0
-            && now.ticks() % self.write_every.as_ticks() == 0
+            && now.ticks().is_multiple_of(self.write_every.as_ticks())
         {
             ops.push((writer, OpAction::Write(self.next_value)));
             self.next_value += 1;

@@ -360,13 +360,11 @@ where
         self.history.note_left(victim, self.now);
         self.nodes.remove(&victim);
         self.joining.remove(&victim);
-        if let Some(busy) = self.busy.remove(&victim) {
-            // A departing writer abandons its in-flight write; the next
-            // write may start (its pending op stays incomplete-but-excused).
-            if let Busy::Write(op) = busy {
-                if self.write_in_flight == Some(op) {
-                    self.write_in_flight = None;
-                }
+        // A departing writer abandons its in-flight write; the next
+        // write may start (its pending op stays incomplete-but-excused).
+        if let Some(Busy::Write(op)) = self.busy.remove(&victim) {
+            if self.write_in_flight == Some(op) {
+                self.write_in_flight = None;
             }
         }
         self.trace.record(self.now, TraceEvent::Leave { node: victim });
@@ -783,9 +781,8 @@ mod tests {
         w.run_until(Time::at(9)); // writer has written at t=9 (period 9)
         w.invoke(NodeId::from_raw(1), OpAction::Read);
         w.invoke(NodeId::from_raw(1), OpAction::Read); // busy → hmm, sync reads complete instantly
-        let skipped = w.metrics().counter("workload.skipped");
         // Sync reads complete synchronously so the second is legal; this
-        // asserts the counter plumbing exists rather than a specific count.
-        assert!(skipped == 0 || skipped > 0);
+        // exercises the counter plumbing rather than a specific count.
+        let _skipped = w.metrics().counter("workload.skipped");
     }
 }

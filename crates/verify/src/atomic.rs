@@ -61,7 +61,7 @@ impl AtomicityChecker {
         match history.provenance(returned) {
             Ok(None) => Some(-1),
             Ok(Some(i)) => Some(i as i64),
-            Err(()) => None,
+            Err(_) => None,
         }
     }
 

@@ -287,14 +287,31 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug> History<V> {
     ///
     /// Returns `Err` if `value` was never written nor initial — a read
     /// returning it is a *fabricated value* violation.
-    pub fn provenance(&self, value: &V) -> Result<Option<usize>, ()> {
+    pub fn provenance(&self, value: &V) -> Result<Option<usize>, FabricatedValue> {
         if *value == self.initial {
             Ok(None)
         } else {
-            self.value_writer_index.get(value).copied().map(Some).ok_or(())
+            self.value_writer_index
+                .get(value)
+                .copied()
+                .map(Some)
+                .ok_or(FabricatedValue)
         }
     }
 }
+
+/// Error from [`History::provenance`]: the value was never written and is
+/// not the register's initial value, so any read returning it fabricated it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricatedValue;
+
+impl std::fmt::Display for FabricatedValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("value was never written and is not the initial value")
+    }
+}
+
+impl std::error::Error for FabricatedValue {}
 
 #[cfg(test)]
 mod tests {
@@ -353,7 +370,7 @@ mod tests {
         h.complete_write(w, Time::at(2));
         assert_eq!(h.provenance(&0), Ok(None));
         assert_eq!(h.provenance(&10), Ok(Some(0)));
-        assert_eq!(h.provenance(&99), Err(()));
+        assert_eq!(h.provenance(&99), Err(FabricatedValue));
     }
 
     #[test]

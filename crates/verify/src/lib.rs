@@ -34,7 +34,7 @@ mod report;
 mod safe;
 
 pub use atomic::AtomicityChecker;
-pub use history::{History, OpKind, OpRecord};
+pub use history::{FabricatedValue, History, OpKind, OpRecord};
 pub use liveness::{LivenessChecker, LivenessReport};
 pub use regular::RegularityChecker;
 pub use report::{ConsistencyReport, Violation};

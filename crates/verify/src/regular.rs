@@ -106,7 +106,7 @@ impl RegularityChecker {
     ) -> Option<Violation<V>> {
         let provenance = match history.provenance(returned) {
             Ok(p) => p,
-            Err(()) => {
+            Err(_) => {
                 return Some(Violation {
                     read: read.op,
                     node: read.node,

@@ -54,6 +54,10 @@ fn legal_history(
 }
 
 proptest! {
+    // Bounded case count so CI runtime stays predictable; override with
+    // the PROPTEST_CASES environment variable for deeper local runs.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// Soundness: histories constructed to be regular always pass the
     /// regularity checker (and the safe checker, which is weaker).
     #[test]
