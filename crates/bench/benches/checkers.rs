@@ -42,6 +42,20 @@ fn bench_checkers(c: &mut Criterion) {
         b.iter(|| black_box(LivenessChecker::check(&h).is_ok()));
     });
 
+    // The optimized regime: write counts where the naive O(R·W) rescan
+    // actually hurts. The `_naive` rows time the retained oracle so the
+    // sweep-line gap stays visible in every bench run.
+    let big = big_history(1_000, 10_000);
+    group.bench_function("regularity_sweep_1k_writes_10k_reads", |b| {
+        b.iter(|| black_box(RegularityChecker::check(&big).is_ok()));
+    });
+    group.bench_function("regularity_naive_1k_writes_10k_reads", |b| {
+        b.iter(|| black_box(RegularityChecker::check_naive(&big).is_ok()));
+    });
+    group.bench_function("atomicity_sweep_1k_writes_10k_reads", |b| {
+        b.iter(|| black_box(AtomicityChecker::check(&big).is_ok()));
+    });
+
     group.finish();
 }
 

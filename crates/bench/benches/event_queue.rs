@@ -45,6 +45,58 @@ fn bench_schedule_pop(c: &mut Criterion) {
         );
     });
 
+    // The optimized regime: production-scale event counts with the
+    // bounded-delay shape the tick wheel is built for (offsets within a
+    // few δ of the watermark, occasional far timers crossing the wheel
+    // horizon into the overflow level).
+    group.bench_function("schedule_pop_100k_interleaved", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..100_000u64 {
+                    let offset = if i % 97 == 0 {
+                        // Far timer: parks in overflow, migrates later.
+                        300 + (i * 31) % 700
+                    } else {
+                        (i * 7919) % 16
+                    };
+                    q.schedule(q.now() + Span::ticks(offset), i);
+                    if i % 2 == 0 {
+                        black_box(q.pop());
+                    }
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e.payload);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("broadcast_wave_n1000_100k_events", |b| {
+        // The runtime's actual hot shape: per tick, a 1000-recipient wave
+        // lands within δ=4 ticks of now, then the tick advances — 100
+        // waves, 100k deliveries.
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for wave in 0..100u64 {
+                    let base = Time::at(wave * 4);
+                    for i in 0..1_000u32 {
+                        q.schedule_class(base + Span::ticks(1 + u64::from(i) % 4), 0, i);
+                    }
+                    while q.peek_time().is_some_and(|t| t <= base + Span::ticks(4)) {
+                        black_box(q.pop());
+                    }
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e.seq);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
     group.bench_function("same_instant_fifo_1k", |b| {
         b.iter_batched(
             EventQueue::<u64>::new,

@@ -40,6 +40,27 @@ impl LeaveSelector {
         protected: &[NodeId],
         rng: &mut DetRng,
     ) -> Option<NodeId> {
+        if let LeaveSelector::Random = self {
+            // Hot path (the default selector, invoked once per departure):
+            // draw the k-th eligible process straight off the sorted
+            // present slice. Same id-order pool and single RNG draw as the
+            // materializing fallback below, without its per-pick
+            // allocation.
+            let present = presence.present_slice();
+            let eligible_count = present
+                .iter()
+                .filter(|id| !protected.contains(id))
+                .count();
+            if eligible_count == 0 {
+                return None;
+            }
+            let k = rng.pick_index(eligible_count);
+            return present
+                .iter()
+                .filter(|id| !protected.contains(id))
+                .nth(k)
+                .copied();
+        }
         let eligible: Vec<NodeId> = presence
             .present_nodes()
             .into_iter()
@@ -49,7 +70,7 @@ impl LeaveSelector {
             return None;
         }
         match self {
-            LeaveSelector::Random => Some(eligible[rng.pick_index(eligible.len())]),
+            LeaveSelector::Random => unreachable!("handled above"),
             LeaveSelector::OldestFirst => eligible
                 .into_iter()
                 .min_by_key(|&id| (presence.record(id).expect("present").entered_at, id)),

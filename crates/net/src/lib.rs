@@ -20,9 +20,10 @@
 //!   (§4, unbounded delays), and [`delay::EventuallySynchronous`] (§5, bounded
 //!   only after an unknown GST).
 //!
-//! The network is *sans-queue*: `send`/`broadcast` return [`Envelope`]s with
-//! computed delivery instants and the simulation runtime schedules them. This
-//! keeps the substrate unit-testable in isolation.
+//! The network is *sans-queue*: `send` returns an [`Envelope`] and
+//! `broadcast` a zero-copy [`Fanout`], each carrying computed delivery
+//! instants that the simulation runtime schedules. This keeps the substrate
+//! unit-testable in isolation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,5 +35,5 @@ mod presence;
 
 pub use delay::DelayModel;
 pub use fault::{DelayFault, FaultAction, FaultPlan};
-pub use network::{Envelope, Network};
+pub use network::{Envelope, Fanout, Network};
 pub use presence::{LifeRecord, NodeStatus, Presence};

@@ -1,12 +1,11 @@
 //! Reliable unicast and timely broadcast over a delay model.
 //!
 //! [`Network`] is deliberately *sans-queue*: it computes delivery instants
-//! and returns [`Envelope`]s; the simulation runtime schedules them on its
-//! event queue and consults [`Network::should_deliver`] at delivery time
-//! (a recipient may have left while the message was in flight — the paper's
-//! processes "no longer send or receive messages" after leaving).
-
-use std::collections::BTreeMap;
+//! and returns [`Envelope`]s (unicast) or a [`Fanout`] (broadcast); the
+//! simulation runtime schedules them on its event queue and re-checks
+//! recipient presence at delivery time (a recipient may have left while the
+//! message was in flight — the paper's processes "no longer send or receive
+//! messages" after leaving).
 
 use dynareg_sim::{DetRng, NodeId, Time};
 
@@ -31,9 +30,16 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
-/// The communication substrate: reliable point-to-point channels plus the
-/// paper's timely broadcast, parameterized by a [`DelayModel`] and an
-/// optional [`FaultPlan`].
+/// A broadcast in flight: **one** payload shared by every recipient, plus
+/// the per-recipient delivery instants.
+///
+/// The seed engine materialized a broadcast as `n` cloned [`Envelope`]s up
+/// front — O(n) payload clones and allocations on the hottest protocol
+/// path (every `INQUIRY`/`WRITE` wave). A `Fanout` is the zero-copy
+/// replacement: the payload is stored once, the recipient snapshot carries
+/// only `(recipient, deliver_at)` pairs, and the runtime expands copies
+/// *lazily at delivery time* (skipping recipients that left in flight, so
+/// their clones never happen at all).
 ///
 /// # Example
 ///
@@ -46,16 +52,100 @@ pub struct Envelope<M> {
 /// presence.bootstrap((0..3).map(NodeId::from_raw), Time::ZERO);
 /// let mut net = Network::new(Box::new(Synchronous::new(Span::ticks(4))), DetRng::seed(7));
 ///
-/// let envs = net.broadcast(&presence, Time::ZERO, NodeId::from_raw(0), "PING", ());
-/// assert_eq!(envs.len(), 3); // self-delivery included
-/// assert!(envs.iter().all(|e| e.deliver_at <= Time::at(4)));
+/// let fan = net.broadcast(&presence, Time::ZERO, NodeId::from_raw(0), "PING", ());
+/// assert_eq!(fan.len(), 3); // self-delivery included
+/// assert!(fan.recipients.iter().all(|&(_, at)| at <= Time::at(4)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fanout<M> {
+    /// Sender.
+    pub from: NodeId,
+    /// Instant of the broadcast.
+    pub sent_at: Time,
+    /// Protocol-level label for tracing and statistics.
+    pub label: &'static str,
+    /// The payload, stored exactly once.
+    pub msg: M,
+    /// The timely-broadcast snapshot: every process present at `sent_at`
+    /// (in id order, deterministic) with its sampled delivery instant.
+    pub recipients: Vec<(NodeId, Time)>,
+}
+
+impl<M> Fanout<M> {
+    /// Number of recipients in the snapshot.
+    pub fn len(&self) -> usize {
+        self.recipients.len()
+    }
+
+    /// Whether the snapshot is empty (an empty system).
+    pub fn is_empty(&self) -> bool {
+        self.recipients.is_empty()
+    }
+
+    /// Materializes per-recipient [`Envelope`]s, cloning the payload once
+    /// per recipient. Compatibility/inspection helper — the runtime's hot
+    /// path deliberately does *not* use it.
+    pub fn envelopes(&self) -> impl Iterator<Item = Envelope<M>> + '_
+    where
+        M: Clone,
+    {
+        self.recipients.iter().map(move |&(to, deliver_at)| Envelope {
+            from: self.from,
+            to,
+            sent_at: self.sent_at,
+            deliver_at,
+            label: self.label,
+            msg: self.msg.clone(),
+        })
+    }
+}
+
+/// The communication substrate: reliable point-to-point channels plus the
+/// paper's timely broadcast, parameterized by a [`DelayModel`] and an
+/// optional [`FaultPlan`].
+///
+/// # Message accounting
+///
+/// All send/drop statistics follow two rules, stated once here:
+///
+/// * **`sent_by_label` counts one unit per recipient channel actually
+///   used**: a unicast [`Network::send`] to a present recipient counts 1;
+///   a [`Network::broadcast`] counts one per process in its snapshot (so a
+///   broadcast into an n-process system adds n). A unicast to an
+///   already-departed recipient counts 0 — the channel carries nothing.
+/// * **`dropped_departed` counts every message abandoned because its
+///   target was gone**, whether detected at send time (unicast to a
+///   departed process) or at delivery time ([`Network::should_deliver`] /
+///   the runtime's equivalent slab check, reported via
+///   [`Network::note_dropped_departed`]). A *sender* that has departed is
+///   a protocol bug, not traffic: it panics in debug builds and counts
+///   the whole attempt as dropped (without sending) in release builds,
+///   identically for `send` and `broadcast`.
+///
+/// # Example
+///
+/// ```
+/// use dynareg_net::{Network, Presence};
+/// use dynareg_net::delay::Synchronous;
+/// use dynareg_sim::{DetRng, NodeId, Span, Time};
+///
+/// let mut presence = Presence::new();
+/// presence.bootstrap((0..3).map(NodeId::from_raw), Time::ZERO);
+/// let mut net = Network::new(Box::new(Synchronous::new(Span::ticks(4))), DetRng::seed(7));
+///
+/// let fan = net.broadcast(&presence, Time::ZERO, NodeId::from_raw(0), "PING", ());
+/// assert_eq!(fan.len(), 3); // self-delivery included
 /// ```
 #[derive(Debug)]
 pub struct Network {
     delay: Box<dyn DelayModel>,
     faults: FaultPlan,
     rng: DetRng,
-    sent_by_label: BTreeMap<&'static str, u64>,
+    /// Per-label send counters. A handful of protocol labels exist and the
+    /// counter is bumped once per message, so a pointer-first linear scan
+    /// beats any map on the hot path; [`Network::sent_by_label`] sorts on
+    /// read for deterministic reporting.
+    sent_by_label: Vec<(&'static str, u64)>,
     dropped_departed: u64,
 }
 
@@ -67,9 +157,22 @@ impl Network {
             delay,
             faults: FaultPlan::none(),
             rng,
-            sent_by_label: BTreeMap::new(),
+            sent_by_label: Vec::new(),
             dropped_departed: 0,
         }
+    }
+
+    /// Adds `n` sends under `label`. Labels are interned `&'static str`s,
+    /// so the common case is a pointer hit on the first few entries.
+    #[inline]
+    fn bump_label(&mut self, label: &'static str, n: u64) {
+        for (l, c) in &mut self.sent_by_label {
+            if std::ptr::eq(*l, label) || *l == label {
+                *c += n;
+                return;
+            }
+        }
+        self.sent_by_label.push((label, n));
     }
 
     /// Installs a fault plan (replacing any previous one).
@@ -93,14 +196,26 @@ impl Network {
         self.faults.apply(base, now, from, to)
     }
 
+    /// Handles a departed sender uniformly for `send` and `broadcast` (see
+    /// *Message accounting* on [`Network`]): debug builds panic — sending
+    /// after leaving is a protocol bug worth failing loudly on — while
+    /// release builds count the abandoned attempt and carry nothing.
+    fn departed_sender(&mut self, from: NodeId) {
+        debug_assert!(false, "departed sender {from}");
+        let _ = from;
+        self.dropped_departed += 1;
+    }
+
     /// Sends `msg` point-to-point from `from` to `to` at `now`.
     ///
     /// Returns `None` when `to` is not present (already left, or never
-    /// entered): the channel to a departed process carries nothing.
+    /// entered): the channel to a departed process carries nothing. See
+    /// *Message accounting* on [`Network`] for how this is counted.
     ///
     /// # Panics
-    /// Panics if the sender is not present — a departed process "does no
-    /// longer send … messages" (§2.1).
+    /// Panics in debug builds if the sender is not present — a departed
+    /// process "does no longer send … messages" (§2.1). Release builds
+    /// count the attempt toward `dropped_departed` and return `None`.
     pub fn send<M>(
         &mut self,
         presence: &Presence,
@@ -110,21 +225,38 @@ impl Network {
         label: &'static str,
         msg: M,
     ) -> Option<Envelope<M>> {
-        assert!(presence.is_present(from), "departed sender {from}");
+        if !presence.is_present(from) {
+            self.departed_sender(from);
+            return None;
+        }
         if !presence.is_present(to) {
             self.dropped_departed += 1;
             return None;
         }
-        *self.sent_by_label.entry(label).or_insert(0) += 1;
+        Some(self.send_present(now, from, to, label, msg))
+    }
+
+    /// Unicast fast path: like [`Network::send`], but the caller attests
+    /// that both endpoints are present (the runtime knows — it holds the
+    /// live-node slab), so no presence lookups happen here.
+    pub fn send_present<M>(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        to: NodeId,
+        label: &'static str,
+        msg: M,
+    ) -> Envelope<M> {
+        self.bump_label(label, 1);
         let deliver_at = now + self.latency(now, from, to);
-        Some(Envelope {
+        Envelope {
             from,
             to,
             sent_at: now,
             deliver_at,
             label,
             msg,
-        })
+        }
     }
 
     /// Broadcasts `msg` to **every process in the system at `now`**
@@ -133,35 +265,46 @@ impl Network {
     ///
     /// This is the paper's timely broadcast: under a synchronous model every
     /// copy lands within `δ`; processes entering *after* `now` receive
-    /// nothing (the Figure 3(a) hazard).
+    /// nothing (the Figure 3(a) hazard). The payload is **not** cloned per
+    /// recipient: the returned [`Fanout`] holds it once alongside the
+    /// recipient snapshot, and the runtime expands copies at delivery time.
     ///
     /// # Panics
-    /// Panics if the sender is not present.
-    pub fn broadcast<M: Clone>(
+    /// Panics in debug builds if the sender is not present (release builds
+    /// count one dropped attempt and return an empty fanout; see *Message
+    /// accounting* on [`Network`]).
+    pub fn broadcast<M>(
         &mut self,
         presence: &Presence,
         now: Time,
         from: NodeId,
         label: &'static str,
         msg: M,
-    ) -> Vec<Envelope<M>> {
-        assert!(presence.is_present(from), "departed sender {from}");
-        let recipients = presence.present_nodes(); // sorted → deterministic
-        *self.sent_by_label.entry(label).or_insert(0) += recipients.len() as u64;
-        recipients
-            .into_iter()
-            .map(|to| {
-                let deliver_at = now + self.latency(now, from, to);
-                Envelope {
-                    from,
-                    to,
-                    sent_at: now,
-                    deliver_at,
-                    label,
-                    msg: msg.clone(),
-                }
-            })
-            .collect()
+    ) -> Fanout<M> {
+        if !presence.is_present(from) {
+            self.departed_sender(from);
+            return Fanout {
+                from,
+                sent_at: now,
+                label,
+                msg,
+                recipients: Vec::new(),
+            };
+        }
+        let mut recipients = Vec::with_capacity(presence.present_count());
+        // Id order → deterministic latency sampling.
+        for to in presence.present_iter() {
+            let deliver_at = now + self.latency(now, from, to);
+            recipients.push((to, deliver_at));
+        }
+        self.bump_label(label, recipients.len() as u64);
+        Fanout {
+            from,
+            sent_at: now,
+            label,
+            msg,
+            recipients,
+        }
     }
 
     /// Whether an in-flight envelope should still be delivered: the
@@ -176,14 +319,25 @@ impl Network {
         }
     }
 
-    /// Messages sent so far, by label (broadcast counts one per recipient).
+    /// Records one delivery-time drop decided *outside* the network — the
+    /// runtime tracks live nodes in its own slab and calls this when an
+    /// in-flight message's recipient is gone, keeping `dropped_departed`
+    /// accurate without a second membership structure.
+    pub fn note_dropped_departed(&mut self) {
+        self.dropped_departed += 1;
+    }
+
+    /// Messages sent so far, by label (broadcast counts one per recipient;
+    /// see *Message accounting* on [`Network`]).
     pub fn sent_by_label(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.sent_by_label.iter().map(|(&k, &v)| (k, v))
+        let mut sorted = self.sent_by_label.clone();
+        sorted.sort_unstable_by_key(|&(l, _)| l);
+        sorted.into_iter()
     }
 
     /// Total messages sent (all labels).
     pub fn total_sent(&self) -> u64 {
-        self.sent_by_label.values().sum()
+        self.sent_by_label.iter().map(|&(_, v)| v).sum()
     }
 
     /// Messages abandoned because their target had left (at send or delivery
@@ -230,29 +384,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "departed sender")]
-    fn departed_sender_panics() {
+    #[cfg_attr(debug_assertions, should_panic(expected = "departed sender"))]
+    fn departed_sender_panics_in_debug() {
         let (mut p, mut net) = three_node_world();
         p.leave(n(0), Time::at(1));
-        let _ = net.send(&p, Time::at(2), n(0), n(1), "X", ());
+        let sent = net.send(&p, Time::at(2), n(0), n(1), "X", ());
+        // Release builds reach here: the attempt is dropped, not sent.
+        assert!(sent.is_none());
+        assert_eq!(net.dropped_to_departed(), 1);
+        assert_eq!(net.total_sent(), 0);
     }
 
     #[test]
     fn broadcast_reaches_snapshot_including_self_and_listeners() {
         let (mut p, mut net) = three_node_world();
         p.enter(n(9), Time::at(1)); // listening joiner must receive
-        let envs = net.broadcast(&p, Time::at(2), n(0), "WRITE", 7u64);
-        let mut tos: Vec<NodeId> = envs.iter().map(|e| e.to).collect();
-        tos.sort_unstable();
-        assert_eq!(tos, vec![n(0), n(1), n(2), n(9)]);
+        let fan = net.broadcast(&p, Time::at(2), n(0), "WRITE", 7u64);
+        let tos: Vec<NodeId> = fan.recipients.iter().map(|&(to, _)| to).collect();
+        assert_eq!(tos, vec![n(0), n(1), n(2), n(9)], "snapshot in id order");
+        assert_eq!(fan.len(), 4);
+        // Lazy expansion clones the payload per materialized envelope.
+        let envs: Vec<Envelope<u64>> = fan.envelopes().collect();
+        assert!(envs.iter().all(|e| e.msg == 7 && e.label == "WRITE" && e.from == n(0)));
+        assert_eq!(envs.len(), 4);
     }
 
     #[test]
     fn broadcast_misses_later_arrivals() {
         let (mut p, mut net) = three_node_world();
-        let envs = net.broadcast(&p, Time::at(2), n(0), "WRITE", ());
+        let fan = net.broadcast(&p, Time::at(2), n(0), "WRITE", ());
         p.enter(n(9), Time::at(3)); // enters after the broadcast
-        assert!(envs.iter().all(|e| e.to != n(9)));
+        assert!(fan.recipients.iter().all(|&(to, _)| to != n(9)));
+    }
+
+    #[test]
+    fn delivery_drops_decided_by_the_runtime_are_counted() {
+        let (_p, mut net) = three_node_world();
+        net.note_dropped_departed();
+        net.note_dropped_departed();
+        assert_eq!(net.dropped_to_departed(), 2);
     }
 
     #[test]

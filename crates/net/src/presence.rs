@@ -86,6 +86,13 @@ pub struct Presence {
     // deterministic.
     listening: BTreeSet<NodeId>,
     active: BTreeSet<NodeId>,
+    /// Sorted dense mirror of listening ∪ active. Broadcast snapshots and
+    /// churn victim selection walk the present set once per broadcast/
+    /// departure — a contiguous slice scan there is measurably cheaper
+    /// than a two-set union cursor at production populations, and churn
+    /// (one membership change per event) keeps the insert/remove cost
+    /// trivial.
+    present_sorted: Vec<NodeId>,
 }
 
 impl Presence {
@@ -120,6 +127,11 @@ impl Presence {
         );
         assert!(prev.is_none(), "{node} re-entered the system; ids are single-use");
         self.listening.insert(node);
+        let i = self
+            .present_sorted
+            .binary_search(&node)
+            .expect_err("fresh id cannot already be present");
+        self.present_sorted.insert(i, node);
     }
 
     /// Records that `node`'s join returned at `t`.
@@ -144,6 +156,11 @@ impl Presence {
     pub fn leave(&mut self, node: NodeId, t: Time) {
         let was_present = self.listening.remove(&node) | self.active.remove(&node);
         assert!(was_present, "{node} left while not present");
+        let i = self
+            .present_sorted
+            .binary_search(&node)
+            .expect("present node is in the sorted mirror");
+        self.present_sorted.remove(i);
         let rec = self.records.get_mut(&node).expect("record exists");
         rec.left_at = Some(t);
     }
@@ -172,7 +189,19 @@ impl Presence {
 
     /// Currently present processes (listening ∪ active), in id order.
     pub fn present_nodes(&self) -> Vec<NodeId> {
-        self.listening.union(&self.active).copied().collect()
+        self.present_sorted.clone()
+    }
+
+    /// Currently present processes as a sorted slice, without allocating —
+    /// the broadcast-snapshot and victim-selection hot path.
+    pub fn present_slice(&self) -> &[NodeId] {
+        &self.present_sorted
+    }
+
+    /// Iterates currently present processes (listening ∪ active) in id
+    /// order without allocating.
+    pub fn present_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.present_sorted.iter().copied()
     }
 
     /// Currently active processes, in id order.
@@ -188,7 +217,11 @@ impl Presence {
     /// Number of present processes (the paper's constant `n`, if churn is
     /// balanced).
     pub fn present_count(&self) -> usize {
-        self.listening.len() + self.active.len()
+        debug_assert_eq!(
+            self.present_sorted.len(),
+            self.listening.len() + self.active.len()
+        );
+        self.present_sorted.len()
     }
 
     /// Number of active processes, `|A(now)|`.

@@ -6,11 +6,34 @@
 //! makes a whole run a pure function of `(scenario, seed)`, which is what
 //! lets the experiment harness attribute every safety violation to a
 //! reproducible schedule.
+//!
+//! # Implementation: a tick wheel
+//!
+//! The paper's time model is integer ticks and message delays are bounded
+//! by `δ`, so almost every event lands within a few dozen ticks of the
+//! current instant. [`EventQueue`] exploits that shape: a *tick wheel* of
+//! [`WHEEL_SLOTS`] one-tick buckets covers the near future, giving O(1)
+//! schedule and pop on the hot path (a `BinaryHeap` pays O(log n) per
+//! operation against a three-way comparator). Each bucket keeps per-class
+//! FIFO lanes, so the (time, class, seq) total order is positional rather
+//! than compared. The rare far-future event (long timers, `Time::MAX`
+//! sentinels) parks in a sorted overflow map and migrates into the wheel
+//! as the cursor approaches — a two-level hierarchy in the style of
+//! hashed-and-hierarchical timing wheels.
+//!
+//! [`HeapEventQueue`] preserves the original heap implementation as a
+//! behavioural reference model for the equivalence property tests.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::time::Time;
+
+/// Number of one-tick buckets in the near wheel. Events further than this
+/// from the cursor go to the overflow level. 256 comfortably covers the
+/// protocols' `3δ` horizons for any realistic `δ` while keeping the wheel
+/// a few KiB.
+const WHEEL_SLOTS: u64 = 256;
 
 /// An event drawn from the queue: the instant it fires at and its payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,37 +49,58 @@ pub struct ScheduledEvent<E> {
     pub payload: E,
 }
 
-/// Internal heap entry — ordered so that `BinaryHeap` (a max-heap) pops the
-/// *earliest* (time, class, seq) first.
+/// One wheel bucket: per-class FIFO lanes, kept sorted by class.
+///
+/// A lane that drains keeps its (empty) deque: the slot recycles every
+/// [`WHEEL_SLOTS`] ticks and the same ordering classes come back, so the
+/// allocation is reused instead of churned.
 #[derive(Debug)]
-struct Entry<E> {
-    time: Time,
-    class: u8,
-    seq: u64,
-    payload: E,
+struct Bucket<E> {
+    lanes: Vec<(u8, VecDeque<(u64, E)>)>,
+    len: usize,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.class == other.class && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+impl<E> Default for Bucket<E> {
+    fn default() -> Self {
+        Bucket {
+            lanes: Vec::new(),
+            len: 0,
+        }
     }
 }
 
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: earliest (time, class, seq) pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.class.cmp(&self.class))
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> Bucket<E> {
+    fn push(&mut self, class: u8, seq: u64, payload: E) {
+        self.len += 1;
+        // Deliveries (class 0) dominate and sort first: hit lane 0 without
+        // a search.
+        if let Some((c, lane)) = self.lanes.first_mut() {
+            if *c == class {
+                lane.push_back((seq, payload));
+                return;
+            }
+        }
+        match self.lanes.binary_search_by_key(&class, |&(c, _)| c) {
+            Ok(i) => self.lanes[i].1.push_back((seq, payload)),
+            Err(i) => {
+                let mut lane = VecDeque::new();
+                lane.push_back((seq, payload));
+                self.lanes.insert(i, (class, lane));
+            }
+        }
+    }
+
+    /// Removes the earliest (class, seq) event; the bucket must be
+    /// non-empty.
+    fn pop(&mut self) -> (u8, u64, E) {
+        debug_assert!(self.len > 0);
+        self.len -= 1;
+        for (class, lane) in &mut self.lanes {
+            if let Some((seq, payload)) = lane.pop_front() {
+                return (*class, seq, payload);
+            }
+        }
+        unreachable!("bucket len counted an event but no lane held one");
     }
 }
 
@@ -84,11 +128,26 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// The near level: `WHEEL_SLOTS` one-tick buckets; the bucket for
+    /// instant `t` is `wheel[t % WHEEL_SLOTS]`.
+    wheel: Vec<Bucket<E>>,
+    /// Events in the wheel (cheap emptiness/`len` bookkeeping).
+    wheel_len: usize,
+    /// Absolute tick of the start of the wheel's window. Invariants:
+    /// `cursor == watermark` between operations, every queued event at
+    /// `t < cursor + WHEEL_SLOTS` is in the wheel, and everything at or
+    /// beyond that horizon is in `overflow`.
+    cursor: u64,
+    /// The far level: events at or beyond the wheel horizon, in exact
+    /// (time, class, seq) order.
+    overflow: BTreeMap<(u64, u8, u64), E>,
     next_seq: u64,
     /// Largest time ever popped; used to enforce the no-time-travel check.
     watermark: Time,
     popped: u64,
+    /// Memo for [`EventQueue::peek_time`]: `Some(t)` means the earliest
+    /// pending event fires at `t`; `None` means "recompute".
+    peek_cache: Cell<Option<Time>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -101,11 +160,20 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<E> {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: (0..WHEEL_SLOTS).map(|_| Bucket::default()).collect(),
+            wheel_len: 0,
+            cursor: 0,
+            overflow: BTreeMap::new(),
             next_seq: 0,
             watermark: Time::ZERO,
             popped: 0,
+            peek_cache: Cell::new(None),
         }
+    }
+
+    /// First instant *not* covered by the wheel's current window.
+    fn horizon(&self) -> u64 {
+        self.cursor.saturating_add(WHEEL_SLOTS)
     }
 
     /// Schedules `payload` to fire at `time` in the default class (0).
@@ -133,7 +201,219 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
+        let t = time.ticks();
+        if t < self.horizon() {
+            self.wheel[(t % WHEEL_SLOTS) as usize].push(class, seq, payload);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.insert((t, class, seq), payload);
+        }
+        if let Some(cached) = self.peek_cache.get() {
+            if time < cached {
+                self.peek_cache.set(Some(time));
+            }
+        } else if self.len() == 1 {
+            self.peek_cache.set(Some(time));
+        }
+        seq
+    }
+
+    /// Moves overflow events that now fit the window into the wheel.
+    /// Migrated events land in slots the cursor has not reached yet, and
+    /// arrive in (time, class, seq) order, so lane FIFO order is preserved.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.horizon();
+        while let Some((&(t, class, seq), _)) = self.overflow.first_key_value() {
+            if t >= horizon {
+                break;
+            }
+            let payload = self.overflow.pop_first().expect("head exists").1;
+            self.wheel[(t % WHEEL_SLOTS) as usize].push(class, seq, payload);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Removes and returns the earliest event, or `None` when the queue is
+    /// empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        if self.wheel_len == 0 {
+            if self.overflow.is_empty() {
+                return None;
+            }
+            // Nothing near: jump the cursor straight to the first far event
+            // and pull everything that fits into the window.
+            self.cursor = self.overflow.first_key_value().expect("non-empty").0 .0;
+            self.migrate_overflow();
+        }
+        if self.wheel_len == 0 {
+            // Only reachable when the horizon saturates at `Time::MAX` and
+            // the head event sits exactly on it: serve overflow directly.
+            let ((t, class, seq), payload) = self.overflow.pop_first().expect("non-empty");
+            return Some(self.emit(Time::at(t), class, seq, payload));
+        }
+        // A preceding peek_time() already located the next event: jump the
+        // cursor straight there instead of re-walking empty buckets (the
+        // runtime peeks before every pop to honour its end-of-run bound).
+        // Any overflow event earlier than the new horizon migrates in one
+        // batch; nothing can land behind the jump target because the wheel
+        // held an event at it.
+        if let Some(t) = self.peek_cache.get() {
+            if t < Time::at(self.horizon()) && t.ticks() > self.cursor {
+                self.cursor = t.ticks();
+                self.migrate_overflow();
+            }
+        }
+        // The wheel holds the earliest event within WHEEL_SLOTS of the
+        // cursor: walk to the first non-empty bucket, migrating far events
+        // as the window slides.
+        loop {
+            let slot = (self.cursor % WHEEL_SLOTS) as usize;
+            if self.wheel[slot].len > 0 {
+                let (class, seq, payload) = self.wheel[slot].pop();
+                self.wheel_len -= 1;
+                return Some(self.emit(Time::at(self.cursor), class, seq, payload));
+            }
+            self.cursor += 1;
+            self.migrate_overflow();
+        }
+    }
+
+    fn emit(&mut self, time: Time, class: u8, seq: u64, payload: E) -> ScheduledEvent<E> {
+        debug_assert!(time >= self.watermark);
+        self.watermark = time;
+        self.popped += 1;
+        self.peek_cache.set(None);
+        ScheduledEvent {
+            time,
+            class,
+            seq,
+            payload,
+        }
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        if self.is_empty() {
+            return None;
+        }
+        if let Some(t) = self.peek_cache.get() {
+            return Some(t);
+        }
+        let t = if self.wheel_len > 0 {
+            // Scan the window from the cursor; bounded by WHEEL_SLOTS and
+            // in practice by the gap to the next event.
+            let mut t = self.cursor;
+            loop {
+                if self.wheel[(t % WHEEL_SLOTS) as usize].len > 0 {
+                    break Time::at(t);
+                }
+                t += 1;
+            }
+        } else {
+            Time::at(self.overflow.first_key_value().expect("non-empty").0 .0)
+        };
+        self.peek_cache.set(Some(t));
+        Some(t)
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> Time {
+        self.watermark
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+}
+
+/// The original `BinaryHeap`-backed event queue, kept as the *reference
+/// model* for the tick wheel: property tests drive both with identical
+/// schedule/pop scripts and require identical pop sequences. Not part of
+/// the public API surface (the simulator always runs the wheel).
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct HeapEventQueue<E> {
+    heap: std::collections::BinaryHeap<HeapEntry<E>>,
+    next_seq: u64,
+    watermark: Time,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct HeapEntry<E> {
+    time: Time,
+    class: u8,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.class == other.class && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: earliest (time, class, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.class.cmp(&self.class))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> Default for HeapEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapEventQueue<E> {
+    /// Creates an empty reference queue.
+    pub fn new() -> HeapEventQueue<E> {
+        HeapEventQueue {
+            heap: std::collections::BinaryHeap::new(),
+            next_seq: 0,
+            watermark: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Mirror of [`EventQueue::schedule`].
+    pub fn schedule(&mut self, time: Time, payload: E) -> u64 {
+        self.schedule_class(time, 0, payload)
+    }
+
+    /// Mirror of [`EventQueue::schedule_class`].
+    pub fn schedule_class(&mut self, time: Time, class: u8, payload: E) -> u64 {
+        assert!(
+            time >= self.watermark,
+            "event scheduled at {time} before current time {}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry {
             time,
             class,
             seq,
@@ -142,11 +422,9 @@ impl<E> EventQueue<E> {
         seq
     }
 
-    /// Removes and returns the earliest event, or `None` when the queue is
-    /// empty.
+    /// Mirror of [`EventQueue::pop`].
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.watermark);
         self.watermark = entry.time;
         self.popped += 1;
         Some(ScheduledEvent {
@@ -157,27 +435,27 @@ impl<E> EventQueue<E> {
         })
     }
 
-    /// The instant of the earliest pending event, if any.
+    /// Mirror of [`EventQueue::peek_time`].
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|e| e.time)
     }
 
-    /// Current simulated time: the timestamp of the last popped event.
+    /// Mirror of [`EventQueue::now`].
     pub fn now(&self) -> Time {
         self.watermark
     }
 
-    /// Number of pending events.
+    /// Mirror of [`EventQueue::len`].
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// Whether no events are pending.
+    /// Mirror of [`EventQueue::is_empty`].
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
 
-    /// Total number of events delivered so far.
+    /// Mirror of [`EventQueue::delivered`].
     pub fn delivered(&self) -> u64 {
         self.popped
     }
@@ -186,6 +464,7 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::time::Span;
 
     #[test]
     fn pops_in_time_order() {
@@ -264,5 +543,97 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.delivered(), 1);
+    }
+
+    #[test]
+    fn far_events_cross_the_wheel_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::at(WHEEL_SLOTS * 10 + 3), "far");
+        q.schedule(Time::at(2), "near");
+        q.schedule(Time::at(WHEEL_SLOTS + 1), "mid");
+        assert_eq!(q.peek_time(), Some(Time::at(2)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, ["near", "mid", "far"]);
+        assert_eq!(q.now(), Time::at(WHEEL_SLOTS * 10 + 3));
+    }
+
+    #[test]
+    fn same_slot_different_cycles_do_not_collide() {
+        // t and t + WHEEL_SLOTS map to the same slot index; the horizon
+        // check must keep the later event in overflow until the window
+        // slides past the earlier one.
+        let mut q = EventQueue::new();
+        q.schedule(Time::at(7), "now");
+        q.schedule(Time::at(7 + WHEEL_SLOTS), "next-cycle");
+        q.schedule(Time::at(7 + 2 * WHEEL_SLOTS), "cycle-after");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, ["now", "next-cycle", "cycle-after"]);
+    }
+
+    #[test]
+    fn time_max_sentinel_is_schedulable() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::MAX, "never");
+        q.schedule(Time::at(1), "soon");
+        assert_eq!(q.pop().unwrap().payload, "soon");
+        assert_eq!(q.peek_time(), Some(Time::MAX));
+        let e = q.pop().unwrap();
+        assert_eq!(e.payload, "never");
+        assert_eq!(e.time, Time::MAX);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_keeps_fifo_across_migration() {
+        let mut q = EventQueue::new();
+        let far = Time::at(WHEEL_SLOTS + 50);
+        q.schedule_class(far, 1, "scheduled-first"); // parks in overflow
+        q.schedule(Time::at(WHEEL_SLOTS + 20), "advancer");
+        q.pop(); // cursor jumps; far event migrates into the wheel
+        q.schedule_class(far, 1, "scheduled-second"); // direct wheel insert
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, ["scheduled-first", "scheduled-second"]);
+    }
+
+    #[test]
+    fn peek_cache_tracks_cheaper_schedules() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::at(100), 1);
+        assert_eq!(q.peek_time(), Some(Time::at(100)));
+        q.schedule(Time::at(40), 2); // cheaper than the cached peek
+        assert_eq!(q.peek_time(), Some(Time::at(40)));
+        q.schedule(Time::at(60), 3); // later than the cached peek
+        assert_eq!(q.peek_time(), Some(Time::at(40)));
+    }
+
+    #[test]
+    fn reference_heap_queue_matches_on_a_smoke_script() {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let script = [(5u64, 2u8), (5, 0), (1, 1), (700, 0), (5, 0), (1, 1)];
+        for (i, &(t, class)) in script.iter().enumerate() {
+            wheel.schedule_class(Time::at(t), class, i);
+            heap.schedule_class(Time::at(t), class, i);
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn watermark_equals_cursor_between_operations() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::at(30), ());
+        q.schedule(Time::at(600), ());
+        q.pop();
+        // Scheduling at the watermark must land in a valid wheel slot even
+        // though the first pop advanced the cursor.
+        q.schedule(Time::at(30) + Span::ticks(0), ());
+        assert_eq!(q.pop().unwrap().time, Time::at(30));
+        assert_eq!(q.pop().unwrap().time, Time::at(600));
     }
 }

@@ -39,6 +39,8 @@ mod time;
 pub mod trace;
 
 pub use event::{EventQueue, ScheduledEvent};
+#[doc(hidden)]
+pub use event::HeapEventQueue;
 pub use ids::{IdSource, NodeId, OpId, TimerId};
 pub use rng::DetRng;
 pub use time::{Span, Time};

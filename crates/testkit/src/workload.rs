@@ -78,6 +78,38 @@ impl RateWorkload {
     }
 }
 
+/// Draws `count` distinct elements of `pool` uniformly, in draw order.
+///
+/// Dense requests (`count` a sizable fraction of the pool) use a partial
+/// Fisher–Yates over a copy; sparse ones use rejection sampling, which
+/// touches O(count²) ≪ O(|pool|) memory. Deterministic given `rng`.
+fn sample_distinct(pool: &[NodeId], count: usize, rng: &mut DetRng) -> Vec<NodeId> {
+    debug_assert!(count <= pool.len());
+    if count == 0 {
+        return Vec::new();
+    }
+    if count * 4 >= pool.len() {
+        let mut copy: Vec<NodeId> = pool.to_vec();
+        for k in 0..count {
+            let j = k + rng.pick_index(copy.len() - k);
+            copy.swap(k, j);
+        }
+        copy.truncate(count);
+        copy
+    } else {
+        let mut picked_idx: Vec<usize> = Vec::with_capacity(count);
+        let mut picked: Vec<NodeId> = Vec::with_capacity(count);
+        while picked.len() < count {
+            let j = rng.pick_index(pool.len());
+            if !picked_idx.contains(&j) {
+                picked_idx.push(j);
+                picked.push(pool[j]);
+            }
+        }
+        picked
+    }
+}
+
 impl Workload for RateWorkload {
     fn tick(
         &mut self,
@@ -102,12 +134,12 @@ impl Workload for RateWorkload {
             self.next_value += 1;
         }
         // Readers: Poisson number of reads over distinct idle actives.
+        // Sampling is O(count), not O(population): a full Fisher–Yates
+        // shuffle of a 5000-process roster to pick ~10 readers dominated
+        // the per-tick cost at scale.
         if !idle_actives.is_empty() && self.reads_per_tick > 0.0 {
             let count = (rng.poisson(self.reads_per_tick) as usize).min(idle_actives.len());
-            // Sample distinct indices via partial shuffle.
-            let mut pool: Vec<NodeId> = idle_actives.to_vec();
-            rng.shuffle(&mut pool);
-            for &node in pool.iter().take(count) {
+            for node in sample_distinct(idle_actives, count, rng) {
                 if node != writer || !ops.iter().any(|(n, _)| *n == node) {
                     ops.push((node, OpAction::Read));
                 }

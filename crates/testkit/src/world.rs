@@ -8,7 +8,7 @@
 //! | effect | interpretation |
 //! |---|---|
 //! | `Send` | sample latency, schedule a delivery (dropped if the target leaves first) |
-//! | `Broadcast` | one delivery per process present *now* (the timely broadcast snapshot) |
+//! | `Broadcast` | one delivery per process present *now* (the timely broadcast snapshot), sharing a single payload |
 //! | `SetTimer` | schedule a timer callback |
 //! | `JoinComplete` | flip presence to active, complete the join in the history |
 //! | `OpComplete` | complete the read/write in the history, free the process |
@@ -17,12 +17,26 @@
 //! then fresh joiners, matching the paper's "replaced within the time unit"
 //! accounting — and (2) asks the workload for client operations on idle
 //! active processes.
+//!
+//! # Node storage
+//!
+//! Live actors sit in a dense **slab** (`Vec<Option<Slot>>` plus a free
+//! list): every queued delivery and timer carries its target's slot index,
+//! so the per-event path is one bounds-checked vector access and a
+//! `NodeId` identity check (catching slots recycled to later joiners) —
+//! no tree walk. A `NodeId → slot` interning map (with a cheap
+//! multiply-xor hasher; node ids are already well-distributed small
+//! integers) is consulted only when new work is scheduled. The sorted
+//! idle-active roster the workload samples from is maintained
+//! incrementally instead of being re-collected every tick.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
 
 use dynareg_churn::ChurnDriver;
 use dynareg_core::{Effect, OpOutcome, RegisterProcess};
-use dynareg_net::{Envelope, Network, Presence};
+use dynareg_net::{Fanout, Network, Presence};
 use dynareg_sim::metrics::Metrics;
 use dynareg_sim::trace::{TraceEvent, TraceLog};
 use dynareg_sim::{DetRng, EventQueue, NodeId, OpId, Span, Time};
@@ -75,10 +89,28 @@ const CLASS_DELIVER: u8 = 0;
 const CLASS_TIMER: u8 = 1;
 const CLASS_TICK: u8 = 2;
 
-/// Events on the world's queue.
+/// Events on the world's queue. Deliveries and timers carry the target's
+/// slab slot so delivery is O(1); the `NodeId` doubles as a generation
+/// check against slot reuse.
 enum Pending<M> {
-    Deliver(Envelope<M>),
-    Timer { node: NodeId, tag: u64 },
+    /// A unicast delivery, stripped to what delivery needs (the instant
+    /// lives in the queue key; keeping the full [`Envelope`] here would
+    /// move two redundant timestamps through every wheel bucket).
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        slot: u32,
+        label: &'static str,
+        msg: M,
+    },
+    /// One recipient's share of a broadcast: the payload lives once inside
+    /// the shared [`Fanout`]; `idx` names the recipient.
+    Fan {
+        fan: Rc<Fanout<M>>,
+        idx: u32,
+        slot: u32,
+    },
+    Timer { node: NodeId, slot: u32, tag: u64 },
     Tick,
 }
 
@@ -103,6 +135,46 @@ enum Busy {
     Write(OpId),
 }
 
+/// One live process in the slab.
+struct Slot<P> {
+    /// Identity; checked against queued events to detect slot reuse.
+    node: NodeId,
+    proc_: P,
+    /// Mirrors the presence table's active bit for O(1) eligibility checks.
+    active: bool,
+    /// Join op of a process still joining.
+    joining: Option<OpId>,
+    /// Client op in flight, if any.
+    busy: Option<Busy>,
+}
+
+/// Multiply-xor hasher for `NodeId`-keyed maps: node ids are small
+/// sequential integers, so a single odd-multiplier mix beats SipHash on
+/// the interning path without clustering.
+#[derive(Debug, Default, Clone, Copy)]
+struct NodeIdHasher(u64);
+
+impl Hasher for NodeIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 writes (unused by NodeId's derived Hash).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+}
+
+type NodeMap<V> = HashMap<NodeId, V, BuildHasherDefault<NodeIdHasher>>;
+
 /// The deterministic simulation world for protocol `F::Proc`.
 ///
 /// Most users go through [`crate::Scenario`]; `World` is public for tests
@@ -111,7 +183,16 @@ enum Busy {
 pub struct World<F: ProtocolFactory> {
     factory: F,
     queue: EventQueue<Pending<<F::Proc as RegisterProcess>::Msg>>,
-    nodes: BTreeMap<NodeId, F::Proc>,
+    /// Dense live-node storage; see the module docs.
+    slots: Vec<Option<Slot<F::Proc>>>,
+    free_slots: Vec<u32>,
+    /// NodeId → slot interning for scheduling-time lookups. Doubles as the
+    /// O(1) "is present" set (its keys are exactly the live nodes).
+    slot_of: NodeMap<u32>,
+    /// The present set with slots, in id order — the same set (and order)
+    /// as a broadcast snapshot, so fan-out scheduling zips against it
+    /// instead of hashing once per recipient.
+    present_slots: Vec<(NodeId, u32)>,
     presence: Presence,
     network: Network,
     churn: ChurnDriver,
@@ -119,12 +200,19 @@ pub struct World<F: ProtocolFactory> {
     history: History<Option<Val>>,
     trace: TraceLog,
     metrics: Metrics,
+    /// Deliveries counted outside [`Metrics`] (a per-event map update is
+    /// measurable at 40M+ events); folded into `net.delivered` on
+    /// [`World::into_outputs`].
+    delivered_msgs: u64,
+    /// Reused scratch for `on_message_into` — one buffer for all
+    /// deliveries instead of one allocation each.
+    effects_buf: Vec<Effect<<F::Proc as RegisterProcess>::Msg, Val>>,
     rng_workload: DetRng,
     rng_churn: DetRng,
-    /// Join op of each process still joining.
-    joining: BTreeMap<NodeId, OpId>,
-    /// Client op in flight per process.
-    busy: BTreeMap<NodeId, Busy>,
+    /// Active processes with no operation in flight, in id order —
+    /// maintained incrementally so the per-tick workload never rescans the
+    /// population.
+    idle_active: Vec<NodeId>,
     /// The single in-flight write, if any (writes are serialized).
     write_in_flight: Option<OpId>,
     /// The designated writer (under `FixedProtected`).
@@ -158,12 +246,24 @@ where
         let rng_workload = seed_rng.fork(3);
 
         let mut presence = Presence::new();
-        let mut nodes = BTreeMap::new();
+        let mut slots = Vec::with_capacity(config.n);
+        let mut slot_of = NodeMap::default();
+        let mut present_slots = Vec::with_capacity(config.n);
+        let mut idle_active = Vec::with_capacity(config.n);
         for raw in 0..config.n as u64 {
             let id = NodeId::from_raw(raw);
             presence.enter(id, Time::ZERO);
             presence.activate(id, Time::ZERO);
-            nodes.insert(id, factory.bootstrap(id, config.initial));
+            slot_of.insert(id, slots.len() as u32);
+            present_slots.push((id, slots.len() as u32));
+            slots.push(Some(Slot {
+                node: id,
+                proc_: factory.bootstrap(id, config.initial),
+                active: true,
+                joining: None,
+                busy: None,
+            }));
+            idle_active.push(id);
         }
 
         let mut queue = EventQueue::new();
@@ -172,7 +272,10 @@ where
         World {
             factory,
             queue,
-            nodes,
+            slots,
+            free_slots: Vec::new(),
+            slot_of,
+            present_slots,
             presence,
             network: Network::new(config.delay, rng_net),
             churn: config.churn,
@@ -184,10 +287,11 @@ where
                 TraceLog::disabled()
             },
             metrics: Metrics::new(),
+            delivered_msgs: 0,
+            effects_buf: Vec::new(),
             rng_workload,
             rng_churn,
-            joining: BTreeMap::new(),
-            busy: BTreeMap::new(),
+            idle_active,
             write_in_flight: None,
             writer: NodeId::from_raw(0),
             writer_policy: config.writer_policy,
@@ -240,6 +344,33 @@ where
         self.now
     }
 
+    /// Total events (deliveries, timers, ticks) processed so far — the
+    /// denominator of the engine's events/sec throughput.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.delivered()
+    }
+
+    /// The live slot for `node`, with the identity check against reuse.
+    #[inline]
+    fn live_slot(&mut self, node: NodeId, slot: u32) -> Option<&mut Slot<F::Proc>> {
+        match self.slots.get_mut(slot as usize) {
+            Some(Some(s)) if s.node == node => Some(s),
+            _ => None,
+        }
+    }
+
+    fn idle_insert(&mut self, node: NodeId) {
+        if let Err(i) = self.idle_active.binary_search(&node) {
+            self.idle_active.insert(i, node);
+        }
+    }
+
+    fn idle_remove(&mut self, node: NodeId) {
+        if let Ok(i) = self.idle_active.binary_search(&node) {
+            self.idle_active.remove(i);
+        }
+    }
+
     /// Runs the world until (and including) `end`.
     pub fn run_until(&mut self, end: Time) {
         self.end = end;
@@ -250,49 +381,94 @@ where
             let ev = self.queue.pop().expect("peeked");
             self.now = ev.time;
             match ev.payload {
-                Pending::Deliver(env) => self.handle_delivery(env),
-                Pending::Timer { node, tag } => self.handle_timer(node, tag),
+                Pending::Deliver {
+                    from,
+                    to,
+                    slot,
+                    label,
+                    msg,
+                } => self.handle_delivery(from, to, slot, label, msg),
+                Pending::Fan { fan, idx, slot } => self.handle_fan(fan, idx, slot),
+                Pending::Timer { node, slot, tag } => self.handle_timer(node, slot, tag),
                 Pending::Tick => self.handle_tick(),
             }
         }
         self.now = end;
     }
 
-    fn handle_delivery(&mut self, env: Envelope<<F::Proc as RegisterProcess>::Msg>) {
-        if !self.network.should_deliver(&self.presence, &env) {
-            self.trace.record(
-                self.now,
-                TraceEvent::Drop {
-                    to: env.to,
-                    label: env.label,
-                },
-            );
+    fn handle_fan(
+        &mut self,
+        fan: Rc<Fanout<<F::Proc as RegisterProcess>::Msg>>,
+        idx: u32,
+        slot: u32,
+    ) {
+        let to = fan.recipients[idx as usize].0;
+        // Clone lazily: a recipient that left in flight never costs a copy.
+        if self.live_slot(to, slot).is_none() {
+            self.drop_delivery(to, fan.label);
             return;
         }
-        self.trace.record(
-            self.now,
-            TraceEvent::Deliver {
-                to: env.to,
-                from: env.from,
-                label: env.label,
-            },
-        );
-        self.metrics.incr("net.delivered");
-        let effects = self
-            .nodes
-            .get_mut(&env.to)
-            .expect("present node has an actor")
-            .on_message(self.now, env.from, env.msg);
-        self.apply_effects(env.to, effects);
+        let msg = fan.msg.clone();
+        self.deliver_to_live_slot(fan.from, to, slot, fan.label, msg);
     }
 
-    fn handle_timer(&mut self, node: NodeId, tag: u64) {
+    fn drop_delivery(&mut self, to: NodeId, label: &'static str) {
+        self.network.note_dropped_departed();
+        self.trace.record(self.now, TraceEvent::Drop { to, label });
+    }
+
+    fn handle_delivery(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        slot: u32,
+        label: &'static str,
+        msg: <F::Proc as RegisterProcess>::Msg,
+    ) {
+        if self.live_slot(to, slot).is_none() {
+            self.drop_delivery(to, label);
+            return;
+        }
+        self.deliver_to_live_slot(from, to, slot, label, msg);
+    }
+
+    /// Delivery core; the caller has already verified `slot` is live for
+    /// `to` (fan deliveries check before cloning the shared payload, so
+    /// checking again here would double the hottest lookup in the run).
+    fn deliver_to_live_slot(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        slot: u32,
+        label: &'static str,
+        msg: <F::Proc as RegisterProcess>::Msg,
+    ) {
+        let now = self.now;
+        // Reuse one effects buffer across all deliveries (the protocols'
+        // `on_message_into` fast path): zero allocations per message.
+        let mut buf = std::mem::take(&mut self.effects_buf);
+        debug_assert!(buf.is_empty());
+        self.slots[slot as usize]
+            .as_mut()
+            .expect("caller verified the slot is live")
+            .proc_
+            .on_message_into(now, from, msg, &mut buf);
+        self.trace
+            .record(now, TraceEvent::Deliver { to, from, label });
+        self.delivered_msgs += 1;
+        self.apply_effects(to, slot, &mut buf);
+        buf.clear();
+        self.effects_buf = buf;
+    }
+
+    fn handle_timer(&mut self, node: NodeId, slot: u32, tag: u64) {
+        let now = self.now;
         // The node may have left since setting the timer.
-        let Some(proc_) = self.nodes.get_mut(&node) else {
+        let Some(s) = self.live_slot(node, slot) else {
             return;
         };
-        let effects = proc_.on_timer(self.now, tag);
-        self.apply_effects(node, effects);
+        let mut effects = s.proc_.on_timer(now, tag);
+        self.apply_effects(node, slot, &mut effects);
     }
 
     fn handle_tick(&mut self) {
@@ -358,11 +534,26 @@ where
     fn remove_node(&mut self, victim: NodeId) {
         self.presence.leave(victim, self.now);
         self.history.note_left(victim, self.now);
-        self.nodes.remove(&victim);
-        self.joining.remove(&victim);
+        let slot_idx = self
+            .slot_of
+            .remove(&victim)
+            .expect("present node has a slot");
+        let i = self
+            .present_slots
+            .binary_search_by_key(&victim, |&(n, _)| n)
+            .expect("present node is in the slot roster");
+        self.present_slots.remove(i);
+        let slot = self.slots[slot_idx as usize]
+            .take()
+            .expect("interned slot is occupied");
+        debug_assert_eq!(slot.node, victim);
+        self.free_slots.push(slot_idx);
+        if slot.active && slot.busy.is_none() {
+            self.idle_remove(victim);
+        }
         // A departing writer abandons its in-flight write; the next
         // write may start (its pending op stays incomplete-but-excused).
-        if let Some(Busy::Write(op)) = self.busy.remove(&victim) {
+        if let Some(Busy::Write(op)) = slot.busy {
             if self.write_in_flight == Some(op) {
                 self.write_in_flight = None;
             }
@@ -375,7 +566,6 @@ where
         let join_op = self.history.invoke_join(id, self.now);
         self.presence.enter(id, self.now);
         self.arrivals.push(id);
-        self.joining.insert(id, join_op);
         let mut proc_ = self.factory.joiner(id, join_op);
         self.trace.record(self.now, TraceEvent::Enter { node: id });
         self.trace.record(
@@ -387,25 +577,41 @@ where
             },
         );
         self.metrics.incr("churn.joins");
-        let effects = proc_.on_enter(self.now);
-        self.nodes.insert(id, proc_);
-        self.apply_effects(id, effects);
+        let mut effects = proc_.on_enter(self.now);
+        let slot = Slot {
+            node: id,
+            proc_,
+            active: false,
+            joining: Some(join_op),
+            busy: None,
+        };
+        let slot_idx = match self.free_slots.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none());
+                self.slots[i as usize] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slot_of.insert(id, slot_idx);
+        let i = self
+            .present_slots
+            .binary_search_by_key(&id, |&(n, _)| n)
+            .expect_err("fresh id cannot already hold a slot");
+        self.present_slots.insert(i, (id, slot_idx));
+        self.apply_effects(id, slot_idx, &mut effects);
     }
 
     fn apply_workload(&mut self) {
-        let idle_actives: Vec<NodeId> = self
-            .presence
-            .active_nodes()
-            .into_iter()
-            .filter(|id| !self.busy.contains_key(id))
-            .collect();
         let writer = self.writer();
         let writer_idle = self.write_in_flight.is_none()
-            && self.presence.is_active(writer)
-            && !self.busy.contains_key(&writer);
+            && self.idle_active.binary_search(&writer).is_ok();
         let ops = self.workload.tick(
             self.now,
-            &idle_actives,
+            &self.idle_active,
             &self.arrivals,
             writer,
             writer_idle,
@@ -419,14 +625,22 @@ where
     /// Invokes a client operation, skipping (and counting) requests that
     /// target busy or non-active processes.
     pub fn invoke(&mut self, node: NodeId, action: OpAction) {
-        if !self.presence.is_active(node) || self.busy.contains_key(&node) {
+        let eligible = self
+            .slot_of
+            .get(&node)
+            .copied()
+            .filter(|&i| {
+                let s = self.slots[i as usize].as_ref().expect("interned slot");
+                s.active && s.busy.is_none()
+            });
+        let Some(slot_idx) = eligible else {
             self.metrics.incr("workload.skipped");
             return;
-        }
+        };
         match action {
             OpAction::Read => {
                 let op = self.history.invoke_read(node, self.now);
-                self.busy.insert(node, Busy::Read(op));
+                self.set_busy(node, slot_idx, Busy::Read(op));
                 self.trace.record(
                     self.now,
                     TraceEvent::Invoke {
@@ -435,12 +649,13 @@ where
                         label: "read",
                     },
                 );
-                let effects = self
-                    .nodes
-                    .get_mut(&node)
-                    .expect("active node has an actor")
-                    .on_read(self.now, op);
-                self.apply_effects(node, effects);
+                let now = self.now;
+                let mut effects = self.slots[slot_idx as usize]
+                    .as_mut()
+                    .expect("interned slot")
+                    .proc_
+                    .on_read(now, op);
+                self.apply_effects(node, slot_idx, &mut effects);
             }
             OpAction::Write(value) => {
                 if self.write_in_flight.is_some() {
@@ -448,7 +663,7 @@ where
                     return;
                 }
                 let op = self.history.invoke_write(node, self.now, Some(value));
-                self.busy.insert(node, Busy::Write(op));
+                self.set_busy(node, slot_idx, Busy::Write(op));
                 self.write_in_flight = Some(op);
                 // The paper's liveness statements assume a writer stays
                 // until its write returns; shield it for exactly that long.
@@ -464,35 +679,63 @@ where
                         label: "write",
                     },
                 );
-                let effects = self
-                    .nodes
-                    .get_mut(&node)
-                    .expect("active node has an actor")
-                    .on_write(self.now, op, value);
-                self.apply_effects(node, effects);
+                let now = self.now;
+                let mut effects = self.slots[slot_idx as usize]
+                    .as_mut()
+                    .expect("interned slot")
+                    .proc_
+                    .on_write(now, op, value);
+                self.apply_effects(node, slot_idx, &mut effects);
             }
         }
     }
 
-    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect<<F::Proc as RegisterProcess>::Msg, Val>>) {
-        for effect in effects {
+    fn set_busy(&mut self, node: NodeId, slot_idx: u32, busy: Busy) {
+        self.slots[slot_idx as usize]
+            .as_mut()
+            .expect("interned slot")
+            .busy = Some(busy);
+        self.idle_remove(node);
+    }
+
+    fn apply_effects(
+        &mut self,
+        node: NodeId,
+        slot_idx: u32,
+        effects: &mut Vec<Effect<<F::Proc as RegisterProcess>::Msg, Val>>,
+    ) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
                     let label = F::msg_label(&msg);
-                    if let Some(env) =
-                        self.network.send(&self.presence, self.now, node, to, label, msg)
-                    {
-                        self.trace.record(
-                            self.now,
-                            TraceEvent::Send {
-                                from: node,
-                                to: Some(to),
-                                label,
-                                deliver_at: Some(env.deliver_at),
-                            },
-                        );
-                        self.queue.schedule_class(env.deliver_at, CLASS_DELIVER, Pending::Deliver(env));
-                    }
+                    // The slab mirrors the present set: an absent key means
+                    // the channel carries nothing (counted as dropped, as
+                    // `Network::send` would).
+                    let Some(&rslot) = self.slot_of.get(&to) else {
+                        self.network.note_dropped_departed();
+                        continue;
+                    };
+                    let env = self.network.send_present(self.now, node, to, label, msg);
+                    self.trace.record(
+                        self.now,
+                        TraceEvent::Send {
+                            from: node,
+                            to: Some(to),
+                            label,
+                            deliver_at: Some(env.deliver_at),
+                        },
+                    );
+                    self.queue.schedule_class(
+                        env.deliver_at,
+                        CLASS_DELIVER,
+                        Pending::Deliver {
+                            from: env.from,
+                            to: env.to,
+                            slot: rslot,
+                            label: env.label,
+                            msg: env.msg,
+                        },
+                    );
                 }
                 Effect::Broadcast { msg } => {
                     let label = F::msg_label(&msg);
@@ -505,24 +748,55 @@ where
                             deliver_at: None,
                         },
                     );
-                    for env in self.network.broadcast(&self.presence, self.now, node, label, msg)
+                    let fan = Rc::new(self.network.broadcast(
+                        &self.presence,
+                        self.now,
+                        node,
+                        label,
+                        msg,
+                    ));
+                    // The snapshot and the slot roster enumerate the same
+                    // present set in the same id order: zip them instead
+                    // of hashing once per recipient.
+                    debug_assert_eq!(fan.recipients.len(), self.present_slots.len());
+                    for (idx, (&(to, deliver_at), &(rnode, slot))) in
+                        fan.recipients.iter().zip(&self.present_slots).enumerate()
                     {
-                        self.queue.schedule_class(env.deliver_at, CLASS_DELIVER, Pending::Deliver(env));
+                        debug_assert_eq!(to, rnode);
+                        let _ = to;
+                        self.queue.schedule_class(
+                            deliver_at,
+                            CLASS_DELIVER,
+                            Pending::Fan {
+                                fan: Rc::clone(&fan),
+                                idx: idx as u32,
+                                slot,
+                            },
+                        );
                     }
                 }
                 Effect::SetTimer { delay, tag } => {
                     self.queue.schedule_class(
                         self.now + delay,
                         CLASS_TIMER,
-                        Pending::Timer { node, tag },
+                        Pending::Timer {
+                            node,
+                            slot: slot_idx,
+                            tag,
+                        },
                     );
                 }
                 Effect::JoinComplete => {
                     // Bootstrap members are active from construction and
                     // complete no join op.
-                    if let Some(join_op) = self.joining.remove(&node) {
+                    let s = self.slots[slot_idx as usize]
+                        .as_mut()
+                        .expect("effects target a live slot");
+                    if let Some(join_op) = s.joining.take() {
+                        s.active = true;
                         self.presence.activate(node, self.now);
                         self.history.complete_join(join_op, self.now);
+                        self.idle_insert(node);
                         self.trace.record(self.now, TraceEvent::Activate { node });
                         self.trace.record(
                             self.now,
@@ -549,7 +823,13 @@ where
                             }
                         }
                     }
-                    self.busy.remove(&node);
+                    let s = self.slots[slot_idx as usize]
+                        .as_mut()
+                        .expect("effects target a live slot");
+                    s.busy = None;
+                    if s.active {
+                        self.idle_insert(node);
+                    }
                     self.trace.record(self.now, TraceEvent::Complete { node, op });
                 }
                 Effect::Note(text) => {
@@ -560,12 +840,11 @@ where
     }
 
     fn sample_gauges(&mut self) {
-        self.metrics
-            .sample("gauge.active", self.presence.active_count() as u64);
-        self.metrics
-            .sample("gauge.present", self.presence.present_count() as u64);
-        self.metrics
-            .sample("gauge.joining", self.presence.listening_nodes().len() as u64);
+        let active = self.presence.active_count() as u64;
+        let present = self.presence.present_count() as u64;
+        self.metrics.sample("gauge.active", active);
+        self.metrics.sample("gauge.present", present);
+        self.metrics.sample("gauge.joining", present - active);
     }
 
     /// Protects `node` from churn eviction.
@@ -588,7 +867,9 @@ where
         &self.network
     }
 
-    /// Run metrics (read-only).
+    /// Run metrics (read-only). The hot-path delivery counter
+    /// (`net.delivered`) is folded in when the world is decomposed via
+    /// [`World::into_outputs`].
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
     }
@@ -601,7 +882,7 @@ where
     /// Decomposes the world into its observable outputs
     /// `(history, presence, metrics, trace, network)`.
     pub fn into_outputs(
-        self,
+        mut self,
     ) -> (
         History<Option<Val>>,
         Presence,
@@ -609,6 +890,7 @@ where
         TraceLog,
         Network,
     ) {
+        self.metrics.add("net.delivered", self.delivered_msgs);
         (
             self.history,
             self.presence,
@@ -623,7 +905,7 @@ impl<F: ProtocolFactory> std::fmt::Debug for World<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
             .field("now", &self.now)
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.slot_of.len())
             .field("active", &self.presence.active_count())
             .finish_non_exhaustive()
     }
@@ -701,6 +983,48 @@ mod tests {
         let gauge = w.metrics().histogram("gauge.present").unwrap();
         assert_eq!(gauge.min(), Some(20));
         assert_eq!(gauge.max(), Some(20));
+    }
+
+    #[test]
+    fn slab_reuses_slots_without_confusing_identities() {
+        let mut w = sync_world(20, 3, 0.05, 7);
+        w.run_until(Time::at(250));
+        // Sustained churn forces slot recycling: the live-slot count stays
+        // bounded by the population while arrivals keep growing.
+        assert!(w.presence().total_arrivals() > 40, "slots were recycled");
+        assert!(
+            w.slots.len() <= 20 + w.presence().present_count(),
+            "slab stays dense (len {})",
+            w.slots.len()
+        );
+        assert_eq!(
+            w.slot_of.len(),
+            w.presence().present_count(),
+            "interning map mirrors the present set"
+        );
+        // Every interned slot holds the node it claims to.
+        for (&node, &idx) in &w.slot_of {
+            assert_eq!(w.slots[idx as usize].as_ref().unwrap().node, node);
+        }
+        assert!(RegularityChecker::check(w.history()).is_ok());
+    }
+
+    #[test]
+    fn idle_active_roster_matches_presence() {
+        let mut w = sync_world(15, 3, 0.05, 9);
+        w.run_until(Time::at(120));
+        // The incremental roster must equal "active and not busy", sorted.
+        let mut expect: Vec<NodeId> = w
+            .presence()
+            .active_nodes()
+            .into_iter()
+            .filter(|id| {
+                let idx = w.slot_of[id] as usize;
+                w.slots[idx].as_ref().unwrap().busy.is_none()
+            })
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(w.idle_active, expect);
     }
 
     #[test]
@@ -784,5 +1108,15 @@ mod tests {
         // Sync reads complete synchronously so the second is legal; this
         // exercises the counter plumbing rather than a specific count.
         let _skipped = w.metrics().counter("workload.skipped");
+    }
+
+    #[test]
+    fn delivered_counter_folds_into_outputs() {
+        let mut w = sync_world(5, 3, 0.0, 13);
+        w.run_until(Time::at(60));
+        let events = w.events_processed();
+        assert!(events > 60, "ticks plus messages were processed");
+        let (_h, _p, metrics, _t, _n) = w.into_outputs();
+        assert!(metrics.counter("net.delivered") > 0);
     }
 }

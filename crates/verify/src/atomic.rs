@@ -39,6 +39,19 @@ impl AtomicityChecker {
         report
     }
 
+    /// Oracle variant built on [`RegularityChecker::check_naive`]; the
+    /// inversion scan is shared (it was already a sweep).
+    pub fn check_naive<V: Clone + Eq + Hash + std::fmt::Debug>(
+        history: &History<V>,
+    ) -> ConsistencyReport<V> {
+        let mut report = RegularityChecker::check_naive(history);
+        report.semantics = "atomic";
+        let inversions = Self::find_inversions(history);
+        report.inversions = inversions.len();
+        report.violations.extend(inversions);
+        report
+    }
+
     /// Counts new/old inversion pairs without running the regularity check
     /// (used by the E1/E10 experiments to quantify inversion frequency).
     pub fn count_inversions<V: Clone + Eq + Hash + std::fmt::Debug>(

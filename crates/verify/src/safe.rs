@@ -8,6 +8,7 @@
 use std::hash::Hash;
 
 use crate::history::{History, OpKind, OpRecord};
+use crate::regular::WriteSweep;
 use crate::report::{ConsistencyReport, Violation};
 
 /// Checks a history against **safe register** semantics.
@@ -20,7 +21,65 @@ pub struct SafeChecker;
 
 impl SafeChecker {
     /// Runs the check.
+    ///
+    /// Sweep-line over the write intervals ([`WriteSweep`]): quiescence is
+    /// one binary search per read (does *any* write interval intersect the
+    /// read?) and the expected value another — O((R+W) log W) total,
+    /// versus the retained [`SafeChecker::check_naive`] oracle's O(R·W).
     pub fn check<V: Clone + Eq + Hash + std::fmt::Debug>(
+        history: &History<V>,
+    ) -> ConsistencyReport<V> {
+        let sweep = WriteSweep::build(history);
+        let mut violations = Vec::new();
+        let mut checked = 0;
+
+        for read in history.completed_reads() {
+            checked += 1;
+            let comp = read.completed_at.expect("completed_reads yields completed reads");
+            if sweep.any_concurrent(read.invoked_at, comp) {
+                continue; // any value allowed, even fabricated
+            }
+            let returned = match &read.kind {
+                OpKind::Read { returned: Some(v) } => v,
+                _ => unreachable!(),
+            };
+            let expected_index = sweep.last_completed_before(read.invoked_at);
+            let actual = history.provenance(returned);
+            if actual != Ok(expected_index) {
+                violations.push(Self::quiescent_violation(read, returned, expected_index));
+            }
+        }
+
+        ConsistencyReport {
+            semantics: "safe",
+            checked_reads: checked,
+            violations,
+            inversions: 0,
+        }
+    }
+
+    fn quiescent_violation<V: Clone>(
+        read: &OpRecord<V>,
+        returned: &V,
+        expected_index: Option<usize>,
+    ) -> Violation<V> {
+        let expected = match expected_index {
+            None => "initial".to_string(),
+            Some(i) => format!("write#{i}"),
+        };
+        Violation {
+            read: read.op,
+            node: read.node,
+            returned: returned.clone(),
+            explanation: format!(
+                "quiescent read must return {expected} (no write concurrent with it)"
+            ),
+        }
+    }
+
+    /// The original O(R·W) implementation, retained verbatim as the *test
+    /// oracle* for the sweep-line [`SafeChecker::check`].
+    pub fn check_naive<V: Clone + Eq + Hash + std::fmt::Debug>(
         history: &History<V>,
     ) -> ConsistencyReport<V> {
         let writes: Vec<&OpRecord<V>> = history.writes().collect();
