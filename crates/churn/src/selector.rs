@@ -42,24 +42,37 @@ impl LeaveSelector {
     ) -> Option<NodeId> {
         if let LeaveSelector::Random = self {
             // Hot path (the default selector, invoked once per departure):
-            // draw the k-th eligible process straight off the sorted
-            // present slice. Same id-order pool and single RNG draw as the
-            // materializing fallback below, without its per-pick
-            // allocation.
+            // index the k-th eligible process straight off the sorted
+            // present slice in O(1) — plus O(p log n) to locate the `p`
+            // protected ids (a handful: the writer and this tick's earlier
+            // victims), instead of the former O(present) filter-and-nth
+            // scan. The pool (eligible ids in id order) and the single RNG
+            // draw are unchanged, so picks are bit-identical to the old
+            // scan for every seed.
             let present = presence.present_slice();
-            let eligible_count = present
+            // Positions of protected ids inside the present slice, sorted.
+            let mut blocked: Vec<usize> = protected
                 .iter()
-                .filter(|id| !protected.contains(id))
-                .count();
+                .filter_map(|p| present.binary_search(p).ok())
+                .collect();
+            blocked.sort_unstable();
+            blocked.dedup();
+            let eligible_count = present.len() - blocked.len();
             if eligible_count == 0 {
                 return None;
             }
-            let k = rng.pick_index(eligible_count);
-            return present
-                .iter()
-                .filter(|id| !protected.contains(id))
-                .nth(k)
-                .copied();
+            // Map "k-th eligible" to its position in `present`: every
+            // blocked position at or before the cursor shifts it right by
+            // one (order-statistics adjustment over the sorted positions).
+            let mut k = rng.pick_index(eligible_count);
+            for &pos in &blocked {
+                if pos <= k {
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            return Some(present[k]);
         }
         let eligible: Vec<NodeId> = presence
             .present_nodes()
@@ -169,6 +182,41 @@ mod tests {
             LeaveSelector::Random.pick(&w, &[n(0), n(1), n(2)], &mut rng),
             None
         );
+    }
+
+    #[test]
+    fn random_pick_matches_filter_nth_reference() {
+        // The O(1) indexed pick must agree with the reference "k-th
+        // eligible in id order" scan for every (pool, protected, seed)
+        // combination — same draw, same victim (seed-stability contract).
+        let mut p = Presence::new();
+        p.bootstrap((0..12).map(n), Time::ZERO);
+        let protections: Vec<Vec<NodeId>> = vec![
+            vec![],
+            vec![n(0)],
+            vec![n(11), n(0), n(5)],
+            vec![n(3), n(3), n(99)], // duplicates and absent ids
+            (0..11).map(n).collect(),
+        ];
+        for protected in &protections {
+            for seed in 0..40 {
+                let mut rng_fast = DetRng::seed(seed);
+                let mut rng_ref = DetRng::seed(seed);
+                let got = LeaveSelector::Random.pick(&p, protected, &mut rng_fast);
+                let eligible: Vec<NodeId> = p
+                    .present_slice()
+                    .iter()
+                    .filter(|id| !protected.contains(id))
+                    .copied()
+                    .collect();
+                let expect = if eligible.is_empty() {
+                    None
+                } else {
+                    Some(eligible[rng_ref.pick_index(eligible.len())])
+                };
+                assert_eq!(got, expect, "protected={protected:?} seed={seed}");
+            }
+        }
     }
 
     #[test]

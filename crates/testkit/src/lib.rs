@@ -11,7 +11,9 @@
 //!   stochastic load, [`ScriptedWorkload`] for figure-exact reproductions);
 //! * [`Scenario`] — one-stop builder mapping paper parameters
 //!   `(n, δ, c, GST, seed, …)` to a full run + [`RunReport`] with safety,
-//!   atomicity and liveness verdicts;
+//!   atomicity and liveness verdicts. Its plain-data core,
+//!   [`ScenarioSpec`], is `Send + Clone` — the unit of work
+//!   `dynareg-fleet` fans out across threads;
 //! * [`experiment`] — multi-seed aggregation and markdown/CSV tables for
 //!   the experiment binaries in `dynareg-bench`.
 //!
@@ -41,6 +43,6 @@ mod workload;
 mod world;
 
 pub use factory::{EsFactory, ProtocolFactory, SyncFactory};
-pub use scenario::{ProtocolChoice, RunReport, Scenario};
+pub use scenario::{ChurnChoice, NetClass, ProtocolChoice, RunReport, Scenario, ScenarioSpec};
 pub use workload::{OpAction, RateWorkload, ScriptTarget, ScriptedWorkload, Workload};
 pub use world::{World, WorldConfig, WriterPolicy};

@@ -1,4 +1,14 @@
 //! One-stop scenario builder: paper parameters in, verdicts out.
+//!
+//! Two layers:
+//!
+//! * [`ScenarioSpec`] — a **plain-data, `Send + Clone`** description of a
+//!   run. It holds no boxed models; the delay model, churn driver and
+//!   workload are constructed *from* the data at run time. This is what
+//!   crosses threads in `dynareg-fleet`'s sweep engine: a spec can be
+//!   cloned into any worker and [`ScenarioSpec::run`] on any thread
+//!   reproduces the exact same run.
+//! * [`Scenario`] — the ergonomic builder over a spec, unchanged API.
 
 use dynareg_churn::{analysis, ChurnDriver, ChurnModel, ConstantRate, LeaveSelector, NoChurn};
 use dynareg_core::es::EsConfig;
@@ -34,15 +44,24 @@ pub enum ProtocolChoice {
 
 /// Which synchrony class the network exhibits.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum NetClass {
+pub enum NetClass {
+    /// §3.2: every message delivered within `δ`, latency uniform `[1, δ]`.
     Synchronous,
     /// Synchronous, but every message takes *exactly* δ — the worst case
     /// the paper's bounds are computed against (a random-latency network is
     /// far kinder than the adversary of Lemma 2).
     SynchronousWorstCase,
-    EventuallySynchronous { gst: Time },
+    /// §5.1: heavy-tailed before `gst`, bounded by `δ` from `gst` on.
+    EventuallySynchronous {
+        /// The global stabilization time.
+        gst: Time,
+    },
     /// §4: no usable bound at all.
-    FullyAsynchronous { cap_factor: u64 },
+    FullyAsynchronous {
+        /// Heavy-tail truncation, as a multiple of `δ` (simulation
+        /// artifact, not a promise).
+        cap_factor: u64,
+    },
 }
 
 /// Everything a run produced, plus the checker verdicts.
@@ -121,10 +140,190 @@ impl RunReport {
 
 /// Churn-model choice for a scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum ChurnChoice {
+pub enum ChurnChoice {
+    /// A static system.
     None,
+    /// The paper's constant-rate model at rate `c`.
     Constant(f64),
+    /// Poisson churn with mean rate `c` (extension model).
     Poisson(f64),
+}
+
+/// Plain-data description of a complete simulated run.
+///
+/// Every field is owned plain data (no boxed models, no `Rc`), so a spec is
+/// `Send + Clone` and can be fanned out across worker threads; the heavy
+/// trait objects ([`DelayModel`], [`dynareg_churn::ChurnModel`],
+/// [`Workload`]) are built from the data inside [`ScenarioSpec::run`].
+/// Running the same spec twice — on any two threads — produces identical
+/// [`RunReport`]s.
+///
+/// Most users construct specs through the [`Scenario`] builder and extract
+/// them with [`Scenario::into_spec`]; the fields are public so sweep
+/// engines can also assemble them directly.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Protocol variant to run.
+    pub protocol: ProtocolChoice,
+    /// Synchrony class of the network.
+    pub net: NetClass,
+    /// System size `n`.
+    pub n: usize,
+    /// Delay bound `δ`.
+    pub delta: Span,
+    /// Churn model choice.
+    pub churn: ChurnChoice,
+    /// Victim selection policy.
+    pub selector: LeaveSelector,
+    /// Total run length.
+    pub duration: Span,
+    /// Drain window (`None` = default `12δ`).
+    pub drain: Option<Span>,
+    /// Master seed.
+    pub seed: u64,
+    /// Write period (`None` = default `3δ`).
+    pub write_every: Option<Span>,
+    /// Expected reads per tick.
+    pub reads_per_tick: f64,
+    /// Whether churn may evict the designated writer.
+    pub writer_churns: bool,
+    /// Whether the writer role migrates to the oldest active process.
+    pub migrating_writer: bool,
+    /// Record a full trace.
+    pub trace: bool,
+    /// Exact operation script replacing the stochastic workload, if any.
+    pub script: Option<ScriptedWorkload>,
+    /// Delay-fault adversary, if any.
+    pub faults: Option<FaultPlan>,
+}
+
+impl ScenarioSpec {
+    /// The churn rate this spec will run with.
+    pub fn effective_churn_rate(&self) -> f64 {
+        match self.churn {
+            ChurnChoice::None => 0.0,
+            ChurnChoice::Constant(c) | ChurnChoice::Poisson(c) => c,
+        }
+    }
+
+    fn build_delay(&self) -> Box<dyn DelayModel> {
+        match self.net {
+            NetClass::Synchronous => Box::new(Synchronous::new(self.delta)),
+            NetClass::SynchronousWorstCase => {
+                Box::new(dynareg_net::delay::Fixed::new(self.delta))
+            }
+            NetClass::EventuallySynchronous { gst } => {
+                Box::new(EventuallySynchronous::with_default_pre(gst, self.delta))
+            }
+            NetClass::FullyAsynchronous { cap_factor } => Box::new(Asynchronous::new(
+                Span::UNIT,
+                1.2,
+                self.delta.times(cap_factor.max(1)),
+            )),
+        }
+    }
+
+    fn build_churn(&self, stop_at: Time, n: usize) -> ChurnDriver {
+        let inner: Box<dyn ChurnModel> = match self.churn {
+            ChurnChoice::None => Box::new(NoChurn),
+            ChurnChoice::Constant(c) => Box::new(ConstantRate::new(c)),
+            ChurnChoice::Poisson(c) => Box::new(dynareg_churn::PoissonChurn::new(c)),
+        };
+        ChurnDriver::new(
+            Box::new(StopAfter { inner, stop_at }),
+            self.selector,
+            IdSource::starting_at(n as u64),
+        )
+    }
+
+    fn build_workload(&self, stop_at: Time) -> Box<dyn Workload> {
+        if let Some(script) = &self.script {
+            return Box::new(script.clone());
+        }
+        let write_every = self.write_every.unwrap_or(self.delta.times(3));
+        Box::new(RateWorkload::new(write_every, self.reads_per_tick).stopping_at(stop_at))
+    }
+
+    /// Runs the spec to completion and checks the result.
+    pub fn run(&self) -> RunReport {
+        let end = Time::ZERO + self.duration;
+        let drain = self.drain.unwrap_or(self.delta.times(12));
+        let stop_at = Time::at(self.duration.as_ticks().saturating_sub(drain.as_ticks()).max(1));
+        match self.protocol {
+            ProtocolChoice::Synchronous => {
+                let f = SyncFactory::new(SyncConfig::new(self.delta));
+                self.run_world(f, end, stop_at)
+            }
+            ProtocolChoice::SynchronousNoWait => {
+                let f = SyncFactory::new(SyncConfig::without_join_wait(self.delta));
+                self.run_world(f, end, stop_at)
+            }
+            ProtocolChoice::EventuallySynchronous => {
+                let f = EsFactory::new(EsConfig::new(self.n));
+                self.run_world(f, end, stop_at)
+            }
+            ProtocolChoice::EsAtomic => {
+                let f = EsFactory::new(EsConfig::atomic(self.n));
+                self.run_world(f, end, stop_at)
+            }
+        }
+    }
+
+    fn run_world<F>(&self, factory: F, end: Time, stop_at: Time) -> RunReport
+    where
+        F: ProtocolFactory,
+        F::Proc: dynareg_core::RegisterProcess<Val = Val>,
+    {
+        let protocol = factory.name();
+        let churn_rate = self.effective_churn_rate();
+        let mut world = World::new(
+            factory,
+            WorldConfig {
+                n: self.n,
+                initial: 0,
+                delay: self.build_delay(),
+                churn: self.build_churn(stop_at, self.n),
+                workload: self.build_workload(stop_at),
+                seed: self.seed,
+                trace: self.trace,
+                writer_policy: if self.migrating_writer {
+                    WriterPolicy::OldestActive
+                } else {
+                    WriterPolicy::FixedProtected
+                },
+            },
+        );
+        if !self.writer_churns {
+            world.protect(NodeId::from_raw(0));
+        }
+        if let Some(faults) = self.faults.clone() {
+            world.set_faults(faults);
+        }
+        world.run_until(end);
+
+        let (history, presence, metrics, trace, network) = world.into_outputs();
+        let safety = RegularityChecker::check(&history);
+        let atomicity = AtomicityChecker::check(&history);
+        let liveness = LivenessChecker::check(&history);
+        let messages: Vec<(&'static str, u64)> = network.sent_by_label().collect();
+        let total_messages = network.total_sent();
+        RunReport {
+            protocol,
+            n: self.n,
+            delta: self.delta,
+            churn_rate,
+            seed: self.seed,
+            safety,
+            atomicity,
+            liveness,
+            metrics,
+            history,
+            presence,
+            messages,
+            total_messages,
+            trace,
+        }
+    }
 }
 
 /// Builder for a complete simulated run.
@@ -144,24 +343,9 @@ enum ChurnChoice {
 ///     .run();
 /// assert!(report.safety.is_ok());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
-    protocol: ProtocolChoice,
-    net: NetClass,
-    n: usize,
-    delta: Span,
-    churn: ChurnChoice,
-    selector: LeaveSelector,
-    duration: Span,
-    drain: Option<Span>,
-    seed: u64,
-    write_every: Option<Span>,
-    reads_per_tick: f64,
-    writer_churns: bool,
-    migrating_writer: bool,
-    trace: bool,
-    script: Option<ScriptedWorkload>,
-    faults: Option<FaultPlan>,
+    spec: ScenarioSpec,
 }
 
 impl Scenario {
@@ -169,22 +353,24 @@ impl Scenario {
         assert!(n > 0, "system size must be positive");
         assert!(!delta.is_zero(), "delta must be at least one tick");
         Scenario {
-            protocol,
-            net,
-            n,
-            delta,
-            churn: ChurnChoice::None,
-            selector: LeaveSelector::Random,
-            duration: Span::ticks(300),
-            drain: None,
-            seed: 0,
-            write_every: None,
-            reads_per_tick: 1.0,
-            writer_churns: false,
-            migrating_writer: false,
-            trace: false,
-            script: None,
-            faults: None,
+            spec: ScenarioSpec {
+                protocol,
+                net,
+                n,
+                delta,
+                churn: ChurnChoice::None,
+                selector: LeaveSelector::Random,
+                duration: Span::ticks(300),
+                drain: None,
+                seed: 0,
+                write_every: None,
+                reads_per_tick: 1.0,
+                writer_churns: false,
+                migrating_writer: false,
+                trace: false,
+                script: None,
+                faults: None,
+            },
         }
     }
 
@@ -251,7 +437,7 @@ impl Scenario {
 
     /// Constant churn at rate `c` (the paper's model).
     pub fn churn_rate(mut self, c: f64) -> Scenario {
-        self.churn = if c == 0.0 {
+        self.spec.churn = if c == 0.0 {
             ChurnChoice::None
         } else {
             ChurnChoice::Constant(c)
@@ -263,12 +449,12 @@ impl Scenario {
     /// (`1/(3δ)` for sync, `1/(3δn)` for ES) — `1.0` sits exactly on the
     /// bound, `>1.0` violates it.
     pub fn churn_fraction_of_bound(self, fraction: f64) -> Scenario {
-        let threshold = match self.protocol {
+        let threshold = match self.spec.protocol {
             ProtocolChoice::Synchronous | ProtocolChoice::SynchronousNoWait => {
-                analysis::sync_churn_threshold(self.delta)
+                analysis::sync_churn_threshold(self.spec.delta)
             }
             ProtocolChoice::EventuallySynchronous | ProtocolChoice::EsAtomic => {
-                analysis::es_churn_threshold(self.delta, self.n)
+                analysis::es_churn_threshold(self.spec.delta, self.spec.n)
             }
         };
         self.churn_rate((fraction * threshold).min(1.0))
@@ -276,50 +462,50 @@ impl Scenario {
 
     /// Poisson churn with mean rate `c` (extension model).
     pub fn churn_poisson(mut self, c: f64) -> Scenario {
-        self.churn = ChurnChoice::Poisson(c);
+        self.spec.churn = ChurnChoice::Poisson(c);
         self
     }
 
     /// Victim selection policy.
     pub fn leave_selector(mut self, selector: LeaveSelector) -> Scenario {
-        self.selector = selector;
+        self.spec.selector = selector;
         self
     }
 
     /// Total run length.
     pub fn duration(mut self, duration: Span) -> Scenario {
-        self.duration = duration;
+        self.spec.duration = duration;
         self
     }
 
     /// Drain window: churn and workload stop this long before the end so
     /// in-flight operations can finish (default `12δ`).
     pub fn drain(mut self, drain: Span) -> Scenario {
-        self.drain = Some(drain);
+        self.spec.drain = Some(drain);
         self
     }
 
     /// Master seed.
     pub fn seed(mut self, seed: u64) -> Scenario {
-        self.seed = seed;
+        self.spec.seed = seed;
         self
     }
 
     /// Write period (default `3δ`).
     pub fn write_every(mut self, period: Span) -> Scenario {
-        self.write_every = Some(period);
+        self.spec.write_every = Some(period);
         self
     }
 
     /// Expected reads per tick (default 1.0).
     pub fn reads_per_tick(mut self, rate: f64) -> Scenario {
-        self.reads_per_tick = rate;
+        self.spec.reads_per_tick = rate;
         self
     }
 
     /// Allow churn to evict the designated writer (default: protected).
     pub fn writer_churns(mut self, yes: bool) -> Scenario {
-        self.writer_churns = yes;
+        self.spec.writer_churns = yes;
         self
     }
 
@@ -329,26 +515,26 @@ impl Scenario {
     /// experiments, where a protected writer would serve fresh values
     /// forever and mask the bound.
     pub fn migrating_writer(mut self) -> Scenario {
-        self.migrating_writer = true;
-        self.writer_churns = true;
+        self.spec.migrating_writer = true;
+        self.spec.writer_churns = true;
         self
     }
 
     /// Record a full trace.
     pub fn trace(mut self, yes: bool) -> Scenario {
-        self.trace = yes;
+        self.spec.trace = yes;
         self
     }
 
     /// Replace the stochastic workload with an exact script.
     pub fn scripted(mut self, script: ScriptedWorkload) -> Scenario {
-        self.script = Some(script);
+        self.spec.script = Some(script);
         self
     }
 
     /// Install a delay-fault adversary.
     pub fn faults(mut self, faults: FaultPlan) -> Scenario {
-        self.faults = Some(faults);
+        self.spec.faults = Some(faults);
         self
     }
 
@@ -362,138 +548,35 @@ impl Scenario {
     /// Panics if the scenario's network is not synchronous.
     pub fn worst_case_delays(mut self) -> Scenario {
         assert!(
-            matches!(self.net, NetClass::Synchronous | NetClass::SynchronousWorstCase),
+            matches!(
+                self.spec.net,
+                NetClass::Synchronous | NetClass::SynchronousWorstCase
+            ),
             "worst-case delays only apply to synchronous networks"
         );
-        self.net = NetClass::SynchronousWorstCase;
+        self.spec.net = NetClass::SynchronousWorstCase;
         self
     }
 
     /// The churn rate this scenario will run with.
     pub fn effective_churn_rate(&self) -> f64 {
-        match self.churn {
-            ChurnChoice::None => 0.0,
-            ChurnChoice::Constant(c) | ChurnChoice::Poisson(c) => c,
-        }
+        self.spec.effective_churn_rate()
     }
 
-    fn build_delay(&self) -> Box<dyn DelayModel> {
-        match self.net {
-            NetClass::Synchronous => Box::new(Synchronous::new(self.delta)),
-            NetClass::SynchronousWorstCase => {
-                Box::new(dynareg_net::delay::Fixed::new(self.delta))
-            }
-            NetClass::EventuallySynchronous { gst } => {
-                Box::new(EventuallySynchronous::with_default_pre(gst, self.delta))
-            }
-            NetClass::FullyAsynchronous { cap_factor } => Box::new(Asynchronous::new(
-                Span::UNIT,
-                1.2,
-                self.delta.times(cap_factor.max(1)),
-            )),
-        }
+    /// The underlying plain-data spec (read-only).
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
     }
 
-    fn build_churn(&self, stop_at: Time, n: usize) -> ChurnDriver {
-        let inner: Box<dyn ChurnModel> = match self.churn {
-            ChurnChoice::None => Box::new(NoChurn),
-            ChurnChoice::Constant(c) => Box::new(ConstantRate::new(c)),
-            ChurnChoice::Poisson(c) => Box::new(dynareg_churn::PoissonChurn::new(c)),
-        };
-        ChurnDriver::new(
-            Box::new(StopAfter { inner, stop_at }),
-            self.selector,
-            IdSource::starting_at(n as u64),
-        )
-    }
-
-    fn build_workload(&self, stop_at: Time) -> Box<dyn Workload> {
-        if let Some(script) = &self.script {
-            return Box::new(script.clone());
-        }
-        let write_every = self.write_every.unwrap_or(self.delta.times(3));
-        Box::new(RateWorkload::new(write_every, self.reads_per_tick).stopping_at(stop_at))
+    /// Decomposes the builder into its `Send + Clone` spec, ready to cross
+    /// threads (the `dynareg-fleet` entry point).
+    pub fn into_spec(self) -> ScenarioSpec {
+        self.spec
     }
 
     /// Runs the scenario to completion and checks the result.
     pub fn run(self) -> RunReport {
-        let end = Time::ZERO + self.duration;
-        let drain = self.drain.unwrap_or(self.delta.times(12));
-        let stop_at = Time::at(self.duration.as_ticks().saturating_sub(drain.as_ticks()).max(1));
-        match self.protocol {
-            ProtocolChoice::Synchronous => {
-                let f = SyncFactory::new(SyncConfig::new(self.delta));
-                self.run_world(f, end, stop_at)
-            }
-            ProtocolChoice::SynchronousNoWait => {
-                let f = SyncFactory::new(SyncConfig::without_join_wait(self.delta));
-                self.run_world(f, end, stop_at)
-            }
-            ProtocolChoice::EventuallySynchronous => {
-                let f = EsFactory::new(EsConfig::new(self.n));
-                self.run_world(f, end, stop_at)
-            }
-            ProtocolChoice::EsAtomic => {
-                let f = EsFactory::new(EsConfig::atomic(self.n));
-                self.run_world(f, end, stop_at)
-            }
-        }
-    }
-
-    fn run_world<F>(self, factory: F, end: Time, stop_at: Time) -> RunReport
-    where
-        F: ProtocolFactory,
-        F::Proc: dynareg_core::RegisterProcess<Val = Val>,
-    {
-        let protocol = factory.name();
-        let churn_rate = self.effective_churn_rate();
-        let mut world = World::new(
-            factory,
-            WorldConfig {
-                n: self.n,
-                initial: 0,
-                delay: self.build_delay(),
-                churn: self.build_churn(stop_at, self.n),
-                workload: self.build_workload(stop_at),
-                seed: self.seed,
-                trace: self.trace,
-                writer_policy: if self.migrating_writer {
-                    WriterPolicy::OldestActive
-                } else {
-                    WriterPolicy::FixedProtected
-                },
-            },
-        );
-        if !self.writer_churns {
-            world.protect(NodeId::from_raw(0));
-        }
-        if let Some(faults) = self.faults {
-            world.set_faults(faults);
-        }
-        world.run_until(end);
-
-        let (history, presence, metrics, trace, network) = world.into_outputs();
-        let safety = RegularityChecker::check(&history);
-        let atomicity = AtomicityChecker::check(&history);
-        let liveness = LivenessChecker::check(&history);
-        let messages: Vec<(&'static str, u64)> = network.sent_by_label().collect();
-        let total_messages = network.total_sent();
-        RunReport {
-            protocol,
-            n: self.n,
-            delta: self.delta,
-            churn_rate,
-            seed: self.seed,
-            safety,
-            atomicity,
-            liveness,
-            metrics,
-            history,
-            presence,
-            messages,
-            total_messages,
-            trace,
-        }
+        self.spec.run()
     }
 }
 
@@ -574,5 +657,45 @@ mod tests {
     fn effective_churn_rate_reflects_fraction() {
         let s = Scenario::synchronous(10, Span::ticks(5)).churn_fraction_of_bound(1.0);
         assert!((s.effective_churn_rate() - 1.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_is_send_and_clone() {
+        fn assert_send_clone<T: Send + Clone>() {}
+        assert_send_clone::<ScenarioSpec>();
+    }
+
+    #[test]
+    fn spec_runs_reproduce_the_builder_run() {
+        let build = || {
+            Scenario::synchronous(12, Span::ticks(3))
+                .churn_fraction_of_bound(0.6)
+                .duration(Span::ticks(200))
+                .seed(11)
+        };
+        let via_builder = build().run();
+        let spec = build().into_spec();
+        // The same spec runs identically on another thread.
+        let via_spec = std::thread::spawn(move || spec.run()).join().unwrap();
+        assert_eq!(
+            format!("{:?}", via_builder.history.ops()),
+            format!("{:?}", via_spec.history.ops())
+        );
+        assert_eq!(via_builder.total_messages, via_spec.total_messages);
+        assert_eq!(via_builder.messages, via_spec.messages);
+    }
+
+    #[test]
+    fn spec_fields_round_trip_through_builder() {
+        let spec = Scenario::eventually_synchronous(9, Span::ticks(4), Time::at(50))
+            .churn_rate(0.01)
+            .reads_per_tick(2.5)
+            .seed(77)
+            .into_spec();
+        assert_eq!(spec.protocol, ProtocolChoice::EventuallySynchronous);
+        assert_eq!(spec.net, NetClass::EventuallySynchronous { gst: Time::at(50) });
+        assert_eq!(spec.n, 9);
+        assert_eq!(spec.churn, ChurnChoice::Constant(0.01));
+        assert_eq!(spec.seed, 77);
     }
 }

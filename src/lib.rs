@@ -63,11 +63,13 @@
 //! | [`verify`] | `dynareg-verify` | histories + regular/atomic/safe/liveness checkers |
 //! | [`core`] | `dynareg-core` | the paper's protocols and extensions |
 //! | [`testkit`] | `dynareg-testkit` | world runtime, scenarios, experiment sweeps |
+//! | [`fleet`] | `dynareg-fleet` | multi-threaded sweep orchestrator, phase diagrams |
 
 #![forbid(unsafe_code)]
 
 pub use dynareg_churn as churn;
 pub use dynareg_core as core;
+pub use dynareg_fleet as fleet;
 pub use dynareg_net as net;
 pub use dynareg_sim as sim;
 pub use dynareg_testkit as testkit;
