@@ -23,6 +23,24 @@ fn bench_runs(c: &mut Criterion) {
         });
     });
 
+    // The keyed register-space layer: same world shape as the sync case,
+    // multiplexed over 16 Zipf-addressed registers (per-key checks
+    // included — the cost of one keyed experiment cell).
+    group.bench_function("space_n50_16keys_300ticks", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let report = Scenario::synchronous(50, Span::ticks(4))
+                .keys(16)
+                .zipf(1.0)
+                .churn_fraction_of_bound(0.5)
+                .duration(Span::ticks(300))
+                .seed(seed)
+                .run();
+            black_box((report.total_messages, report.all_keys_safe()));
+        });
+    });
+
     group.bench_function("es_n25_300ticks", |b| {
         let mut seed = 0u64;
         b.iter(|| {

@@ -1,0 +1,260 @@
+//! PERF — register-space throughput: events/sec at 1 / 16 / 256 keys.
+//!
+//! Measures the cost of the keyed register-space layer end-to-end: the
+//! same churning synchronous world is driven through `RegisterSpace` at
+//! three key counts under Zipf(1.0) key-popularity traffic, and the
+//! engine's events/sec, message totals and per-key verdicts are recorded.
+//! Because the join handshake is shared (one `JoinAll` inquiry, one
+//! batched reply per responder), the *physical message count* stays
+//! key-independent; what grows with `k` is the per-message payload and the
+//! per-key bookkeeping — exactly what this binary quantifies.
+//!
+//! Prints wall-clock throughput and writes machine-readable JSON
+//! (`BENCH_space.json` by default) — the register-space perf trajectory
+//! future PRs measure against.
+//!
+//! Usage: `exp_space_throughput [--nodes N] [--ticks T] [--out PATH]`
+//! (defaults: 1000 nodes, 600 ticks, `BENCH_space.json`).
+
+use std::time::Instant;
+
+use dynareg_bench::header;
+use dynareg_churn::{ChurnDriver, ChurnModel, ConstantRate, LeaveSelector};
+use dynareg_core::sync::SyncConfig;
+use dynareg_net::delay::Synchronous;
+use dynareg_sim::{DetRng, IdSource, NodeId, Span, Time};
+use dynareg_testkit::{SpaceOf, SyncFactory, World, WorldConfig, WriterPolicy, ZipfKeys, ZipfWorkload};
+use dynareg_verify::SpaceReport;
+
+/// One measured key count: what ran and how fast.
+struct SpaceResult {
+    keys: u32,
+    nodes: usize,
+    ticks: u64,
+    churn_rate: f64,
+    events: u64,
+    messages: u64,
+    sim_secs: f64,
+    reads_checked: usize,
+    check_secs: f64,
+    keys_touched: u32,
+    safety_ok: bool,
+    liveness_ok: bool,
+}
+
+impl SpaceResult {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.sim_secs.max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"keys\": {},\n",
+                "      \"nodes\": {},\n",
+                "      \"ticks\": {},\n",
+                "      \"churn_rate\": {:.8},\n",
+                "      \"events\": {},\n",
+                "      \"messages\": {},\n",
+                "      \"sim_secs\": {:.4},\n",
+                "      \"events_per_sec\": {:.0},\n",
+                "      \"reads_checked\": {},\n",
+                "      \"check_secs\": {:.4},\n",
+                "      \"keys_touched\": {},\n",
+                "      \"safety_ok\": {},\n",
+                "      \"liveness_ok\": {}\n",
+                "    }}"
+            ),
+            self.keys,
+            self.nodes,
+            self.ticks,
+            self.churn_rate,
+            self.events,
+            self.messages,
+            self.sim_secs,
+            self.events_per_sec(),
+            self.reads_checked,
+            self.check_secs,
+            self.keys_touched,
+            self.safety_ok,
+            self.liveness_ok,
+        )
+    }
+}
+
+/// Churn model wrapper going quiet at `stop_at` (mirrors the scenario
+/// builder's drain behaviour without pulling in `Scenario`).
+#[derive(Debug)]
+struct StopAfter {
+    inner: ConstantRate,
+    stop_at: Time,
+}
+
+impl ChurnModel for StopAfter {
+    fn refreshes(&mut self, now: Time, n: usize, rng: &mut DetRng) -> usize {
+        if now >= self.stop_at {
+            0
+        } else {
+            self.inner.refreshes(now, n, rng)
+        }
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        self.inner.nominal_rate()
+    }
+}
+
+/// Runs one keyed world and measures simulation and checking separately.
+fn run_space(keys: u32, nodes: usize, ticks: u64) -> SpaceResult {
+    let delta = Span::ticks(3);
+    // Absolute churn (≈0.4 joins/tick) so the per-join K·n state transfer —
+    // not the churn model — sets the load, as a production service would
+    // see.
+    let churn_rate = 0.4 / nodes as f64;
+    let end = Time::at(ticks);
+    let stop = Time::at(ticks.saturating_sub(delta.as_ticks() * 12).max(1));
+    let mut world = World::new(
+        SpaceOf::new(SyncFactory::new(SyncConfig::new(delta)), keys),
+        WorldConfig {
+            n: nodes,
+            initial: 0,
+            delay: Box::new(Synchronous::new(delta)),
+            churn: ChurnDriver::new(
+                Box::new(StopAfter {
+                    inner: ConstantRate::new(churn_rate),
+                    stop_at: stop,
+                }),
+                LeaveSelector::Random,
+                IdSource::starting_at(nodes as u64),
+            ),
+            workload: Box::new(
+                ZipfWorkload::new(ZipfKeys::new(keys, 1.0), delta.times(3), 8.0)
+                    .stopping_at(stop),
+            ),
+            seed: 0x000B_A1D0,
+            trace: false,
+            writer_policy: WriterPolicy::FixedProtected,
+        },
+    );
+    world.protect(NodeId::from_raw(0));
+
+    let sim_start = Instant::now();
+    world.run_until(end);
+    let sim_secs = sim_start.elapsed().as_secs_f64();
+    let events = world.events_processed();
+
+    let (space, _presence, _metrics, _trace, network) = world.into_space_outputs();
+    let messages = network.total_sent();
+
+    let check_start = Instant::now();
+    let report = SpaceReport::check(&space);
+    let check_secs = check_start.elapsed().as_secs_f64();
+    // Zipf coverage: keys that saw *client* traffic (joins are recorded in
+    // every key's history, so "any op" would trivially count all keys).
+    let keys_touched = space
+        .iter()
+        .filter(|(_, h)| {
+            h.ops()
+                .iter()
+                .any(|r| !matches!(r.kind, dynareg_verify::OpKind::Join))
+        })
+        .count() as u32;
+
+    SpaceResult {
+        keys,
+        nodes,
+        ticks,
+        churn_rate,
+        events,
+        messages,
+        sim_secs,
+        reads_checked: report.total_reads_checked(),
+        check_secs,
+        keys_touched,
+        safety_ok: report.all_regular(),
+        liveness_ok: report.all_live(),
+    }
+}
+
+fn parse_args() -> (usize, u64, String) {
+    let mut nodes = 1000usize;
+    let mut ticks = 600u64;
+    let mut out = "BENCH_space.json".to_string();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nodes" => {
+                nodes = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--nodes takes a positive integer");
+                i += 2;
+            }
+            "--ticks" => {
+                ticks = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--ticks takes a positive integer");
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).expect("--out takes a path").clone();
+                i += 2;
+            }
+            other => panic!("unknown argument {other} (try --nodes N --ticks T --out PATH)"),
+        }
+    }
+    (nodes, ticks, out)
+}
+
+fn main() {
+    let (nodes, ticks, out) = parse_args();
+    header(
+        "PERF",
+        "register-space throughput (shared handshake, Zipf traffic, per-key checks)",
+        "events/sec at 1 / 16 / 256 keys on one churning world",
+    );
+
+    let mut results = Vec::new();
+    for keys in [1u32, 16, 256] {
+        let r = run_space(keys, nodes, ticks);
+        println!(
+            "k={:<4} n={} ticks={} | {} events in {:.2}s = {:.0} events/sec | {} msgs | \
+             {} reads checked over {} touched keys in {:.3}s | safety={} liveness={}",
+            r.keys,
+            r.nodes,
+            r.ticks,
+            r.events,
+            r.sim_secs,
+            r.events_per_sec(),
+            r.messages,
+            r.reads_checked,
+            r.keys_touched,
+            r.check_secs,
+            if r.safety_ok { "OK" } else { "VIOLATED" },
+            if r.liveness_ok { "OK" } else { "STUCK" },
+        );
+        assert!(r.safety_ok, "register space lost regularity at k={keys}");
+        assert!(r.liveness_ok, "register space lost liveness at k={keys}");
+        results.push(r);
+    }
+    // The shared handshake's signature: message counts do not scale with
+    // the key count. (16 vs 256 keys, not 1 vs 16: a 1-key joiner that
+    // received the in-flight WRITE during its wait skips the inquiry
+    // entirely — Figure 1 line 03 — while a keyed space still inquires
+    // for its other keys, so only multi-key counts are exactly equal.)
+    assert_eq!(
+        results[1].messages, results[2].messages,
+        "physical message count must not scale with the key count"
+    );
+
+    let body: Vec<String> = results.iter().map(SpaceResult::json).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"dynareg-bench-space/1\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write benchmark json");
+    println!("\nwrote {out}");
+}

@@ -169,6 +169,11 @@ pub struct EsConfig {
     pub n: usize,
     /// Whether reads perform the ABD write-back phase (atomic semantics).
     pub read_write_back: bool,
+    /// Whether the protocol emits [`Effect::Note`] annotations ("quorum
+    /// reached", …). Off by default: notes build `String`s on the delivery
+    /// hot path, so runtimes enable them only when a trace is actually
+    /// recorded (the scenario harness ties this to its `trace` flag).
+    pub notes: bool,
 }
 
 impl EsConfig {
@@ -181,6 +186,7 @@ impl EsConfig {
         EsConfig {
             n,
             read_write_back: false,
+            notes: false,
         }
     }
 
@@ -190,6 +196,12 @@ impl EsConfig {
             read_write_back: true,
             ..EsConfig::new(n)
         }
+    }
+
+    /// Enables trace annotations ([`Effect::Note`]); see the `notes` field.
+    pub fn with_notes(mut self) -> EsConfig {
+        self.notes = true;
+        self
     }
 
     /// The quorum size `⌊n/2⌋ + 1` (majority).
@@ -359,11 +371,13 @@ impl<V: Value> EsRegister<V> {
         debug_assert!(!self.active);
         self.adopt_best_reply();
         self.active = true; // line 07
-        out.push(Effect::Note(format!(
-            "join quorum reached with {} replies, adopted ts {}",
-            self.replies.len(),
-            self.ts
-        )));
+        if self.config.notes {
+            out.push(Effect::Note(format!(
+                "join quorum reached with {} replies, adopted ts {}",
+                self.replies.len(),
+                self.ts
+            )));
+        }
         // Lines 08–10: one REPLY per distinct (requester, r_sn).
         let mut targets: Vec<(NodeId, u64)> = self
             .reply_to
@@ -472,7 +486,9 @@ impl<V: Value> EsRegister<V> {
             } else {
                 OpOutcome::Read(self.register.clone())
             };
-            out.push(Effect::Note(format!("ack quorum for {ts}")));
+            if self.config.notes {
+                out.push(Effect::Note(format!("ack quorum for {ts}")));
+            }
             out.push(Effect::OpComplete {
                 op: wait.op,
                 outcome,

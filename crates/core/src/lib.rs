@@ -38,12 +38,19 @@
 //!   `(sn, writer-id)` pairs, so *concurrent* writers — which the paper
 //!   excludes by assumption (§5.3) and defers to quorum future work (§7) —
 //!   serialize deterministically instead of corrupting the register.
+//! * **Register spaces** ([`space`]): a keyed multi-register service over
+//!   one churn substrate — `k` protocol instances per process behind a
+//!   single shared join handshake, every operation addressing a
+//!   `(RegisterId, op)` pair (§7 asks for richer objects; this is the
+//!   many-registers answer).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod actor;
 pub mod es;
+pub mod space;
 pub mod sync;
 
 pub use actor::{completions, Effect, OpOutcome, RegisterProcess, Value};
+pub use space::{RegisterSpace, RegisterSpaceProcess, SoloSpace, SpaceEffect, SpaceMsg};

@@ -1,0 +1,925 @@
+//! Keyed register spaces: many registers over one churn substrate.
+//!
+//! The paper implements **one** anonymous register per system; its §7 asks
+//! for richer objects. This module generalizes the abstraction to a
+//! *register space* — a dense set of keys `r0 … r(k−1)`, each an
+//! independent register run by its own protocol instance — while paying
+//! the membership machinery (join handshake, presence, broadcast fan-out)
+//! **once per process**, not once per key:
+//!
+//! * [`RegisterSpaceProcess`] is the runtime-facing trait: every client
+//!   operation and completion addresses a `(RegisterId, op)` pair, and
+//!   effects carry their key ([`SpaceEffect`]).
+//! * [`RegisterSpace`] multiplexes `k` instances of any
+//!   [`RegisterProcess`] behind a **single shared join handshake**: a
+//!   joiner inquires once ([`SpaceMsg::JoinAll`]), every responder answers
+//!   with *all* keys' states in one physical reply
+//!   ([`SpaceMsg::Batch`]), and join-phase timers are shared. Steady-state
+//!   traffic is tagged per key ([`SpaceMsg::Keyed`]); timer tags are
+//!   key-partitioned.
+//! * [`SoloSpace`] adapts a single [`RegisterProcess`] to the space trait
+//!   with **zero wire or behavioural overhead** — raw protocol messages,
+//!   no key tags. It is the pre-redesign single-register path, kept as the
+//!   oracle the 1-key equivalence property tests compare against.
+//!
+//! # The shared handshake's contract
+//!
+//! [`RegisterSpace`] coalesces the join phase generically, which requires
+//! two properties both paper protocols have:
+//!
+//! 1. **Join-phase broadcasts are key-agnostic.** An `INQUIRY` carries no
+//!    register state, so when several instances inquire in the same step
+//!    the space sends one [`SpaceMsg::JoinAll`] (the lowest emitting key's
+//!    payload) and lets every responder answer for every key.
+//! 2. **Join-phase timers are uniform.** Instances that are still joining
+//!    request the same `(delay, tag)` waits in the same step (the sync
+//!    protocol's `wait(δ)` / `wait(2δ)`), so the space arms one shared
+//!    timer and dispatches its expiry to every still-joining instance.
+//!
+//! Steady-state operation needs no contract: a read/write/timer touches
+//! exactly one key's instance and its effects are tagged with that key.
+
+use std::fmt;
+
+use dynareg_sim::{NodeId, OpId, RegisterId, Span, Time};
+
+use crate::actor::{Effect, OpOutcome, RegisterProcess, Value};
+
+/// Wire messages of a register space over inner protocol messages `M`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceMsg<M> {
+    /// One register's protocol message, delivered to that key's instance.
+    Keyed {
+        /// The addressed register.
+        key: RegisterId,
+        /// The inner protocol payload.
+        inner: M,
+    },
+    /// The shared join handshake: a joiner's single inquiry, delivered to
+    /// *every* key's instance at the receiver (join-phase broadcasts are
+    /// key-agnostic; see the module docs).
+    JoinAll {
+        /// The inner inquiry payload.
+        inner: M,
+    },
+    /// The batched per-key answers to a fan-in delivery — all keys' states
+    /// in one physical message (the other half of the shared handshake).
+    Batch {
+        /// `(key, payload)` pairs, in processing order.
+        replies: Vec<(RegisterId, M)>,
+    },
+}
+
+impl<M> SpaceMsg<M> {
+    /// Number of inner protocol messages this physical message carries.
+    pub fn payload_count(&self) -> usize {
+        match self {
+            SpaceMsg::Keyed { .. } | SpaceMsg::JoinAll { .. } => 1,
+            SpaceMsg::Batch { replies } => replies.len(),
+        }
+    }
+}
+
+/// An output of a register-space state machine, interpreted by the
+/// runtime. The mirror of [`Effect`] with the key carried wherever the
+/// runtime needs it (completions and annotations); wire payloads carry
+/// their key inside the message type instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceEffect<M, V> {
+    /// Send `msg` point-to-point to `to`.
+    Send {
+        /// Recipient process.
+        to: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// Broadcast `msg` to every process in the system.
+    Broadcast {
+        /// Payload.
+        msg: M,
+    },
+    /// Request a timer callback after `delay`, tagged with `tag`
+    /// (key-partitioned by the space; opaque to the runtime).
+    SetTimer {
+        /// How long to wait.
+        delay: Span,
+        /// Discriminator handed back on expiry.
+        tag: u64,
+    },
+    /// The space's join returned `ok`: **every** key's instance is active.
+    /// Emitted exactly once per process.
+    JoinComplete,
+    /// A client operation on `key` returned.
+    OpComplete {
+        /// The addressed register.
+        key: RegisterId,
+        /// The operation.
+        op: OpId,
+        /// Its result.
+        outcome: OpOutcome<V>,
+    },
+    /// Free-form annotation for traces, attributed to a key.
+    Note {
+        /// The annotating register.
+        key: RegisterId,
+        /// Message text.
+        text: String,
+    },
+}
+
+/// A keyed register-space instance bound to one process: the runtime-facing
+/// generalization of [`RegisterProcess`] where every client operation
+/// addresses a `(RegisterId, op)` pair.
+///
+/// # Contract
+///
+/// Same shape as [`RegisterProcess`], lifted to the space: `on_enter` is
+/// called once; `on_read`/`on_write` only after the space's single
+/// [`SpaceEffect::JoinComplete`]; the runtime never overlaps two client
+/// operations on the same *process* (per-process sequentiality — stricter
+/// than per-key, matching the paper's sequential processes).
+pub trait RegisterSpaceProcess: fmt::Debug {
+    /// The space's wire message type.
+    type Msg: Clone + fmt::Debug;
+    /// The registers' value type.
+    type Val: Value;
+
+    /// This process's identity.
+    fn id(&self) -> NodeId;
+
+    /// Whether the space's join has returned (all keys active).
+    fn is_active(&self) -> bool;
+
+    /// Number of keys in the space.
+    fn key_count(&self) -> u32;
+
+    /// The process enters the system and starts its (shared) `join`.
+    fn on_enter(&mut self, now: Time) -> Vec<SpaceEffect<Self::Msg, Self::Val>>;
+
+    /// A message from `from` is delivered; effects append to `out` (the
+    /// runtime calls this with a reused buffer — the delivery fast path).
+    fn on_message_into(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        msg: Self::Msg,
+        out: &mut Vec<SpaceEffect<Self::Msg, Self::Val>>,
+    );
+
+    /// Allocating convenience form of
+    /// [`on_message_into`](RegisterSpaceProcess::on_message_into).
+    fn on_message(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        msg: Self::Msg,
+    ) -> Vec<SpaceEffect<Self::Msg, Self::Val>> {
+        let mut out = Vec::new();
+        self.on_message_into(now, from, msg, &mut out);
+        out
+    }
+
+    /// A timer set via [`SpaceEffect::SetTimer`] with this `tag` expired.
+    fn on_timer(&mut self, now: Time, tag: u64) -> Vec<SpaceEffect<Self::Msg, Self::Val>>;
+
+    /// The client invokes `read` on register `key`, identified by `op`.
+    fn on_read(
+        &mut self,
+        now: Time,
+        key: RegisterId,
+        op: OpId,
+    ) -> Vec<SpaceEffect<Self::Msg, Self::Val>>;
+
+    /// The client invokes `write(value)` on register `key`.
+    fn on_write(
+        &mut self,
+        now: Time,
+        key: RegisterId,
+        op: OpId,
+        value: Self::Val,
+    ) -> Vec<SpaceEffect<Self::Msg, Self::Val>>;
+}
+
+/// Adapts one [`RegisterProcess`] to the space trait with no wire overhead:
+/// `Msg = P::Msg` (no key tags), every effect attributed to
+/// [`RegisterId::ZERO`]. Byte-identical behaviour to driving `P` directly —
+/// this *is* the pre-redesign single-register path, and the 1-key
+/// equivalence property tests pit [`RegisterSpace`] against it.
+#[derive(Debug)]
+pub struct SoloSpace<P: RegisterProcess> {
+    inner: P,
+    /// Reused scratch so the delivery fast path stays allocation-free.
+    scratch: Vec<Effect<P::Msg, P::Val>>,
+}
+
+impl<P: RegisterProcess> SoloSpace<P> {
+    /// Wraps a protocol instance.
+    pub fn new(inner: P) -> SoloSpace<P> {
+        SoloSpace {
+            inner,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The wrapped instance.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn lift(effects: impl IntoIterator<Item = Effect<P::Msg, P::Val>>) -> Vec<SpaceEffect<P::Msg, P::Val>> {
+        effects.into_iter().map(lift_effect).collect()
+    }
+}
+
+/// Attributes a single-register effect to the anchor key.
+fn lift_effect<M, V>(e: Effect<M, V>) -> SpaceEffect<M, V> {
+    match e {
+        Effect::Send { to, msg } => SpaceEffect::Send { to, msg },
+        Effect::Broadcast { msg } => SpaceEffect::Broadcast { msg },
+        Effect::SetTimer { delay, tag } => SpaceEffect::SetTimer { delay, tag },
+        Effect::JoinComplete => SpaceEffect::JoinComplete,
+        Effect::OpComplete { op, outcome } => SpaceEffect::OpComplete {
+            key: RegisterId::ZERO,
+            op,
+            outcome,
+        },
+        Effect::Note(text) => SpaceEffect::Note {
+            key: RegisterId::ZERO,
+            text,
+        },
+    }
+}
+
+impl<P: RegisterProcess> RegisterSpaceProcess for SoloSpace<P> {
+    type Msg = P::Msg;
+    type Val = P::Val;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn is_active(&self) -> bool {
+        self.inner.is_active()
+    }
+
+    fn key_count(&self) -> u32 {
+        1
+    }
+
+    fn on_enter(&mut self, now: Time) -> Vec<SpaceEffect<P::Msg, P::Val>> {
+        Self::lift(self.inner.on_enter(now))
+    }
+
+    fn on_message_into(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        msg: P::Msg,
+        out: &mut Vec<SpaceEffect<P::Msg, P::Val>>,
+    ) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        debug_assert!(scratch.is_empty());
+        self.inner.on_message_into(now, from, msg, &mut scratch);
+        out.extend(scratch.drain(..).map(lift_effect));
+        self.scratch = scratch;
+    }
+
+    fn on_timer(&mut self, now: Time, tag: u64) -> Vec<SpaceEffect<P::Msg, P::Val>> {
+        Self::lift(self.inner.on_timer(now, tag))
+    }
+
+    fn on_read(
+        &mut self,
+        now: Time,
+        key: RegisterId,
+        op: OpId,
+    ) -> Vec<SpaceEffect<P::Msg, P::Val>> {
+        debug_assert_eq!(key, RegisterId::ZERO, "a solo space has one key");
+        Self::lift(self.inner.on_read(now, op))
+    }
+
+    fn on_write(
+        &mut self,
+        now: Time,
+        key: RegisterId,
+        op: OpId,
+        value: P::Val,
+    ) -> Vec<SpaceEffect<P::Msg, P::Val>> {
+        debug_assert_eq!(key, RegisterId::ZERO, "a solo space has one key");
+        Self::lift(self.inner.on_write(now, op, value))
+    }
+}
+
+/// Timer-tag partitioning: regular tags carry their key in the upper half
+/// (`key << 32 | tag`), shared join-phase timers live in a reserved
+/// partition marked by the top bit.
+const SHARED_TAG: u64 = 1 << 63;
+const KEY_TAG_SHIFT: u32 = 32;
+const INNER_TAG_MASK: u64 = (1 << KEY_TAG_SHIFT) - 1;
+
+/// A per-node multiplexer owning one [`RegisterProcess`] instance per key
+/// behind a single shared join handshake. See the module docs for the
+/// coalescing rules and their contract.
+#[derive(Debug)]
+pub struct RegisterSpace<P: RegisterProcess> {
+    id: NodeId,
+    regs: Vec<P>,
+    /// Whether this space already emitted its single `JoinComplete`.
+    join_done: bool,
+    /// Reused scratch for the instances' effect lists.
+    scratch: Vec<Effect<P::Msg, P::Val>>,
+}
+
+/// One target's pending fan-in replies: `(target, per-key payloads)`.
+type FanGroup<M> = (NodeId, Vec<(RegisterId, M)>);
+
+/// Per-call routing context: collects the joins' coalescable effects
+/// (shared broadcast, shared timers) and — during multi-instance fan-in —
+/// the per-target reply batches, flushed in deterministic order at the end
+/// of the space-level step.
+struct StepCtx<M, V> {
+    out: Vec<SpaceEffect<SpaceMsg<M>, V>>,
+    /// First join-phase broadcast payload of this step, if any.
+    join_broadcast: Option<M>,
+    /// Distinct `(delay, tag)` join-phase timer requests of this step.
+    join_timers: Vec<(Span, u64)>,
+    /// Per-target send groups (fan-in batching); insertion-ordered.
+    fan_sends: Option<Vec<FanGroup<M>>>,
+    /// Whether all instances became active during this step.
+    join_completed: bool,
+}
+
+impl<M, V> StepCtx<M, V> {
+    fn new(batch_fan_in: bool) -> StepCtx<M, V> {
+        StepCtx {
+            out: Vec::new(),
+            join_broadcast: None,
+            join_timers: Vec::new(),
+            fan_sends: batch_fan_in.then(Vec::new),
+            join_completed: false,
+        }
+    }
+}
+
+impl<P: RegisterProcess> RegisterSpace<P> {
+    /// A space whose instances are already active (bootstrap members).
+    ///
+    /// # Panics
+    /// Panics if `regs` is empty, the instances disagree on identity, or
+    /// any instance is not active.
+    pub fn new_bootstrap(regs: Vec<P>) -> RegisterSpace<P> {
+        let mut space = RegisterSpace::assemble(regs);
+        assert!(
+            space.regs.iter().all(|r| r.is_active()),
+            "bootstrap instances must be active"
+        );
+        // Bootstrap spaces run no handshake: steady-state routing from the
+        // first effect (the runtime may never call `on_enter` on them).
+        space.join_done = true;
+        space
+    }
+
+    /// A space about to enter the system: every instance runs its join
+    /// through the shared handshake.
+    ///
+    /// # Panics
+    /// Panics if `regs` is empty or the instances disagree on identity.
+    pub fn new_joiner(regs: Vec<P>) -> RegisterSpace<P> {
+        RegisterSpace::assemble(regs)
+    }
+
+    fn assemble(regs: Vec<P>) -> RegisterSpace<P> {
+        assert!(!regs.is_empty(), "a register space needs at least one key");
+        let id = regs[0].id();
+        assert!(
+            regs.iter().all(|r| r.id() == id),
+            "all instances of a space belong to one process"
+        );
+        RegisterSpace {
+            id,
+            regs,
+            join_done: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The instance backing `key`.
+    pub fn register(&self, key: RegisterId) -> &P {
+        &self.regs[key.as_raw() as usize]
+    }
+
+    /// Routes one instance's raw effects into the step context.
+    fn route(
+        &mut self,
+        key: RegisterId,
+        ctx: &mut StepCtx<P::Msg, P::Val>,
+        effects: &mut Vec<Effect<P::Msg, P::Val>>,
+    ) {
+        for effect in effects.drain(..) {
+            match effect {
+                Effect::Send { to, msg } => match &mut ctx.fan_sends {
+                    Some(groups) => {
+                        match groups.iter_mut().find(|(t, _)| *t == to) {
+                            Some((_, entries)) => entries.push((key, msg)),
+                            None => groups.push((to, vec![(key, msg)])),
+                        }
+                    }
+                    None => ctx.out.push(SpaceEffect::Send {
+                        to,
+                        msg: SpaceMsg::Keyed { key, inner: msg },
+                    }),
+                },
+                Effect::Broadcast { msg } => {
+                    if self.join_done {
+                        ctx.out.push(SpaceEffect::Broadcast {
+                            msg: SpaceMsg::Keyed { key, inner: msg },
+                        });
+                    } else if ctx.join_broadcast.is_none() {
+                        // Shared handshake: one inquiry covers every key
+                        // (join-phase broadcasts are key-agnostic; module
+                        // docs, contract 1).
+                        ctx.join_broadcast = Some(msg);
+                    }
+                }
+                Effect::SetTimer { delay, tag } => {
+                    debug_assert!(tag <= INNER_TAG_MASK, "inner timer tags must fit 32 bits");
+                    if self.join_done {
+                        ctx.out.push(SpaceEffect::SetTimer {
+                            delay,
+                            tag: (u64::from(key.as_raw()) << KEY_TAG_SHIFT) | tag,
+                        });
+                    } else if !ctx.join_timers.contains(&(delay, tag)) {
+                        // Shared handshake: still-joining instances request
+                        // uniform waits (contract 2) — arm each once.
+                        ctx.join_timers.push((delay, tag));
+                    }
+                }
+                Effect::JoinComplete => {
+                    if !self.join_done && self.regs.iter().all(|r| r.is_active()) {
+                        self.join_done = true;
+                        ctx.join_completed = true;
+                        ctx.out.push(SpaceEffect::JoinComplete);
+                    }
+                }
+                Effect::OpComplete { op, outcome } => {
+                    ctx.out.push(SpaceEffect::OpComplete { key, op, outcome });
+                }
+                Effect::Note(text) => ctx.out.push(SpaceEffect::Note { key, text }),
+            }
+        }
+    }
+
+    /// Flushes the step context into the final effect list: direct effects
+    /// first (their order is the instances' own), then the coalesced join
+    /// broadcast, shared timers, and batched fan-in replies.
+    fn flush(&self, mut ctx: StepCtx<P::Msg, P::Val>) -> Vec<SpaceEffect<SpaceMsg<P::Msg>, P::Val>> {
+        let mut out = ctx.out;
+        if let Some(inner) = ctx.join_broadcast.take() {
+            out.push(SpaceEffect::Broadcast {
+                msg: SpaceMsg::JoinAll { inner },
+            });
+        }
+        for (delay, tag) in ctx.join_timers.drain(..) {
+            out.push(SpaceEffect::SetTimer {
+                delay,
+                tag: SHARED_TAG | tag,
+            });
+        }
+        if let Some(groups) = ctx.fan_sends.take() {
+            for (to, mut entries) in groups {
+                debug_assert!(!entries.is_empty());
+                if entries.len() == 1 {
+                    let (key, inner) = entries.pop().expect("checked non-empty");
+                    out.push(SpaceEffect::Send {
+                        to,
+                        msg: SpaceMsg::Keyed { key, inner },
+                    });
+                } else {
+                    out.push(SpaceEffect::Send {
+                        to,
+                        msg: SpaceMsg::Batch { replies: entries },
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs `step` on the instance backing `key`, routing its effects.
+    fn step_one(
+        &mut self,
+        key: RegisterId,
+        ctx: &mut StepCtx<P::Msg, P::Val>,
+        step: impl FnOnce(&mut P, &mut Vec<Effect<P::Msg, P::Val>>),
+    ) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        debug_assert!(scratch.is_empty());
+        step(&mut self.regs[key.as_raw() as usize], &mut scratch);
+        self.route(key, ctx, &mut scratch);
+        self.scratch = scratch;
+    }
+}
+
+impl<P: RegisterProcess> RegisterSpaceProcess for RegisterSpace<P> {
+    type Msg = SpaceMsg<P::Msg>;
+    type Val = P::Val;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn is_active(&self) -> bool {
+        self.join_done
+    }
+
+    fn key_count(&self) -> u32 {
+        self.regs.len() as u32
+    }
+
+    fn on_enter(&mut self, now: Time) -> Vec<SpaceEffect<Self::Msg, Self::Val>> {
+        if self.join_done {
+            // Bootstrap member: already active (mirrors the single-register
+            // protocols' bootstrap `on_enter`).
+            return vec![SpaceEffect::JoinComplete];
+        }
+        // A multi-instance step: per-target sends batch (keys > 1), so the
+        // handshake costs one physical message per counterpart however
+        // many keys the space owns.
+        let mut ctx = StepCtx::new(self.regs.len() > 1);
+        for raw in 0..self.regs.len() as u32 {
+            self.step_one(RegisterId::from_raw(raw), &mut ctx, |reg, scratch| {
+                scratch.append(&mut reg.on_enter(now));
+            });
+        }
+        self.flush(ctx)
+    }
+
+    fn on_message_into(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        msg: Self::Msg,
+        out: &mut Vec<SpaceEffect<Self::Msg, Self::Val>>,
+    ) {
+        match msg {
+            SpaceMsg::Keyed { key, inner } => {
+                let mut ctx = StepCtx::new(false);
+                self.step_one(key, &mut ctx, |reg, scratch| {
+                    reg.on_message_into(now, from, inner, scratch);
+                });
+                out.append(&mut self.flush(ctx));
+            }
+            SpaceMsg::JoinAll { inner } => {
+                // Fan the shared inquiry into every instance; each key's
+                // answers to one target coalesce into a single Batch (the
+                // "all keys' states in one reply" half of the handshake).
+                // A 1-key space batches nothing, staying message-for-
+                // message identical to the solo path.
+                let mut ctx = StepCtx::new(self.regs.len() > 1);
+                for raw in 0..self.regs.len() as u32 {
+                    let inner = inner.clone();
+                    self.step_one(RegisterId::from_raw(raw), &mut ctx, |reg, scratch| {
+                        reg.on_message_into(now, from, inner, scratch);
+                    });
+                }
+                out.append(&mut self.flush(ctx));
+            }
+            SpaceMsg::Batch { replies } => {
+                let mut ctx = StepCtx::new(self.regs.len() > 1);
+                for (key, inner) in replies {
+                    self.step_one(key, &mut ctx, |reg, scratch| {
+                        reg.on_message_into(now, from, inner, scratch);
+                    });
+                }
+                out.append(&mut self.flush(ctx));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, now: Time, tag: u64) -> Vec<SpaceEffect<Self::Msg, Self::Val>> {
+        if tag & SHARED_TAG != 0 {
+            // A shared join-phase timer: dispatch to every still-joining
+            // instance (exactly the requesters; module docs, contract 2).
+            // Multi-instance step → per-target sends batch, so postponed
+            // replies flushed at activation stay one message per inquirer.
+            let inner_tag = tag & !SHARED_TAG;
+            let mut ctx = StepCtx::new(self.regs.len() > 1);
+            for raw in 0..self.regs.len() as u32 {
+                if self.regs[raw as usize].is_active() {
+                    continue;
+                }
+                self.step_one(RegisterId::from_raw(raw), &mut ctx, |reg, scratch| {
+                    scratch.append(&mut reg.on_timer(now, inner_tag));
+                });
+            }
+            self.flush(ctx)
+        } else {
+            let key = RegisterId::from_raw((tag >> KEY_TAG_SHIFT) as u32);
+            let inner_tag = tag & INNER_TAG_MASK;
+            let mut ctx = StepCtx::new(false);
+            self.step_one(key, &mut ctx, |reg, scratch| {
+                scratch.append(&mut reg.on_timer(now, inner_tag));
+            });
+            self.flush(ctx)
+        }
+    }
+
+    fn on_read(
+        &mut self,
+        now: Time,
+        key: RegisterId,
+        op: OpId,
+    ) -> Vec<SpaceEffect<Self::Msg, Self::Val>> {
+        let mut ctx = StepCtx::new(false);
+        self.step_one(key, &mut ctx, |reg, scratch| {
+            scratch.append(&mut reg.on_read(now, op));
+        });
+        self.flush(ctx)
+    }
+
+    fn on_write(
+        &mut self,
+        now: Time,
+        key: RegisterId,
+        op: OpId,
+        value: Self::Val,
+    ) -> Vec<SpaceEffect<Self::Msg, Self::Val>> {
+        let mut ctx = StepCtx::new(false);
+        self.step_one(key, &mut ctx, |reg, scratch| {
+            scratch.append(&mut reg.on_write(now, op, value));
+        });
+        self.flush(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{SyncConfig, SyncMsg, SyncRegister};
+
+    fn nid(i: u64) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    fn oid(i: u64) -> OpId {
+        OpId::from_raw(i)
+    }
+
+    fn key(k: u32) -> RegisterId {
+        RegisterId::from_raw(k)
+    }
+
+    fn cfg() -> SyncConfig {
+        SyncConfig::new(Span::ticks(3))
+    }
+
+    fn bootstrap_space(id: u64, keys: u32) -> RegisterSpace<SyncRegister<u64>> {
+        RegisterSpace::new_bootstrap(
+            (0..keys)
+                .map(|k| SyncRegister::new_bootstrap(nid(id), cfg(), u64::from(100 + k)))
+                .collect(),
+        )
+    }
+
+    fn joiner_space(id: u64, keys: u32) -> RegisterSpace<SyncRegister<u64>> {
+        RegisterSpace::new_joiner(
+            (0..keys)
+                .map(|_| SyncRegister::new_joiner(nid(id), cfg(), oid(900 + id)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn bootstrap_space_is_active_and_reads_per_key() {
+        let mut s = bootstrap_space(0, 4);
+        assert!(s.is_active());
+        assert_eq!(s.key_count(), 4);
+        let effects = s.on_read(Time::ZERO, key(2), oid(1));
+        assert_eq!(
+            effects,
+            vec![SpaceEffect::OpComplete {
+                key: key(2),
+                op: oid(1),
+                outcome: OpOutcome::Read(Some(102)),
+            }]
+        );
+    }
+
+    #[test]
+    fn bootstrap_enter_emits_one_join_complete() {
+        let mut s = bootstrap_space(0, 3);
+        let effects = s.on_enter(Time::ZERO);
+        assert_eq!(effects, vec![SpaceEffect::JoinComplete]);
+    }
+
+    #[test]
+    fn write_is_tagged_with_its_key() {
+        let mut s = bootstrap_space(0, 4);
+        let effects = s.on_write(Time::ZERO, key(3), oid(1), 7);
+        assert!(matches!(
+            &effects[0],
+            SpaceEffect::Broadcast {
+                msg: SpaceMsg::Keyed { key: k, inner: SyncMsg::Write { value: 7, .. } }
+            } if *k == key(3)
+        ));
+        // The write's wait(δ) timer is key-partitioned.
+        let SpaceEffect::SetTimer { tag, .. } = effects[1] else {
+            panic!("expected timer, got {:?}", effects[1]);
+        };
+        assert_eq!(tag >> KEY_TAG_SHIFT, 3);
+        // Expiry routes back to key 3 only: the write completes there.
+        let done = s.on_timer(Time::at(3), tag);
+        assert!(matches!(
+            done.as_slice(),
+            [SpaceEffect::OpComplete { key: k, op, outcome: OpOutcome::WriteOk }]
+                if *k == key(3) && *op == oid(1)
+        ));
+    }
+
+    #[test]
+    fn joiner_shares_one_handshake() {
+        let mut s = joiner_space(9, 8);
+        // Enter: all 8 instances wait δ — one shared timer.
+        let enter = s.on_enter(Time::ZERO);
+        assert_eq!(enter.len(), 1);
+        let SpaceEffect::SetTimer { tag, delay } = enter[0] else {
+            panic!("expected shared timer, got {:?}", enter[0]);
+        };
+        assert_ne!(tag & SHARED_TAG, 0, "join timers live in the shared partition");
+        assert_eq!(delay, Span::ticks(3));
+        // Expiry: all 8 inquire — one JoinAll broadcast, one shared 2δ wait.
+        let inquire = s.on_timer(Time::at(3), tag);
+        assert_eq!(inquire.len(), 2, "one broadcast + one shared timer: {inquire:?}");
+        assert!(matches!(
+            inquire[0],
+            SpaceEffect::Broadcast { msg: SpaceMsg::JoinAll { inner: SyncMsg::Inquiry } }
+        ));
+        let SpaceEffect::SetTimer { tag: t2, .. } = inquire[1] else {
+            panic!("expected shared inquiry timer");
+        };
+        // No replies arrive; expiry activates every key and completes the
+        // space join exactly once.
+        let done = s.on_timer(Time::at(9), t2);
+        assert_eq!(done, vec![SpaceEffect::JoinComplete]);
+        assert!(s.is_active());
+    }
+
+    #[test]
+    fn join_all_fans_in_and_batches_the_replies() {
+        let mut responder = bootstrap_space(0, 5);
+        let effects = responder.on_message(
+            Time::at(1),
+            nid(9),
+            SpaceMsg::JoinAll { inner: SyncMsg::Inquiry },
+        );
+        // Five per-key replies to one joiner → one physical Batch.
+        assert_eq!(effects.len(), 1);
+        let SpaceEffect::Send { to, msg: SpaceMsg::Batch { replies } } = &effects[0] else {
+            panic!("expected one batched reply, got {effects:?}");
+        };
+        assert_eq!(*to, nid(9));
+        assert_eq!(replies.len(), 5);
+        assert!(replies
+            .iter()
+            .enumerate()
+            .all(|(i, (k, _))| *k == key(i as u32)));
+    }
+
+    #[test]
+    fn batch_delivery_routes_each_entry_to_its_key() {
+        let mut s = joiner_space(9, 2);
+        let enter = s.on_enter(Time::ZERO);
+        let SpaceEffect::SetTimer { tag, .. } = enter[0] else { panic!() };
+        let inquire = s.on_timer(Time::at(3), tag);
+        let SpaceEffect::SetTimer { tag: t2, .. } = inquire[1] else { panic!() };
+        // A responder's batch carries distinct values per key.
+        s.on_message_into(
+            Time::at(5),
+            nid(0),
+            SpaceMsg::Batch {
+                replies: vec![
+                    (key(0), SyncMsg::Reply { value: Some(100), sn: 0 }),
+                    (key(1), SyncMsg::Reply { value: Some(101), sn: 0 }),
+                ],
+            },
+            &mut Vec::new(),
+        );
+        let done = s.on_timer(Time::at(9), t2);
+        assert_eq!(done, vec![SpaceEffect::JoinComplete]);
+        assert_eq!(s.register(key(0)).local_value(), Some(&100));
+        assert_eq!(s.register(key(1)).local_value(), Some(&101));
+    }
+
+    #[test]
+    fn one_key_space_batches_nothing() {
+        let mut responder = bootstrap_space(0, 1);
+        let effects = responder.on_message(
+            Time::at(1),
+            nid(9),
+            SpaceMsg::JoinAll { inner: SyncMsg::Inquiry },
+        );
+        // A single reply stays a Keyed unicast — message-for-message
+        // identical to the solo path.
+        assert!(matches!(
+            effects.as_slice(),
+            [SpaceEffect::Send { msg: SpaceMsg::Keyed { .. }, .. }]
+        ));
+    }
+
+    #[test]
+    fn keyed_write_reaches_only_its_instance() {
+        let mut s = bootstrap_space(0, 3);
+        s.on_message_into(
+            Time::at(1),
+            nid(1),
+            SpaceMsg::Keyed {
+                key: key(1),
+                inner: SyncMsg::Write { value: 7, sn: 5 },
+            },
+            &mut Vec::new(),
+        );
+        assert_eq!(s.register(key(0)).local_value(), Some(&100));
+        assert_eq!(s.register(key(1)).local_value(), Some(&7));
+        assert_eq!(s.register(key(2)).local_value(), Some(&102));
+    }
+
+    #[test]
+    fn write_during_wait_still_gets_other_keys_via_the_shared_inquiry() {
+        // Key 0 adopts a WRITE during the initial δ wait, key 1 does not:
+        // the shared handshake still inquires (for key 1) and the space
+        // completes only when both keys are active.
+        let mut s = joiner_space(9, 2);
+        let enter = s.on_enter(Time::ZERO);
+        let SpaceEffect::SetTimer { tag, .. } = enter[0] else { panic!() };
+        s.on_message_into(
+            Time::at(1),
+            nid(0),
+            SpaceMsg::Keyed {
+                key: key(0),
+                inner: SyncMsg::Write { value: 55, sn: 1 },
+            },
+            &mut Vec::new(),
+        );
+        let after_wait = s.on_timer(Time::at(3), tag);
+        // Key 0 became active (no broadcast from it); key 1 inquires.
+        assert!(
+            after_wait
+                .iter()
+                .any(|e| matches!(e, SpaceEffect::Broadcast { msg: SpaceMsg::JoinAll { .. } })),
+            "key 1 still inquires: {after_wait:?}"
+        );
+        assert!(
+            !after_wait.contains(&SpaceEffect::JoinComplete),
+            "space join incomplete while key 1 is joining"
+        );
+        let SpaceEffect::SetTimer { tag: t2, .. } = *after_wait
+            .iter()
+            .find(|e| matches!(e, SpaceEffect::SetTimer { .. }))
+            .expect("shared inquiry timer")
+        else {
+            unreachable!()
+        };
+        let done = s.on_timer(Time::at(9), t2);
+        assert_eq!(done, vec![SpaceEffect::JoinComplete]);
+        assert_eq!(s.register(key(0)).local_value(), Some(&55));
+    }
+
+    #[test]
+    fn solo_space_is_a_transparent_adapter() {
+        let mut solo = SoloSpace::new(SyncRegister::<u64>::new_bootstrap(nid(0), cfg(), 5));
+        assert!(solo.is_active());
+        assert_eq!(solo.key_count(), 1);
+        let effects = solo.on_read(Time::ZERO, RegisterId::ZERO, oid(1));
+        assert_eq!(
+            effects,
+            vec![SpaceEffect::OpComplete {
+                key: RegisterId::ZERO,
+                op: oid(1),
+                outcome: OpOutcome::Read(Some(5)),
+            }]
+        );
+        // Raw protocol messages, no key tags.
+        let mut out = Vec::new();
+        solo.on_message_into(Time::at(1), nid(7), SyncMsg::Inquiry, &mut out);
+        assert!(matches!(
+            out.as_slice(),
+            [SpaceEffect::Send { to, msg: SyncMsg::Reply { .. } }] if *to == nid(7)
+        ));
+    }
+
+    #[test]
+    fn payload_count_reflects_batching() {
+        assert_eq!(
+            SpaceMsg::Keyed { key: key(0), inner: () }.payload_count(),
+            1
+        );
+        assert_eq!(SpaceMsg::JoinAll { inner: () }.payload_count(), 1);
+        assert_eq!(
+            SpaceMsg::<()>::Batch {
+                replies: vec![(key(0), ()), (key(1), ())]
+            }
+            .payload_count(),
+            2
+        );
+    }
+}

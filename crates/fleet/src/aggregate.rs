@@ -42,13 +42,18 @@ pub(crate) const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 pub fn run_digest(report: &RunReport) -> u64 {
     let ops = format!("{:?}", report.history.ops());
     let mut h = fnv1a(ops.bytes(), FNV_OFFSET);
+    // Keyed runs fold every further key's op stream in key order (a 1-key
+    // run folds nothing extra, so single-register digests are unchanged).
+    for key in &report.extra_keys {
+        h = fnv1a(format!("{:?}", key.history.ops()).bytes(), h);
+    }
     for v in [
         report.presence.total_arrivals() as u64,
         report.presence.total_departures() as u64,
         report.total_messages,
-        report.safety.violation_count() as u64,
-        report.atomicity.inversions as u64,
-        report.liveness.incomplete_stayer_count() as u64,
+        report.total_violations() as u64,
+        report.total_inversions() as u64,
+        report.total_stuck() as u64,
     ] {
         h = fnv1a(v.to_le_bytes(), h);
     }
@@ -68,15 +73,17 @@ pub struct PointOutcome {
     pub churn_rate: f64,
     /// Population size `n`.
     pub n: usize,
+    /// Register-space key count of the run.
+    pub keys: u32,
     /// The run's derived seed.
     pub seed: u64,
-    /// Safety (regularity) violations.
+    /// Safety (regularity) violations, summed over every key.
     pub safety_violations: u64,
-    /// Reads the safety checker examined.
+    /// Reads the safety checker examined, summed over every key.
     pub reads_checked: u64,
-    /// New/old inversion pairs.
+    /// New/old inversion pairs, summed over every key.
     pub inversions: u64,
-    /// Genuine liveness violations (stuck stayers).
+    /// Genuine liveness violations (stuck stayers), over every key.
     pub stuck_ops: u64,
     /// Churn arrivals (joiners; bootstrap members excluded).
     pub arrivals: u64,
@@ -116,11 +123,12 @@ impl PointOutcome {
             fraction: point.fraction,
             churn_rate: c,
             n: point.n,
+            keys: point.keys,
             seed: point.seed,
-            safety_violations: report.safety.violation_count() as u64,
-            reads_checked: report.reads_checked() as u64,
-            inversions: report.inversions() as u64,
-            stuck_ops: report.liveness.incomplete_stayer_count() as u64,
+            safety_violations: report.total_violations() as u64,
+            reads_checked: report.total_reads_checked() as u64,
+            inversions: report.total_inversions() as u64,
+            stuck_ops: report.total_stuck() as u64,
             arrivals: (report.presence.total_arrivals().saturating_sub(point.n)) as u64,
             joins_completed: report.metrics.counter("ops.join_completed"),
             reads_completed: report.metrics.counter("ops.read_completed"),
@@ -147,6 +155,8 @@ impl PointOutcome {
 /// populations) at that coordinate, reduced.
 #[derive(Debug, Clone)]
 pub struct Cell {
+    /// Register-space key count.
+    pub keys: u32,
     /// Delay bound `δ` (ticks).
     pub delta: u64,
     /// Churn fraction `c / c*`.
@@ -193,9 +203,10 @@ pub struct Cell {
 }
 
 impl Cell {
-    /// An empty cell at the given `(δ, fraction)` coordinate.
-    pub fn new(delta: u64, fraction: f64) -> Cell {
+    /// An empty cell at the given `(keys, δ, fraction)` coordinate.
+    pub fn new(keys: u32, delta: u64, fraction: f64) -> Cell {
         Cell {
+            keys,
             delta,
             fraction,
             churn_rate: f64::INFINITY,
@@ -223,7 +234,10 @@ impl Cell {
     /// Folds one run into the cell (commutative and associative; see the
     /// module's determinism contract).
     pub fn absorb(&mut self, o: &PointOutcome) {
-        debug_assert_eq!((self.delta, self.fraction.to_bits()), cell_key(o));
+        debug_assert_eq!(
+            (u64::from(self.keys), self.delta, self.fraction.to_bits()),
+            cell_key(o)
+        );
         self.churn_rate = self.churn_rate.min(o.churn_rate);
         self.runs += 1;
         self.unsafe_runs += u64::from(o.safety_violations > 0);
@@ -270,21 +284,23 @@ impl Cell {
     }
 }
 
-/// The reduction key of an outcome: `(δ, fraction)`. Fractions are keyed
-/// by bit pattern — exact, and ordered like the numbers for non-negative
-/// floats.
-pub fn cell_key(o: &PointOutcome) -> (u64, u64) {
-    (o.delta, o.fraction.to_bits())
+/// The reduction key of an outcome: `(keys, δ, fraction)`. Fractions are
+/// keyed by bit pattern — exact, and ordered like the numbers for
+/// non-negative floats.
+pub fn cell_key(o: &PointOutcome) -> (u64, u64, u64) {
+    (u64::from(o.keys), o.delta, o.fraction.to_bits())
 }
 
-/// Reduces outcomes into phase-diagram cells, sorted by `(δ, fraction)`.
-/// Input order does not matter (see the module docs).
+/// Reduces outcomes into phase-diagram cells, sorted by
+/// `(keys, δ, fraction)`. Input order does not matter (see the module
+/// docs).
 pub fn reduce_cells(outcomes: &[PointOutcome]) -> Vec<Cell> {
-    let mut cells: std::collections::BTreeMap<(u64, u64), Cell> = std::collections::BTreeMap::new();
+    let mut cells: std::collections::BTreeMap<(u64, u64, u64), Cell> =
+        std::collections::BTreeMap::new();
     for o in outcomes {
         cells
             .entry(cell_key(o))
-            .or_insert_with(|| Cell::new(o.delta, o.fraction))
+            .or_insert_with(|| Cell::new(o.keys, o.delta, o.fraction))
             .absorb(o);
     }
     cells.into_values().collect()
@@ -303,6 +319,7 @@ mod tests {
             fraction,
             churn_rate: fraction / (3.0 * delta as f64),
             n: 10,
+            keys: 1,
             seed: 1,
             safety_violations: 0,
             reads_checked: 10,
@@ -345,19 +362,19 @@ mod tests {
 
     #[test]
     fn feasibility_requires_safety_liveness_and_availability() {
-        let mut healthy = Cell::new(3, 0.5);
+        let mut healthy = Cell::new(1, 3, 0.5);
         healthy.absorb(&outcome(3, 0.5, 0, 9, 10));
         assert!(healthy.feasible());
 
-        let mut stuck = Cell::new(3, 0.5);
+        let mut stuck = Cell::new(1, 3, 0.5);
         stuck.absorb(&outcome(3, 0.5, 3, 9, 10));
         assert!(!stuck.feasible());
 
-        let mut starved = Cell::new(3, 0.5);
+        let mut starved = Cell::new(1, 3, 0.5);
         starved.absorb(&outcome(3, 0.5, 0, 2, 10));
         assert!(!starved.feasible(), "join ratio 0.2 < 0.5");
 
-        let mut quiet = Cell::new(3, 0.5);
+        let mut quiet = Cell::new(1, 3, 0.5);
         quiet.absorb(&outcome(3, 0.5, 0, 0, 0));
         assert!(quiet.feasible(), "no churn → availability is vacuous");
     }

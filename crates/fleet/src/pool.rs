@@ -102,6 +102,26 @@ mod tests {
     }
 
     #[test]
+    fn keyed_points_run_and_reduce_deterministically() {
+        let spec = SweepSpec {
+            domain: crate::spec::SweepDomain::Grid {
+                deltas: vec![2],
+                fractions: vec![0.4],
+            },
+            populations: vec![8],
+            keys: vec![4],
+            duration: Span::ticks(100),
+            ..SweepSpec::theorem1_default()
+        };
+        let points = spec.points();
+        let one = run_points(&points, 1);
+        let two = run_points(&points, 2);
+        assert_eq!(one[0].keys, 4);
+        assert!(one[0].reads_checked > 0, "keyed reads were checked");
+        assert_eq!(one[0].digest, two[0].digest, "keyed digests are thread-stable");
+    }
+
+    #[test]
     fn surplus_threads_are_harmless() {
         let points = tiny_sweep();
         let many = run_points(&points, 64);

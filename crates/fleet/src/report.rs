@@ -21,6 +21,8 @@ use crate::spec::SweepSpec;
 /// coordinates (`1.0` = the analytic bound).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frontier {
+    /// Register-space key count of the row.
+    pub keys: u32,
     /// Delay bound `δ` (ticks).
     pub delta: u64,
     /// Largest feasible fraction, if any cell was feasible.
@@ -50,7 +52,12 @@ pub struct Frontier {
 pub const BRACKET_TOL: f64 = 0.1;
 
 impl Frontier {
-    fn from_row(delta: u64, analytic_threshold: Option<f64>, row: &[&Cell]) -> Frontier {
+    fn from_row(
+        keys: u32,
+        delta: u64,
+        analytic_threshold: Option<f64>,
+        row: &[&Cell],
+    ) -> Frontier {
         debug_assert!(row.windows(2).all(|w| w[0].fraction <= w[1].fraction));
         let last_feasible = row
             .iter()
@@ -71,6 +78,7 @@ impl Frontier {
             _ => false,
         };
         Frontier {
+            keys,
             delta,
             last_feasible,
             first_infeasible,
@@ -90,9 +98,9 @@ pub struct PhaseReport {
     pub master_seed: u64,
     /// Total runs executed.
     pub total_runs: u64,
-    /// Cells sorted by `(δ, fraction)`.
+    /// Cells sorted by `(keys, δ, fraction)`.
     pub cells: Vec<Cell>,
-    /// One frontier per distinct `δ`, in `δ` order.
+    /// One frontier per distinct `(keys, δ)` row, in that order.
     pub frontiers: Vec<Frontier>,
     /// FNV fold of every run's event-stream digest, in run-index order —
     /// equal digests mean equal fleets, whatever the thread count.
@@ -111,10 +119,13 @@ impl PhaseReport {
         };
         let cells = reduce_cells(outcomes);
         let mut frontiers = Vec::new();
-        let mut deltas: Vec<u64> = cells.iter().map(|c| c.delta).collect();
-        deltas.dedup(); // cells are sorted by (δ, fraction)
-        for delta in deltas {
-            let row: Vec<&Cell> = cells.iter().filter(|c| c.delta == delta).collect();
+        let mut rows: Vec<(u32, u64)> = cells.iter().map(|c| (c.keys, c.delta)).collect();
+        rows.dedup(); // cells are sorted by (keys, δ, fraction)
+        for (keys, delta) in rows {
+            let row: Vec<&Cell> = cells
+                .iter()
+                .filter(|c| c.keys == keys && c.delta == delta)
+                .collect();
             let analytic = match spec.protocol {
                 ProtocolChoice::Synchronous | ProtocolChoice::SynchronousNoWait => {
                     Some(analysis::sync_churn_threshold(Span::ticks(delta)))
@@ -129,7 +140,7 @@ impl PhaseReport {
                     }
                 }
             };
-            frontiers.push(Frontier::from_row(delta, analytic, &row));
+            frontiers.push(Frontier::from_row(keys, delta, analytic, &row));
         }
         let fleet_digest = crate::aggregate::fnv1a(
             outcomes.iter().flat_map(|o| o.digest.to_le_bytes()),
@@ -169,11 +180,16 @@ impl PhaseReport {
         let lo = self.cells.first().map(|c| c.fraction).unwrap_or(0.0);
         let hi = self.cells.last().map(|c| c.fraction).unwrap_or(0.0);
         out.push_str(&format!("        c/c* from {lo:.2} (left) to {hi:.2} (right)\n"));
-        let mut deltas: Vec<u64> = self.cells.iter().map(|c| c.delta).collect();
-        deltas.dedup();
-        for delta in deltas {
+        let multi_key = self.cells.iter().any(|c| c.keys > 1);
+        let mut rows: Vec<(u32, u64)> = self.cells.iter().map(|c| (c.keys, c.delta)).collect();
+        rows.dedup();
+        for (keys, delta) in rows {
             let mut row: Vec<char> = vec![' '; fraction_bits.len()];
-            for cell in self.cells.iter().filter(|c| c.delta == delta) {
+            for cell in self
+                .cells
+                .iter()
+                .filter(|c| c.keys == keys && c.delta == delta)
+            {
                 row[col(cell.fraction.to_bits())] = if cell.unsafe_runs > 0 {
                     '!'
                 } else if cell.feasible() {
@@ -192,7 +208,11 @@ impl PhaseReport {
             if boundary == row.len() {
                 line.push('|');
             }
-            out.push_str(&format!("δ={delta:<3} {line}\n"));
+            if multi_key {
+                out.push_str(&format!("k={keys:<4} δ={delta:<3} {line}\n"));
+            } else {
+                out.push_str(&format!("δ={delta:<3} {line}\n"));
+            }
         }
         out
     }
@@ -200,6 +220,7 @@ impl PhaseReport {
     /// The detailed per-cell table (markdown-rendered).
     pub fn cell_table(&self) -> Table {
         let mut t = Table::new([
+            "keys",
             "δ",
             "c/c*",
             "c",
@@ -216,6 +237,7 @@ impl PhaseReport {
         ]);
         for c in &self.cells {
             t.row([
+                c.keys.to_string(),
                 c.delta.to_string(),
                 format!("{:.3}", c.fraction),
                 format!("{:.5}", c.churn_rate),
@@ -237,6 +259,7 @@ impl PhaseReport {
     /// The per-`δ` frontier table (markdown-rendered).
     pub fn frontier_table(&self) -> Table {
         let mut t = Table::new([
+            "keys",
             "δ",
             "analytic c*",
             "last feasible c/c*",
@@ -246,6 +269,7 @@ impl PhaseReport {
         ]);
         for f in &self.frontiers {
             t.row([
+                f.keys.to_string(),
                 f.delta.to_string(),
                 f.analytic_threshold
                     .map_or("-".into(), |v| format!("{v:.5}")),
@@ -286,7 +310,7 @@ impl PhaseReport {
         for (i, c) in self.cells.iter().enumerate() {
             out.push_str(&format!(
                 concat!(
-                    "    {{\"delta\": {}, \"fraction\": {:.6}, \"churn_rate\": {:.8}, ",
+                    "    {{\"keys\": {}, \"delta\": {}, \"fraction\": {:.6}, \"churn_rate\": {:.8}, ",
                     "\"runs\": {}, \"unsafe_runs\": {}, \"safety_violations\": {}, ",
                     "\"stuck_runs\": {}, \"stuck_ops\": {}, \"inversions\": {}, ",
                     "\"arrivals\": {}, \"joins_completed\": {}, \"join_ratio\": {:.4}, ",
@@ -296,6 +320,7 @@ impl PhaseReport {
                     "\"feasible\": {}, \"join_latency\": {}, \"read_latency\": {}, ",
                     "\"write_latency\": {}}}{}\n",
                 ),
+                c.keys,
                 c.delta,
                 c.fraction,
                 c.churn_rate,
@@ -328,10 +353,11 @@ impl PhaseReport {
         for (i, f) in self.frontiers.iter().enumerate() {
             out.push_str(&format!(
                 concat!(
-                    "    {{\"delta\": {}, \"analytic_threshold\": {}, ",
+                    "    {{\"keys\": {}, \"delta\": {}, \"analytic_threshold\": {}, ",
                     "\"last_feasible_fraction\": {}, \"first_infeasible_fraction\": {}, ",
                     "\"monotone\": {}, \"brackets_bound\": {}}}{}\n",
                 ),
+                f.keys,
                 f.delta,
                 f.analytic_threshold
                     .map_or("null".to_string(), |v| format!("{v:.8}")),
@@ -384,7 +410,8 @@ mod tests {
         // Cells sorted by (δ, fraction).
         for w in report.cells.windows(2) {
             assert!(
-                (w[0].delta, w[0].fraction.to_bits()) < (w[1].delta, w[1].fraction.to_bits())
+                (w[0].keys, w[0].delta, w[0].fraction.to_bits())
+                    < (w[1].keys, w[1].delta, w[1].fraction.to_bits())
             );
         }
     }
@@ -426,13 +453,14 @@ mod tests {
     #[test]
     fn frontier_row_logic_handles_all_shapes() {
         let mk = |delta, fraction, stuck| {
-            let mut cell = Cell::new(delta, fraction);
+            let mut cell = Cell::new(1, delta, fraction);
             cell.absorb(&PointOutcome {
                 index: 0,
                 delta,
                 fraction,
                 churn_rate: 0.1,
                 n: 10,
+                keys: 1,
                 seed: 0,
                 safety_violations: 0,
                 reads_checked: 1,
@@ -456,20 +484,20 @@ mod tests {
         // Feasible below 1, infeasible above: brackets.
         let a = mk(4, 0.8, 0);
         let b = mk(4, 1.2, 5);
-        let f = Frontier::from_row(4, Some(1.0 / 12.0), &[&a, &b]);
+        let f = Frontier::from_row(1, 4, Some(1.0 / 12.0), &[&a, &b]);
         assert!(f.monotone && f.brackets_bound);
         assert_eq!(f.last_feasible, Some(0.8));
         assert_eq!(f.first_infeasible, Some(1.2));
         // All feasible: no bracket (frontier not observed).
-        let f = Frontier::from_row(4, Some(1.0 / 12.0), &[&a]);
+        let f = Frontier::from_row(1, 4, Some(1.0 / 12.0), &[&a]);
         assert!(f.monotone && !f.brackets_bound);
         // Infeasible below the bound: monotone but no bracket.
         let c = mk(4, 0.5, 3);
-        let f = Frontier::from_row(4, Some(1.0 / 12.0), &[&c, &b]);
+        let f = Frontier::from_row(1, 4, Some(1.0 / 12.0), &[&c, &b]);
         assert!(!f.brackets_bound);
         // Non-monotone: feasible above an infeasible cell.
         let d = mk(4, 2.0, 0);
-        let f = Frontier::from_row(4, Some(1.0 / 12.0), &[&c, &d]);
+        let f = Frontier::from_row(1, 4, Some(1.0 / 12.0), &[&c, &d]);
         assert!(!f.monotone);
     }
 }

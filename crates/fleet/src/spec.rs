@@ -46,8 +46,8 @@ pub enum SweepDomain {
 ///
 /// Everything is plain data (`Send + Clone`); nothing here owns a model or
 /// a thread. Expansion order is fixed — `domain × populations × gsts ×
-/// seeds` with the rightmost axis fastest — so `run_index`, and therefore
-/// every per-run seed, is a pure function of the spec.
+/// keys × seeds` with the rightmost axis fastest — so `run_index`, and
+/// therefore every per-run seed, is a pure function of the spec.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Protocol variant every point runs.
@@ -59,6 +59,12 @@ pub struct SweepSpec {
     /// GST instants to cross with the domain (ES protocols only; the
     /// synchronous protocols ignore it — keep a single `0` entry there).
     pub gsts: Vec<u64>,
+    /// Register-space key counts to cross with the domain (`[1]` = the
+    /// classic single-register sweep; larger entries run keyed
+    /// `RegisterSpace` worlds under Zipf traffic).
+    pub keys: Vec<u32>,
+    /// Zipf key-popularity exponent for keyed points (ignored at 1 key).
+    pub zipf_exponent: f64,
     /// Independent seeded repetitions per parameter point.
     pub seeds_per_point: u64,
     /// Master seed; every run's seed is derived from it and the run index.
@@ -97,6 +103,8 @@ pub struct RunPoint {
     pub n: usize,
     /// GST instant (0 for synchronous points).
     pub gst: u64,
+    /// Register-space key count of this point.
+    pub keys: u32,
     /// The derived per-run seed (`= run_seed(master_seed, index)`).
     pub seed: u64,
     /// The fully materialized scenario.
@@ -140,6 +148,8 @@ impl SweepSpec {
             },
             populations: vec![24],
             gsts: vec![0],
+            keys: vec![1],
+            zipf_exponent: 1.0,
             seeds_per_point: 1,
             master_seed: 0x000B_A1D0,
             duration: Span::ticks(360),
@@ -164,6 +174,8 @@ impl SweepSpec {
             },
             populations: vec![15],
             gsts: vec![gst],
+            keys: vec![1],
+            zipf_exponent: 1.0,
             seeds_per_point: 2,
             master_seed: 0x000B_A1D0,
             duration: Span::ticks(400),
@@ -185,6 +197,7 @@ impl SweepSpec {
         domain
             * self.populations.len() as u64
             * self.gsts.len() as u64
+            * self.keys.len() as u64
             * self.seeds_per_point.max(1)
     }
 
@@ -230,18 +243,22 @@ impl SweepSpec {
     pub fn points(&self) -> Vec<RunPoint> {
         assert!(!self.populations.is_empty(), "populations axis is empty");
         assert!(!self.gsts.is_empty(), "gsts axis is empty");
+        assert!(!self.keys.is_empty(), "keys axis is empty");
         let coords = self.domain_coords();
         assert!(!coords.is_empty(), "(c, δ) domain is empty");
         let seeds = self.seeds_per_point.max(1);
-        let mut points =
-            Vec::with_capacity(coords.len() * self.populations.len() * self.gsts.len());
+        let mut points = Vec::with_capacity(
+            coords.len() * self.populations.len() * self.gsts.len() * self.keys.len(),
+        );
         let mut index = 0u64;
         for &(delta, fraction) in &coords {
             for &n in &self.populations {
                 for &gst in &self.gsts {
-                    for _ in 0..seeds {
-                        points.push(self.materialize(index, delta, fraction, n, gst));
-                        index += 1;
+                    for &keys in &self.keys {
+                        for _ in 0..seeds {
+                            points.push(self.materialize(index, delta, fraction, n, gst, keys));
+                            index += 1;
+                        }
                     }
                 }
             }
@@ -250,7 +267,15 @@ impl SweepSpec {
     }
 
     /// Builds the concrete [`ScenarioSpec`] of one point.
-    fn materialize(&self, index: u64, delta: u64, fraction: f64, n: usize, gst: u64) -> RunPoint {
+    fn materialize(
+        &self,
+        index: u64,
+        delta: u64,
+        fraction: f64,
+        n: usize,
+        gst: u64,
+        keys: u32,
+    ) -> RunPoint {
         let delta_span = Span::ticks(delta);
         let mut sc = match self.protocol {
             ProtocolChoice::Synchronous => Scenario::synchronous(n, delta_span),
@@ -267,6 +292,9 @@ impl SweepSpec {
         }
         if self.migrating_writer {
             sc = sc.migrating_writer();
+        }
+        if keys > 1 {
+            sc = sc.keys(keys).zipf(self.zipf_exponent);
         }
         let seed = run_seed(self.master_seed, index);
         sc = sc
@@ -287,6 +315,7 @@ impl SweepSpec {
             fraction,
             n,
             gst,
+            keys,
             seed,
             spec: sc.into_spec(),
         }
@@ -365,6 +394,29 @@ mod tests {
             assert!((2..=6).contains(&x.delta));
             assert!((0.2..3.0).contains(&x.fraction));
         }
+    }
+
+    #[test]
+    fn keys_axis_expands_and_materializes_keyed_scenarios() {
+        let spec = SweepSpec {
+            domain: SweepDomain::Grid {
+                deltas: vec![3],
+                fractions: vec![0.5],
+            },
+            keys: vec![1, 16],
+            zipf_exponent: 0.8,
+            ..SweepSpec::theorem1_default()
+        };
+        assert_eq!(spec.run_count(), 2);
+        let points = spec.points();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].keys, 1);
+        assert_eq!(points[1].keys, 16);
+        assert_eq!(points[0].spec.keys, 1);
+        assert_eq!(points[1].spec.keys, 16);
+        assert!((points[1].spec.zipf_exponent - 0.8).abs() < 1e-12);
+        // Seeds still derive purely from (master, index).
+        assert_eq!(points[1].seed, run_seed(spec.master_seed, 1));
     }
 
     #[test]

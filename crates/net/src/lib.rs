@@ -10,8 +10,8 @@
 //! * **Point-to-point channels** (§3.2): reliable — no loss, duplication or
 //!   corruption — with latency drawn from a [`DelayModel`]. A process may
 //!   send to any process it knows has entered the system.
-//! * **Timely broadcast** (§3.2, after Hadzilacos–Toueg [15] and Friedman et
-//!   al. [10]): a message broadcast at `τ` is delivered by `τ + δ` to every
+//! * **Timely broadcast** (§3.2, after Hadzilacos–Toueg \[15\] and Friedman
+//!   et al. \[10\]): a message broadcast at `τ` is delivered by `τ + δ` to every
 //!   process in the system during `[τ, τ+δ]`. Processes that enter *after*
 //!   `τ` have **no delivery guarantee** — exactly the hazard of the paper's
 //!   Figure 3(a) — which [`Network::broadcast`] models by snapshotting the

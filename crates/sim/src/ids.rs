@@ -25,6 +25,38 @@ pub struct OpId(u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(u64);
 
+/// Identifier of one register in a keyed register *space*.
+///
+/// The paper implements a single anonymous register; the register-space
+/// layer (see `dynareg-core`'s `space` module) multiplexes many of them
+/// over one churn substrate, and every client-facing operation addresses a
+/// `(RegisterId, op)` pair. Keys are dense small integers `0..k`: a space
+/// with `k` keys owns exactly the registers `r0 … r(k−1)`, and key `0` is
+/// the *anchor* every single-register API is sugar for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegisterId(u32);
+
+impl RegisterId {
+    /// The anchor key: the register every single-register API addresses.
+    pub const ZERO: RegisterId = RegisterId(0);
+
+    /// Builds a register id from a raw index.
+    pub const fn from_raw(raw: u32) -> RegisterId {
+        RegisterId(raw)
+    }
+
+    /// The raw index behind this id.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
 impl NodeId {
     /// Builds a node id from a raw index. Intended for tests and for the
     /// initial population `p₀ … p_{n−1}`; simulation code should draw fresh
@@ -163,6 +195,14 @@ mod tests {
         assert_eq!(NodeId::from_raw(3).to_string(), "p3");
         assert_eq!(OpId::from_raw(4).to_string(), "op4");
         assert_eq!(TimerId::from_raw(5).to_string(), "timer5");
+        assert_eq!(RegisterId::from_raw(6).to_string(), "r6");
+    }
+
+    #[test]
+    fn register_ids_are_dense_and_ordered() {
+        assert_eq!(RegisterId::ZERO, RegisterId::from_raw(0));
+        assert!(RegisterId::from_raw(1) < RegisterId::from_raw(2));
+        assert_eq!(RegisterId::from_raw(7).as_raw(), 7);
     }
 
     #[test]

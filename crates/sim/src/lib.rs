@@ -41,6 +41,6 @@ pub mod trace;
 pub use event::{EventQueue, ScheduledEvent};
 #[doc(hidden)]
 pub use event::HeapEventQueue;
-pub use ids::{IdSource, NodeId, OpId, TimerId};
+pub use ids::{IdSource, NodeId, OpId, RegisterId, TimerId};
 pub use rng::DetRng;
 pub use time::{Span, Time};

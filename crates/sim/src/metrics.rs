@@ -41,14 +41,31 @@ impl fmt::Display for Counter {
     }
 }
 
+/// Values below this bound are counted in a dense `Vec` indexed by value
+/// (the vector grows lazily to the largest value seen); anything at or
+/// above it falls into the sparse overflow map. Simulated quantities —
+/// latencies in ticks, active-set sizes, per-tick gauges — live far below
+/// the bound, so the hot `record` path is an array increment.
+const DENSE_LIMIT: u64 = 1 << 16;
+
 /// An exact histogram of `u64` samples (tick latencies, set sizes, message
 /// counts). Exact because simulated quantities are small integers; no
 /// bucketing error creeps into lemma-bound comparisons.
+///
+/// Representation: a fixed-stride (one bucket per value) dense `Vec` for
+/// values under `DENSE_LIMIT` (2¹⁶), plus a sparse overflow map for outliers.
+/// The dense path replaces the original `BTreeMap` per-sample insertion —
+/// measurable once gauges are sampled every tick of a multi-million-event
+/// run — while `merge` stays an exact per-value sum, as the fleet tier's
+/// commutative reduction requires.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
-    counts: BTreeMap<u64, u64>,
+    dense: Vec<u64>,
+    overflow: BTreeMap<u64, u64>,
     total: u64,
     sum: u128,
+    lo: u64,
+    hi: u64,
 }
 
 impl Histogram {
@@ -59,9 +76,34 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        *self.counts.entry(value).or_insert(0) += 1;
+        if value < DENSE_LIMIT {
+            let idx = value as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, 0);
+            }
+            self.dense[idx] += 1;
+        } else {
+            *self.overflow.entry(value).or_insert(0) += 1;
+        }
+        if self.total == 0 {
+            self.lo = value;
+            self.hi = value;
+        } else {
+            self.lo = self.lo.min(value);
+            self.hi = self.hi.max(value);
+        }
         self.total += 1;
         self.sum += u128::from(value);
+    }
+
+    /// Iterates `(value, count)` pairs with non-zero counts, in value order.
+    fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u64, c))
+            .chain(self.overflow.iter().map(|(&v, &c)| (v, c)))
     }
 
     /// Records a span sample (convenience for latencies).
@@ -81,12 +123,12 @@ impl Histogram {
 
     /// Smallest sample, if any.
     pub fn min(&self) -> Option<u64> {
-        self.counts.keys().next().copied()
+        (self.total > 0).then_some(self.lo)
     }
 
     /// Largest sample, if any.
     pub fn max(&self) -> Option<u64> {
-        self.counts.keys().next_back().copied()
+        (self.total > 0).then_some(self.hi)
     }
 
     /// Arithmetic mean, if any samples.
@@ -109,7 +151,7 @@ impl Histogram {
         }
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0;
-        for (&value, &count) in &self.counts {
+        for (value, count) in self.buckets() {
             seen += count;
             if seen >= rank {
                 return Some(value);
@@ -124,9 +166,27 @@ impl Histogram {
     }
 
     /// Merges another histogram into this one (cross-seed aggregation).
+    /// An exact per-value sum: commutative and associative, as the fleet
+    /// tier's order-independent reduction requires.
     pub fn merge(&mut self, other: &Histogram) {
-        for (&v, &c) in &other.counts {
-            *self.counts.entry(v).or_insert(0) += c;
+        if other.total == 0 {
+            return;
+        }
+        if other.dense.len() > self.dense.len() {
+            self.dense.resize(other.dense.len(), 0);
+        }
+        for (i, &c) in other.dense.iter().enumerate() {
+            self.dense[i] += c;
+        }
+        for (&v, &c) in &other.overflow {
+            *self.overflow.entry(v).or_insert(0) += c;
+        }
+        if self.total == 0 {
+            self.lo = other.lo;
+            self.hi = other.hi;
+        } else {
+            self.lo = self.lo.min(other.lo);
+            self.hi = self.hi.max(other.hi);
         }
         self.total += other.total;
         self.sum += other.sum;
@@ -272,6 +332,39 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(50));
         assert_eq!(h.quantile(0.99), Some(99));
         assert_eq!(h.quantile(0.01), Some(1));
+    }
+
+    #[test]
+    fn overflow_values_stay_exact() {
+        // Values straddling DENSE_LIMIT exercise both representations.
+        let mut h = Histogram::new();
+        let big = DENSE_LIMIT + 123;
+        for v in [3, big, 3, DENSE_LIMIT - 1, big] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(big));
+        assert_eq!(h.median(), Some(DENSE_LIMIT - 1));
+        assert_eq!(h.quantile(1.0), Some(big));
+        let mut other = Histogram::new();
+        other.record(big);
+        h.merge(&other);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.quantile(1.0), Some(big));
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_bounds() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(7);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.min(), Some(7));
+        assert_eq!(a.max(), Some(9));
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 2, "merging an empty histogram is a no-op");
     }
 
     #[test]

@@ -103,7 +103,7 @@ impl DetRng {
 
     /// A sample from a Poisson distribution with mean `lambda`, via
     /// Knuth's method for small lambda and a normal approximation above 30.
-    /// Used by the extension churn models (after Ko et al. [19]).
+    /// Used by the extension churn models (after Ko et al. \[19\]).
     pub fn poisson(&mut self, lambda: f64) -> u64 {
         assert!(lambda >= 0.0, "lambda must be non-negative");
         if lambda == 0.0 {

@@ -1,6 +1,17 @@
 //! Protocol construction for the simulation world.
+//!
+//! Two layers:
+//!
+//! * [`ProtocolFactory`] — builds single-register protocol instances
+//!   ([`SyncFactory`], [`EsFactory`]); unchanged from the paper's shape.
+//! * [`SpaceFactory`] — builds the [`RegisterSpaceProcess`]es the world
+//!   actually drives. Every [`ProtocolFactory`] *is* a 1-key
+//!   [`SpaceFactory`] (the blanket impl wraps instances in the transparent
+//!   [`SoloSpace`] adapter — the pre-redesign wire format), and
+//!   [`SpaceOf`] lifts one to a `k`-key [`RegisterSpace`] multiplexer.
 
 use dynareg_core::es::{EsConfig, EsMsg, EsRegister};
+use dynareg_core::space::{RegisterSpace, RegisterSpaceProcess, SoloSpace, SpaceMsg};
 use dynareg_core::sync::{SyncConfig, SyncMsg, SyncRegister};
 use dynareg_core::RegisterProcess;
 use dynareg_sim::{NodeId, OpId};
@@ -30,6 +41,127 @@ pub trait ProtocolFactory {
 
     /// Trace/statistics label of a message.
     fn msg_label(msg: &<Self::Proc as RegisterProcess>::Msg) -> &'static str;
+}
+
+/// How the [`crate::World`] spawns **register-space** instances — the
+/// runtime-facing generalization of [`ProtocolFactory`].
+///
+/// Method names carry a `space_` prefix so the blanket impl below (every
+/// protocol factory is a 1-key space factory) never shadows the protocol
+/// factory's own `bootstrap`/`joiner`/`name` at call sites.
+pub trait SpaceFactory {
+    /// The space this factory builds.
+    type Proc: RegisterSpaceProcess;
+
+    /// Number of keys every built space owns.
+    fn key_count(&self) -> u32;
+
+    /// A member of the initial population, every key holding `initial`.
+    fn space_bootstrap(
+        &self,
+        id: NodeId,
+        initial: <Self::Proc as RegisterSpaceProcess>::Val,
+    ) -> Self::Proc;
+
+    /// A fresh arrival about to run the (shared) join.
+    fn space_joiner(&self, id: NodeId, join_op: OpId) -> Self::Proc;
+
+    /// Short protocol name for reports.
+    fn space_name(&self) -> &'static str;
+
+    /// Trace/statistics label of a wire message.
+    fn space_msg_label(msg: &<Self::Proc as RegisterSpaceProcess>::Msg) -> &'static str;
+}
+
+/// Every protocol factory is a 1-key space factory: instances are wrapped
+/// in the transparent [`SoloSpace`] adapter, so the wire format (raw
+/// protocol messages, no key tags) and the event stream are byte-identical
+/// to driving the protocol directly — this *is* the pre-redesign path.
+impl<F: ProtocolFactory> SpaceFactory for F {
+    type Proc = SoloSpace<F::Proc>;
+
+    fn key_count(&self) -> u32 {
+        1
+    }
+
+    fn space_bootstrap(
+        &self,
+        id: NodeId,
+        initial: <F::Proc as RegisterProcess>::Val,
+    ) -> SoloSpace<F::Proc> {
+        SoloSpace::new(self.bootstrap(id, initial))
+    }
+
+    fn space_joiner(&self, id: NodeId, join_op: OpId) -> SoloSpace<F::Proc> {
+        SoloSpace::new(self.joiner(id, join_op))
+    }
+
+    fn space_name(&self) -> &'static str {
+        self.name()
+    }
+
+    fn space_msg_label(msg: &<F::Proc as RegisterProcess>::Msg) -> &'static str {
+        F::msg_label(msg)
+    }
+}
+
+/// Lifts a protocol factory to a `keys`-key [`RegisterSpace`] factory: one
+/// protocol instance per key per process, multiplexed behind the shared
+/// join handshake, `SpaceMsg`-tagged wire traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct SpaceOf<F> {
+    inner: F,
+    keys: u32,
+}
+
+impl<F> SpaceOf<F> {
+    /// A `keys`-key space over `inner`'s protocol.
+    ///
+    /// # Panics
+    /// Panics if `keys` is zero.
+    pub fn new(inner: F, keys: u32) -> SpaceOf<F> {
+        assert!(keys > 0, "a register space needs at least one key");
+        SpaceOf { inner, keys }
+    }
+}
+
+impl<F: ProtocolFactory> SpaceFactory for SpaceOf<F> {
+    type Proc = RegisterSpace<F::Proc>;
+
+    fn key_count(&self) -> u32 {
+        self.keys
+    }
+
+    fn space_bootstrap(
+        &self,
+        id: NodeId,
+        initial: <F::Proc as RegisterProcess>::Val,
+    ) -> RegisterSpace<F::Proc> {
+        RegisterSpace::new_bootstrap(
+            (0..self.keys)
+                .map(|_| self.inner.bootstrap(id, initial.clone()))
+                .collect(),
+        )
+    }
+
+    fn space_joiner(&self, id: NodeId, join_op: OpId) -> RegisterSpace<F::Proc> {
+        RegisterSpace::new_joiner(
+            (0..self.keys)
+                .map(|_| self.inner.joiner(id, join_op))
+                .collect(),
+        )
+    }
+
+    fn space_name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn space_msg_label(msg: &SpaceMsg<<F::Proc as RegisterProcess>::Msg>) -> &'static str {
+        match msg {
+            SpaceMsg::Keyed { inner, .. } | SpaceMsg::JoinAll { inner } => F::msg_label(inner),
+            SpaceMsg::Batch { .. } => "BATCH",
+        }
+    }
 }
 
 /// Factory for the synchronous protocol (Figures 1–2).
@@ -139,5 +271,48 @@ mod tests {
     fn labels_flow_through() {
         assert_eq!(SyncFactory::msg_label(&SyncMsg::Inquiry), "INQUIRY");
         assert_eq!(EsFactory::msg_label(&EsMsg::Inquiry { r_sn: 0 }), "INQUIRY");
+    }
+
+    #[test]
+    fn every_protocol_factory_is_a_one_key_space_factory() {
+        let f = SyncFactory::new(SyncConfig::new(Span::ticks(3)));
+        assert_eq!(SpaceFactory::key_count(&f), 1);
+        assert_eq!(f.space_name(), "sync");
+        let b = f.space_bootstrap(NodeId::from_raw(0), 5);
+        assert!(b.is_active());
+        assert_eq!(b.inner().local_value(), Some(&5));
+        // Solo wire labels are the raw protocol labels.
+        assert_eq!(
+            <SyncFactory as SpaceFactory>::space_msg_label(&SyncMsg::Inquiry),
+            "INQUIRY"
+        );
+    }
+
+    #[test]
+    fn space_of_builds_one_instance_per_key() {
+        use dynareg_sim::RegisterId;
+        let f = SpaceOf::new(SyncFactory::new(SyncConfig::new(Span::ticks(3))), 4);
+        assert_eq!(f.key_count(), 4);
+        assert_eq!(f.space_name(), "sync");
+        let b = f.space_bootstrap(NodeId::from_raw(0), 9);
+        assert_eq!(b.key_count(), 4);
+        assert!(b.is_active());
+        assert_eq!(b.register(RegisterId::from_raw(3)).local_value(), Some(&9));
+        let j = f.space_joiner(NodeId::from_raw(7), OpId::from_raw(1));
+        assert!(!j.is_active());
+        // Space wire labels delegate to the inner protocol; batches are
+        // their own label.
+        assert_eq!(
+            <SpaceOf<SyncFactory> as SpaceFactory>::space_msg_label(&SpaceMsg::JoinAll {
+                inner: SyncMsg::<u64>::Inquiry
+            }),
+            "INQUIRY"
+        );
+        assert_eq!(
+            <SpaceOf<SyncFactory> as SpaceFactory>::space_msg_label(&SpaceMsg::Batch {
+                replies: vec![]
+            }),
+            "BATCH"
+        );
     }
 }

@@ -2,13 +2,18 @@
 //!
 //! Glues the substrates together into runnable systems:
 //!
-//! * [`World`] — the deterministic runtime: interprets protocol
-//!   [`dynareg_core::Effect`]s against the network, applies churn, records
-//!   the operation history and the trace;
+//! * [`World`] — the deterministic runtime: interprets register-space
+//!   [`SpaceEffect`]s against the network, applies churn, records the
+//!   per-key operation histories and the trace. Every client invocation
+//!   addresses a `(RegisterId, action)` pair ([`KeyedAction`]); bare
+//!   [`OpAction`]s target the anchor key `r0`;
 //! * [`ProtocolFactory`] — how the world spawns bootstrap members and
-//!   joiners for a given protocol ([`SyncFactory`], [`EsFactory`]);
-//! * [`Workload`] — who reads/writes when ([`RateWorkload`] for steady
-//!   stochastic load, [`ScriptedWorkload`] for figure-exact reproductions);
+//!   joiners for a given protocol ([`SyncFactory`], [`EsFactory`]). Every
+//!   protocol factory is a 1-key [`SpaceFactory`]; [`SpaceOf`] lifts one
+//!   to a keyed [`RegisterSpace`] multiplexer;
+//! * [`Workload`] — who reads/writes which key when ([`RateWorkload`] for
+//!   steady single-register load, [`ZipfWorkload`] for Zipf-keyed space
+//!   traffic, [`ScriptedWorkload`] for figure-exact reproductions);
 //! * [`Scenario`] — one-stop builder mapping paper parameters
 //!   `(n, δ, c, GST, seed, …)` to a full run + [`RunReport`] with safety,
 //!   atomicity and liveness verdicts. Its plain-data core,
@@ -42,7 +47,13 @@ pub mod table;
 mod workload;
 mod world;
 
-pub use factory::{EsFactory, ProtocolFactory, SyncFactory};
-pub use scenario::{ChurnChoice, NetClass, ProtocolChoice, RunReport, Scenario, ScenarioSpec};
-pub use workload::{OpAction, RateWorkload, ScriptTarget, ScriptedWorkload, Workload};
+pub use dynareg_core::space::{RegisterSpace, RegisterSpaceProcess, SoloSpace, SpaceEffect, SpaceMsg};
+pub use factory::{EsFactory, ProtocolFactory, SpaceFactory, SpaceOf, SyncFactory};
+pub use scenario::{
+    ChurnChoice, KeyReport, NetClass, ProtocolChoice, RunReport, Scenario, ScenarioSpec,
+};
+pub use workload::{
+    KeyedAction, OpAction, RateWorkload, ScriptTarget, ScriptedWorkload, Workload, ZipfKeys,
+    ZipfWorkload,
+};
 pub use world::{World, WorldConfig, WriterPolicy};

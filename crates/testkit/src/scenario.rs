@@ -12,19 +12,17 @@
 
 use dynareg_churn::{analysis, ChurnDriver, ChurnModel, ConstantRate, LeaveSelector, NoChurn};
 use dynareg_core::es::EsConfig;
+use dynareg_core::space::RegisterSpaceProcess;
 use dynareg_core::sync::SyncConfig;
 use dynareg_net::delay::{Asynchronous, EventuallySynchronous, Synchronous};
 use dynareg_net::{DelayModel, FaultPlan, Presence};
 use dynareg_sim::metrics::Metrics;
 use dynareg_sim::trace::TraceLog;
-use dynareg_sim::{DetRng, IdSource, NodeId, Span, Time};
-use dynareg_verify::{
-    AtomicityChecker, ConsistencyReport, History, LivenessChecker, LivenessReport,
-    RegularityChecker,
-};
+use dynareg_sim::{DetRng, IdSource, NodeId, RegisterId, Span, Time};
+use dynareg_verify::{ConsistencyReport, History, LivenessReport, SpaceReport};
 
-use crate::factory::{EsFactory, ProtocolFactory, SyncFactory};
-use crate::workload::{RateWorkload, ScriptedWorkload, Workload};
+use crate::factory::{EsFactory, SpaceFactory, SpaceOf, SyncFactory};
+use crate::workload::{RateWorkload, ScriptedWorkload, Workload, ZipfKeys, ZipfWorkload};
 use crate::world::{Val, World, WorldConfig, WriterPolicy};
 
 /// Which protocol (and variant) a scenario runs.
@@ -64,7 +62,29 @@ pub enum NetClass {
     },
 }
 
+/// One non-anchor key's verdicts and history in a keyed run.
+#[derive(Debug)]
+pub struct KeyReport {
+    /// The key.
+    pub key: RegisterId,
+    /// Regular-register verdict for this key.
+    pub safety: ConsistencyReport<Option<Val>>,
+    /// Atomic-register verdict for this key.
+    pub atomicity: ConsistencyReport<Option<Val>>,
+    /// Liveness verdict for this key.
+    pub liveness: LivenessReport,
+    /// The key's full operation history.
+    pub history: History<Option<Val>>,
+}
+
 /// Everything a run produced, plus the checker verdicts.
+///
+/// Every run is a register-space run; the top-level `safety` /
+/// `atomicity` / `liveness` / `history` fields are the **anchor key**'s
+/// (`r0`) — for the default 1-key scenarios they are the whole story,
+/// exactly as before the register-space redesign. Keyed runs carry keys
+/// `r1 …` in [`RunReport::extra_keys`]; the `all_keys_*` / `worst_key` /
+/// `total_*` accessors aggregate across the whole space.
 #[derive(Debug)]
 pub struct RunReport {
     /// Protocol name ("sync", "sync-nowait", "es", "es-atomic").
@@ -95,17 +115,94 @@ pub struct RunReport {
     pub total_messages: u64,
     /// Rendered trace (empty unless tracing enabled).
     pub trace: TraceLog,
+    /// Number of registers in the run's key space (1 for single-register
+    /// scenarios).
+    pub keys: u32,
+    /// Verdicts and histories of keys `r1 …` (empty for 1-key runs; the
+    /// anchor key `r0` lives in the top-level fields).
+    pub extra_keys: Vec<KeyReport>,
 }
 
 impl RunReport {
-    /// New/old inversions observed (0 for an atomic run).
+    /// New/old inversions observed (0 for an atomic run) on the anchor key.
     pub fn inversions(&self) -> usize {
         self.atomicity.inversions
     }
 
-    /// Reads checked by the safety checker.
+    /// Reads checked by the safety checker on the anchor key.
     pub fn reads_checked(&self) -> usize {
         self.safety.checked_reads
+    }
+
+    /// Whether every key of the space satisfies regularity.
+    pub fn all_keys_safe(&self) -> bool {
+        self.safety.is_ok() && self.extra_keys.iter().all(|k| k.safety.is_ok())
+    }
+
+    /// Whether every key of the space satisfies liveness.
+    pub fn all_keys_live(&self) -> bool {
+        self.liveness.is_ok() && self.extra_keys.iter().all(|k| k.liveness.is_ok())
+    }
+
+    /// Reads checked across the whole key space.
+    pub fn total_reads_checked(&self) -> usize {
+        self.safety.checked_reads
+            + self
+                .extra_keys
+                .iter()
+                .map(|k| k.safety.checked_reads)
+                .sum::<usize>()
+    }
+
+    /// Regularity violations across the whole key space.
+    pub fn total_violations(&self) -> usize {
+        self.safety.violation_count()
+            + self
+                .extra_keys
+                .iter()
+                .map(|k| k.safety.violation_count())
+                .sum::<usize>()
+    }
+
+    /// New/old inversions across the whole key space.
+    pub fn total_inversions(&self) -> usize {
+        self.atomicity.inversions
+            + self
+                .extra_keys
+                .iter()
+                .map(|k| k.atomicity.inversions)
+                .sum::<usize>()
+    }
+
+    /// Stuck (liveness-violating) operations across the whole key space.
+    pub fn total_stuck(&self) -> usize {
+        self.liveness.incomplete_stayer_count()
+            + self
+                .extra_keys
+                .iter()
+                .map(|k| k.liveness.incomplete_stayer_count())
+                .sum::<usize>()
+    }
+
+    /// The worst key of the space: `(key, violations, stuck)` — most
+    /// regularity violations, ties broken by stuck ops, then lowest key.
+    pub fn worst_key(&self) -> (RegisterId, usize, usize) {
+        let mut worst = (
+            RegisterId::ZERO,
+            self.safety.violation_count(),
+            self.liveness.incomplete_stayer_count(),
+        );
+        for k in &self.extra_keys {
+            let cand = (
+                k.key,
+                k.safety.violation_count(),
+                k.liveness.incomplete_stayer_count(),
+            );
+            if (cand.1, cand.2) > (worst.1, worst.2) {
+                worst = cand;
+            }
+        }
+        worst
     }
 
     /// Measured `min_τ |A(τ, τ+window)|` over the run (Lemma 2's left-hand
@@ -120,19 +217,38 @@ impl RunReport {
         analysis::window_active_minimum(&self.presence, Time::ZERO, end, window)
     }
 
-    /// One-line summary for experiment logs.
+    /// One-line summary for experiment logs. Keyed runs report space-wide
+    /// aggregates plus the worst key.
     pub fn summary(&self) -> String {
+        if self.keys == 1 {
+            return format!(
+                "{} n={} δ={} c={:.5} seed={}: safety={} inversions={} liveness={} (reads={}, msgs={})",
+                self.protocol,
+                self.n,
+                self.delta,
+                self.churn_rate,
+                self.seed,
+                if self.safety.is_ok() { "OK" } else { "VIOLATED" },
+                self.inversions(),
+                if self.liveness.is_ok() { "OK" } else { "STUCK" },
+                self.reads_checked(),
+                self.total_messages,
+            );
+        }
+        let (worst, violations, stuck) = self.worst_key();
         format!(
-            "{} n={} δ={} c={:.5} seed={}: safety={} inversions={} liveness={} (reads={}, msgs={})",
+            "{} n={} δ={} c={:.5} seed={} keys={}: safety={} inversions={} liveness={} \
+             (reads={}, msgs={}, worst {worst}: violations={violations} stuck={stuck})",
             self.protocol,
             self.n,
             self.delta,
             self.churn_rate,
             self.seed,
-            if self.safety.is_ok() { "OK" } else { "VIOLATED" },
-            self.inversions(),
-            if self.liveness.is_ok() { "OK" } else { "STUCK" },
-            self.reads_checked(),
+            self.keys,
+            if self.all_keys_safe() { "OK" } else { "VIOLATED" },
+            self.total_inversions(),
+            if self.all_keys_live() { "OK" } else { "STUCK" },
+            self.total_reads_checked(),
             self.total_messages,
         )
     }
@@ -195,6 +311,13 @@ pub struct ScenarioSpec {
     pub script: Option<ScriptedWorkload>,
     /// Delay-fault adversary, if any.
     pub faults: Option<FaultPlan>,
+    /// Number of registers in the key space (1 = the classic
+    /// single-register run; >1 runs a [`crate::SpaceOf`] world under a
+    /// [`ZipfWorkload`]).
+    pub keys: u32,
+    /// Zipf key-popularity exponent for keyed workloads (`0` uniform,
+    /// `~1` classic skew); ignored when `keys == 1`.
+    pub zipf_exponent: f64,
 }
 
 impl ScenarioSpec {
@@ -241,40 +364,94 @@ impl ScenarioSpec {
             return Box::new(script.clone());
         }
         let write_every = self.write_every.unwrap_or(self.delta.times(3));
-        Box::new(RateWorkload::new(write_every, self.reads_per_tick).stopping_at(stop_at))
+        if self.keys > 1 {
+            Box::new(
+                ZipfWorkload::new(
+                    ZipfKeys::new(self.keys, self.zipf_exponent),
+                    write_every,
+                    self.reads_per_tick,
+                )
+                .stopping_at(stop_at),
+            )
+        } else {
+            Box::new(RateWorkload::new(write_every, self.reads_per_tick).stopping_at(stop_at))
+        }
     }
 
-    /// Runs the spec to completion and checks the result.
+    /// Runs the spec to completion and checks the result (every key).
+    ///
+    /// Single-key specs run the solo fast path — raw protocol messages,
+    /// byte-identical to the pre-register-space engine; keyed specs run a
+    /// [`SpaceOf`] world under Zipf traffic.
     pub fn run(&self) -> RunReport {
+        self.dispatch(false)
+    }
+
+    /// Runs the spec through the [`crate::RegisterSpace`] multiplexer even
+    /// for one key. The equivalence oracle hook: a 1-key `run_spaced()`
+    /// must produce the same observable run as `run()` (the property tests
+    /// compare their digests), while exercising the `SpaceMsg` wire layer.
+    pub fn run_spaced(&self) -> RunReport {
+        self.dispatch(true)
+    }
+
+    fn dispatch(&self, force_space: bool) -> RunReport {
+        assert!(self.keys > 0, "a register space needs at least one key");
         let end = Time::ZERO + self.duration;
         let drain = self.drain.unwrap_or(self.delta.times(12));
         let stop_at = Time::at(self.duration.as_ticks().saturating_sub(drain.as_ticks()).max(1));
+        let spaced = force_space || self.keys > 1;
         match self.protocol {
             ProtocolChoice::Synchronous => {
                 let f = SyncFactory::new(SyncConfig::new(self.delta));
-                self.run_world(f, end, stop_at)
+                if spaced {
+                    self.run_world(SpaceOf::new(f, self.keys), end, stop_at)
+                } else {
+                    self.run_world(f, end, stop_at)
+                }
             }
             ProtocolChoice::SynchronousNoWait => {
                 let f = SyncFactory::new(SyncConfig::without_join_wait(self.delta));
-                self.run_world(f, end, stop_at)
+                if spaced {
+                    self.run_world(SpaceOf::new(f, self.keys), end, stop_at)
+                } else {
+                    self.run_world(f, end, stop_at)
+                }
             }
             ProtocolChoice::EventuallySynchronous => {
-                let f = EsFactory::new(EsConfig::new(self.n));
-                self.run_world(f, end, stop_at)
+                let mut cfg = EsConfig::new(self.n);
+                if self.trace {
+                    cfg = cfg.with_notes();
+                }
+                let f = EsFactory::new(cfg);
+                if spaced {
+                    self.run_world(SpaceOf::new(f, self.keys), end, stop_at)
+                } else {
+                    self.run_world(f, end, stop_at)
+                }
             }
             ProtocolChoice::EsAtomic => {
-                let f = EsFactory::new(EsConfig::atomic(self.n));
-                self.run_world(f, end, stop_at)
+                let mut cfg = EsConfig::atomic(self.n);
+                if self.trace {
+                    cfg = cfg.with_notes();
+                }
+                let f = EsFactory::new(cfg);
+                if spaced {
+                    self.run_world(SpaceOf::new(f, self.keys), end, stop_at)
+                } else {
+                    self.run_world(f, end, stop_at)
+                }
             }
         }
     }
 
     fn run_world<F>(&self, factory: F, end: Time, stop_at: Time) -> RunReport
     where
-        F: ProtocolFactory,
-        F::Proc: dynareg_core::RegisterProcess<Val = Val>,
+        F: SpaceFactory,
+        F::Proc: RegisterSpaceProcess<Val = Val>,
     {
-        let protocol = factory.name();
+        let protocol = factory.space_name();
+        let keys = factory.key_count();
         let churn_rate = self.effective_churn_rate();
         let mut world = World::new(
             factory,
@@ -301,10 +478,25 @@ impl ScenarioSpec {
         }
         world.run_until(end);
 
-        let (history, presence, metrics, trace, network) = world.into_outputs();
-        let safety = RegularityChecker::check(&history);
-        let atomicity = AtomicityChecker::check(&history);
-        let liveness = LivenessChecker::check(&history);
+        let (space, presence, metrics, trace, network) = world.into_space_outputs();
+        // One source of per-key checking: the verify crate's space report.
+        let mut verdicts = SpaceReport::check(&space).keys.into_iter();
+        let mut histories = space.into_histories().into_iter();
+        let anchor = verdicts.next().expect("anchor key verdict");
+        let history = histories.next().expect("anchor key history");
+        let extra_keys: Vec<KeyReport> = verdicts
+            .zip(histories)
+            .map(|(v, history)| KeyReport {
+                key: v.key,
+                safety: v.regularity,
+                atomicity: v.atomicity,
+                liveness: v.liveness,
+                history,
+            })
+            .collect();
+        let safety = anchor.regularity;
+        let atomicity = anchor.atomicity;
+        let liveness = anchor.liveness;
         let messages: Vec<(&'static str, u64)> = network.sent_by_label().collect();
         let total_messages = network.total_sent();
         RunReport {
@@ -322,6 +514,8 @@ impl ScenarioSpec {
             messages,
             total_messages,
             trace,
+            keys,
+            extra_keys,
         }
     }
 }
@@ -370,6 +564,8 @@ impl Scenario {
                 trace: false,
                 script: None,
                 faults: None,
+                keys: 1,
+                zipf_exponent: 1.0,
             },
         }
     }
@@ -517,6 +713,28 @@ impl Scenario {
     pub fn migrating_writer(mut self) -> Scenario {
         self.spec.migrating_writer = true;
         self.spec.writer_churns = true;
+        self
+    }
+
+    /// Runs a **keyed register space** of `keys` registers instead of the
+    /// single paper register: one protocol instance per key per process
+    /// behind a shared join handshake, client traffic addressing
+    /// `(key, action)` pairs with Zipf-distributed key popularity (see
+    /// [`Scenario::zipf`]). `keys == 1` is the classic single-register run.
+    ///
+    /// # Panics
+    /// Panics if `keys` is zero.
+    pub fn keys(mut self, keys: u32) -> Scenario {
+        assert!(keys > 0, "a register space needs at least one key");
+        self.spec.keys = keys;
+        self
+    }
+
+    /// Zipf key-popularity exponent for keyed runs (`0` uniform, `~1`
+    /// classic web/cache skew; default `1.0`). Ignored for 1-key runs.
+    pub fn zipf(mut self, exponent: f64) -> Scenario {
+        assert!(exponent >= 0.0, "Zipf exponent must be non-negative");
+        self.spec.zipf_exponent = exponent;
         self
     }
 

@@ -4,8 +4,13 @@
 //! invoke. Workloads see only *eligible* processes (active, no operation in
 //! flight) so they cannot violate the per-process sequentiality the paper
 //! assumes.
+//!
+//! Every generated operation addresses a `(RegisterId, action)` pair
+//! ([`KeyedAction`]); the single-register workloads target the anchor key
+//! `r0`, and [`ZipfWorkload`] spreads load over a keyed register space
+//! with Zipf-distributed key popularity.
 
-use dynareg_sim::{DetRng, NodeId, Span, Time};
+use dynareg_sim::{DetRng, NodeId, RegisterId, Span, Time};
 
 /// A client operation request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,6 +19,34 @@ pub enum OpAction {
     Read,
     /// Invoke a write of the given value.
     Write(u64),
+}
+
+impl OpAction {
+    /// Addresses this action to a specific register of a space.
+    pub fn on_key(self, key: RegisterId) -> KeyedAction {
+        KeyedAction { key, action: self }
+    }
+}
+
+/// A client operation request addressed to one register of a space.
+///
+/// A bare [`OpAction`] converts to the anchor key `r0`, so single-register
+/// call sites (`world.invoke(node, OpAction::Read)`) read unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyedAction {
+    /// The addressed register.
+    pub key: RegisterId,
+    /// The action.
+    pub action: OpAction,
+}
+
+impl From<OpAction> for KeyedAction {
+    fn from(action: OpAction) -> KeyedAction {
+        KeyedAction {
+            key: RegisterId::ZERO,
+            action,
+        }
+    }
 }
 
 /// Per-time-unit operation source.
@@ -31,12 +64,54 @@ pub trait Workload: std::fmt::Debug {
         writer: NodeId,
         writer_idle: bool,
         rng: &mut DetRng,
-    ) -> Vec<(NodeId, OpAction)>;
+    ) -> Vec<(NodeId, KeyedAction)>;
 
     /// Instant after which the workload stops issuing operations (drain
     /// window); `Time::MAX` if unbounded.
     fn stop_at(&self) -> Time {
         Time::MAX
+    }
+}
+
+/// A Zipf popularity distribution over the keys of a register space:
+/// key `i` (0-based) carries weight `1 / (i + 1)^s`. Exponent `0` is
+/// uniform; `~1` is the classic web/cache skew.
+#[derive(Debug, Clone)]
+pub struct ZipfKeys {
+    /// Cumulative probabilities, `cdf[i] = P(key ≤ i)`; last entry 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfKeys {
+    /// A distribution over `keys` keys with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `keys` is zero or `s` is negative.
+    pub fn new(keys: u32, s: f64) -> ZipfKeys {
+        assert!(keys > 0, "a register space needs at least one key");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf: Vec<f64> = Vec::with_capacity(keys as usize);
+        let mut acc = 0.0;
+        for i in 0..keys {
+            acc += 1.0 / f64::from(i + 1).powf(s);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        ZipfKeys { cdf }
+    }
+
+    /// Number of keys.
+    pub fn key_count(&self) -> u32 {
+        self.cdf.len() as u32
+    }
+
+    /// Draws a key (deterministic given `rng`).
+    pub fn sample(&self, rng: &mut DetRng) -> RegisterId {
+        let u = rng.unit();
+        let i = self.cdf.partition_point(|&c| c <= u);
+        RegisterId::from_raw(i.min(self.cdf.len() - 1) as u32)
     }
 }
 
@@ -119,7 +194,7 @@ impl Workload for RateWorkload {
         writer: NodeId,
         writer_idle: bool,
         rng: &mut DetRng,
-    ) -> Vec<(NodeId, OpAction)> {
+    ) -> Vec<(NodeId, KeyedAction)> {
         if now >= self.stop_at {
             return Vec::new();
         }
@@ -130,7 +205,7 @@ impl Workload for RateWorkload {
             && now.ticks() > 0
             && now.ticks().is_multiple_of(self.write_every.as_ticks())
         {
-            ops.push((writer, OpAction::Write(self.next_value)));
+            ops.push((writer, OpAction::Write(self.next_value).into()));
             self.next_value += 1;
         }
         // Readers: Poisson number of reads over distinct idle actives.
@@ -141,7 +216,86 @@ impl Workload for RateWorkload {
             let count = (rng.poisson(self.reads_per_tick) as usize).min(idle_actives.len());
             for node in sample_distinct(idle_actives, count, rng) {
                 if node != writer || !ops.iter().any(|(n, _)| *n == node) {
-                    ops.push((node, OpAction::Read));
+                    ops.push((node, OpAction::Read.into()));
+                }
+            }
+        }
+        ops
+    }
+
+    fn stop_at(&self) -> Time {
+        self.stop_at
+    }
+}
+
+/// Steady stochastic load over a **keyed register space**: the same write
+/// period / Poisson read shape as [`RateWorkload`], with every operation's
+/// key drawn from a [`ZipfKeys`] popularity distribution. Write values come
+/// from one global monotone counter, so they are unique per key (as each
+/// key's history requires) and globally.
+#[derive(Debug, Clone)]
+pub struct ZipfWorkload {
+    keys: ZipfKeys,
+    write_every: Span,
+    reads_per_tick: f64,
+    next_value: u64,
+    stop_at: Time,
+}
+
+impl ZipfWorkload {
+    /// A workload over `keys.key_count()` registers writing (one Zipf-drawn
+    /// key) every `write_every` and issuing `reads_per_tick` expected reads
+    /// per tick, each on a Zipf-drawn key.
+    ///
+    /// # Panics
+    /// Panics if `write_every` is zero or `reads_per_tick` is negative.
+    pub fn new(keys: ZipfKeys, write_every: Span, reads_per_tick: f64) -> ZipfWorkload {
+        assert!(!write_every.is_zero(), "write period must be positive");
+        assert!(reads_per_tick >= 0.0, "read rate must be non-negative");
+        ZipfWorkload {
+            keys,
+            write_every,
+            reads_per_tick,
+            next_value: 1,
+            stop_at: Time::MAX,
+        }
+    }
+
+    /// Stops issuing operations at `t` (the scenario's drain start).
+    pub fn stopping_at(mut self, t: Time) -> ZipfWorkload {
+        self.stop_at = t;
+        self
+    }
+}
+
+impl Workload for ZipfWorkload {
+    fn tick(
+        &mut self,
+        now: Time,
+        idle_actives: &[NodeId],
+        _arrivals: &[NodeId],
+        writer: NodeId,
+        writer_idle: bool,
+        rng: &mut DetRng,
+    ) -> Vec<(NodeId, KeyedAction)> {
+        if now >= self.stop_at {
+            return Vec::new();
+        }
+        let mut ops = Vec::new();
+        if writer_idle
+            && now.ticks() > 0
+            && now.ticks().is_multiple_of(self.write_every.as_ticks())
+        {
+            let key = self.keys.sample(rng);
+            ops.push((writer, OpAction::Write(self.next_value).on_key(key)));
+            self.next_value += 1;
+        }
+        if !idle_actives.is_empty() && self.reads_per_tick > 0.0 {
+            let count = (rng.poisson(self.reads_per_tick) as usize).min(idle_actives.len());
+            for node in sample_distinct(idle_actives, count, rng) {
+                if node != writer || !ops.iter().any(|(n, _)| *n == node) {
+                    let key = self.keys.sample(rng);
+                    ops.push((node, OpAction::Read.on_key(key)));
                 }
             }
         }
@@ -160,7 +314,7 @@ impl Workload for RateWorkload {
 /// by the world at run time.
 #[derive(Debug, Clone, Default)]
 pub struct ScriptedWorkload {
-    script: Vec<(Time, ScriptTarget, OpAction)>,
+    script: Vec<(Time, ScriptTarget, KeyedAction)>,
 }
 
 /// Whom a scripted operation addresses.
@@ -179,15 +333,21 @@ impl ScriptedWorkload {
         ScriptedWorkload::default()
     }
 
-    /// Schedules `action` on `node` at `t`.
-    pub fn at(mut self, t: Time, node: NodeId, action: OpAction) -> ScriptedWorkload {
-        self.script.push((t, ScriptTarget::Node(node), action));
+    /// Schedules `action` on `node` at `t`. Accepts a bare [`OpAction`]
+    /// (anchor key `r0`) or a [`KeyedAction`] addressing any key.
+    pub fn at(mut self, t: Time, node: NodeId, action: impl Into<KeyedAction>) -> ScriptedWorkload {
+        self.script.push((t, ScriptTarget::Node(node), action.into()));
         self
     }
 
     /// Schedules `action` on the `k`-th churn arrival at `t`.
-    pub fn at_arrival(mut self, t: Time, k: usize, action: OpAction) -> ScriptedWorkload {
-        self.script.push((t, ScriptTarget::Arrival(k), action));
+    pub fn at_arrival(
+        mut self,
+        t: Time,
+        k: usize,
+        action: impl Into<KeyedAction>,
+    ) -> ScriptedWorkload {
+        self.script.push((t, ScriptTarget::Arrival(k), action.into()));
         self
     }
 
@@ -197,7 +357,7 @@ impl ScriptedWorkload {
         &mut self,
         now: Time,
         resolve: impl Fn(ScriptTarget) -> Option<NodeId>,
-    ) -> Vec<(NodeId, OpAction)> {
+    ) -> Vec<(NodeId, KeyedAction)> {
         let mut due = Vec::new();
         self.script.retain(|(t, target, action)| {
             if *t == now {
@@ -222,7 +382,7 @@ impl Workload for ScriptedWorkload {
         _writer: NodeId,
         _writer_idle: bool,
         _rng: &mut DetRng,
-    ) -> Vec<(NodeId, OpAction)> {
+    ) -> Vec<(NodeId, KeyedAction)> {
         self.take_due(now, |t| match t {
             ScriptTarget::Node(id) => Some(id),
             ScriptTarget::Arrival(k) => arrivals.get(k).copied(),
@@ -247,7 +407,8 @@ mod tests {
         for t in 0..20 {
             for (node, op) in w.tick(Time::at(t), &idle, &[], n(0), true, &mut rng) {
                 assert_eq!(node, n(0));
-                if let OpAction::Write(v) = op {
+                assert_eq!(op.key, RegisterId::ZERO, "rate workload targets the anchor key");
+                if let OpAction::Write(v) = op.action {
                     values.push(v);
                 }
             }
@@ -262,7 +423,7 @@ mod tests {
         assert!(w.tick(Time::at(5), &[], &[], n(0), false, &mut rng).is_empty());
         // The skipped value is not burned: next write uses value 1.
         let ops = w.tick(Time::at(10), &[], &[], n(0), true, &mut rng);
-        assert_eq!(ops, vec![(n(0), OpAction::Write(1))]);
+        assert_eq!(ops, vec![(n(0), OpAction::Write(1).into())]);
     }
 
     #[test]
@@ -306,6 +467,65 @@ mod tests {
             ScriptTarget::Arrival(0) => Some(n(77)),
             _ => None,
         });
-        assert_eq!(due, vec![(n(77), OpAction::Read)]);
+        assert_eq!(due, vec![(n(77), OpAction::Read.into())]);
+    }
+
+    #[test]
+    fn zipf_distribution_is_normalized_and_skewed() {
+        let z = ZipfKeys::new(16, 1.0);
+        assert_eq!(z.key_count(), 16);
+        let mut rng = DetRng::seed(7);
+        let mut counts = [0u64; 16];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng).as_raw() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "every key is reachable");
+        assert!(
+            counts[0] > 3 * counts[15],
+            "key 0 dominates the tail under s=1: {counts:?}"
+        );
+        // Exponent 0 is uniform: head and tail within noise of each other.
+        let u = ZipfKeys::new(16, 0.0);
+        let mut ucounts = [0u64; 16];
+        for _ in 0..20_000 {
+            ucounts[u.sample(&mut rng).as_raw() as usize] += 1;
+        }
+        let (lo, hi) = (
+            *ucounts.iter().min().unwrap() as f64,
+            *ucounts.iter().max().unwrap() as f64,
+        );
+        assert!(hi / lo < 1.5, "uniform keys stay balanced: {ucounts:?}");
+    }
+
+    #[test]
+    fn zipf_workload_addresses_many_keys_with_unique_values() {
+        let mut w = ZipfWorkload::new(ZipfKeys::new(8, 1.0), Span::ticks(2), 3.0);
+        let mut rng = DetRng::seed(3);
+        let idle: Vec<NodeId> = (0..20).map(n).collect();
+        let mut keys_seen = std::collections::HashSet::new();
+        let mut values = Vec::new();
+        for t in 1..200 {
+            for (_, op) in w.tick(Time::at(t), &idle, &[], n(0), true, &mut rng) {
+                keys_seen.insert(op.key);
+                if let OpAction::Write(v) = op.action {
+                    values.push(v);
+                }
+            }
+        }
+        assert!(keys_seen.len() > 4, "zipf traffic spreads over keys");
+        let distinct: std::collections::HashSet<u64> = values.iter().copied().collect();
+        assert_eq!(distinct.len(), values.len(), "write values are globally unique");
+    }
+
+    #[test]
+    fn scripted_workload_accepts_keyed_actions() {
+        let mut w = ScriptedWorkload::new().at(
+            Time::at(2),
+            n(1),
+            OpAction::Read.on_key(RegisterId::from_raw(5)),
+        );
+        let mut rng = DetRng::seed(1);
+        let due = w.tick(Time::at(2), &[], &[], n(0), true, &mut rng);
+        assert_eq!(due, vec![(n(1), OpAction::Read.on_key(RegisterId::from_raw(5)))]);
     }
 }

@@ -2,16 +2,20 @@
 //!
 //! [`World`] owns everything a run needs — protocol actors, the network,
 //! the churn driver, the workload, the history, the trace — and advances
-//! them on a single event queue. It is the interpreter for the protocols'
-//! [`Effect`] language:
+//! them on a single event queue. Every actor is a
+//! [`RegisterSpaceProcess`] — a keyed register space; single-register
+//! protocols run as transparent 1-key spaces via the
+//! [`crate::SpaceFactory`] blanket impl, byte-identical to driving them
+//! directly. The world is the interpreter for the spaces'
+//! [`SpaceEffect`] language:
 //!
 //! | effect | interpretation |
 //! |---|---|
 //! | `Send` | sample latency, schedule a delivery (dropped if the target leaves first) |
 //! | `Broadcast` | one delivery per process present *now* (the timely broadcast snapshot), sharing a single payload |
 //! | `SetTimer` | schedule a timer callback |
-//! | `JoinComplete` | flip presence to active, complete the join in the history |
-//! | `OpComplete` | complete the read/write in the history, free the process |
+//! | `JoinComplete` | flip presence to active, complete the join (every key) in the history |
+//! | `OpComplete` | complete the read/write in its key's history, free the process |
 //!
 //! Per time unit the world (1) applies churn decisions — departures first,
 //! then fresh joiners, matching the paper's "replaced within the time unit"
@@ -35,15 +39,16 @@ use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
 
 use dynareg_churn::ChurnDriver;
-use dynareg_core::{Effect, OpOutcome, RegisterProcess};
+use dynareg_core::space::{RegisterSpaceProcess, SpaceEffect};
+use dynareg_core::OpOutcome;
 use dynareg_net::{Fanout, Network, Presence};
 use dynareg_sim::metrics::Metrics;
 use dynareg_sim::trace::{TraceEvent, TraceLog};
-use dynareg_sim::{DetRng, EventQueue, NodeId, OpId, Span, Time};
-use dynareg_verify::History;
+use dynareg_sim::{DetRng, EventQueue, NodeId, OpId, RegisterId, Span, Time};
+use dynareg_verify::{History, SpaceHistory};
 
-use crate::factory::ProtocolFactory;
-use crate::workload::{OpAction, Workload};
+use crate::factory::SpaceFactory;
+use crate::workload::{KeyedAction, OpAction, Workload};
 
 /// The register value type used by scenarios; histories wrap it in
 /// `Option` so the protocol's ⊥ is representable (and flagged as fabricated
@@ -128,11 +133,13 @@ pub enum WriterPolicy {
     OldestActive,
 }
 
-/// What a process is currently executing (at most one client op each).
+/// What a process is currently executing (at most one client op each —
+/// per-process sequentiality, stricter than per-key). Op ids are unique
+/// *per key*, so eligibility and completion carry the key alongside.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Busy {
-    Read(OpId),
-    Write(OpId),
+    Read(RegisterId, OpId),
+    Write(RegisterId, OpId),
 }
 
 /// One live process in the slab.
@@ -142,8 +149,9 @@ struct Slot<P> {
     proc_: P,
     /// Mirrors the presence table's active bit for O(1) eligibility checks.
     active: bool,
-    /// Join op of a process still joining.
-    joining: Option<OpId>,
+    /// Per-key join ops of a process still joining (a joiner joins every
+    /// register of the space at once), in key order.
+    joining: Option<Vec<OpId>>,
     /// Client op in flight, if any.
     busy: Option<Busy>,
 }
@@ -175,14 +183,18 @@ impl Hasher for NodeIdHasher {
 
 type NodeMap<V> = HashMap<NodeId, V, BuildHasherDefault<NodeIdHasher>>;
 
-/// The deterministic simulation world for protocol `F::Proc`.
+/// The deterministic simulation world for the spaces `F` builds.
 ///
 /// Most users go through [`crate::Scenario`]; `World` is public for tests
 /// and experiments needing fine-grained control (scripted fault injection,
-/// mid-run probes).
-pub struct World<F: ProtocolFactory> {
+/// mid-run probes). `World<SyncFactory>` / `World<EsFactory>` drive the
+/// paper's single-register protocols unchanged (1-key spaces);
+/// `World<SpaceOf<…>>` drives a keyed register space.
+///
+/// [`SpaceOf`]: crate::SpaceOf
+pub struct World<F: SpaceFactory> {
     factory: F,
-    queue: EventQueue<Pending<<F::Proc as RegisterProcess>::Msg>>,
+    queue: EventQueue<Pending<<F::Proc as RegisterSpaceProcess>::Msg>>,
     /// Dense live-node storage; see the module docs.
     slots: Vec<Option<Slot<F::Proc>>>,
     free_slots: Vec<u32>,
@@ -197,7 +209,10 @@ pub struct World<F: ProtocolFactory> {
     network: Network,
     churn: ChurnDriver,
     workload: Box<dyn Workload>,
-    history: History<Option<Val>>,
+    /// One history per key; 1-key worlds are the single-register case.
+    histories: SpaceHistory<Option<Val>>,
+    /// Cached key count (== `histories.key_count()`).
+    keys: u32,
     trace: TraceLog,
     metrics: Metrics,
     /// Deliveries counted outside [`Metrics`] (a per-event map update is
@@ -206,15 +221,16 @@ pub struct World<F: ProtocolFactory> {
     delivered_msgs: u64,
     /// Reused scratch for `on_message_into` — one buffer for all
     /// deliveries instead of one allocation each.
-    effects_buf: Vec<Effect<<F::Proc as RegisterProcess>::Msg, Val>>,
+    effects_buf: Vec<SpaceEffect<<F::Proc as RegisterSpaceProcess>::Msg, Val>>,
     rng_workload: DetRng,
     rng_churn: DetRng,
     /// Active processes with no operation in flight, in id order —
     /// maintained incrementally so the per-tick workload never rescans the
     /// population.
     idle_active: Vec<NodeId>,
-    /// The single in-flight write, if any (writes are serialized).
-    write_in_flight: Option<OpId>,
+    /// The single in-flight write, if any (writes are serialized across
+    /// the whole space — the paper's one-writer reading), with its key.
+    write_in_flight: Option<(RegisterId, OpId)>,
     /// The designated writer (under `FixedProtected`).
     writer: NodeId,
     writer_policy: WriterPolicy,
@@ -232,14 +248,16 @@ pub struct World<F: ProtocolFactory> {
     end: Time,
 }
 
-impl<F: ProtocolFactory> World<F>
+impl<F: SpaceFactory> World<F>
 where
-    F::Proc: RegisterProcess<Val = Val>,
+    F::Proc: RegisterSpaceProcess<Val = Val>,
 {
-    /// Builds a world with `config.n` active bootstrap members holding
-    /// `config.initial`, and schedules the first churn/workload tick.
+    /// Builds a world with `config.n` active bootstrap members, every key
+    /// of every space holding `config.initial`, and schedules the first
+    /// churn/workload tick.
     pub fn new(factory: F, config: WorldConfig) -> World<F> {
         assert!(config.n > 0, "population must be positive");
+        let keys = factory.key_count();
         let mut seed_rng = DetRng::seed(config.seed);
         let rng_net = seed_rng.fork(1);
         let rng_churn = seed_rng.fork(2);
@@ -258,7 +276,7 @@ where
             present_slots.push((id, slots.len() as u32));
             slots.push(Some(Slot {
                 node: id,
-                proc_: factory.bootstrap(id, config.initial),
+                proc_: factory.space_bootstrap(id, config.initial),
                 active: true,
                 joining: None,
                 busy: None,
@@ -280,7 +298,8 @@ where
             network: Network::new(config.delay, rng_net),
             churn: config.churn,
             workload: config.workload,
-            history: History::new(Some(config.initial)),
+            histories: SpaceHistory::new(keys, Some(config.initial)),
+            keys,
             trace: if config.trace {
                 TraceLog::enabled()
             } else {
@@ -398,7 +417,7 @@ where
 
     fn handle_fan(
         &mut self,
-        fan: Rc<Fanout<<F::Proc as RegisterProcess>::Msg>>,
+        fan: Rc<Fanout<<F::Proc as RegisterSpaceProcess>::Msg>>,
         idx: u32,
         slot: u32,
     ) {
@@ -423,7 +442,7 @@ where
         to: NodeId,
         slot: u32,
         label: &'static str,
-        msg: <F::Proc as RegisterProcess>::Msg,
+        msg: <F::Proc as RegisterSpaceProcess>::Msg,
     ) {
         if self.live_slot(to, slot).is_none() {
             self.drop_delivery(to, label);
@@ -441,7 +460,7 @@ where
         to: NodeId,
         slot: u32,
         label: &'static str,
-        msg: <F::Proc as RegisterProcess>::Msg,
+        msg: <F::Proc as RegisterSpaceProcess>::Msg,
     ) {
         let now = self.now;
         // Reuse one effects buffer across all deliveries (the protocols'
@@ -533,7 +552,7 @@ where
 
     fn remove_node(&mut self, victim: NodeId) {
         self.presence.leave(victim, self.now);
-        self.history.note_left(victim, self.now);
+        self.histories.note_left(victim, self.now);
         let slot_idx = self
             .slot_of
             .remove(&victim)
@@ -553,8 +572,8 @@ where
         }
         // A departing writer abandons its in-flight write; the next
         // write may start (its pending op stays incomplete-but-excused).
-        if let Some(Busy::Write(op)) = slot.busy {
-            if self.write_in_flight == Some(op) {
+        if let Some(Busy::Write(key, op)) = slot.busy {
+            if self.write_in_flight == Some((key, op)) {
                 self.write_in_flight = None;
             }
         }
@@ -563,10 +582,14 @@ where
     }
 
     fn spawn_joiner(&mut self, id: NodeId) {
-        let join_op = self.history.invoke_join(id, self.now);
+        // The join is one membership event recorded in every key's history
+        // (each key's history is self-contained for the liveness checker);
+        // the trace and the protocol see the anchor key's op id.
+        let join_ops = self.histories.invoke_join_all(id, self.now);
+        let join_op = join_ops[0];
         self.presence.enter(id, self.now);
         self.arrivals.push(id);
-        let mut proc_ = self.factory.joiner(id, join_op);
+        let mut proc_ = self.factory.space_joiner(id, join_op);
         self.trace.record(self.now, TraceEvent::Enter { node: id });
         self.trace.record(
             self.now,
@@ -582,7 +605,7 @@ where
             node: id,
             proc_,
             active: false,
-            joining: Some(join_op),
+            joining: Some(join_ops),
             busy: None,
         };
         let slot_idx = match self.free_slots.pop() {
@@ -622,9 +645,20 @@ where
         }
     }
 
-    /// Invokes a client operation, skipping (and counting) requests that
-    /// target busy or non-active processes.
-    pub fn invoke(&mut self, node: NodeId, action: OpAction) {
+    /// Invokes a client operation on a `(register, action)` address,
+    /// skipping (and counting) requests that target busy or non-active
+    /// processes. A bare [`OpAction`] addresses the anchor key `r0`, so
+    /// single-register call sites read unchanged.
+    ///
+    /// # Panics
+    /// Panics if the addressed key is outside the world's key space.
+    pub fn invoke(&mut self, node: NodeId, action: impl Into<KeyedAction>) {
+        let KeyedAction { key, action } = action.into();
+        assert!(
+            key.as_raw() < self.keys,
+            "{key} is outside this world's {}-key space",
+            self.keys
+        );
         let eligible = self
             .slot_of
             .get(&node)
@@ -639,8 +673,8 @@ where
         };
         match action {
             OpAction::Read => {
-                let op = self.history.invoke_read(node, self.now);
-                self.set_busy(node, slot_idx, Busy::Read(op));
+                let op = self.histories.key_mut(key).invoke_read(node, self.now);
+                self.set_busy(node, slot_idx, Busy::Read(key, op));
                 self.trace.record(
                     self.now,
                     TraceEvent::Invoke {
@@ -654,7 +688,7 @@ where
                     .as_mut()
                     .expect("interned slot")
                     .proc_
-                    .on_read(now, op);
+                    .on_read(now, key, op);
                 self.apply_effects(node, slot_idx, &mut effects);
             }
             OpAction::Write(value) => {
@@ -662,9 +696,12 @@ where
                     self.metrics.incr("workload.skipped");
                     return;
                 }
-                let op = self.history.invoke_write(node, self.now, Some(value));
-                self.set_busy(node, slot_idx, Busy::Write(op));
-                self.write_in_flight = Some(op);
+                let op = self
+                    .histories
+                    .key_mut(key)
+                    .invoke_write(node, self.now, Some(value));
+                self.set_busy(node, slot_idx, Busy::Write(key, op));
+                self.write_in_flight = Some((key, op));
                 // The paper's liveness statements assume a writer stays
                 // until its write returns; shield it for exactly that long.
                 if !self.churn.protected().contains(&node) {
@@ -684,7 +721,7 @@ where
                     .as_mut()
                     .expect("interned slot")
                     .proc_
-                    .on_write(now, op, value);
+                    .on_write(now, key, op, value);
                 self.apply_effects(node, slot_idx, &mut effects);
             }
         }
@@ -702,12 +739,12 @@ where
         &mut self,
         node: NodeId,
         slot_idx: u32,
-        effects: &mut Vec<Effect<<F::Proc as RegisterProcess>::Msg, Val>>,
+        effects: &mut Vec<SpaceEffect<<F::Proc as RegisterSpaceProcess>::Msg, Val>>,
     ) {
         for effect in effects.drain(..) {
             match effect {
-                Effect::Send { to, msg } => {
-                    let label = F::msg_label(&msg);
+                SpaceEffect::Send { to, msg } => {
+                    let label = F::space_msg_label(&msg);
                     // The slab mirrors the present set: an absent key means
                     // the channel carries nothing (counted as dropped, as
                     // `Network::send` would).
@@ -737,8 +774,8 @@ where
                         },
                     );
                 }
-                Effect::Broadcast { msg } => {
-                    let label = F::msg_label(&msg);
+                SpaceEffect::Broadcast { msg } => {
+                    let label = F::space_msg_label(&msg);
                     self.trace.record(
                         self.now,
                         TraceEvent::Send {
@@ -775,7 +812,7 @@ where
                         );
                     }
                 }
-                Effect::SetTimer { delay, tag } => {
+                SpaceEffect::SetTimer { delay, tag } => {
                     self.queue.schedule_class(
                         self.now + delay,
                         CLASS_TIMER,
@@ -786,35 +823,37 @@ where
                         },
                     );
                 }
-                Effect::JoinComplete => {
+                SpaceEffect::JoinComplete => {
                     // Bootstrap members are active from construction and
-                    // complete no join op.
+                    // complete no join op. A space emits one JoinComplete
+                    // when its last key activates; the join completes in
+                    // every key's history at once.
                     let s = self.slots[slot_idx as usize]
                         .as_mut()
                         .expect("effects target a live slot");
-                    if let Some(join_op) = s.joining.take() {
+                    if let Some(join_ops) = s.joining.take() {
                         s.active = true;
                         self.presence.activate(node, self.now);
-                        self.history.complete_join(join_op, self.now);
+                        self.histories.complete_join_all(&join_ops, self.now);
                         self.idle_insert(node);
                         self.trace.record(self.now, TraceEvent::Activate { node });
                         self.trace.record(
                             self.now,
-                            TraceEvent::Complete { node, op: join_op },
+                            TraceEvent::Complete { node, op: join_ops[0] },
                         );
                         self.metrics.incr("ops.join_completed");
                     }
                 }
-                Effect::OpComplete { op, outcome } => {
+                SpaceEffect::OpComplete { key, op, outcome } => {
                     match outcome {
                         OpOutcome::Read(value) => {
-                            self.history.complete_read(op, self.now, value);
+                            self.histories.key_mut(key).complete_read(op, self.now, value);
                             self.metrics.incr("ops.read_completed");
                         }
                         OpOutcome::WriteOk => {
-                            self.history.complete_write(op, self.now);
+                            self.histories.key_mut(key).complete_write(op, self.now);
                             self.metrics.incr("ops.write_completed");
-                            if self.write_in_flight == Some(op) {
+                            if self.write_in_flight == Some((key, op)) {
                                 self.write_in_flight = None;
                             }
                             if self.temp_write_protection == Some(node) {
@@ -832,7 +871,14 @@ where
                     }
                     self.trace.record(self.now, TraceEvent::Complete { node, op });
                 }
-                Effect::Note(text) => {
+                SpaceEffect::Note { key, text } => {
+                    // Keyed spaces attribute notes to their register; the
+                    // 1-key text stays exactly the legacy rendering.
+                    let text = if self.keys > 1 && self.trace.is_enabled() {
+                        format!("[{key}] {text}")
+                    } else {
+                        text
+                    };
                     self.trace.record(self.now, TraceEvent::Note { node, text });
                 }
             }
@@ -852,9 +898,26 @@ where
         self.churn.protect(node);
     }
 
-    /// The recorded history (read-only).
+    /// Number of registers in this world's key space.
+    pub fn key_count(&self) -> u32 {
+        self.keys
+    }
+
+    /// The anchor key's recorded history (read-only) — *the* history of a
+    /// single-register world. Keyed worlds expose every key via
+    /// [`World::space_history`].
     pub fn history(&self) -> &History<Option<Val>> {
-        &self.history
+        self.histories.key(RegisterId::ZERO)
+    }
+
+    /// One key's recorded history (read-only).
+    pub fn key_history(&self, key: RegisterId) -> &History<Option<Val>> {
+        self.histories.key(key)
+    }
+
+    /// The full per-key history space (read-only).
+    pub fn space_history(&self) -> &SpaceHistory<Option<Val>> {
+        &self.histories
     }
 
     /// The presence table (read-only).
@@ -880,9 +943,12 @@ where
     }
 
     /// Decomposes the world into its observable outputs
-    /// `(history, presence, metrics, trace, network)`.
+    /// `(history, presence, metrics, trace, network)` — the single-register
+    /// view: the history is the anchor key's (other keys, if any, are
+    /// dropped; keyed worlds decompose via
+    /// [`World::into_space_outputs`]).
     pub fn into_outputs(
-        mut self,
+        self,
     ) -> (
         History<Option<Val>>,
         Presence,
@@ -890,9 +956,29 @@ where
         TraceLog,
         Network,
     ) {
+        let (space, presence, metrics, trace, network) = self.into_space_outputs();
+        let history = space
+            .into_histories()
+            .into_iter()
+            .next()
+            .expect("a space has at least one key");
+        (history, presence, metrics, trace, network)
+    }
+
+    /// Decomposes the world into its observable outputs with the full
+    /// per-key history space.
+    pub fn into_space_outputs(
+        mut self,
+    ) -> (
+        SpaceHistory<Option<Val>>,
+        Presence,
+        Metrics,
+        TraceLog,
+        Network,
+    ) {
         self.metrics.add("net.delivered", self.delivered_msgs);
         (
-            self.history,
+            self.histories,
             self.presence,
             self.metrics,
             self.trace,
@@ -901,7 +987,7 @@ where
     }
 }
 
-impl<F: ProtocolFactory> std::fmt::Debug for World<F> {
+impl<F: SpaceFactory> std::fmt::Debug for World<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
             .field("now", &self.now)

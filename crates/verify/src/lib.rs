@@ -22,6 +22,10 @@
 //! Histories follow the paper's concurrency structure: **writes are totally
 //! ordered** (single writer, or serialized writers as assumed in §5.3); the
 //! checkers exploit this for a linear-time legal-value computation.
+//!
+//! Keyed register spaces generalize the history to one [`History`] per key
+//! ([`SpaceHistory`]); every checker runs unchanged per key and
+//! [`SpaceReport`] aggregates the verdicts (totals + worst key).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,7 @@ mod liveness;
 mod regular;
 mod report;
 mod safe;
+mod space;
 
 pub use atomic::AtomicityChecker;
 pub use history::{FabricatedValue, History, OpKind, OpRecord};
@@ -39,3 +44,4 @@ pub use liveness::{LivenessChecker, LivenessReport};
 pub use regular::RegularityChecker;
 pub use report::{ConsistencyReport, Violation};
 pub use safe::SafeChecker;
+pub use space::{KeyVerdict, SpaceHistory, SpaceReport};

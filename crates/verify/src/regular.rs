@@ -131,7 +131,7 @@ pub struct RegularityChecker;
 impl RegularityChecker {
     /// Runs the check; the report lists every illegal read.
     ///
-    /// Single pass over the reads against a [`WriteSweep`] of the write
+    /// Single pass over the reads against a `WriteSweep` of the write
     /// intervals: per read, the last-completed-write index is one binary
     /// search and the concurrency test for the returned value's write is
     /// one O(1) interval overlap — O((R+W) log W) overall, versus the

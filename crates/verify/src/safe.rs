@@ -22,7 +22,7 @@ pub struct SafeChecker;
 impl SafeChecker {
     /// Runs the check.
     ///
-    /// Sweep-line over the write intervals ([`WriteSweep`]): quiescence is
+    /// Sweep-line over the write intervals (`WriteSweep`): quiescence is
     /// one binary search per read (does *any* write interval intersect the
     /// read?) and the expected value another — O((R+W) log W) total,
     /// versus the retained [`SafeChecker::check_naive`] oracle's O(R·W).

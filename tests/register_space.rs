@@ -1,0 +1,180 @@
+//! Keyed register-space runs: many registers over one churn substrate.
+//!
+//! The headline acceptance case: a **256-key Zipf workload on a
+//! 1000-node churning world** runs through `RegisterSpace`, per-key
+//! regularity/liveness checks all green, with the shared join handshake
+//! batching each joiner's state transfer into one inquiry and one reply
+//! per responder.
+
+use dynareg::sim::{RegisterId, Span};
+use dynareg::testkit::{OpAction, Scenario};
+use dynareg::verify::SpaceReport;
+
+/// 256 keys × 1000 nodes under churn: every key's register is regular and
+/// live. (Churn is modest so the K·n state transfer per join keeps debug
+/// runtime sane; the release-mode `exp_space_throughput` binary runs the
+/// heavy version.)
+#[test]
+fn zipf_256_keys_on_a_churning_1000_node_world_is_regular_per_key() {
+    let report = Scenario::synchronous(1000, Span::ticks(3))
+        .keys(256)
+        .zipf(1.0)
+        .churn_rate(0.0004) // ≈ 0.4 joins/tick in absolute terms
+        .reads_per_tick(6.0)
+        .duration(Span::ticks(90))
+        .seed(0xBA1D)
+        .run();
+    assert_eq!(report.keys, 256);
+    assert_eq!(report.extra_keys.len(), 255);
+    assert!(
+        report.presence.total_arrivals() > 1010,
+        "churn actually ran (arrivals = {})",
+        report.presence.total_arrivals()
+    );
+    // Zipf traffic reached a broad slice of the key space…
+    let touched = usize::from(report.reads_checked() > 0)
+        + report
+            .extra_keys
+            .iter()
+            .filter(|k| k.safety.checked_reads > 0 || k.history.write_count() > 0)
+            .count();
+    assert!(touched > 48, "only {touched} keys saw traffic");
+    assert!(report.total_reads_checked() > 200, "space-wide reads were checked");
+    // …and every key is green.
+    assert!(report.all_keys_safe(), "{}", report.summary());
+    assert!(report.all_keys_live(), "{}", report.summary());
+    assert_eq!(report.total_violations(), 0);
+    assert_eq!(report.worst_key().1, 0, "worst key has no violations");
+}
+
+/// The shared handshake is what makes 256 keys affordable: joins cost one
+/// `JoinAll` inquiry and one batched reply per responder — the same
+/// *message count* as a single-register join — instead of `2k` messages.
+#[test]
+fn shared_join_handshake_keeps_message_count_key_independent() {
+    let run = |keys: u32| {
+        Scenario::synchronous(30, Span::ticks(3))
+            .keys(keys)
+            .churn_rate(0.01)
+            .reads_per_tick(0.0)
+            .write_every(Span::ticks(1_000_000)) // joins only: isolate the handshake
+            .duration(Span::ticks(120))
+            .seed(7)
+            .run()
+    };
+    let one = run(1);
+    let sixteen = run(16);
+    assert!(one.presence.total_arrivals() > 45, "churn ran");
+    // Same membership schedule (same seed, same churn draws), so the join
+    // traffic is comparable; the 16-key space pays the same number of
+    // physical messages as the 1-key world.
+    assert_eq!(
+        one.presence.total_arrivals(),
+        sixteen.presence.total_arrivals()
+    );
+    assert_eq!(
+        one.total_messages, sixteen.total_messages,
+        "the handshake is shared, not per key"
+    );
+}
+
+/// Per-key histories are genuinely independent: traffic lands on the keys
+/// the workload addressed, writes serialize within each key, and untouched
+/// keys stay pristine.
+#[test]
+fn keyed_scripted_invocations_land_on_their_registers() {
+    use dynareg::churn::{ChurnDriver, LeaveSelector, NoChurn};
+    use dynareg::net::delay::Synchronous;
+    use dynareg::sim::{IdSource, NodeId, Time};
+    use dynareg::testkit::{
+        ScriptedWorkload, SpaceOf, SyncFactory, World, WorldConfig, WriterPolicy,
+    };
+    use dynareg_core::sync::SyncConfig;
+
+    let k = RegisterId::from_raw;
+    let script = ScriptedWorkload::new()
+        .at(Time::at(2), NodeId::from_raw(0), OpAction::Write(10).on_key(k(3)))
+        .at(Time::at(9), NodeId::from_raw(0), OpAction::Write(11).on_key(k(1)))
+        .at(Time::at(14), NodeId::from_raw(2), OpAction::Read.on_key(k(3)))
+        .at(Time::at(15), NodeId::from_raw(4), OpAction::Read.on_key(k(0)));
+    let mut world = World::new(
+        SpaceOf::new(SyncFactory::new(SyncConfig::new(Span::ticks(2))), 4),
+        WorldConfig {
+            n: 6,
+            initial: 0,
+            delay: Box::new(Synchronous::new(Span::ticks(2))),
+            churn: ChurnDriver::new(Box::new(NoChurn), LeaveSelector::Random, IdSource::starting_at(6)),
+            workload: Box::new(script),
+            seed: 3,
+            trace: false,
+            writer_policy: WriterPolicy::FixedProtected,
+        },
+    );
+    world.run_until(Time::at(40));
+    assert_eq!(world.key_count(), 4);
+
+    let space = world.space_history();
+    assert_eq!(space.key(k(3)).write_count(), 1);
+    assert_eq!(space.key(k(1)).write_count(), 1);
+    assert_eq!(space.key(k(0)).write_count(), 0);
+    assert_eq!(space.key(k(2)).ops().len(), 0, "untouched key stays pristine");
+    // The key-3 read observed key 3's write, the key-0 read the initial value.
+    let report = SpaceReport::check(space);
+    assert!(report.all_regular() && report.all_live(), "{}", report.summary());
+    let read3 = space.key(k(3)).completed_reads().next().expect("read on r3");
+    assert_eq!(
+        format!("{:?}", read3.kind),
+        "Read { returned: Some(Some(10)) }"
+    );
+}
+
+/// The quorum-based ES protocol also multiplexes: a keyed ES run under
+/// churn stays regular and live on every key.
+#[test]
+fn keyed_es_space_is_regular_per_key() {
+    use dynareg::sim::Time;
+    let report = Scenario::eventually_synchronous(11, Span::ticks(3), Time::ZERO)
+        .keys(8)
+        .zipf(0.8)
+        .churn_fraction_of_bound(0.5)
+        .reads_per_tick(2.0)
+        .duration(Span::ticks(400))
+        .seed(2)
+        .run();
+    assert_eq!(report.keys, 8);
+    assert!(report.all_keys_safe(), "{}", report.summary());
+    assert!(report.all_keys_live(), "{}", report.summary());
+    assert!(report.total_reads_checked() > 50);
+    assert!(report.summary().contains("keys=8"), "{}", report.summary());
+}
+
+/// Addressing a key outside the world's space is a caller bug, not a
+/// silent drop.
+#[test]
+#[should_panic(expected = "outside this world's")]
+fn out_of_space_key_panics() {
+    use dynareg::churn::{ChurnDriver, LeaveSelector, NoChurn};
+    use dynareg::net::delay::Synchronous;
+    use dynareg::sim::{IdSource, NodeId, Time};
+    use dynareg::testkit::{RateWorkload, SyncFactory, World, WorldConfig, WriterPolicy};
+    use dynareg_core::sync::SyncConfig;
+
+    let mut world = World::new(
+        SyncFactory::new(SyncConfig::new(Span::ticks(2))),
+        WorldConfig {
+            n: 3,
+            initial: 0,
+            delay: Box::new(Synchronous::new(Span::ticks(2))),
+            churn: ChurnDriver::new(Box::new(NoChurn), LeaveSelector::Random, IdSource::starting_at(3)),
+            workload: Box::new(RateWorkload::new(Span::ticks(4), 0.0)),
+            seed: 1,
+            trace: false,
+            writer_policy: WriterPolicy::FixedProtected,
+        },
+    );
+    world.run_until(Time::at(5));
+    world.invoke(
+        NodeId::from_raw(1),
+        OpAction::Read.on_key(RegisterId::from_raw(9)),
+    );
+}

@@ -1,0 +1,118 @@
+//! The register-space redesign's load-bearing property: a **1-key
+//! `RegisterSpace` world is byte-identical to the legacy single-register
+//! world** — same histories (op ids, instants, values), same membership
+//! totals, same message counts, same verdicts — across seeds, protocols
+//! (sync + ES) and churn plans.
+//!
+//! `ScenarioSpec::run()` takes the solo fast path (raw protocol messages,
+//! the pre-redesign engine); `ScenarioSpec::run_spaced()` forces the same
+//! spec through the `RegisterSpace` multiplexer and its `SpaceMsg` wire
+//! layer. Their event-stream digests must collide exactly.
+
+use dynareg::churn::LeaveSelector;
+use dynareg::fleet::run_digest;
+use dynareg::sim::{Span, Time};
+use dynareg::testkit::{RunReport, Scenario};
+use proptest::prelude::*;
+
+/// Full observable equality, not just the digest: histories render
+/// identically, message totals and per-label streams match, and all three
+/// verdicts agree.
+fn assert_equivalent(solo: &RunReport, spaced: &RunReport) {
+    assert_eq!(solo.keys, 1);
+    assert_eq!(spaced.keys, 1);
+    assert_eq!(
+        format!("{:?}", solo.history.ops()),
+        format!("{:?}", spaced.history.ops()),
+        "op streams diverge"
+    );
+    assert_eq!(solo.total_messages, spaced.total_messages, "message counts diverge");
+    assert_eq!(solo.messages, spaced.messages, "per-label message streams diverge");
+    assert_eq!(
+        solo.presence.total_arrivals(),
+        spaced.presence.total_arrivals()
+    );
+    assert_eq!(
+        solo.presence.total_departures(),
+        spaced.presence.total_departures()
+    );
+    assert_eq!(solo.safety.is_ok(), spaced.safety.is_ok());
+    assert_eq!(solo.inversions(), spaced.inversions());
+    assert_eq!(
+        solo.liveness.incomplete_stayer_count(),
+        spaced.liveness.incomplete_stayer_count()
+    );
+    assert_eq!(run_digest(solo), run_digest(spaced), "event-stream digests diverge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sync protocol: any (n, δ, churn plan, seed) produces digest-identical
+    /// solo and 1-key-space runs.
+    #[test]
+    fn one_key_sync_space_equals_legacy_world(
+        n in 5usize..20,
+        delta in 2u64..6,
+        churn_plan in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let base = Scenario::synchronous(n, Span::ticks(delta))
+            .duration(Span::ticks(180))
+            .seed(seed);
+        let base = match churn_plan {
+            0 => base,                                    // static membership
+            1 => base.churn_fraction_of_bound(0.5),       // the paper's model
+            _ => base
+                .churn_poisson(0.01)
+                .leave_selector(LeaveSelector::ActiveFirst), // bursty adversary
+        };
+        let spec = base.into_spec();
+        assert_equivalent(&spec.run(), &spec.run_spaced());
+    }
+
+    /// ES protocol (quorum joins, DL_PREV mutual help, ack chains): the
+    /// shared handshake's fan-in/fan-out must not change a single event.
+    #[test]
+    fn one_key_es_space_equals_legacy_world(
+        n in 5usize..14,
+        gst in 0u64..120,
+        churn in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let base = Scenario::eventually_synchronous(n, Span::ticks(3), Time::at(gst))
+            .duration(Span::ticks(300))
+            .seed(seed);
+        let base = if churn == 0 { base } else { base.churn_fraction_of_bound(0.5) };
+        let spec = base.into_spec();
+        assert_equivalent(&spec.run(), &spec.run_spaced());
+    }
+}
+
+/// The atomic extension's write-back broadcasts also round-trip the space
+/// layer unchanged.
+#[test]
+fn one_key_atomic_space_equals_legacy_world() {
+    for seed in 0..4 {
+        let spec = Scenario::es_atomic(9, Span::ticks(2), Time::ZERO)
+            .duration(Span::ticks(250))
+            .reads_per_tick(2.0)
+            .seed(seed)
+            .into_spec();
+        assert_equivalent(&spec.run(), &spec.run_spaced());
+    }
+}
+
+/// The Figure 3(a) ablation (skip-join-wait) exercises the joiner's
+/// enter-time inquiry through the shared handshake.
+#[test]
+fn one_key_nowait_space_equals_legacy_world() {
+    for seed in 0..4 {
+        let spec = Scenario::synchronous_without_join_wait(10, Span::ticks(3))
+            .churn_fraction_of_bound(0.4)
+            .duration(Span::ticks(200))
+            .seed(seed)
+            .into_spec();
+        assert_equivalent(&spec.run(), &spec.run_spaced());
+    }
+}
