@@ -20,20 +20,12 @@ fn bench_broadcast(c: &mut Criterion) {
     for &n in &[100u64, 1000] {
         group.bench_function(format!("broadcast_fanout_n{n}"), |b| {
             let presence = presence_with(n);
-            let mut net = Network::new(
-                Box::new(Synchronous::new(Span::ticks(5))),
-                DetRng::seed(1),
-            );
+            let mut net = Network::new(Box::new(Synchronous::new(Span::ticks(5))), DetRng::seed(1));
             let mut t = 0u64;
             b.iter(|| {
                 t += 1;
-                let envs = net.broadcast(
-                    &presence,
-                    Time::at(t),
-                    NodeId::from_raw(0),
-                    "BENCH",
-                    7u64,
-                );
+                let envs =
+                    net.broadcast(&presence, Time::at(t), NodeId::from_raw(0), "BENCH", 7u64);
                 black_box(envs.len());
             });
         });

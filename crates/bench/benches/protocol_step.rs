@@ -14,13 +14,22 @@ fn bench_sync_steps(c: &mut Criterion) {
 
     group.bench_function("write_delivery", |b| {
         b.iter_batched(
-            || SyncRegister::new_bootstrap(NodeId::from_raw(0), SyncConfig::new(Span::ticks(4)), 0u64),
+            || {
+                SyncRegister::new_bootstrap(
+                    NodeId::from_raw(0),
+                    SyncConfig::new(Span::ticks(4)),
+                    0u64,
+                )
+            },
             |mut p| {
                 for sn in 1..100i64 {
                     black_box(p.on_message(
                         Time::at(sn as u64),
                         NodeId::from_raw(1),
-                        SyncMsg::Write { value: sn as u64, sn },
+                        SyncMsg::Write {
+                            value: sn as u64,
+                            sn,
+                        },
                     ));
                 }
             },

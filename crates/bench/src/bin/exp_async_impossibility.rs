@@ -83,7 +83,12 @@ fn main() {
             .filter(|(r, op)| r.history.get(*op).is_some_and(|rec| rec.node == victim))
             .count();
         t2.row([
-            if starve { "victim starved" } else { "stochastic only" }.to_string(),
+            if starve {
+                "victim starved"
+            } else {
+                "stochastic only"
+            }
+            .to_string(),
             format!("{}/{}", agg.unsafe_runs, agg.runs),
             format!("{}/{}", agg.stuck_runs, agg.runs),
             victim_stuck.to_string(),

@@ -64,7 +64,12 @@ fn main() {
             fnum(fraction),
             min_active.to_string(),
             fnum(mean_active),
-            if min_active as usize >= quorum { "yes" } else { "NO" }.to_string(),
+            if min_active as usize >= quorum {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
             format!("{unsafe_runs}/6"),
             format!("{stuck_runs}/6"),
             stuck_ops.to_string(),

@@ -51,7 +51,12 @@ fn main() {
             fnum(agg.mean_read_latency),
             fnum(agg.mean_messages),
             if variant == "es + write-back" {
-                if atomic_ok { "atomic-OK" } else { "ATOMIC VIOLATED" }.to_string()
+                if atomic_ok {
+                    "atomic-OK"
+                } else {
+                    "ATOMIC VIOLATED"
+                }
+                .to_string()
             } else {
                 "regular-OK (inversions allowed)".to_string()
             },
@@ -67,10 +72,26 @@ fn main() {
     for order in ["A then B", "B then A"] {
         let mut replica = EsRegister::new_bootstrap(NodeId::from_raw(0), EsConfig::new(5), 0u64);
         let msgs: [(NodeId, EsMsg<u64>); 2] = [
-            (NodeId::from_raw(3), EsMsg::Write { value: 333, ts: ts_a }),
-            (NodeId::from_raw(7), EsMsg::Write { value: 777, ts: ts_b }),
+            (
+                NodeId::from_raw(3),
+                EsMsg::Write {
+                    value: 333,
+                    ts: ts_a,
+                },
+            ),
+            (
+                NodeId::from_raw(7),
+                EsMsg::Write {
+                    value: 777,
+                    ts: ts_b,
+                },
+            ),
         ];
-        let seq: Vec<usize> = if order == "A then B" { vec![0, 1] } else { vec![1, 0] };
+        let seq: Vec<usize> = if order == "A then B" {
+            vec![0, 1]
+        } else {
+            vec![1, 0]
+        };
         for (t, &i) in seq.iter().enumerate() {
             let (from, msg) = msgs[i].clone();
             replica.on_message(Time::at(t as u64 + 1), from, msg);

@@ -82,8 +82,14 @@ fn main() {
     println!("part 1 — exact scripted reproduction (n=3+1 joiner, δ={DELTA}):\n");
     let mut table = Table::new(["variant", "read returned", "verdict", "join latency"]);
     for (name, cfg) in [
-        ("Figure 3(a): no wait", SyncConfig::without_join_wait(Span::ticks(DELTA))),
-        ("Figure 3(b): with wait", SyncConfig::new(Span::ticks(DELTA))),
+        (
+            "Figure 3(a): no wait",
+            SyncConfig::without_join_wait(Span::ticks(DELTA)),
+        ),
+        (
+            "Figure 3(b): with wait",
+            SyncConfig::new(Span::ticks(DELTA)),
+        ),
     ] {
         let world = figure3_world(cfg);
         let report = RegularityChecker::check(world.history());

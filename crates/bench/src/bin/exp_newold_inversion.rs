@@ -47,7 +47,11 @@ fn main() {
             reads.to_string(),
             inversions.to_string(),
             format!("{runs_with}/{seeds}"),
-            if safe { "regular-OK".into() } else { "VIOLATED".to_string() },
+            if safe {
+                "regular-OK".into()
+            } else {
+                "VIOLATED".to_string()
+            },
         ]);
     };
 

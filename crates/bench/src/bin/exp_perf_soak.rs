@@ -116,9 +116,7 @@ fn soak(
                 LeaveSelector::Random,
                 IdSource::starting_at(n as u64),
             ),
-            workload: Box::new(
-                RateWorkload::new(delta.times(3), reads_per_tick).stopping_at(stop),
-            ),
+            workload: Box::new(RateWorkload::new(delta.times(3), reads_per_tick).stopping_at(stop)),
             seed: 0x000B_A1D0, // Baldoni et al.
             trace: false,
             writer_policy: WriterPolicy::FixedProtected,

@@ -1,4 +1,5 @@
-//! PERF — register-space throughput: events/sec at 1 / 16 / 256 keys.
+//! PERF — register-space throughput: events/sec at 1 / 16 / 256 keys,
+//! with and without key-sharded join replies.
 //!
 //! Measures the cost of the keyed register-space layer end-to-end: the
 //! same churning synchronous world is driven through `RegisterSpace` at
@@ -7,28 +8,40 @@
 //! Because the join handshake is shared (one `JoinAll` inquiry, one
 //! batched reply per responder), the *physical message count* stays
 //! key-independent; what grows with `k` is the per-message payload and the
-//! per-key bookkeeping — exactly what this binary quantifies.
+//! per-key bookkeeping. **Key-sharded replies** (`--shards G`) cut that
+//! payload to `K/G` entries per responder — the default run includes a
+//! `keys=256, shards=16` row so the committed baseline records how much of
+//! the 16-key rate the sharded handshake buys back.
 //!
 //! Prints wall-clock throughput and writes machine-readable JSON
 //! (`BENCH_space.json` by default) — the register-space perf trajectory
-//! future PRs measure against.
+//! future PRs measure against. `--digest-out PATH` additionally writes a
+//! wall-clock-free event-stream digest per scenario; CI `cmp`s the digest
+//! of `--shards 1` against `--legacy` (the constructor path without a
+//! shard config) to hold the `G = 1 ≡ legacy` contract.
 //!
-//! Usage: `exp_space_throughput [--nodes N] [--ticks T] [--out PATH]`
-//! (defaults: 1000 nodes, 600 ticks, `BENCH_space.json`).
+//! Usage: `exp_space_throughput [--nodes N] [--ticks T] [--out PATH]
+//! [--shards G | --legacy] [--digest-out PATH]`
+//! (defaults: 1000 nodes, 600 ticks, `BENCH_space.json`, the mixed
+//! `G ∈ {1, 16}` scenario set).
 
 use std::time::Instant;
 
 use dynareg_bench::header;
 use dynareg_churn::{ChurnDriver, ChurnModel, ConstantRate, LeaveSelector};
+use dynareg_core::space::ShardConfig;
 use dynareg_core::sync::SyncConfig;
 use dynareg_net::delay::Synchronous;
 use dynareg_sim::{DetRng, IdSource, NodeId, Span, Time};
-use dynareg_testkit::{SpaceOf, SyncFactory, World, WorldConfig, WriterPolicy, ZipfKeys, ZipfWorkload};
+use dynareg_testkit::{
+    SpaceOf, SyncFactory, World, WorldConfig, WriterPolicy, ZipfKeys, ZipfWorkload,
+};
 use dynareg_verify::SpaceReport;
 
-/// One measured key count: what ran and how fast.
+/// One measured scenario: what ran and how fast.
 struct SpaceResult {
     keys: u32,
+    shards: u32,
     nodes: usize,
     ticks: u64,
     churn_rate: f64,
@@ -40,6 +53,10 @@ struct SpaceResult {
     keys_touched: u32,
     safety_ok: bool,
     liveness_ok: bool,
+    /// FNV fold of every key's op stream plus the message/membership
+    /// totals — wall-clock-free, so two runs of the same configuration
+    /// compare byte-for-byte (the CI shard-equivalence gate).
+    digest: u64,
 }
 
 impl SpaceResult {
@@ -52,6 +69,7 @@ impl SpaceResult {
             concat!(
                 "    {{\n",
                 "      \"keys\": {},\n",
+                "      \"shards\": {},\n",
                 "      \"nodes\": {},\n",
                 "      \"ticks\": {},\n",
                 "      \"churn_rate\": {:.8},\n",
@@ -67,6 +85,7 @@ impl SpaceResult {
                 "    }}"
             ),
             self.keys,
+            self.shards,
             self.nodes,
             self.ticks,
             self.churn_rate,
@@ -81,6 +100,23 @@ impl SpaceResult {
             self.liveness_ok,
         )
     }
+
+    fn digest_json(&self) -> String {
+        format!(
+            "    {{\"keys\": {}, \"shards\": {}, \"digest\": \"{:#018x}\"}}",
+            self.keys, self.shards, self.digest
+        )
+    }
+}
+
+/// FNV-1a 64-bit over a byte stream.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>, seed: u64) -> u64 {
+    let mut h = seed;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// Churn model wrapper going quiet at `stop_at` (mirrors the scenario
@@ -106,16 +142,24 @@ impl ChurnModel for StopAfter {
 }
 
 /// Runs one keyed world and measures simulation and checking separately.
-fn run_space(keys: u32, nodes: usize, ticks: u64) -> SpaceResult {
+/// `shards: None` builds the space through the legacy constructor path (no
+/// shard config attached); `Some(g)` threads a `ShardConfig` — `Some(1)`
+/// must be observably identical to `None`.
+fn run_space(keys: u32, shards: Option<u32>, nodes: usize, ticks: u64) -> SpaceResult {
     let delta = Span::ticks(3);
-    // Absolute churn (≈0.4 joins/tick) so the per-join K·n state transfer —
+    // Absolute churn (≈0.4 joins/tick) so the per-join state transfer —
     // not the churn model — sets the load, as a production service would
     // see.
     let churn_rate = 0.4 / nodes as f64;
     let end = Time::at(ticks);
     let stop = Time::at(ticks.saturating_sub(delta.as_ticks() * 12).max(1));
+    let mut factory = SpaceOf::new(SyncFactory::new(SyncConfig::new(delta)), keys);
+    if let Some(groups) = shards {
+        factory =
+            factory.with_shards(ShardConfig::new(groups).with_reinquire_every(delta.times(4)));
+    }
     let mut world = World::new(
-        SpaceOf::new(SyncFactory::new(SyncConfig::new(delta)), keys),
+        factory,
         WorldConfig {
             n: nodes,
             initial: 0,
@@ -129,8 +173,7 @@ fn run_space(keys: u32, nodes: usize, ticks: u64) -> SpaceResult {
                 IdSource::starting_at(nodes as u64),
             ),
             workload: Box::new(
-                ZipfWorkload::new(ZipfKeys::new(keys, 1.0), delta.times(3), 8.0)
-                    .stopping_at(stop),
+                ZipfWorkload::new(ZipfKeys::new(keys, 1.0), delta.times(3), 8.0).stopping_at(stop),
             ),
             seed: 0x000B_A1D0,
             trace: false,
@@ -144,8 +187,20 @@ fn run_space(keys: u32, nodes: usize, ticks: u64) -> SpaceResult {
     let sim_secs = sim_start.elapsed().as_secs_f64();
     let events = world.events_processed();
 
-    let (space, _presence, _metrics, _trace, network) = world.into_space_outputs();
+    let (space, presence, _metrics, _trace, network) = world.into_space_outputs();
     let messages = network.total_sent();
+    let mut digest = fnv1a([], 0xCBF2_9CE4_8422_2325);
+    for (_, h) in space.iter() {
+        digest = fnv1a(format!("{:?}", h.ops()).bytes(), digest);
+    }
+    for v in [
+        messages,
+        presence.total_arrivals() as u64,
+        presence.total_departures() as u64,
+        events,
+    ] {
+        digest = fnv1a(v.to_le_bytes(), digest);
+    }
 
     let check_start = Instant::now();
     let report = SpaceReport::check(&space);
@@ -163,6 +218,7 @@ fn run_space(keys: u32, nodes: usize, ticks: u64) -> SpaceResult {
 
     SpaceResult {
         keys,
+        shards: shards.unwrap_or(1).min(keys),
         nodes,
         ticks,
         churn_rate,
@@ -174,56 +230,101 @@ fn run_space(keys: u32, nodes: usize, ticks: u64) -> SpaceResult {
         keys_touched,
         safety_ok: report.all_regular(),
         liveness_ok: report.all_live(),
+        digest,
     }
 }
 
-fn parse_args() -> (usize, u64, String) {
-    let mut nodes = 1000usize;
-    let mut ticks = 600u64;
-    let mut out = "BENCH_space.json".to_string();
+struct Args {
+    nodes: usize,
+    ticks: u64,
+    out: String,
+    digest_out: Option<String>,
+    /// `None` = the default mixed scenario set; `Some(None)` = the legacy
+    /// constructor path; `Some(Some(g))` = `--shards g`.
+    mode: Option<Option<u32>>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        nodes: 1000,
+        ticks: 600,
+        out: "BENCH_space.json".to_string(),
+        digest_out: None,
+        mode: None,
+    };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--nodes" => {
-                nodes = args
+                parsed.nodes = args
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .expect("--nodes takes a positive integer");
                 i += 2;
             }
             "--ticks" => {
-                ticks = args
+                parsed.ticks = args
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .expect("--ticks takes a positive integer");
                 i += 2;
             }
             "--out" => {
-                out = args.get(i + 1).expect("--out takes a path").clone();
+                parsed.out = args.get(i + 1).expect("--out takes a path").clone();
                 i += 2;
             }
-            other => panic!("unknown argument {other} (try --nodes N --ticks T --out PATH)"),
+            "--digest-out" => {
+                parsed.digest_out =
+                    Some(args.get(i + 1).expect("--digest-out takes a path").clone());
+                i += 2;
+            }
+            "--shards" => {
+                let g = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards takes a positive integer");
+                assert!(g > 0, "--shards takes a positive integer");
+                parsed.mode = Some(Some(g));
+                i += 2;
+            }
+            "--legacy" => {
+                parsed.mode = Some(None);
+                i += 1;
+            }
+            other => panic!(
+                "unknown argument {other} (try --nodes N --ticks T --out PATH \
+                 [--shards G | --legacy] [--digest-out PATH])"
+            ),
         }
     }
-    (nodes, ticks, out)
+    parsed
 }
 
 fn main() {
-    let (nodes, ticks, out) = parse_args();
+    let args = parse_args();
     header(
         "PERF",
-        "register-space throughput (shared handshake, Zipf traffic, per-key checks)",
+        "register-space throughput (shared handshake, sharded join replies, Zipf traffic)",
         "events/sec at 1 / 16 / 256 keys on one churning world",
     );
 
+    // The default set carries the sharded-recovery row; an explicit
+    // --shards/--legacy runs the plain trio in that one mode (the CI
+    // equivalence gate compares their digests).
+    let scenarios: Vec<(u32, Option<u32>)> = match args.mode {
+        None => vec![(1, Some(1)), (16, Some(1)), (256, Some(1)), (256, Some(16))],
+        Some(mode) => vec![(1, mode), (16, mode), (256, mode)],
+    };
+
     let mut results = Vec::new();
-    for keys in [1u32, 16, 256] {
-        let r = run_space(keys, nodes, ticks);
+    for &(keys, shards) in &scenarios {
+        let r = run_space(keys, shards, args.nodes, args.ticks);
         println!(
-            "k={:<4} n={} ticks={} | {} events in {:.2}s = {:.0} events/sec | {} msgs | \
+            "k={:<4} G={:<3} n={} ticks={} | {} events in {:.2}s = {:.0} events/sec | {} msgs | \
              {} reads checked over {} touched keys in {:.3}s | safety={} liveness={}",
             r.keys,
+            r.shards,
             r.nodes,
             r.ticks,
             r.events,
@@ -249,12 +350,35 @@ fn main() {
         results[1].messages, results[2].messages,
         "physical message count must not scale with the key count"
     );
+    if let (Some(full), Some(sharded)) = (
+        results.iter().find(|r| r.keys == 256 && r.shards == 1),
+        results.iter().find(|r| r.keys == 256 && r.shards > 1),
+    ) {
+        println!(
+            "\nsharded recovery at 256 keys: G={} runs {:.1}x the full-reply rate \
+             ({:.0} vs {:.0} events/sec)",
+            sharded.shards,
+            sharded.events_per_sec() / full.events_per_sec().max(1e-9),
+            sharded.events_per_sec(),
+            full.events_per_sec(),
+        );
+    }
 
     let body: Vec<String> = results.iter().map(SpaceResult::json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"dynareg-bench-space/1\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"dynareg-bench-space/2\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
-    std::fs::write(&out, &json).expect("write benchmark json");
-    println!("\nwrote {out}");
+    std::fs::write(&args.out, &json).expect("write benchmark json");
+    println!("\nwrote {}", args.out);
+
+    if let Some(path) = &args.digest_out {
+        let body: Vec<String> = results.iter().map(SpaceResult::digest_json).collect();
+        let json = format!(
+            "{{\n  \"schema\": \"dynareg-bench-space-digest/1\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        );
+        std::fs::write(path, &json).expect("write digest json");
+        println!("wrote {path}");
+    }
 }

@@ -26,7 +26,14 @@ fn main() {
         "join lat (mean)",
         "msgs/run",
     ]);
-    for &(n, delta) in &[(20usize, 2u64), (20, 5), (20, 10), (100, 2), (100, 5), (100, 10)] {
+    for &(n, delta) in &[
+        (20usize, 2u64),
+        (20, 5),
+        (20, 10),
+        (100, 2),
+        (100, 5),
+        (100, 10),
+    ] {
         let reports = run_seeds(0..6, |seed| {
             Scenario::synchronous(n, Span::ticks(delta))
                 .churn_fraction_of_bound(0.5)

@@ -168,7 +168,10 @@ mod tests {
         let step = d.step(&p, Time::at(1), &mut rng);
         assert_eq!(step.leaves.len(), 2);
         assert_eq!(step.joins.len(), 2);
-        assert!(step.joins.iter().all(|id| id.as_raw() >= 20), "fresh ids only");
+        assert!(
+            step.joins.iter().all(|id| id.as_raw() >= 20),
+            "fresh ids only"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl ConstantRate {
     /// # Panics
     /// Panics if `c` is outside `[0, 1]` or not finite.
     pub fn new(c: f64) -> ConstantRate {
-        assert!(c.is_finite() && (0.0..=1.0).contains(&c), "churn rate must be in [0,1]");
+        assert!(
+            c.is_finite() && (0.0..=1.0).contains(&c),
+            "churn rate must be in [0,1]"
+        );
         ConstantRate { c, carry: 0.0 }
     }
 
@@ -84,7 +87,10 @@ impl PoissonChurn {
     /// # Panics
     /// Panics if `c` is outside `[0, 1]` or not finite.
     pub fn new(c: f64) -> PoissonChurn {
-        assert!(c.is_finite() && (0.0..=1.0).contains(&c), "churn rate must be in [0,1]");
+        assert!(
+            c.is_finite() && (0.0..=1.0).contains(&c),
+            "churn rate must be in [0,1]"
+        );
         PoissonChurn { c }
     }
 }
@@ -169,7 +175,9 @@ mod tests {
     fn constant_rate_fractional_case_is_exact_long_run() {
         let mut m = ConstantRate::new(0.025); // c·n = 2.5 at n=100
         let mut rng = DetRng::seed(1);
-        let total: usize = (0..1000).map(|t| m.refreshes(Time::at(t), 100, &mut rng)).sum();
+        let total: usize = (0..1000)
+            .map(|t| m.refreshes(Time::at(t), 100, &mut rng))
+            .sum();
         assert_eq!(total, 2500);
     }
 
@@ -177,7 +185,9 @@ mod tests {
     fn constant_rate_small_fraction_accumulates() {
         let mut m = ConstantRate::new(0.004); // c·n = 0.4 at n=100
         let mut rng = DetRng::seed(1);
-        let counts: Vec<usize> = (0..5).map(|t| m.refreshes(Time::at(t), 100, &mut rng)).collect();
+        let counts: Vec<usize> = (0..5)
+            .map(|t| m.refreshes(Time::at(t), 100, &mut rng))
+            .collect();
         assert_eq!(counts.iter().sum::<usize>(), 2);
         assert!(counts.iter().all(|&c| c <= 1));
     }
@@ -200,7 +210,9 @@ mod tests {
     fn poisson_matches_mean_and_caps_at_n() {
         let mut m = PoissonChurn::new(0.05);
         let mut rng = DetRng::seed(2);
-        let total: usize = (0..2000).map(|t| m.refreshes(Time::at(t), 100, &mut rng)).sum();
+        let total: usize = (0..2000)
+            .map(|t| m.refreshes(Time::at(t), 100, &mut rng))
+            .sum();
         let mean = total as f64 / 2000.0;
         assert!((mean - 5.0).abs() < 0.5, "mean {mean} should be near 5");
         // Cap: even with c=1 the refresh count never exceeds n.
@@ -217,8 +229,12 @@ mod tests {
         assert!(m.is_storm(Time::ZERO));
         assert!(!m.is_storm(Time::at(10)));
         assert!(m.is_storm(Time::at(50)));
-        let storm: usize = (0..10).map(|t| m.refreshes(Time::at(t), 100, &mut rng)).sum();
-        let quiet: usize = (10..50).map(|t| m.refreshes(Time::at(t), 100, &mut rng)).sum();
+        let storm: usize = (0..10)
+            .map(|t| m.refreshes(Time::at(t), 100, &mut rng))
+            .sum();
+        let quiet: usize = (10..50)
+            .map(|t| m.refreshes(Time::at(t), 100, &mut rng))
+            .sum();
         assert_eq!(storm, 200);
         assert_eq!(quiet, 0);
         let nominal = m.nominal_rate().unwrap();

@@ -96,7 +96,11 @@ impl LeaveSelector {
                     .copied()
                     .filter(|&id| presence.is_active(id))
                     .collect();
-                let pool = if actives.is_empty() { eligible } else { actives };
+                let pool = if actives.is_empty() {
+                    eligible
+                } else {
+                    actives
+                };
                 pool.into_iter()
                     .min_by_key(|&id| (presence.record(id).expect("present").entered_at, id))
             }
@@ -228,7 +232,10 @@ mod tests {
                 LeaveSelector::Random.pick(&p, &[], &mut rng).unwrap()
             })
             .collect();
-        assert!(picks.windows(2).all(|w| w[0] == w[1]), "same seed, same pick");
+        assert!(
+            picks.windows(2).all(|w| w[0] == w[1]),
+            "same seed, same pick"
+        );
         // Different draws from one stream cover the whole pool eventually.
         let mut rng = DetRng::seed(10);
         let mut seen = std::collections::HashSet::new();

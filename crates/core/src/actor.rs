@@ -161,7 +161,10 @@ mod tests {
                 op: OpId::from_raw(3),
                 outcome: OpOutcome::Read(Some(7)),
             },
-            Effect::SetTimer { delay: Span::UNIT, tag: 1 },
+            Effect::SetTimer {
+                delay: Span::UNIT,
+                tag: 1,
+            },
         ];
         let got = completions(&effects);
         assert_eq!(got, vec![(OpId::from_raw(3), OpOutcome::Read(Some(7)))]);

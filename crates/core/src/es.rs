@@ -174,6 +174,13 @@ pub struct EsConfig {
     /// hot path, so runtimes enable them only when a trace is actually
     /// recorded (the scenario harness ties this to its `trace` flag).
     pub notes: bool,
+    /// Reply quorum of the **join** phase only (`None` = the majority
+    /// [`EsConfig::quorum`], the paper's protocol). Key-sharded register
+    /// spaces answer a join inquiry only from the `≈ n/G` responders of
+    /// one shard, so the sharded factory sizes the join quorum to the
+    /// shard (`⌊(n/G)/2⌋ + 1`) — the quorum-per-shard liveness trade.
+    /// Steady-state reads and write acks always use the full majority.
+    pub join_quorum: Option<usize>,
 }
 
 impl EsConfig {
@@ -187,6 +194,7 @@ impl EsConfig {
             n,
             read_write_back: false,
             notes: false,
+            join_quorum: None,
         }
     }
 
@@ -202,6 +210,23 @@ impl EsConfig {
     pub fn with_notes(mut self) -> EsConfig {
         self.notes = true;
         self
+    }
+
+    /// Overrides the join-phase reply quorum (key-sharded joins; see the
+    /// `join_quorum` field).
+    ///
+    /// # Panics
+    /// Panics if `quorum` is zero.
+    pub fn with_join_quorum(mut self, quorum: usize) -> EsConfig {
+        assert!(quorum > 0, "a join quorum must be positive");
+        self.join_quorum = Some(quorum);
+        self
+    }
+
+    /// The reply quorum the join phase waits for: the shard-sized override
+    /// if one is set, the full majority otherwise.
+    pub fn effective_join_quorum(&self) -> usize {
+        self.join_quorum.unwrap_or_else(|| self.quorum())
     }
 
     /// The quorum size `⌊n/2⌋ + 1` (majority).
@@ -403,9 +428,7 @@ impl<V: Value> EsRegister<V> {
         self.reading = true;
         self.pending_read = Some(ReadCtx { op, purpose });
         vec![Effect::Broadcast {
-            msg: EsMsg::Read {
-                r_sn: self.read_sn,
-            },
+            msg: EsMsg::Read { r_sn: self.read_sn },
         }] // line 03
     }
 
@@ -427,10 +450,7 @@ impl<V: Value> EsRegister<V> {
                                 is_write: false,
                             });
                             out.push(Effect::Broadcast {
-                                msg: EsMsg::WriteBack {
-                                    value,
-                                    ts: self.ts,
-                                },
+                                msg: EsMsg::WriteBack { value, ts: self.ts },
                             });
                         }
                         // ⊥ cannot be usefully written back; return it and
@@ -465,9 +485,16 @@ impl<V: Value> EsRegister<V> {
         }
     }
 
-    /// Quorum test shared by join and read reply collection.
+    /// Quorum test shared by join and read reply collection. A joining
+    /// process waits for the (possibly shard-sized) join quorum; an active
+    /// reader always waits for the full majority.
     fn reply_quorum_reached(&self) -> bool {
-        self.replies.len() >= self.config.quorum()
+        let quorum = if self.active {
+            self.config.quorum()
+        } else {
+            self.config.effective_join_quorum()
+        };
+        self.replies.len() >= quorum
     }
 
     /// Handles an `ACK(ts)`: Figure 6 lines 09–10 (plus write-back acks).
@@ -559,9 +586,7 @@ impl<V: Value> RegisterProcess for EsRegister<V> {
                     if self.reading {
                         out.push(Effect::Send {
                             to: from,
-                            msg: EsMsg::DlPrev {
-                                r_sn: self.read_sn,
-                            },
+                            msg: EsMsg::DlPrev { r_sn: self.read_sn },
                         });
                     }
                 } else {
@@ -573,9 +598,7 @@ impl<V: Value> RegisterProcess for EsRegister<V> {
                     // pending request is the join itself (read_sn = 0).
                     out.push(Effect::Send {
                         to: from,
-                        msg: EsMsg::DlPrev {
-                            r_sn: self.read_sn,
-                        },
+                        msg: EsMsg::DlPrev { r_sn: self.read_sn },
                     });
                 }
             }
@@ -725,9 +748,16 @@ mod tests {
     fn join_completes_on_quorum_and_adopts_freshest() {
         let mut p = joiner(9);
         p.on_enter(Time::ZERO);
-        assert!(p.on_message(Time::at(1), nid(0), reply(10, 1, 0)).iter().any(
-            |e| matches!(e, Effect::Send { msg: EsMsg::Ack { .. }, .. })
-        ));
+        assert!(p
+            .on_message(Time::at(1), nid(0), reply(10, 1, 0))
+            .iter()
+            .any(|e| matches!(
+                e,
+                Effect::Send {
+                    msg: EsMsg::Ack { .. },
+                    ..
+                }
+            )));
         p.on_message(Time::at(2), nid(1), reply(20, 2, 0));
         assert!(!p.is_active(), "two replies < quorum of three");
         let effects = p.on_message(Time::at(3), nid(2), reply(10, 1, 0));
@@ -777,7 +807,10 @@ mod tests {
             })
             .collect();
         assert!(sends.contains(&(nid(50), 0)), "postponed inquiry answered");
-        assert!(sends.contains(&(nid(60), 4)), "DL_PREV promise honoured with the requester's r_sn");
+        assert!(
+            sends.contains(&(nid(60), 4)),
+            "DL_PREV promise honoured with the requester's r_sn"
+        );
     }
 
     #[test]
@@ -805,7 +838,7 @@ mod tests {
         p.on_message(Time::at(1), nid(2), reply(0, 0, 1));
         p.on_message(Time::at(1), nid(3), reply(0, 0, 1)); // completes
         p.on_read(Time::at(2), oid(2)); // r_sn = 2
-        // Replies tagged with the old request change nothing.
+                                        // Replies tagged with the old request change nothing.
         let effects = p.on_message(Time::at(3), nid(1), reply(0, 0, 1));
         assert!(effects.is_empty());
         assert!(p.reading);
@@ -870,7 +903,10 @@ mod tests {
         assert_eq!(p.local_value(), Some(&42));
         // Acks: two are not enough…
         p.on_message(Time::at(3), nid(1), EsMsg::Ack { ts: expected_ts });
-        assert!(completions(&p.on_message(Time::at(3), nid(2), EsMsg::Ack { ts: expected_ts })).is_empty());
+        assert!(
+            completions(&p.on_message(Time::at(3), nid(2), EsMsg::Ack { ts: expected_ts }))
+                .is_empty()
+        );
         // …the third completes the write.
         let done = p.on_message(Time::at(4), nid(3), EsMsg::Ack { ts: expected_ts });
         assert_eq!(completions(&done), vec![(oid(1), OpOutcome::WriteOk)]);
@@ -885,7 +921,9 @@ mod tests {
         }
         let old = Timestamp { sn: 0, writer: 0 };
         for i in 1..=3 {
-            assert!(completions(&p.on_message(Time::at(2), nid(i), EsMsg::Ack { ts: old })).is_empty());
+            assert!(
+                completions(&p.on_message(Time::at(2), nid(i), EsMsg::Ack { ts: old })).is_empty()
+            );
         }
     }
 
@@ -895,12 +933,24 @@ mod tests {
         p.on_enter(Time::ZERO);
         let ts = Timestamp { sn: 3, writer: 0 };
         let effects = p.on_message(Time::at(1), nid(0), EsMsg::Write { value: 7, ts });
-        assert_eq!(effects, vec![Effect::Send { to: nid(0), msg: EsMsg::Ack { ts } }]);
+        assert_eq!(
+            effects,
+            vec![Effect::Send {
+                to: nid(0),
+                msg: EsMsg::Ack { ts }
+            }]
+        );
         assert_eq!(p.local_value(), Some(&7));
         // An older write still acks but does not regress the copy.
         let old = Timestamp { sn: 1, writer: 0 };
         let effects = p.on_message(Time::at(2), nid(0), EsMsg::Write { value: 5, ts: old });
-        assert_eq!(effects, vec![Effect::Send { to: nid(0), msg: EsMsg::Ack { ts: old } }]);
+        assert_eq!(
+            effects,
+            vec![Effect::Send {
+                to: nid(0),
+                msg: EsMsg::Ack { ts: old }
+            }]
+        );
         assert_eq!(p.local_value(), Some(&7));
     }
 
@@ -955,13 +1005,41 @@ mod tests {
         let ts_a = Timestamp { sn: 1, writer: 3 };
         let ts_b = Timestamp { sn: 1, writer: 7 };
         let mut p = bootstrap(0);
-        p.on_message(Time::at(1), nid(3), EsMsg::Write { value: 100, ts: ts_a });
-        p.on_message(Time::at(2), nid(7), EsMsg::Write { value: 200, ts: ts_b });
+        p.on_message(
+            Time::at(1),
+            nid(3),
+            EsMsg::Write {
+                value: 100,
+                ts: ts_a,
+            },
+        );
+        p.on_message(
+            Time::at(2),
+            nid(7),
+            EsMsg::Write {
+                value: 200,
+                ts: ts_b,
+            },
+        );
         assert_eq!(p.local_value(), Some(&200));
         // Reverse arrival order on another replica converges identically.
         let mut q = bootstrap(1);
-        q.on_message(Time::at(1), nid(7), EsMsg::Write { value: 200, ts: ts_b });
-        q.on_message(Time::at(2), nid(3), EsMsg::Write { value: 100, ts: ts_a });
+        q.on_message(
+            Time::at(1),
+            nid(7),
+            EsMsg::Write {
+                value: 200,
+                ts: ts_b,
+            },
+        );
+        q.on_message(
+            Time::at(2),
+            nid(3),
+            EsMsg::Write {
+                value: 100,
+                ts: ts_a,
+            },
+        );
         assert_eq!(q.local_value(), Some(&200));
     }
 
@@ -985,7 +1063,15 @@ mod tests {
         let ts = Timestamp::INITIAL;
         assert_eq!(EsMsg::<u64>::Inquiry { r_sn: 0 }.label(), "INQUIRY");
         assert_eq!(EsMsg::<u64>::Read { r_sn: 1 }.label(), "READ");
-        assert_eq!(EsMsg::Reply { value: Some(1u64), ts, r_sn: 0 }.label(), "REPLY");
+        assert_eq!(
+            EsMsg::Reply {
+                value: Some(1u64),
+                ts,
+                r_sn: 0
+            }
+            .label(),
+            "REPLY"
+        );
         assert_eq!(EsMsg::Write { value: 1u64, ts }.label(), "WRITE");
         assert_eq!(EsMsg::WriteBack { value: 1u64, ts }.label(), "WRITE_BACK");
         assert_eq!(EsMsg::<u64>::Ack { ts }.label(), "ACK");
@@ -1005,7 +1091,13 @@ mod tests {
             (1, reply(10, 1, 0)),
             (2, reply(20, 2, 0)),
             (3, reply(20, 2, 0)), // completes the join
-            (1, EsMsg::Write { value: 7, ts: Timestamp { sn: 9, writer: 1 } }),
+            (
+                1,
+                EsMsg::Write {
+                    value: 7,
+                    ts: Timestamp { sn: 9, writer: 1 },
+                },
+            ),
             (4, EsMsg::Inquiry { r_sn: 0 }),
             (5, EsMsg::DlPrev { r_sn: 2 }),
         ];
@@ -1018,13 +1110,45 @@ mod tests {
             let expected = via_vec.on_message(Time::at(t as u64), nid(from), msg.clone());
             buf.push(Effect::Note("sentinel".into()));
             via_buf.on_message_into(Time::at(t as u64), nid(from), msg, &mut buf);
-            assert_eq!(buf[0], Effect::Note("sentinel".into()), "append, not overwrite");
+            assert_eq!(
+                buf[0],
+                Effect::Note("sentinel".into()),
+                "append, not overwrite"
+            );
             assert_eq!(&buf[1..], &expected[..]);
             buf.clear();
         }
         assert_eq!(via_vec.is_active(), via_buf.is_active());
         assert_eq!(via_vec.local_value(), via_buf.local_value());
         assert_eq!(via_vec.local_ts(), via_buf.local_ts());
+    }
+
+    #[test]
+    fn join_quorum_override_applies_to_joins_only() {
+        let cfg = EsConfig::new(9).with_join_quorum(2); // majority would be 5
+        assert_eq!(cfg.effective_join_quorum(), 2);
+        assert_eq!(cfg.quorum(), 5);
+        let mut p: EsRegister<u64> = EsRegister::new_joiner(nid(9), cfg, oid(1));
+        p.on_enter(Time::ZERO);
+        p.on_message(Time::at(1), nid(0), reply(10, 1, 0));
+        assert!(!p.is_active(), "one reply < join quorum of two");
+        let effects = p.on_message(Time::at(2), nid(1), reply(20, 2, 0));
+        assert!(
+            effects.contains(&Effect::JoinComplete),
+            "shard-sized quorum joins"
+        );
+        assert_eq!(p.local_value(), Some(&20));
+        // A subsequent read still needs the full majority of five.
+        p.on_read(Time::at(3), oid(2));
+        for i in 0..4 {
+            p.on_message(Time::at(4), nid(i), reply(20, 2, 1));
+        }
+        assert!(p.reading, "four replies < read quorum of five");
+        let done = p.on_message(Time::at(5), nid(4), reply(20, 2, 1));
+        assert_eq!(
+            completions(&done),
+            vec![(oid(2), OpOutcome::Read(Some(20)))]
+        );
     }
 
     #[test]

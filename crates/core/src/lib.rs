@@ -53,4 +53,7 @@ pub mod space;
 pub mod sync;
 
 pub use actor::{completions, Effect, OpOutcome, RegisterProcess, Value};
-pub use space::{RegisterSpace, RegisterSpaceProcess, SoloSpace, SpaceEffect, SpaceMsg};
+pub use space::{
+    shard_of_key, shard_of_node, RegisterSpace, RegisterSpaceProcess, ShardConfig, SoloSpace,
+    SpaceEffect, SpaceMsg,
+};

@@ -38,7 +38,39 @@
 //!
 //! Steady-state operation needs no contract: a read/write/timer touches
 //! exactly one key's instance and its effects are tagged with that key.
+//!
+//! # Key-sharded join replies
+//!
+//! The shared handshake's full-state reply transfers `K` payload entries
+//! per responder — `K·n` entries per join, which is what collapses join
+//! throughput at large key counts. [`ShardConfig`] shards the reply side:
+//! every responder belongs to a deterministic shard
+//! `shard(p) = hash(node_id) mod G` ([`shard_of_node`]) and answers a
+//! (non-full) [`SpaceMsg::JoinAll`] only for the keys of *its* shard
+//! (`key mod G`), so one reply carries `K/G` entries. The joiner still
+//! broadcasts a single inquiry; it tracks, per shard, the distinct
+//! responders whose [`SpaceMsg::Batch`]es covered that shard's keys, and
+//! the shared join timer only activates the keys of shards that met the
+//! configured per-shard quorum — shards still short keep their instances
+//! joining and the timer **re-fires the inquiry** (re-arming itself) until
+//! every shard has answered. A re-inquiry is *full* (`full: true`): any
+//! active process answers for all keys, so one starved shard degrades a
+//! join to the legacy full-state transfer for one extra round instead of
+//! wedging it — availability falls back to the paper's argument while the
+//! common case pays `1/G` of the payload.
+//!
+//! Quorum-based protocols (ES) set no join timers; a sharded space arms
+//! its own re-inquiry timer ([`ShardConfig::reinquire_every`]) instead,
+//! and the per-key join quorum is sized to the shard
+//! (`EsConfig::join_quorum`) — the quorum-per-shard liveness trade the
+//! fleet tier's phase diagrams measure.
+//!
+//! `G = 1` is the legacy full-reply handshake, bit for bit: every gate,
+//! filter and fallback below is conditioned on `groups > 1`, and the
+//! equivalence property tests plus the CI `cmp` gate hold the digest
+//! identity.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use dynareg_sim::{NodeId, OpId, RegisterId, Span, Time};
@@ -55,12 +87,18 @@ pub enum SpaceMsg<M> {
         /// The inner protocol payload.
         inner: M,
     },
-    /// The shared join handshake: a joiner's single inquiry, delivered to
-    /// *every* key's instance at the receiver (join-phase broadcasts are
-    /// key-agnostic; see the module docs).
+    /// The shared join handshake: a joiner's single inquiry. A non-`full`
+    /// inquiry is answered by each responder for its own key shard; a
+    /// `full` inquiry (re-inquiries, and every inquiry of an unsharded
+    /// space) is delivered to *every* key's instance at the receiver
+    /// (join-phase broadcasts are key-agnostic; see the module docs).
     JoinAll {
         /// The inner inquiry payload.
         inner: M,
+        /// Whether responders must answer for every key regardless of
+        /// their shard (the starvation fallback; always effectively true
+        /// when `G = 1`).
+        full: bool,
     },
     /// The batched per-key answers to a fan-in delivery — all keys' states
     /// in one physical message (the other half of the shared handshake).
@@ -226,7 +264,9 @@ impl<P: RegisterProcess> SoloSpace<P> {
         &self.inner
     }
 
-    fn lift(effects: impl IntoIterator<Item = Effect<P::Msg, P::Val>>) -> Vec<SpaceEffect<P::Msg, P::Val>> {
+    fn lift(
+        effects: impl IntoIterator<Item = Effect<P::Msg, P::Val>>,
+    ) -> Vec<SpaceEffect<P::Msg, P::Val>> {
         effects.into_iter().map(lift_effect).collect()
     }
 }
@@ -316,6 +356,95 @@ impl<P: RegisterProcess> RegisterSpaceProcess for SoloSpace<P> {
 const SHARED_TAG: u64 = 1 << 63;
 const KEY_TAG_SHIFT: u32 = 32;
 const INNER_TAG_MASK: u64 = (1 << KEY_TAG_SHIFT) - 1;
+/// The space's own re-inquiry timer (sharded joins over protocols that set
+/// no join timers). Inner tags fit 32 bits, so bit 62 cannot collide with
+/// a forwarded shared tag.
+const REINQUIRE_TAG: u64 = SHARED_TAG | (1 << 62);
+
+/// Deterministic shard of a responder: SplitMix64 finalizer over the node
+/// id, reduced mod `groups`. Stable across runs and thread counts.
+pub fn shard_of_node(node: NodeId, groups: u32) -> u32 {
+    let mut x = node.as_raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % u64::from(groups.max(1))) as u32
+}
+
+/// Deterministic shard of a key: dense keys stripe round-robin over the
+/// groups, so every shard owns `⌈K/G⌉` or `⌊K/G⌋` keys.
+pub fn shard_of_key(key: RegisterId, groups: u32) -> u32 {
+    key.as_raw() % groups.max(1)
+}
+
+/// How join replies are sharded across responders (see the module docs).
+///
+/// `ShardConfig::legacy()` (`G = 1`) is the full-state reply handshake —
+/// the default of every constructor, wire- and digest-identical to the
+/// pre-sharding code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of shard groups `G`. `1` = legacy full replies. Clamped to
+    /// the key count when a space is assembled (a shard with no keys
+    /// answers nothing and gates nothing).
+    pub groups: u32,
+    /// Distinct responders whose replies must cover a shard before the
+    /// shared join timer may activate that shard's keys (sync-style
+    /// timer-driven joins; quorum protocols gate on their own
+    /// `join_quorum` instead).
+    pub quorum: usize,
+    /// Re-inquiry period for protocols that set no join timers (ES): while
+    /// the shared join is incomplete the space re-broadcasts a full
+    /// inquiry at this interval.
+    pub reinquire_every: Span,
+}
+
+impl ShardConfig {
+    /// The legacy full-reply handshake (`G = 1`).
+    pub fn legacy() -> ShardConfig {
+        ShardConfig::new(1)
+    }
+
+    /// Sharded replies over `groups` groups, per-shard quorum 1, re-inquiry
+    /// every 8 ticks.
+    ///
+    /// # Panics
+    /// Panics if `groups` is zero.
+    pub fn new(groups: u32) -> ShardConfig {
+        assert!(groups > 0, "shard groups must be positive");
+        ShardConfig {
+            groups,
+            quorum: 1,
+            reinquire_every: Span::ticks(8),
+        }
+    }
+
+    /// Sets the per-shard responder quorum.
+    ///
+    /// # Panics
+    /// Panics if `quorum` is zero.
+    pub fn with_quorum(mut self, quorum: usize) -> ShardConfig {
+        assert!(quorum > 0, "a shard quorum must be positive");
+        self.quorum = quorum;
+        self
+    }
+
+    /// Sets the re-inquiry period for timer-less (quorum) protocols.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    pub fn with_reinquire_every(mut self, period: Span) -> ShardConfig {
+        assert!(!period.is_zero(), "re-inquiry period must be positive");
+        self.reinquire_every = period;
+        self
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig::legacy()
+    }
+}
 
 /// A per-node multiplexer owning one [`RegisterProcess`] instance per key
 /// behind a single shared join handshake. See the module docs for the
@@ -328,6 +457,23 @@ pub struct RegisterSpace<P: RegisterProcess> {
     join_done: bool,
     /// Reused scratch for the instances' effect lists.
     scratch: Vec<Effect<P::Msg, P::Val>>,
+    /// Join-reply sharding (`groups == 1` = legacy full replies).
+    shard: ShardConfig,
+    /// This process's responder shard (`shard_of_node(id, groups)`).
+    my_shard: u32,
+    /// Whether this joiner has broadcast its (shared) inquiry yet — shard
+    /// gating applies only from then on.
+    inquired: bool,
+    /// The coalesced inquiry payload, kept for re-inquiries.
+    last_inquiry: Option<P::Msg>,
+    /// Per-shard distinct responders whose batches covered that shard's
+    /// keys (joiner-side quorum tracking; empty unless `groups > 1`).
+    shard_heard: Vec<BTreeSet<NodeId>>,
+    /// `(inner tag, delay)` of shared join timers armed so far, so a
+    /// withheld expiry can re-arm itself (tracked only when `groups > 1`).
+    join_timer_delays: Vec<(u64, Span)>,
+    /// Whether the space's own re-inquiry timer is outstanding.
+    reinquire_armed: bool,
 }
 
 /// One target's pending fan-in replies: `(target, per-key payloads)`.
@@ -339,23 +485,31 @@ type FanGroup<M> = (NodeId, Vec<(RegisterId, M)>);
 /// of the space-level step.
 struct StepCtx<M, V> {
     out: Vec<SpaceEffect<SpaceMsg<M>, V>>,
-    /// First join-phase broadcast payload of this step, if any.
-    join_broadcast: Option<M>,
+    /// First join-phase broadcast payload of this step, if any, with its
+    /// `full` flag (false for a fresh sharded inquiry, true for
+    /// re-inquiries — the starvation fallback).
+    join_broadcast: Option<(M, bool)>,
     /// Distinct `(delay, tag)` join-phase timer requests of this step.
     join_timers: Vec<(Span, u64)>,
     /// Per-target send groups (fan-in batching); insertion-ordered.
     fan_sends: Option<Vec<FanGroup<M>>>,
+    /// Emit single-entry fan-in groups as `Batch` anyway (sharded joins:
+    /// the joiner counts per-shard quorums by batch content, so join
+    /// replies must be identifiable on the wire even when a shard owns
+    /// one key). Never set when `groups == 1`.
+    force_batch: bool,
     /// Whether all instances became active during this step.
     join_completed: bool,
 }
 
 impl<M, V> StepCtx<M, V> {
-    fn new(batch_fan_in: bool) -> StepCtx<M, V> {
+    fn new(batch_fan_in: bool, force_batch: bool) -> StepCtx<M, V> {
         StepCtx {
             out: Vec::new(),
             join_broadcast: None,
             join_timers: Vec::new(),
             fan_sends: batch_fan_in.then(Vec::new),
+            force_batch: batch_fan_in && force_batch,
             join_completed: false,
         }
     }
@@ -400,12 +554,51 @@ impl<P: RegisterProcess> RegisterSpace<P> {
             regs,
             join_done: false,
             scratch: Vec::new(),
+            shard: ShardConfig::legacy(),
+            my_shard: 0,
+            inquired: false,
+            last_inquiry: None,
+            shard_heard: Vec::new(),
+            join_timer_delays: Vec::new(),
+            reinquire_armed: false,
         }
+    }
+
+    /// Installs a join-reply shard configuration. `groups` is clamped to
+    /// the key count (a shard owning no keys answers nothing and gates
+    /// nothing); a clamped-to-1 (or explicit `G = 1`) config leaves the
+    /// space on the legacy full-reply path.
+    pub fn with_shards(mut self, config: ShardConfig) -> RegisterSpace<P> {
+        let groups = config.groups.min(self.regs.len() as u32).max(1);
+        self.shard = ShardConfig { groups, ..config };
+        self.my_shard = shard_of_node(self.id, groups);
+        self.shard_heard = if groups > 1 {
+            vec![BTreeSet::new(); groups as usize]
+        } else {
+            Vec::new()
+        };
+        self
+    }
+
+    /// The effective shard configuration (groups clamped to the key count).
+    pub fn shard_config(&self) -> ShardConfig {
+        self.shard
+    }
+
+    /// This process's responder shard.
+    pub fn responder_shard(&self) -> u32 {
+        self.my_shard
     }
 
     /// The instance backing `key`.
     pub fn register(&self, key: RegisterId) -> &P {
         &self.regs[key.as_raw() as usize]
+    }
+
+    /// Whether `shard` met its reply quorum (joiner-side tracking; only
+    /// meaningful while `groups > 1`).
+    fn shard_quorum_met(&self, shard: u32) -> bool {
+        self.shard_heard[shard as usize].len() >= self.shard.quorum
     }
 
     /// Routes one instance's raw effects into the step context.
@@ -418,12 +611,10 @@ impl<P: RegisterProcess> RegisterSpace<P> {
         for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => match &mut ctx.fan_sends {
-                    Some(groups) => {
-                        match groups.iter_mut().find(|(t, _)| *t == to) {
-                            Some((_, entries)) => entries.push((key, msg)),
-                            None => groups.push((to, vec![(key, msg)])),
-                        }
-                    }
+                    Some(groups) => match groups.iter_mut().find(|(t, _)| *t == to) {
+                        Some((_, entries)) => entries.push((key, msg)),
+                        None => groups.push((to, vec![(key, msg)])),
+                    },
                     None => ctx.out.push(SpaceEffect::Send {
                         to,
                         msg: SpaceMsg::Keyed { key, inner: msg },
@@ -437,8 +628,14 @@ impl<P: RegisterProcess> RegisterSpace<P> {
                     } else if ctx.join_broadcast.is_none() {
                         // Shared handshake: one inquiry covers every key
                         // (join-phase broadcasts are key-agnostic; module
-                        // docs, contract 1).
-                        ctx.join_broadcast = Some(msg);
+                        // docs, contract 1). Sharded spaces remember the
+                        // payload for re-inquiries; the first inquiry asks
+                        // each responder only for its own shard.
+                        self.inquired = true;
+                        if self.shard.groups > 1 {
+                            self.last_inquiry = Some(msg.clone());
+                        }
+                        ctx.join_broadcast = Some((msg, false));
                     }
                 }
                 Effect::SetTimer { delay, tag } => {
@@ -471,24 +668,50 @@ impl<P: RegisterProcess> RegisterSpace<P> {
 
     /// Flushes the step context into the final effect list: direct effects
     /// first (their order is the instances' own), then the coalesced join
-    /// broadcast, shared timers, and batched fan-in replies.
-    fn flush(&self, mut ctx: StepCtx<P::Msg, P::Val>) -> Vec<SpaceEffect<SpaceMsg<P::Msg>, P::Val>> {
+    /// broadcast, shared timers, and batched fan-in replies. Sharded
+    /// spaces additionally record armed join-timer delays (for withheld
+    /// expiries to re-arm) and keep a re-inquiry timer outstanding for
+    /// protocols that arm none themselves.
+    fn flush(
+        &mut self,
+        mut ctx: StepCtx<P::Msg, P::Val>,
+    ) -> Vec<SpaceEffect<SpaceMsg<P::Msg>, P::Val>> {
         let mut out = ctx.out;
-        if let Some(inner) = ctx.join_broadcast.take() {
+        if let Some((inner, full)) = ctx.join_broadcast.take() {
             out.push(SpaceEffect::Broadcast {
-                msg: SpaceMsg::JoinAll { inner },
+                msg: SpaceMsg::JoinAll { inner, full },
             });
         }
         for (delay, tag) in ctx.join_timers.drain(..) {
+            if self.shard.groups > 1 {
+                match self.join_timer_delays.iter_mut().find(|(t, _)| *t == tag) {
+                    Some((_, d)) => *d = delay,
+                    None => self.join_timer_delays.push((tag, delay)),
+                }
+            }
             out.push(SpaceEffect::SetTimer {
                 delay,
                 tag: SHARED_TAG | tag,
             });
         }
+        if self.shard.groups > 1
+            && !self.join_done
+            && self.inquired
+            && !self.reinquire_armed
+            && self.join_timer_delays.is_empty()
+        {
+            // A timer-less (quorum) protocol inquired: the space itself
+            // re-fires the inquiry until every shard has answered.
+            out.push(SpaceEffect::SetTimer {
+                delay: self.shard.reinquire_every,
+                tag: REINQUIRE_TAG,
+            });
+            self.reinquire_armed = true;
+        }
         if let Some(groups) = ctx.fan_sends.take() {
             for (to, mut entries) in groups {
                 debug_assert!(!entries.is_empty());
-                if entries.len() == 1 {
+                if entries.len() == 1 && !ctx.force_batch {
                     let (key, inner) = entries.pop().expect("checked non-empty");
                     out.push(SpaceEffect::Send {
                         to,
@@ -545,7 +768,7 @@ impl<P: RegisterProcess> RegisterSpaceProcess for RegisterSpace<P> {
         // A multi-instance step: per-target sends batch (keys > 1), so the
         // handshake costs one physical message per counterpart however
         // many keys the space owns.
-        let mut ctx = StepCtx::new(self.regs.len() > 1);
+        let mut ctx = StepCtx::new(self.regs.len() > 1, self.shard.groups > 1);
         for raw in 0..self.regs.len() as u32 {
             self.step_one(RegisterId::from_raw(raw), &mut ctx, |reg, scratch| {
                 scratch.append(&mut reg.on_enter(now));
@@ -563,20 +786,29 @@ impl<P: RegisterProcess> RegisterSpaceProcess for RegisterSpace<P> {
     ) {
         match msg {
             SpaceMsg::Keyed { key, inner } => {
-                let mut ctx = StepCtx::new(false);
+                let mut ctx = StepCtx::new(false, false);
                 self.step_one(key, &mut ctx, |reg, scratch| {
                     reg.on_message_into(now, from, inner, scratch);
                 });
                 out.append(&mut self.flush(ctx));
             }
-            SpaceMsg::JoinAll { inner } => {
-                // Fan the shared inquiry into every instance; each key's
-                // answers to one target coalesce into a single Batch (the
-                // "all keys' states in one reply" half of the handshake).
-                // A 1-key space batches nothing, staying message-for-
-                // message identical to the solo path.
-                let mut ctx = StepCtx::new(self.regs.len() > 1);
+            SpaceMsg::JoinAll { inner, full } => {
+                // Fan the shared inquiry into every instance — or, on a
+                // sharded space answering a non-full inquiry, into this
+                // responder's shard only. Each key's answers to one target
+                // coalesce into a single Batch (the "all keys' states in
+                // one reply" half of the handshake; `K/G` of them when
+                // sharded). A 1-key space batches nothing, staying
+                // message-for-message identical to the solo path.
+                let groups = self.shard.groups;
+                let mut ctx = StepCtx::new(self.regs.len() > 1, groups > 1);
                 for raw in 0..self.regs.len() as u32 {
+                    if groups > 1
+                        && !full
+                        && shard_of_key(RegisterId::from_raw(raw), groups) != self.my_shard
+                    {
+                        continue;
+                    }
                     let inner = inner.clone();
                     self.step_one(RegisterId::from_raw(raw), &mut ctx, |reg, scratch| {
                         reg.on_message_into(now, from, inner, scratch);
@@ -585,7 +817,17 @@ impl<P: RegisterProcess> RegisterSpaceProcess for RegisterSpace<P> {
                 out.append(&mut self.flush(ctx));
             }
             SpaceMsg::Batch { replies } => {
-                let mut ctx = StepCtx::new(self.regs.len() > 1);
+                // Joiner-side shard bookkeeping: a batch from `from`
+                // covers the shards of the keys it carries (its own shard
+                // for a sharded reply, every shard for a full-fallback
+                // one).
+                if self.shard.groups > 1 && !self.join_done {
+                    for (key, _) in &replies {
+                        let s = shard_of_key(*key, self.shard.groups) as usize;
+                        self.shard_heard[s].insert(from);
+                    }
+                }
+                let mut ctx = StepCtx::new(self.regs.len() > 1, self.shard.groups > 1);
                 for (key, inner) in replies {
                     self.step_one(key, &mut ctx, |reg, scratch| {
                         reg.on_message_into(now, from, inner, scratch);
@@ -597,26 +839,78 @@ impl<P: RegisterProcess> RegisterSpaceProcess for RegisterSpace<P> {
     }
 
     fn on_timer(&mut self, now: Time, tag: u64) -> Vec<SpaceEffect<Self::Msg, Self::Val>> {
+        if tag == REINQUIRE_TAG {
+            // The space's own re-inquiry beat (timer-less protocols): while
+            // the shared join is incomplete, re-broadcast a full inquiry —
+            // any active process answers for every key, so a starved shard
+            // falls back to the legacy transfer instead of wedging.
+            self.reinquire_armed = false;
+            if self.join_done {
+                return Vec::new();
+            }
+            let mut out = Vec::new();
+            if let Some(inner) = self.last_inquiry.clone() {
+                out.push(SpaceEffect::Broadcast {
+                    msg: SpaceMsg::JoinAll { inner, full: true },
+                });
+            }
+            out.push(SpaceEffect::SetTimer {
+                delay: self.shard.reinquire_every,
+                tag: REINQUIRE_TAG,
+            });
+            self.reinquire_armed = true;
+            return out;
+        }
         if tag & SHARED_TAG != 0 {
             // A shared join-phase timer: dispatch to every still-joining
-            // instance (exactly the requesters; module docs, contract 2).
+            // instance (exactly the requesters; module docs, contract 2) —
+            // except, once the sharded inquiry is out, instances of shards
+            // still short of their reply quorum: those stay joining and the
+            // timer re-fires the inquiry (full fallback) and re-arms.
             // Multi-instance step → per-target sends batch, so postponed
             // replies flushed at activation stay one message per inquirer.
             let inner_tag = tag & !SHARED_TAG;
-            let mut ctx = StepCtx::new(self.regs.len() > 1);
+            let groups = self.shard.groups;
+            // Snapshot the gate before stepping: the first dispatched
+            // instance may broadcast the inquiry (flipping `inquired`)
+            // mid-step, and pre-inquiry waits must dispatch to every key.
+            let gate = groups > 1 && self.inquired && !self.join_done;
+            let mut ctx = StepCtx::new(self.regs.len() > 1, groups > 1);
+            let mut withheld = false;
             for raw in 0..self.regs.len() as u32 {
                 if self.regs[raw as usize].is_active() {
+                    continue;
+                }
+                if gate && !self.shard_quorum_met(shard_of_key(RegisterId::from_raw(raw), groups)) {
+                    withheld = true;
                     continue;
                 }
                 self.step_one(RegisterId::from_raw(raw), &mut ctx, |reg, scratch| {
                     scratch.append(&mut reg.on_timer(now, inner_tag));
                 });
             }
+            if withheld {
+                debug_assert!(groups > 1, "only sharded spaces withhold expiries");
+                if ctx.join_broadcast.is_none() {
+                    if let Some(inner) = self.last_inquiry.clone() {
+                        ctx.join_broadcast = Some((inner, true));
+                    }
+                }
+                if let Some(&(t, delay)) = self
+                    .join_timer_delays
+                    .iter()
+                    .find(|&&(t, _)| t == inner_tag)
+                {
+                    if !ctx.join_timers.contains(&(delay, t)) {
+                        ctx.join_timers.push((delay, t));
+                    }
+                }
+            }
             self.flush(ctx)
         } else {
             let key = RegisterId::from_raw((tag >> KEY_TAG_SHIFT) as u32);
             let inner_tag = tag & INNER_TAG_MASK;
-            let mut ctx = StepCtx::new(false);
+            let mut ctx = StepCtx::new(false, false);
             self.step_one(key, &mut ctx, |reg, scratch| {
                 scratch.append(&mut reg.on_timer(now, inner_tag));
             });
@@ -630,7 +924,7 @@ impl<P: RegisterProcess> RegisterSpaceProcess for RegisterSpace<P> {
         key: RegisterId,
         op: OpId,
     ) -> Vec<SpaceEffect<Self::Msg, Self::Val>> {
-        let mut ctx = StepCtx::new(false);
+        let mut ctx = StepCtx::new(false, false);
         self.step_one(key, &mut ctx, |reg, scratch| {
             scratch.append(&mut reg.on_read(now, op));
         });
@@ -644,7 +938,7 @@ impl<P: RegisterProcess> RegisterSpaceProcess for RegisterSpace<P> {
         op: OpId,
         value: Self::Val,
     ) -> Vec<SpaceEffect<Self::Msg, Self::Val>> {
-        let mut ctx = StepCtx::new(false);
+        let mut ctx = StepCtx::new(false, false);
         self.step_one(key, &mut ctx, |reg, scratch| {
             scratch.append(&mut reg.on_write(now, op, value));
         });
@@ -745,14 +1039,27 @@ mod tests {
         let SpaceEffect::SetTimer { tag, delay } = enter[0] else {
             panic!("expected shared timer, got {:?}", enter[0]);
         };
-        assert_ne!(tag & SHARED_TAG, 0, "join timers live in the shared partition");
+        assert_ne!(
+            tag & SHARED_TAG,
+            0,
+            "join timers live in the shared partition"
+        );
         assert_eq!(delay, Span::ticks(3));
         // Expiry: all 8 inquire — one JoinAll broadcast, one shared 2δ wait.
         let inquire = s.on_timer(Time::at(3), tag);
-        assert_eq!(inquire.len(), 2, "one broadcast + one shared timer: {inquire:?}");
+        assert_eq!(
+            inquire.len(),
+            2,
+            "one broadcast + one shared timer: {inquire:?}"
+        );
         assert!(matches!(
             inquire[0],
-            SpaceEffect::Broadcast { msg: SpaceMsg::JoinAll { inner: SyncMsg::Inquiry } }
+            SpaceEffect::Broadcast {
+                msg: SpaceMsg::JoinAll {
+                    inner: SyncMsg::Inquiry,
+                    full: false
+                }
+            }
         ));
         let SpaceEffect::SetTimer { tag: t2, .. } = inquire[1] else {
             panic!("expected shared inquiry timer");
@@ -770,11 +1077,18 @@ mod tests {
         let effects = responder.on_message(
             Time::at(1),
             nid(9),
-            SpaceMsg::JoinAll { inner: SyncMsg::Inquiry },
+            SpaceMsg::JoinAll {
+                inner: SyncMsg::Inquiry,
+                full: false,
+            },
         );
         // Five per-key replies to one joiner → one physical Batch.
         assert_eq!(effects.len(), 1);
-        let SpaceEffect::Send { to, msg: SpaceMsg::Batch { replies } } = &effects[0] else {
+        let SpaceEffect::Send {
+            to,
+            msg: SpaceMsg::Batch { replies },
+        } = &effects[0]
+        else {
             panic!("expected one batched reply, got {effects:?}");
         };
         assert_eq!(*to, nid(9));
@@ -789,17 +1103,33 @@ mod tests {
     fn batch_delivery_routes_each_entry_to_its_key() {
         let mut s = joiner_space(9, 2);
         let enter = s.on_enter(Time::ZERO);
-        let SpaceEffect::SetTimer { tag, .. } = enter[0] else { panic!() };
+        let SpaceEffect::SetTimer { tag, .. } = enter[0] else {
+            panic!()
+        };
         let inquire = s.on_timer(Time::at(3), tag);
-        let SpaceEffect::SetTimer { tag: t2, .. } = inquire[1] else { panic!() };
+        let SpaceEffect::SetTimer { tag: t2, .. } = inquire[1] else {
+            panic!()
+        };
         // A responder's batch carries distinct values per key.
         s.on_message_into(
             Time::at(5),
             nid(0),
             SpaceMsg::Batch {
                 replies: vec![
-                    (key(0), SyncMsg::Reply { value: Some(100), sn: 0 }),
-                    (key(1), SyncMsg::Reply { value: Some(101), sn: 0 }),
+                    (
+                        key(0),
+                        SyncMsg::Reply {
+                            value: Some(100),
+                            sn: 0,
+                        },
+                    ),
+                    (
+                        key(1),
+                        SyncMsg::Reply {
+                            value: Some(101),
+                            sn: 0,
+                        },
+                    ),
                 ],
             },
             &mut Vec::new(),
@@ -816,13 +1146,19 @@ mod tests {
         let effects = responder.on_message(
             Time::at(1),
             nid(9),
-            SpaceMsg::JoinAll { inner: SyncMsg::Inquiry },
+            SpaceMsg::JoinAll {
+                inner: SyncMsg::Inquiry,
+                full: false,
+            },
         );
         // A single reply stays a Keyed unicast — message-for-message
         // identical to the solo path.
         assert!(matches!(
             effects.as_slice(),
-            [SpaceEffect::Send { msg: SpaceMsg::Keyed { .. }, .. }]
+            [SpaceEffect::Send {
+                msg: SpaceMsg::Keyed { .. },
+                ..
+            }]
         ));
     }
 
@@ -850,7 +1186,9 @@ mod tests {
         // completes only when both keys are active.
         let mut s = joiner_space(9, 2);
         let enter = s.on_enter(Time::ZERO);
-        let SpaceEffect::SetTimer { tag, .. } = enter[0] else { panic!() };
+        let SpaceEffect::SetTimer { tag, .. } = enter[0] else {
+            panic!()
+        };
         s.on_message_into(
             Time::at(1),
             nid(0),
@@ -863,9 +1201,12 @@ mod tests {
         let after_wait = s.on_timer(Time::at(3), tag);
         // Key 0 became active (no broadcast from it); key 1 inquires.
         assert!(
-            after_wait
-                .iter()
-                .any(|e| matches!(e, SpaceEffect::Broadcast { msg: SpaceMsg::JoinAll { .. } })),
+            after_wait.iter().any(|e| matches!(
+                e,
+                SpaceEffect::Broadcast {
+                    msg: SpaceMsg::JoinAll { .. }
+                }
+            )),
             "key 1 still inquires: {after_wait:?}"
         );
         assert!(
@@ -907,13 +1248,319 @@ mod tests {
         ));
     }
 
+    fn sharded_bootstrap(id: u64, keys: u32, groups: u32) -> RegisterSpace<SyncRegister<u64>> {
+        bootstrap_space(id, keys).with_shards(ShardConfig::new(groups))
+    }
+
+    fn sharded_joiner(id: u64, keys: u32, groups: u32) -> RegisterSpace<SyncRegister<u64>> {
+        joiner_space(id, keys).with_shards(ShardConfig::new(groups))
+    }
+
+    /// A batched reply from `from` covering the keys of its shard.
+    fn shard_batch(from: u64, keys: u32, groups: u32, value: u64) -> SpaceMsg<SyncMsg<u64>> {
+        SpaceMsg::Batch {
+            replies: (0..keys)
+                .filter(|&k| shard_of_key(key(k), groups) == shard_of_node(nid(from), groups))
+                .map(|k| {
+                    (
+                        key(k),
+                        SyncMsg::Reply {
+                            value: Some(value),
+                            sn: 1,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shard_groups_clamp_to_the_key_count() {
+        let s = sharded_bootstrap(0, 4, 64);
+        assert_eq!(s.shard_config().groups, 4);
+        let s1 = sharded_bootstrap(0, 1, 8);
+        assert_eq!(s1.shard_config().groups, 1, "a 1-key space cannot shard");
+    }
+
+    #[test]
+    fn sharded_responder_answers_only_its_shard() {
+        let groups = 2;
+        let keys = 6;
+        let mut responder = sharded_bootstrap(0, keys, groups);
+        let mine = responder.responder_shard();
+        let effects = responder.on_message(
+            Time::at(1),
+            nid(9),
+            SpaceMsg::JoinAll {
+                inner: SyncMsg::Inquiry,
+                full: false,
+            },
+        );
+        let [SpaceEffect::Send {
+            to,
+            msg: SpaceMsg::Batch { replies },
+        }] = effects.as_slice()
+        else {
+            panic!("expected one forced batch, got {effects:?}");
+        };
+        assert_eq!(*to, nid(9));
+        assert_eq!(replies.len() as u32, keys / groups);
+        assert!(replies
+            .iter()
+            .all(|(k, _)| shard_of_key(*k, groups) == mine));
+    }
+
+    #[test]
+    fn full_reinquiry_is_answered_for_every_key() {
+        let mut responder = sharded_bootstrap(0, 6, 2);
+        let effects = responder.on_message(
+            Time::at(1),
+            nid(9),
+            SpaceMsg::JoinAll {
+                inner: SyncMsg::Inquiry,
+                full: true,
+            },
+        );
+        let [SpaceEffect::Send {
+            msg: SpaceMsg::Batch { replies },
+            ..
+        }] = effects.as_slice()
+        else {
+            panic!("expected one batch, got {effects:?}");
+        };
+        assert_eq!(replies.len(), 6, "the fallback is the legacy full reply");
+    }
+
+    #[test]
+    fn starved_shard_withholds_activation_and_refires_the_inquiry() {
+        let groups = 2;
+        let keys = 4;
+        let mut s = sharded_joiner(9, keys, groups);
+        // δ wait → inquiry (sharded, not full) + 2δ wait.
+        let enter = s.on_enter(Time::ZERO);
+        let SpaceEffect::SetTimer { tag, .. } = enter[0] else {
+            panic!()
+        };
+        let inquire = s.on_timer(Time::at(3), tag);
+        assert!(matches!(
+            inquire[0],
+            SpaceEffect::Broadcast {
+                msg: SpaceMsg::JoinAll { full: false, .. }
+            }
+        ));
+        let SpaceEffect::SetTimer { tag: t2, delay } = inquire[1] else {
+            panic!()
+        };
+        assert_eq!(delay, Span::ticks(6));
+        // Only the responder covering shard 0 answers; find one per shard.
+        let in_shard = |g: u32| {
+            (0..64)
+                .find(|&i| shard_of_node(nid(i), groups) == g)
+                .unwrap()
+        };
+        let (r0, r1) = (in_shard(0), in_shard(1));
+        s.on_message_into(
+            Time::at(5),
+            nid(r0),
+            shard_batch(r0, keys, groups, 100),
+            &mut Vec::new(),
+        );
+        // 2δ expiry: shard 0's keys activate, shard 1's are withheld; the
+        // timer re-fires a *full* inquiry and re-arms itself.
+        let effects = s.on_timer(Time::at(9), t2);
+        assert!(
+            !s.is_active(),
+            "space join incomplete while shard 1 starves"
+        );
+        assert!(
+            effects.iter().any(|e| matches!(
+                e,
+                SpaceEffect::Broadcast {
+                    msg: SpaceMsg::JoinAll { full: true, .. }
+                }
+            )),
+            "withheld shard re-fires a full inquiry: {effects:?}"
+        );
+        let rearm = effects
+            .iter()
+            .find_map(|e| match e {
+                SpaceEffect::SetTimer { tag, delay } => Some((*tag, *delay)),
+                _ => None,
+            })
+            .expect("re-armed shared timer");
+        assert_eq!(rearm.1, Span::ticks(6), "same 2δ wait re-armed");
+        assert!(
+            !effects.contains(&SpaceEffect::JoinComplete),
+            "no JoinComplete while a shard is short"
+        );
+        // Shard 1's responder answers the re-inquiry; the re-armed expiry
+        // completes the join, and the adopted values are per shard.
+        s.on_message_into(
+            Time::at(11),
+            nid(r1),
+            shard_batch(r1, keys, groups, 200),
+            &mut Vec::new(),
+        );
+        let done = s.on_timer(Time::at(15), rearm.0);
+        assert!(done.contains(&SpaceEffect::JoinComplete), "{done:?}");
+        assert!(s.is_active());
+        for k_raw in 0..keys {
+            let expect = if shard_of_key(key(k_raw), groups) == 0 {
+                100
+            } else {
+                200
+            };
+            assert_eq!(s.register(key(k_raw)).local_value(), Some(&expect));
+        }
+    }
+
+    #[test]
+    fn shard_quorum_counts_distinct_responders() {
+        let groups = 2;
+        let mut s =
+            sharded_joiner(9, 4, groups).with_shards(ShardConfig::new(groups).with_quorum(2));
+        let enter = s.on_enter(Time::ZERO);
+        let SpaceEffect::SetTimer { tag, .. } = enter[0] else {
+            panic!()
+        };
+        let inquire = s.on_timer(Time::at(3), tag);
+        let SpaceEffect::SetTimer { tag: t2, .. } = inquire[1] else {
+            panic!()
+        };
+        // One responder per shard — quorum 2 not met anywhere, even if the
+        // same responder repeats itself.
+        let in_shard = |g: u32| {
+            (0..64)
+                .find(|&i| shard_of_node(nid(i), groups) == g)
+                .unwrap()
+        };
+        for _ in 0..3 {
+            s.on_message_into(
+                Time::at(5),
+                nid(in_shard(0)),
+                shard_batch(in_shard(0), 4, groups, 7),
+                &mut Vec::new(),
+            );
+        }
+        let effects = s.on_timer(Time::at(9), t2);
+        assert!(!s.is_active(), "one chatty responder is one vote");
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            SpaceEffect::Broadcast {
+                msg: SpaceMsg::JoinAll { full: true, .. }
+            }
+        )));
+        // A second distinct responder per shard satisfies quorum 2 — the
+        // full fallback reply covers both shards at once.
+        let extra = (0..64)
+            .find(|&i| i != in_shard(0) && i != in_shard(1))
+            .unwrap();
+        s.on_message_into(
+            Time::at(11),
+            nid(in_shard(1)),
+            shard_batch(in_shard(1), 4, groups, 8),
+            &mut Vec::new(),
+        );
+        let full_reply = SpaceMsg::Batch {
+            replies: (0..4)
+                .map(|k| {
+                    (
+                        key(k),
+                        SyncMsg::Reply {
+                            value: Some(9),
+                            sn: 1,
+                        },
+                    )
+                })
+                .collect(),
+        };
+        s.on_message_into(
+            Time::at(11),
+            nid(in_shard(0)),
+            full_reply.clone(),
+            &mut Vec::new(),
+        );
+        s.on_message_into(Time::at(11), nid(extra), full_reply, &mut Vec::new());
+        // The withheld expiry re-armed the same shared tag; its next firing
+        // finds every shard at quorum and completes the join.
+        let done = s.on_timer(Time::at(15), t2);
+        assert!(done.contains(&SpaceEffect::JoinComplete), "{done:?}");
+    }
+
+    #[test]
+    fn one_group_sharding_is_the_legacy_handshake() {
+        // G = 1 through the shard-config path produces exactly the legacy
+        // effect streams: the equivalence oracle at the unit level.
+        let mut legacy = bootstrap_space(0, 5);
+        let mut sharded = sharded_bootstrap(0, 5, 1);
+        for full in [false, true] {
+            assert_eq!(
+                legacy.on_message(
+                    Time::at(1),
+                    nid(9),
+                    SpaceMsg::JoinAll {
+                        inner: SyncMsg::Inquiry,
+                        full
+                    },
+                ),
+                sharded.on_message(
+                    Time::at(1),
+                    nid(9),
+                    SpaceMsg::JoinAll {
+                        inner: SyncMsg::Inquiry,
+                        full
+                    },
+                ),
+            );
+        }
+        let mut legacy_j = joiner_space(9, 3);
+        let mut sharded_j = sharded_joiner(9, 3, 1);
+        let a = legacy_j.on_enter(Time::ZERO);
+        let b = sharded_j.on_enter(Time::ZERO);
+        assert_eq!(a, b);
+        let SpaceEffect::SetTimer { tag, .. } = a[0] else {
+            panic!()
+        };
+        assert_eq!(
+            legacy_j.on_timer(Time::at(3), tag),
+            sharded_j.on_timer(Time::at(3), tag)
+        );
+    }
+
+    #[test]
+    fn shard_hash_is_deterministic_and_spread() {
+        let groups = 16;
+        let mut seen = vec![0u32; groups as usize];
+        for i in 0..1000 {
+            let s = shard_of_node(nid(i), groups);
+            assert_eq!(s, shard_of_node(nid(i), groups));
+            assert!(s < groups);
+            seen[s as usize] += 1;
+        }
+        assert!(
+            seen.iter().all(|&c| c > 20),
+            "1000 nodes spread over 16 shards without starving one: {seen:?}"
+        );
+    }
+
     #[test]
     fn payload_count_reflects_batching() {
         assert_eq!(
-            SpaceMsg::Keyed { key: key(0), inner: () }.payload_count(),
+            SpaceMsg::Keyed {
+                key: key(0),
+                inner: ()
+            }
+            .payload_count(),
             1
         );
-        assert_eq!(SpaceMsg::JoinAll { inner: () }.payload_count(), 1);
+        assert_eq!(
+            SpaceMsg::JoinAll {
+                inner: (),
+                full: false
+            }
+            .payload_count(),
+            1
+        );
         assert_eq!(
             SpaceMsg::<()>::Batch {
                 replies: vec![(key(0), ()), (key(1), ())]

@@ -422,10 +422,7 @@ impl<V: Value> RegisterProcess for SyncRegister<V> {
         self.pending_write = Some(op);
         vec![
             Effect::Broadcast {
-                msg: SyncMsg::Write {
-                    value,
-                    sn: self.sn,
-                },
+                msg: SyncMsg::Write { value, sn: self.sn },
             },
             // Line 02: wait(δ) … return ok (on timer).
             Effect::SetTimer {
@@ -474,7 +471,10 @@ mod tests {
     fn read_is_local_and_immediate() {
         let mut p = bootstrap(0);
         let effects = p.on_read(Time::ZERO, oid(1));
-        assert_eq!(completions(&effects), vec![(oid(1), OpOutcome::Read(Some(0)))]);
+        assert_eq!(
+            completions(&effects),
+            vec![(oid(1), OpOutcome::Read(Some(0)))]
+        );
         assert_eq!(effects.len(), 1, "no messages, no timers");
     }
 
@@ -522,7 +522,12 @@ mod tests {
             }]
         );
         let after_wait = p.on_timer(Time::at(4), TIMER_JOIN_WAIT);
-        assert_eq!(after_wait[0], Effect::Broadcast { msg: SyncMsg::Inquiry });
+        assert_eq!(
+            after_wait[0],
+            Effect::Broadcast {
+                msg: SyncMsg::Inquiry
+            }
+        );
         assert_eq!(
             after_wait[1],
             Effect::SetTimer {
@@ -551,9 +556,30 @@ mod tests {
         let mut p = joiner(5);
         p.on_enter(Time::ZERO);
         p.on_timer(Time::at(4), TIMER_JOIN_WAIT);
-        p.on_message(Time::at(6), nid(1), SyncMsg::Reply { value: Some(10), sn: 1 });
-        p.on_message(Time::at(7), nid(2), SyncMsg::Reply { value: Some(20), sn: 2 });
-        p.on_message(Time::at(8), nid(3), SyncMsg::Reply { value: Some(10), sn: 1 });
+        p.on_message(
+            Time::at(6),
+            nid(1),
+            SyncMsg::Reply {
+                value: Some(10),
+                sn: 1,
+            },
+        );
+        p.on_message(
+            Time::at(7),
+            nid(2),
+            SyncMsg::Reply {
+                value: Some(20),
+                sn: 2,
+            },
+        );
+        p.on_message(
+            Time::at(8),
+            nid(3),
+            SyncMsg::Reply {
+                value: Some(10),
+                sn: 1,
+            },
+        );
         let effects = p.on_timer(Time::at(12), TIMER_INQUIRY_WAIT);
         assert!(effects.contains(&Effect::JoinComplete));
         assert_eq!(p.local_value(), Some(&20));
@@ -577,11 +603,22 @@ mod tests {
         let mut p = joiner(5);
         p.on_enter(Time::ZERO);
         p.on_timer(Time::at(4), TIMER_JOIN_WAIT);
-        p.on_message(Time::at(5), nid(1), SyncMsg::Reply { value: Some(10), sn: 1 });
+        p.on_message(
+            Time::at(5),
+            nid(1),
+            SyncMsg::Reply {
+                value: Some(10),
+                sn: 1,
+            },
+        );
         // Concurrent write lands directly (line 03-04 of Figure 2).
         p.on_message(Time::at(6), nid(0), SyncMsg::Write { value: 30, sn: 3 });
         p.on_timer(Time::at(12), TIMER_INQUIRY_WAIT);
-        assert_eq!(p.local_value(), Some(&30), "stale reply must not regress the copy");
+        assert_eq!(
+            p.local_value(),
+            Some(&30),
+            "stale reply must not regress the copy"
+        );
         assert_eq!(p.local_sn(), 3);
     }
 
@@ -593,7 +630,10 @@ mod tests {
             effects,
             vec![Effect::Send {
                 to: nid(7),
-                msg: SyncMsg::Reply { value: Some(0), sn: 0 }
+                msg: SyncMsg::Reply {
+                    value: Some(0),
+                    sn: 0
+                }
             }]
         );
     }
@@ -603,9 +643,13 @@ mod tests {
         let mut p = joiner(5);
         p.on_enter(Time::ZERO);
         // Another joiner inquires while we are still joining.
-        assert!(p.on_message(Time::at(1), nid(8), SyncMsg::Inquiry).is_empty());
+        assert!(p
+            .on_message(Time::at(1), nid(8), SyncMsg::Inquiry)
+            .is_empty());
         // Duplicate inquiries are answered once.
-        assert!(p.on_message(Time::at(2), nid(8), SyncMsg::Inquiry).is_empty());
+        assert!(p
+            .on_message(Time::at(2), nid(8), SyncMsg::Inquiry)
+            .is_empty());
         p.on_message(Time::at(2), nid(0), SyncMsg::Write { value: 5, sn: 1 });
         let effects = p.on_timer(Time::at(4), TIMER_JOIN_WAIT);
         let replies: Vec<&Effect<SyncMsg<u64>, u64>> = effects
@@ -616,7 +660,10 @@ mod tests {
             replies,
             vec![&Effect::Send {
                 to: nid(8),
-                msg: SyncMsg::Reply { value: Some(5), sn: 1 }
+                msg: SyncMsg::Reply {
+                    value: Some(5),
+                    sn: 1
+                }
             }]
         );
     }
@@ -632,10 +679,18 @@ mod tests {
 
     #[test]
     fn skip_join_wait_inquires_immediately() {
-        let mut p: SyncRegister<u64> =
-            SyncRegister::new_joiner(nid(5), SyncConfig::without_join_wait(Span::ticks(4)), oid(1));
+        let mut p: SyncRegister<u64> = SyncRegister::new_joiner(
+            nid(5),
+            SyncConfig::without_join_wait(Span::ticks(4)),
+            oid(1),
+        );
         let effects = p.on_enter(Time::ZERO);
-        assert_eq!(effects[0], Effect::Broadcast { msg: SyncMsg::Inquiry });
+        assert_eq!(
+            effects[0],
+            Effect::Broadcast {
+                msg: SyncMsg::Inquiry
+            }
+        );
     }
 
     #[test]
@@ -674,7 +729,14 @@ mod tests {
     #[test]
     fn labels_cover_all_variants() {
         assert_eq!(SyncMsg::<u64>::Inquiry.label(), "INQUIRY");
-        assert_eq!(SyncMsg::Reply { value: Some(1u64), sn: 0 }.label(), "REPLY");
+        assert_eq!(
+            SyncMsg::Reply {
+                value: Some(1u64),
+                sn: 0
+            }
+            .label(),
+            "REPLY"
+        );
         assert_eq!(SyncMsg::Write { value: 1u64, sn: 0 }.label(), "WRITE");
     }
 

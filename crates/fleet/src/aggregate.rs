@@ -75,6 +75,8 @@ pub struct PointOutcome {
     pub n: usize,
     /// Register-space key count of the run.
     pub keys: u32,
+    /// Join-reply shard groups of the run (1 = legacy full replies).
+    pub shards: u32,
     /// The run's derived seed.
     pub seed: u64,
     /// Safety (regularity) violations, summed over every key.
@@ -124,6 +126,7 @@ impl PointOutcome {
             churn_rate: c,
             n: point.n,
             keys: point.keys,
+            shards: point.shards,
             seed: point.seed,
             safety_violations: report.total_violations() as u64,
             reads_checked: report.total_reads_checked() as u64,
@@ -157,6 +160,8 @@ impl PointOutcome {
 pub struct Cell {
     /// Register-space key count.
     pub keys: u32,
+    /// Join-reply shard groups.
+    pub shards: u32,
     /// Delay bound `δ` (ticks).
     pub delta: u64,
     /// Churn fraction `c / c*`.
@@ -203,10 +208,11 @@ pub struct Cell {
 }
 
 impl Cell {
-    /// An empty cell at the given `(keys, δ, fraction)` coordinate.
-    pub fn new(keys: u32, delta: u64, fraction: f64) -> Cell {
+    /// An empty cell at the given `(keys, shards, δ, fraction)` coordinate.
+    pub fn new(keys: u32, shards: u32, delta: u64, fraction: f64) -> Cell {
         Cell {
             keys,
+            shards,
             delta,
             fraction,
             churn_rate: f64::INFINITY,
@@ -235,7 +241,12 @@ impl Cell {
     /// module's determinism contract).
     pub fn absorb(&mut self, o: &PointOutcome) {
         debug_assert_eq!(
-            (u64::from(self.keys), self.delta, self.fraction.to_bits()),
+            (
+                u64::from(self.keys),
+                u64::from(self.shards),
+                self.delta,
+                self.fraction.to_bits()
+            ),
             cell_key(o)
         );
         self.churn_rate = self.churn_rate.min(o.churn_rate);
@@ -284,23 +295,28 @@ impl Cell {
     }
 }
 
-/// The reduction key of an outcome: `(keys, δ, fraction)`. Fractions are
-/// keyed by bit pattern — exact, and ordered like the numbers for
-/// non-negative floats.
-pub fn cell_key(o: &PointOutcome) -> (u64, u64, u64) {
-    (u64::from(o.keys), o.delta, o.fraction.to_bits())
+/// The reduction key of an outcome: `(keys, shards, δ, fraction)`.
+/// Fractions are keyed by bit pattern — exact, and ordered like the
+/// numbers for non-negative floats.
+pub fn cell_key(o: &PointOutcome) -> (u64, u64, u64, u64) {
+    (
+        u64::from(o.keys),
+        u64::from(o.shards),
+        o.delta,
+        o.fraction.to_bits(),
+    )
 }
 
 /// Reduces outcomes into phase-diagram cells, sorted by
-/// `(keys, δ, fraction)`. Input order does not matter (see the module
-/// docs).
+/// `(keys, shards, δ, fraction)`. Input order does not matter (see the
+/// module docs).
 pub fn reduce_cells(outcomes: &[PointOutcome]) -> Vec<Cell> {
-    let mut cells: std::collections::BTreeMap<(u64, u64, u64), Cell> =
+    let mut cells: std::collections::BTreeMap<(u64, u64, u64, u64), Cell> =
         std::collections::BTreeMap::new();
     for o in outcomes {
         cells
             .entry(cell_key(o))
-            .or_insert_with(|| Cell::new(o.keys, o.delta, o.fraction))
+            .or_insert_with(|| Cell::new(o.keys, o.shards, o.delta, o.fraction))
             .absorb(o);
     }
     cells.into_values().collect()
@@ -320,6 +336,7 @@ mod tests {
             churn_rate: fraction / (3.0 * delta as f64),
             n: 10,
             keys: 1,
+            shards: 1,
             seed: 1,
             safety_violations: 0,
             reads_checked: 10,
@@ -349,7 +366,10 @@ mod tests {
         let rev = reduce_cells(&[c, b, a]);
         assert_eq!(fwd.len(), 2);
         for (x, y) in fwd.iter().zip(&rev) {
-            assert_eq!((x.delta, x.fraction.to_bits()), (y.delta, y.fraction.to_bits()));
+            assert_eq!(
+                (x.delta, x.fraction.to_bits()),
+                (y.delta, y.fraction.to_bits())
+            );
             assert_eq!(x.runs, y.runs);
             assert_eq!(x.stuck_runs, y.stuck_runs);
             assert_eq!(x.joins_completed, y.joins_completed);
@@ -362,19 +382,19 @@ mod tests {
 
     #[test]
     fn feasibility_requires_safety_liveness_and_availability() {
-        let mut healthy = Cell::new(1, 3, 0.5);
+        let mut healthy = Cell::new(1, 1, 3, 0.5);
         healthy.absorb(&outcome(3, 0.5, 0, 9, 10));
         assert!(healthy.feasible());
 
-        let mut stuck = Cell::new(1, 3, 0.5);
+        let mut stuck = Cell::new(1, 1, 3, 0.5);
         stuck.absorb(&outcome(3, 0.5, 3, 9, 10));
         assert!(!stuck.feasible());
 
-        let mut starved = Cell::new(1, 3, 0.5);
+        let mut starved = Cell::new(1, 1, 3, 0.5);
         starved.absorb(&outcome(3, 0.5, 0, 2, 10));
         assert!(!starved.feasible(), "join ratio 0.2 < 0.5");
 
-        let mut quiet = Cell::new(1, 3, 0.5);
+        let mut quiet = Cell::new(1, 1, 3, 0.5);
         quiet.absorb(&outcome(3, 0.5, 0, 0, 0));
         assert!(quiet.feasible(), "no churn → availability is vacuous");
     }

@@ -32,8 +32,7 @@ pub fn run_points(points: &[RunPoint], threads: usize) -> Vec<PointOutcome> {
         return Vec::new();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<PointOutcome>>> =
-        points.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<PointOutcome>>> = points.iter().map(|_| Mutex::new(None)).collect();
     let workers = threads.min(points.len());
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -118,7 +117,10 @@ mod tests {
         let two = run_points(&points, 2);
         assert_eq!(one[0].keys, 4);
         assert!(one[0].reads_checked > 0, "keyed reads were checked");
-        assert_eq!(one[0].digest, two[0].digest, "keyed digests are thread-stable");
+        assert_eq!(
+            one[0].digest, two[0].digest,
+            "keyed digests are thread-stable"
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@ use crate::spec::SweepSpec;
 pub struct Frontier {
     /// Register-space key count of the row.
     pub keys: u32,
+    /// Join-reply shard groups of the row.
+    pub shards: u32,
     /// Delay bound `δ` (ticks).
     pub delta: u64,
     /// Largest feasible fraction, if any cell was feasible.
@@ -54,6 +56,7 @@ pub const BRACKET_TOL: f64 = 0.1;
 impl Frontier {
     fn from_row(
         keys: u32,
+        shards: u32,
         delta: u64,
         analytic_threshold: Option<f64>,
         row: &[&Cell],
@@ -63,12 +66,16 @@ impl Frontier {
             .iter()
             .filter(|c| c.feasible())
             .map(|c| c.fraction)
-            .fold(None, |acc: Option<f64>, f| Some(acc.map_or(f, |a| a.max(f))));
+            .fold(None, |acc: Option<f64>, f| {
+                Some(acc.map_or(f, |a| a.max(f)))
+            });
         let first_infeasible = row
             .iter()
             .filter(|c| !c.feasible())
             .map(|c| c.fraction)
-            .fold(None, |acc: Option<f64>, f| Some(acc.map_or(f, |a| a.min(f))));
+            .fold(None, |acc: Option<f64>, f| {
+                Some(acc.map_or(f, |a| a.min(f)))
+            });
         let monotone = match (last_feasible, first_infeasible) {
             (Some(lf), Some(fi)) => lf < fi,
             _ => true,
@@ -79,6 +86,7 @@ impl Frontier {
         };
         Frontier {
             keys,
+            shards,
             delta,
             last_feasible,
             first_infeasible,
@@ -98,9 +106,9 @@ pub struct PhaseReport {
     pub master_seed: u64,
     /// Total runs executed.
     pub total_runs: u64,
-    /// Cells sorted by `(keys, δ, fraction)`.
+    /// Cells sorted by `(keys, shards, δ, fraction)`.
     pub cells: Vec<Cell>,
-    /// One frontier per distinct `(keys, δ)` row, in that order.
+    /// One frontier per distinct `(keys, shards, δ)` row, in that order.
     pub frontiers: Vec<Frontier>,
     /// FNV fold of every run's event-stream digest, in run-index order —
     /// equal digests mean equal fleets, whatever the thread count.
@@ -119,12 +127,13 @@ impl PhaseReport {
         };
         let cells = reduce_cells(outcomes);
         let mut frontiers = Vec::new();
-        let mut rows: Vec<(u32, u64)> = cells.iter().map(|c| (c.keys, c.delta)).collect();
-        rows.dedup(); // cells are sorted by (keys, δ, fraction)
-        for (keys, delta) in rows {
+        let mut rows: Vec<(u32, u32, u64)> =
+            cells.iter().map(|c| (c.keys, c.shards, c.delta)).collect();
+        rows.dedup(); // cells are sorted by (keys, shards, δ, fraction)
+        for (keys, shards, delta) in rows {
             let row: Vec<&Cell> = cells
                 .iter()
-                .filter(|c| c.keys == keys && c.delta == delta)
+                .filter(|c| c.keys == keys && c.shards == shards && c.delta == delta)
                 .collect();
             let analytic = match spec.protocol {
                 ProtocolChoice::Synchronous | ProtocolChoice::SynchronousNoWait => {
@@ -140,7 +149,7 @@ impl PhaseReport {
                     }
                 }
             };
-            frontiers.push(Frontier::from_row(keys, delta, analytic, &row));
+            frontiers.push(Frontier::from_row(keys, shards, delta, analytic, &row));
         }
         let fleet_digest = crate::aggregate::fnv1a(
             outcomes.iter().flat_map(|o| o.digest.to_le_bytes()),
@@ -179,16 +188,23 @@ impl PhaseReport {
         ));
         let lo = self.cells.first().map(|c| c.fraction).unwrap_or(0.0);
         let hi = self.cells.last().map(|c| c.fraction).unwrap_or(0.0);
-        out.push_str(&format!("        c/c* from {lo:.2} (left) to {hi:.2} (right)\n"));
+        out.push_str(&format!(
+            "        c/c* from {lo:.2} (left) to {hi:.2} (right)\n"
+        ));
         let multi_key = self.cells.iter().any(|c| c.keys > 1);
-        let mut rows: Vec<(u32, u64)> = self.cells.iter().map(|c| (c.keys, c.delta)).collect();
+        let multi_shard = self.cells.iter().any(|c| c.shards > 1);
+        let mut rows: Vec<(u32, u32, u64)> = self
+            .cells
+            .iter()
+            .map(|c| (c.keys, c.shards, c.delta))
+            .collect();
         rows.dedup();
-        for (keys, delta) in rows {
+        for (keys, shards, delta) in rows {
             let mut row: Vec<char> = vec![' '; fraction_bits.len()];
             for cell in self
                 .cells
                 .iter()
-                .filter(|c| c.keys == keys && c.delta == delta)
+                .filter(|c| c.keys == keys && c.shards == shards && c.delta == delta)
             {
                 row[col(cell.fraction.to_bits())] = if cell.unsafe_runs > 0 {
                     '!'
@@ -208,7 +224,9 @@ impl PhaseReport {
             if boundary == row.len() {
                 line.push('|');
             }
-            if multi_key {
+            if multi_shard {
+                out.push_str(&format!("k={keys:<4} g={shards:<3} δ={delta:<3} {line}\n"));
+            } else if multi_key {
                 out.push_str(&format!("k={keys:<4} δ={delta:<3} {line}\n"));
             } else {
                 out.push_str(&format!("δ={delta:<3} {line}\n"));
@@ -221,6 +239,7 @@ impl PhaseReport {
     pub fn cell_table(&self) -> Table {
         let mut t = Table::new([
             "keys",
+            "G",
             "δ",
             "c/c*",
             "c",
@@ -238,6 +257,7 @@ impl PhaseReport {
         for c in &self.cells {
             t.row([
                 c.keys.to_string(),
+                c.shards.to_string(),
                 c.delta.to_string(),
                 format!("{:.3}", c.fraction),
                 format!("{:.5}", c.churn_rate),
@@ -260,6 +280,7 @@ impl PhaseReport {
     pub fn frontier_table(&self) -> Table {
         let mut t = Table::new([
             "keys",
+            "G",
             "δ",
             "analytic c*",
             "last feasible c/c*",
@@ -270,6 +291,7 @@ impl PhaseReport {
         for f in &self.frontiers {
             t.row([
                 f.keys.to_string(),
+                f.shards.to_string(),
                 f.delta.to_string(),
                 f.analytic_threshold
                     .map_or("-".into(), |v| format!("{v:.5}")),
@@ -298,7 +320,7 @@ impl PhaseReport {
             )
         }
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"dynareg-phase-diagram/1\",\n");
+        out.push_str("{\n  \"schema\": \"dynareg-phase-diagram/2\",\n");
         out.push_str(&format!("  \"protocol\": \"{}\",\n", self.protocol));
         out.push_str(&format!("  \"master_seed\": {},\n", self.master_seed));
         out.push_str(&format!("  \"total_runs\": {},\n", self.total_runs));
@@ -310,7 +332,7 @@ impl PhaseReport {
         for (i, c) in self.cells.iter().enumerate() {
             out.push_str(&format!(
                 concat!(
-                    "    {{\"keys\": {}, \"delta\": {}, \"fraction\": {:.6}, \"churn_rate\": {:.8}, ",
+                    "    {{\"keys\": {}, \"shards\": {}, \"delta\": {}, \"fraction\": {:.6}, \"churn_rate\": {:.8}, ",
                     "\"runs\": {}, \"unsafe_runs\": {}, \"safety_violations\": {}, ",
                     "\"stuck_runs\": {}, \"stuck_ops\": {}, \"inversions\": {}, ",
                     "\"arrivals\": {}, \"joins_completed\": {}, \"join_ratio\": {:.4}, ",
@@ -321,6 +343,7 @@ impl PhaseReport {
                     "\"write_latency\": {}}}{}\n",
                 ),
                 c.keys,
+                c.shards,
                 c.delta,
                 c.fraction,
                 c.churn_rate,
@@ -353,11 +376,12 @@ impl PhaseReport {
         for (i, f) in self.frontiers.iter().enumerate() {
             out.push_str(&format!(
                 concat!(
-                    "    {{\"keys\": {}, \"delta\": {}, \"analytic_threshold\": {}, ",
+                    "    {{\"keys\": {}, \"shards\": {}, \"delta\": {}, \"analytic_threshold\": {}, ",
                     "\"last_feasible_fraction\": {}, \"first_infeasible_fraction\": {}, ",
                     "\"monotone\": {}, \"brackets_bound\": {}}}{}\n",
                 ),
                 f.keys,
+                f.shards,
                 f.delta,
                 f.analytic_threshold
                     .map_or("null".to_string(), |v| format!("{v:.8}")),
@@ -410,8 +434,8 @@ mod tests {
         // Cells sorted by (δ, fraction).
         for w in report.cells.windows(2) {
             assert!(
-                (w[0].keys, w[0].delta, w[0].fraction.to_bits())
-                    < (w[1].keys, w[1].delta, w[1].fraction.to_bits())
+                (w[0].keys, w[0].shards, w[0].delta, w[0].fraction.to_bits())
+                    < (w[1].keys, w[1].shards, w[1].delta, w[1].fraction.to_bits())
             );
         }
     }
@@ -420,10 +444,16 @@ mod tests {
     fn json_is_schema_tagged_and_free_of_wall_clock() {
         let report = small_report();
         let json = report.json();
-        assert!(json.contains("\"schema\": \"dynareg-phase-diagram/1\""));
+        assert!(json.contains("\"schema\": \"dynareg-phase-diagram/2\""));
         assert!(json.contains("\"fleet_digest\""));
-        assert!(!json.contains("secs"), "no wall-clock in deterministic output");
-        assert!(!json.contains("threads"), "no thread count in deterministic output");
+        assert!(
+            !json.contains("secs"),
+            "no wall-clock in deterministic output"
+        );
+        assert!(
+            !json.contains("threads"),
+            "no thread count in deterministic output"
+        );
     }
 
     #[test]
@@ -453,7 +483,7 @@ mod tests {
     #[test]
     fn frontier_row_logic_handles_all_shapes() {
         let mk = |delta, fraction, stuck| {
-            let mut cell = Cell::new(1, delta, fraction);
+            let mut cell = Cell::new(1, 1, delta, fraction);
             cell.absorb(&PointOutcome {
                 index: 0,
                 delta,
@@ -461,6 +491,7 @@ mod tests {
                 churn_rate: 0.1,
                 n: 10,
                 keys: 1,
+                shards: 1,
                 seed: 0,
                 safety_violations: 0,
                 reads_checked: 1,
@@ -484,20 +515,20 @@ mod tests {
         // Feasible below 1, infeasible above: brackets.
         let a = mk(4, 0.8, 0);
         let b = mk(4, 1.2, 5);
-        let f = Frontier::from_row(1, 4, Some(1.0 / 12.0), &[&a, &b]);
+        let f = Frontier::from_row(1, 1, 4, Some(1.0 / 12.0), &[&a, &b]);
         assert!(f.monotone && f.brackets_bound);
         assert_eq!(f.last_feasible, Some(0.8));
         assert_eq!(f.first_infeasible, Some(1.2));
         // All feasible: no bracket (frontier not observed).
-        let f = Frontier::from_row(1, 4, Some(1.0 / 12.0), &[&a]);
+        let f = Frontier::from_row(1, 1, 4, Some(1.0 / 12.0), &[&a]);
         assert!(f.monotone && !f.brackets_bound);
         // Infeasible below the bound: monotone but no bracket.
         let c = mk(4, 0.5, 3);
-        let f = Frontier::from_row(1, 4, Some(1.0 / 12.0), &[&c, &b]);
+        let f = Frontier::from_row(1, 1, 4, Some(1.0 / 12.0), &[&c, &b]);
         assert!(!f.brackets_bound);
         // Non-monotone: feasible above an infeasible cell.
         let d = mk(4, 2.0, 0);
-        let f = Frontier::from_row(1, 4, Some(1.0 / 12.0), &[&c, &d]);
+        let f = Frontier::from_row(1, 1, 4, Some(1.0 / 12.0), &[&c, &d]);
         assert!(!f.monotone);
     }
 }

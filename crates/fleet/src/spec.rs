@@ -46,8 +46,8 @@ pub enum SweepDomain {
 ///
 /// Everything is plain data (`Send + Clone`); nothing here owns a model or
 /// a thread. Expansion order is fixed — `domain × populations × gsts ×
-/// keys × seeds` with the rightmost axis fastest — so `run_index`, and
-/// therefore every per-run seed, is a pure function of the spec.
+/// keys × shards × seeds` with the rightmost axis fastest — so `run_index`,
+/// and therefore every per-run seed, is a pure function of the spec.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Protocol variant every point runs.
@@ -63,6 +63,11 @@ pub struct SweepSpec {
     /// classic single-register sweep; larger entries run keyed
     /// `RegisterSpace` worlds under Zipf traffic).
     pub keys: Vec<u32>,
+    /// Join-reply shard group counts `G` to cross with the domain (`[1]` =
+    /// the legacy full-reply handshake). Sharding gives churn `G`
+    /// independent chances to starve a shard's join quorum, so this axis
+    /// is how the phase diagram maps the Theorem 1 frontier against `G`.
+    pub shards: Vec<u32>,
     /// Zipf key-popularity exponent for keyed points (ignored at 1 key).
     pub zipf_exponent: f64,
     /// Independent seeded repetitions per parameter point.
@@ -105,10 +110,25 @@ pub struct RunPoint {
     pub gst: u64,
     /// Register-space key count of this point.
     pub keys: u32,
+    /// Join-reply shard groups of this point, clamped to the key count —
+    /// the `G` the run actually used (1 = legacy full replies).
+    pub shards: u32,
     /// The derived per-run seed (`= run_seed(master_seed, index)`).
     pub seed: u64,
     /// The fully materialized scenario.
     pub spec: ScenarioSpec,
+}
+
+/// One expansion coordinate of a sweep, pre-seed (every axis value of a
+/// single run).
+#[derive(Debug, Clone, Copy)]
+struct Coord {
+    delta: u64,
+    fraction: f64,
+    n: usize,
+    gst: u64,
+    keys: u32,
+    shards: u32,
 }
 
 /// SplitMix64 finalizer: derives the seed of run `run_index` from the
@@ -149,6 +169,7 @@ impl SweepSpec {
             populations: vec![24],
             gsts: vec![0],
             keys: vec![1],
+            shards: vec![1],
             zipf_exponent: 1.0,
             seeds_per_point: 1,
             master_seed: 0x000B_A1D0,
@@ -175,6 +196,7 @@ impl SweepSpec {
             populations: vec![15],
             gsts: vec![gst],
             keys: vec![1],
+            shards: vec![1],
             zipf_exponent: 1.0,
             seeds_per_point: 2,
             master_seed: 0x000B_A1D0,
@@ -198,6 +220,7 @@ impl SweepSpec {
             * self.populations.len() as u64
             * self.gsts.len() as u64
             * self.keys.len() as u64
+            * self.shards.len() as u64
             * self.seeds_per_point.max(1)
     }
 
@@ -244,20 +267,35 @@ impl SweepSpec {
         assert!(!self.populations.is_empty(), "populations axis is empty");
         assert!(!self.gsts.is_empty(), "gsts axis is empty");
         assert!(!self.keys.is_empty(), "keys axis is empty");
+        assert!(!self.shards.is_empty(), "shards axis is empty");
         let coords = self.domain_coords();
         assert!(!coords.is_empty(), "(c, δ) domain is empty");
         let seeds = self.seeds_per_point.max(1);
         let mut points = Vec::with_capacity(
-            coords.len() * self.populations.len() * self.gsts.len() * self.keys.len(),
+            coords.len()
+                * self.populations.len()
+                * self.gsts.len()
+                * self.keys.len()
+                * self.shards.len(),
         );
         let mut index = 0u64;
         for &(delta, fraction) in &coords {
             for &n in &self.populations {
                 for &gst in &self.gsts {
                     for &keys in &self.keys {
-                        for _ in 0..seeds {
-                            points.push(self.materialize(index, delta, fraction, n, gst, keys));
-                            index += 1;
+                        for &shards in &self.shards {
+                            for _ in 0..seeds {
+                                let coord = Coord {
+                                    delta,
+                                    fraction,
+                                    n,
+                                    gst,
+                                    keys,
+                                    shards,
+                                };
+                                points.push(self.materialize(index, coord));
+                                index += 1;
+                            }
                         }
                     }
                 }
@@ -267,15 +305,19 @@ impl SweepSpec {
     }
 
     /// Builds the concrete [`ScenarioSpec`] of one point.
-    fn materialize(
-        &self,
-        index: u64,
-        delta: u64,
-        fraction: f64,
-        n: usize,
-        gst: u64,
-        keys: u32,
-    ) -> RunPoint {
+    fn materialize(&self, index: u64, coord: Coord) -> RunPoint {
+        let Coord {
+            delta,
+            fraction,
+            n,
+            gst,
+            keys,
+            shards,
+        } = coord;
+        // Record the *effective* shard count (the scenario clamps groups
+        // to the key count), so cells and frontiers are never labeled
+        // with a G that did not actually run.
+        let shards = shards.clamp(1, keys.max(1));
         let delta_span = Span::ticks(delta);
         let mut sc = match self.protocol {
             ProtocolChoice::Synchronous => Scenario::synchronous(n, delta_span),
@@ -295,6 +337,9 @@ impl SweepSpec {
         }
         if keys > 1 {
             sc = sc.keys(keys).zipf(self.zipf_exponent);
+        }
+        if shards > 1 {
+            sc = sc.join_shards(shards);
         }
         let seed = run_seed(self.master_seed, index);
         sc = sc
@@ -316,6 +361,7 @@ impl SweepSpec {
             n,
             gst,
             keys,
+            shards,
             seed,
             spec: sc.into_spec(),
         }
@@ -417,6 +463,50 @@ mod tests {
         assert!((points[1].spec.zipf_exponent - 0.8).abs() < 1e-12);
         // Seeds still derive purely from (master, index).
         assert_eq!(points[1].seed, run_seed(spec.master_seed, 1));
+    }
+
+    #[test]
+    fn shards_axis_expands_and_materializes_sharded_scenarios() {
+        let spec = SweepSpec {
+            domain: SweepDomain::Grid {
+                deltas: vec![3],
+                fractions: vec![0.5],
+            },
+            keys: vec![16],
+            shards: vec![1, 4],
+            ..SweepSpec::theorem1_default()
+        };
+        assert_eq!(spec.run_count(), 2);
+        let points = spec.points();
+        assert_eq!(points[0].shards, 1);
+        assert_eq!(points[1].shards, 4);
+        assert_eq!(points[0].spec.shards, 1, "G=1 stays the legacy handshake");
+        assert_eq!(points[1].spec.shards, 4);
+        assert_eq!(points[1].spec.keys, 16);
+        // Seeds still derive purely from (master, index).
+        assert_eq!(points[1].seed, run_seed(spec.master_seed, 1));
+    }
+
+    #[test]
+    fn run_points_record_the_effective_shard_count() {
+        // shards > keys clamps (a 1-key space cannot shard): the point is
+        // labeled with the G that actually runs, so phase-diagram cells
+        // never claim a sharding effect for a legacy-handshake run.
+        let spec = SweepSpec {
+            domain: SweepDomain::Grid {
+                deltas: vec![3],
+                fractions: vec![0.5],
+            },
+            keys: vec![1, 16],
+            shards: vec![8],
+            ..SweepSpec::theorem1_default()
+        };
+        let points = spec.points();
+        assert_eq!(points[0].keys, 1);
+        assert_eq!(points[0].shards, 1, "keys=1 clamps G=8 to the legacy path");
+        assert_eq!(points[0].spec.effective_shards(), 1);
+        assert_eq!(points[1].keys, 16);
+        assert_eq!(points[1].shards, 8);
     }
 
     #[test]

@@ -34,7 +34,10 @@ fn one_thread_and_many_threads_render_byte_identical_reports() {
     assert_eq!(one.fleet_digest, many.fleet_digest);
     assert_eq!(one.json(), many.json());
     assert_eq!(one.cell_table().markdown(), many.cell_table().markdown());
-    assert_eq!(one.frontier_table().markdown(), many.frontier_table().markdown());
+    assert_eq!(
+        one.frontier_table().markdown(),
+        many.frontier_table().markdown()
+    );
     assert_eq!(one.phase_grid(), many.phase_grid());
 }
 
@@ -63,10 +66,7 @@ fn fleet_runs_match_standalone_scenario_runs() {
             point.index
         );
         assert_eq!(outcome.messages, standalone.total_messages);
-        assert_eq!(
-            outcome.reads_checked,
-            standalone.reads_checked() as u64
-        );
+        assert_eq!(outcome.reads_checked, standalone.reads_checked() as u64);
         assert_eq!(
             outcome.joins_completed,
             standalone.metrics.counter("ops.join_completed")
@@ -91,6 +91,64 @@ fn es_sweep_is_thread_count_invariant_too() {
     assert_eq!(one.protocol, "es");
     assert_eq!(one.total_runs, 4, "1 δ × 2 fractions × 2 seeds");
     assert_eq!(one.json(), three.json());
+}
+
+#[test]
+fn sharded_keyed_sweep_is_thread_count_invariant_and_renders_shards() {
+    // The shards axis crosses the domain like any other: a (keys=8,
+    // G ∈ {1, 4}) sweep reduces deterministically at any thread count,
+    // separates its cells per G, and the sharded rows surface in every
+    // render.
+    let spec = SweepSpec {
+        domain: SweepDomain::Grid {
+            deltas: vec![3],
+            fractions: vec![0.4, 0.8],
+        },
+        populations: vec![12],
+        duration: Span::ticks(150),
+        keys: vec![8],
+        shards: vec![1, 4],
+        ..SweepSpec::theorem1_default()
+    };
+    let one = run_sweep(&spec, 1);
+    let four = run_sweep(&spec, 4);
+    assert_eq!(one.total_runs, 4, "1 δ × 2 fractions × 2 shard counts");
+    assert_eq!(one.json(), four.json());
+    assert_eq!(one.phase_grid(), four.phase_grid());
+    assert_eq!(one.cells.len(), 4);
+    assert!(one.cells.iter().filter(|c| c.shards == 4).count() == 2);
+    assert_eq!(one.frontiers.len(), 2, "one frontier row per (keys, G, δ)");
+    assert!(one.json().contains("\"shards\": 4"), "{}", one.json());
+    assert!(one.phase_grid().contains("g=4"), "{}", one.phase_grid());
+    // Every fleet run still replays standalone, sharded or not.
+    let points = spec.points();
+    let outcomes = run_points(&points, 3);
+    for (point, outcome) in points.iter().zip(&outcomes) {
+        let mut sc = Scenario::synchronous(point.n, Span::ticks(point.delta))
+            .worst_case_delays()
+            .migrating_writer()
+            .leave_selector(spec.selector)
+            .duration(spec.duration)
+            .reads_per_tick(spec.reads_per_tick)
+            .keys(point.keys)
+            .zipf(spec.zipf_exponent)
+            .churn_fraction_of_bound(point.fraction)
+            .seed(point.seed);
+        if point.shards > 1 {
+            sc = sc.join_shards(point.shards);
+        }
+        let standalone = sc.run();
+        assert_eq!(
+            standalone.shards, point.shards,
+            "RunPoint records the effective G"
+        );
+        assert_eq!(
+            outcome.digest,
+            run_digest(&standalone),
+            "sharded fleet run {} diverged from its standalone replay",
+            point.index
+        );
+    }
 }
 
 #[test]

@@ -248,7 +248,10 @@ mod tests {
             .map(|_| model.sample(Time::ZERO, n(0), n(1), &mut rng).as_ticks())
             .max()
             .unwrap();
-        assert!(max > 100, "tail should wildly exceed typical sync deltas, got {max}");
+        assert!(
+            max > 100,
+            "tail should wildly exceed typical sync deltas, got {max}"
+        );
     }
 
     #[test]
@@ -260,7 +263,10 @@ mod tests {
             .map(|_| model.sample(Time::at(10), n(0), n(1), &mut rng).as_ticks())
             .max()
             .unwrap();
-        assert!(pre_max > 5, "pre-GST latencies must be able to exceed delta");
+        assert!(
+            pre_max > 5,
+            "pre-GST latencies must be able to exceed delta"
+        );
         for _ in 0..2000 {
             let s = model.sample(gst, n(0), n(1), &mut rng);
             assert!(s <= Span::ticks(5), "post-GST latency exceeded delta");
@@ -273,7 +279,10 @@ mod tests {
     fn fixed_is_exact() {
         let model = Fixed::new(Span::ticks(3));
         let mut rng = DetRng::seed(5);
-        assert_eq!(model.sample(Time::ZERO, n(0), n(1), &mut rng), Span::ticks(3));
+        assert_eq!(
+            model.sample(Time::ZERO, n(0), n(1), &mut rng),
+            Span::ticks(3)
+        );
         assert_eq!(model.delta(), Some(Span::ticks(3)));
     }
 

@@ -50,7 +50,12 @@ impl DelayFault {
     /// A rule isolating `victim` as a recipient: every message towards it in
     /// the window is stretched to exactly `latency` (e.g. "longer than the
     /// protocol's timeout", the Theorem 2 adversary).
-    pub fn starve_recipient(victim: NodeId, from_time: Time, until_time: Time, latency: Span) -> DelayFault {
+    pub fn starve_recipient(
+        victim: NodeId,
+        from_time: Time,
+        until_time: Time,
+        latency: Span,
+    ) -> DelayFault {
         DelayFault {
             from: None,
             to: Some(victim),
@@ -124,7 +129,10 @@ mod tests {
     fn empty_plan_is_identity() {
         let plan = FaultPlan::none();
         assert!(plan.is_empty());
-        assert_eq!(plan.apply(Span::ticks(4), Time::ZERO, n(0), n(1)), Span::ticks(4));
+        assert_eq!(
+            plan.apply(Span::ticks(4), Time::ZERO, n(0), n(1)),
+            Span::ticks(4)
+        );
     }
 
     #[test]
@@ -135,8 +143,14 @@ mod tests {
             Span::ticks(100),
         ));
         assert_eq!(plan.apply(Span::UNIT, Time::at(9), n(0), n(1)), Span::UNIT);
-        assert_eq!(plan.apply(Span::UNIT, Time::at(10), n(0), n(1)), Span::ticks(101));
-        assert_eq!(plan.apply(Span::UNIT, Time::at(19), n(0), n(1)), Span::ticks(101));
+        assert_eq!(
+            plan.apply(Span::UNIT, Time::at(10), n(0), n(1)),
+            Span::ticks(101)
+        );
+        assert_eq!(
+            plan.apply(Span::UNIT, Time::at(19), n(0), n(1)),
+            Span::ticks(101)
+        );
         assert_eq!(plan.apply(Span::UNIT, Time::at(20), n(0), n(1)), Span::UNIT);
     }
 
@@ -148,8 +162,14 @@ mod tests {
             Time::MAX,
             Span::ticks(999),
         ));
-        assert_eq!(plan.apply(Span::ticks(2), Time::at(1), n(0), n(5)), Span::ticks(999));
-        assert_eq!(plan.apply(Span::ticks(2), Time::at(1), n(0), n(6)), Span::ticks(2));
+        assert_eq!(
+            plan.apply(Span::ticks(2), Time::at(1), n(0), n(5)),
+            Span::ticks(999)
+        );
+        assert_eq!(
+            plan.apply(Span::ticks(2), Time::at(1), n(0), n(6)),
+            Span::ticks(2)
+        );
     }
 
     #[test]
@@ -170,8 +190,14 @@ mod tests {
                 action: FaultAction::SetDelay(Span::ticks(50)),
             });
         // Non-matching sender: only the Add applies.
-        assert_eq!(plan.apply(Span::UNIT, Time::ZERO, n(0), n(2)), Span::ticks(4));
+        assert_eq!(
+            plan.apply(Span::UNIT, Time::ZERO, n(0), n(2)),
+            Span::ticks(4)
+        );
         // Matching sender: Set overrides the stacked Add.
-        assert_eq!(plan.apply(Span::UNIT, Time::ZERO, n(1), n(2)), Span::ticks(50));
+        assert_eq!(
+            plan.apply(Span::UNIT, Time::ZERO, n(1), n(2)),
+            Span::ticks(50)
+        );
     }
 }

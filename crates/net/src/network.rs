@@ -89,14 +89,16 @@ impl<M> Fanout<M> {
     where
         M: Clone,
     {
-        self.recipients.iter().map(move |&(to, deliver_at)| Envelope {
-            from: self.from,
-            to,
-            sent_at: self.sent_at,
-            deliver_at,
-            label: self.label,
-            msg: self.msg.clone(),
-        })
+        self.recipients
+            .iter()
+            .map(move |&(to, deliver_at)| Envelope {
+                from: self.from,
+                to,
+                sent_at: self.sent_at,
+                deliver_at,
+                label: self.label,
+                msg: self.msg.clone(),
+            })
     }
 }
 
@@ -405,7 +407,9 @@ mod tests {
         assert_eq!(fan.len(), 4);
         // Lazy expansion clones the payload per materialized envelope.
         let envs: Vec<Envelope<u64>> = fan.envelopes().collect();
-        assert!(envs.iter().all(|e| e.msg == 7 && e.label == "WRITE" && e.from == n(0)));
+        assert!(envs
+            .iter()
+            .all(|e| e.msg == 7 && e.label == "WRITE" && e.from == n(0)));
         assert_eq!(envs.len(), 4);
     }
 

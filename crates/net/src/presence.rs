@@ -125,7 +125,10 @@ impl Presence {
                 left_at: None,
             },
         );
-        assert!(prev.is_none(), "{node} re-entered the system; ids are single-use");
+        assert!(
+            prev.is_none(),
+            "{node} re-entered the system; ids are single-use"
+        );
         self.listening.insert(node);
         let i = self
             .present_sorted
@@ -286,7 +289,10 @@ impl Presence {
 
     /// Total number of processes that have left over the run.
     pub fn total_departures(&self) -> usize {
-        self.records.values().filter(|r| r.left_at.is_some()).count()
+        self.records
+            .values()
+            .filter(|r| r.left_at.is_some())
+            .count()
     }
 }
 
@@ -382,8 +388,14 @@ mod tests {
         p.enter(n(2), Time::at(4));
         p.activate(n(2), Time::at(5));
         p.leave(n(2), Time::at(8));
-        assert_eq!(p.active_set_throughout(Time::at(5), Time::at(7)), vec![n(1), n(2)]);
-        assert_eq!(p.active_set_throughout(Time::at(5), Time::at(8)), vec![n(1)]);
+        assert_eq!(
+            p.active_set_throughout(Time::at(5), Time::at(7)),
+            vec![n(1), n(2)]
+        );
+        assert_eq!(
+            p.active_set_throughout(Time::at(5), Time::at(8)),
+            vec![n(1)]
+        );
         assert_eq!(p.active_count_throughout(Time::at(3), Time::at(4)), 1);
     }
 

@@ -15,8 +15,14 @@ struct Life {
 }
 
 fn life_strategy() -> impl Strategy<Value = Life> {
-    (0u64..100, 0u64..50, 0u64..50, prop::bool::ANY, prop::bool::ANY).prop_map(
-        |(enter, d1, d2, has_activate, has_leave)| {
+    (
+        0u64..100,
+        0u64..50,
+        0u64..50,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(enter, d1, d2, has_activate, has_leave)| {
             let activate = has_activate.then_some(enter + d1);
             let leave = has_leave.then_some(enter + d1 + d2 + 1);
             Life {
@@ -24,8 +30,7 @@ fn life_strategy() -> impl Strategy<Value = Life> {
                 activate,
                 leave,
             }
-        },
-    )
+        })
 }
 
 fn build(lives: &[Life]) -> Presence {

@@ -187,10 +187,7 @@ pub mod rngs {
     impl Rng for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -252,7 +249,10 @@ mod tests {
             counts[rng.random_range(0usize..8)] += 1;
         }
         for &c in &counts {
-            assert!((9_000..11_000).contains(&c), "bucket count {c} far from 10k");
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} far from 10k"
+            );
         }
     }
 }

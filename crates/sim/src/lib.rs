@@ -38,9 +38,9 @@ mod rng;
 mod time;
 pub mod trace;
 
-pub use event::{EventQueue, ScheduledEvent};
 #[doc(hidden)]
 pub use event::HeapEventQueue;
+pub use event::{EventQueue, ScheduledEvent};
 pub use ids::{IdSource, NodeId, OpId, RegisterId, TimerId};
 pub use rng::DetRng;
 pub use time::{Span, Time};

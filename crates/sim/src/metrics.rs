@@ -212,10 +212,19 @@ impl fmt::Display for Histogram {
 }
 
 /// A named registry of counters and histograms for one run.
+///
+/// Besides plain named series, the registry holds **key-attributed**
+/// series for register-space runs: `(name, key)` pairs rendered as
+/// `name.rK` (`ops.read_completed.r5`, `latency.read.r5`, …). Keyed
+/// series use a composite map key instead of leaked `String` names, so
+/// the per-completion hot path stays allocation-free and merges remain
+/// exact (the fleet tier's commutative reduction).
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
     counters: BTreeMap<&'static str, Counter>,
     histograms: BTreeMap<&'static str, Histogram>,
+    keyed_counters: BTreeMap<(&'static str, u32), Counter>,
+    keyed_histograms: BTreeMap<(&'static str, u32), Histogram>,
 }
 
 impl Metrics {
@@ -254,6 +263,32 @@ impl Metrics {
         self.histograms.get(name)
     }
 
+    /// Increments the counter attributed to register `key` by one.
+    pub fn incr_keyed(&mut self, name: &'static str, key: u32) {
+        self.keyed_counters.entry((name, key)).or_default().incr();
+    }
+
+    /// Current value of the counter attributed to register `key` (zero if
+    /// never touched).
+    pub fn keyed_counter(&self, name: &'static str, key: u32) -> u64 {
+        self.keyed_counters
+            .get(&(name, key))
+            .map_or(0, |c| c.value())
+    }
+
+    /// Records a sample in the histogram attributed to register `key`.
+    pub fn sample_keyed(&mut self, name: &'static str, key: u32, value: u64) {
+        self.keyed_histograms
+            .entry((name, key))
+            .or_default()
+            .record(value);
+    }
+
+    /// The histogram attributed to register `key`, if it has any samples.
+    pub fn keyed_histogram(&self, name: &'static str, key: u32) -> Option<&Histogram> {
+        self.keyed_histograms.get(&(name, key))
+    }
+
     /// Iterates counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.counters.iter().map(|(&k, v)| (k, v.value()))
@@ -264,6 +299,18 @@ impl Metrics {
         self.histograms.iter().map(|(&k, v)| (k, v))
     }
 
+    /// Iterates key-attributed counters in `(name, key)` order.
+    pub fn keyed_counters(&self) -> impl Iterator<Item = (&'static str, u32, u64)> + '_ {
+        self.keyed_counters
+            .iter()
+            .map(|(&(n, k), v)| (n, k, v.value()))
+    }
+
+    /// Iterates key-attributed histograms in `(name, key)` order.
+    pub fn keyed_histograms(&self) -> impl Iterator<Item = (&'static str, u32, &Histogram)> + '_ {
+        self.keyed_histograms.iter().map(|(&(n, k), v)| (n, k, v))
+    }
+
     /// Merges another registry into this one.
     pub fn merge(&mut self, other: &Metrics) {
         for (&k, v) in &other.counters {
@@ -271,6 +318,12 @@ impl Metrics {
         }
         for (&k, v) in &other.histograms {
             self.histograms.entry(k).or_default().merge(v);
+        }
+        for (&k, v) in &other.keyed_counters {
+            self.keyed_counters.entry(k).or_default().add(v.value());
+        }
+        for (&k, v) in &other.keyed_histograms {
+            self.keyed_histograms.entry(k).or_default().merge(v);
         }
     }
 }
@@ -280,8 +333,14 @@ impl fmt::Display for Metrics {
         for (name, v) in self.counters() {
             writeln!(f, "{name}: {v}")?;
         }
+        for (name, key, v) in self.keyed_counters() {
+            writeln!(f, "{name}.r{key}: {v}")?;
+        }
         for (name, h) in self.histograms() {
             writeln!(f, "{name}: {h}")?;
+        }
+        for (name, key, h) in self.keyed_histograms() {
+            writeln!(f, "{name}.r{key}: {h}")?;
         }
         Ok(())
     }
@@ -394,6 +453,29 @@ mod tests {
         other.incr("msgs.write");
         m.merge(&other);
         assert_eq!(m.counter("msgs.write"), 4);
+    }
+
+    #[test]
+    fn keyed_series_round_trip_and_merge() {
+        let mut m = Metrics::new();
+        m.incr_keyed("ops.read_completed", 0);
+        m.incr_keyed("ops.read_completed", 5);
+        m.incr_keyed("ops.read_completed", 5);
+        m.sample_keyed("latency.read", 5, 3);
+        assert_eq!(m.keyed_counter("ops.read_completed", 5), 2);
+        assert_eq!(m.keyed_counter("ops.read_completed", 0), 1);
+        assert_eq!(m.keyed_counter("ops.read_completed", 7), 0);
+        assert_eq!(m.keyed_histogram("latency.read", 5).unwrap().count(), 1);
+        assert!(m.keyed_histogram("latency.read", 0).is_none());
+        let mut other = Metrics::new();
+        other.incr_keyed("ops.read_completed", 5);
+        other.sample_keyed("latency.read", 5, 9);
+        m.merge(&other);
+        assert_eq!(m.keyed_counter("ops.read_completed", 5), 3);
+        assert_eq!(m.keyed_histogram("latency.read", 5).unwrap().max(), Some(9));
+        let rendered = m.to_string();
+        assert!(rendered.contains("ops.read_completed.r5: 3"), "{rendered}");
+        assert!(rendered.contains("latency.read.r5"), "{rendered}");
     }
 
     #[test]

@@ -155,7 +155,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = DetRng::seed(1);
         let mut b = DetRng::seed(2);
-        let same = (0..64).filter(|_| a.pick(u64::MAX) == b.pick(u64::MAX)).count();
+        let same = (0..64)
+            .filter(|_| a.pick(u64::MAX) == b.pick(u64::MAX))
+            .count();
         assert!(same < 4, "independent streams should almost never collide");
     }
 

@@ -109,7 +109,12 @@ impl fmt::Display for TraceEntry {
                 Some(t) => write!(f, "{from} -> {to} {label} (delivers {t})"),
                 None => write!(f, "{from} -> {to} {label}"),
             },
-            Send { from, to: None, label, .. } => write!(f, "{from} broadcast {label}"),
+            Send {
+                from,
+                to: None,
+                label,
+                ..
+            } => write!(f, "{from} broadcast {label}"),
             Deliver { to, from, label } => write!(f, "{to} <- {from} {label}"),
             Drop { to, label } => write!(f, "drop {label} to departed {to}"),
             Invoke { node, op, label } => write!(f, "{node} invokes {label} ({op})"),

@@ -83,9 +83,21 @@ impl Aggregate {
             }
             msg_sum += r.total_messages as f64;
         }
-        agg.mean_read_latency = if read_n > 0 { read_sum / read_n as f64 } else { 0.0 };
-        agg.mean_write_latency = if write_n > 0 { write_sum / write_n as f64 } else { 0.0 };
-        agg.mean_join_latency = if join_n > 0 { join_sum / join_n as f64 } else { 0.0 };
+        agg.mean_read_latency = if read_n > 0 {
+            read_sum / read_n as f64
+        } else {
+            0.0
+        };
+        agg.mean_write_latency = if write_n > 0 {
+            write_sum / write_n as f64
+        } else {
+            0.0
+        };
+        agg.mean_join_latency = if join_n > 0 {
+            join_sum / join_n as f64
+        } else {
+            0.0
+        };
         agg.mean_messages = if runs > 0 { msg_sum / runs as f64 } else { 0.0 };
         agg
     }
@@ -126,7 +138,10 @@ where
                 scope.spawn(move || make_run(seed))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run panicked"))
+            .collect()
     })
 }
 

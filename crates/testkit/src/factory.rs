@@ -11,7 +11,7 @@
 //!   [`SpaceOf`] lifts one to a `k`-key [`RegisterSpace`] multiplexer.
 
 use dynareg_core::es::{EsConfig, EsMsg, EsRegister};
-use dynareg_core::space::{RegisterSpace, RegisterSpaceProcess, SoloSpace, SpaceMsg};
+use dynareg_core::space::{RegisterSpace, RegisterSpaceProcess, ShardConfig, SoloSpace, SpaceMsg};
 use dynareg_core::sync::{SyncConfig, SyncMsg, SyncRegister};
 use dynareg_core::RegisterProcess;
 use dynareg_sim::{NodeId, OpId};
@@ -26,11 +26,7 @@ pub trait ProtocolFactory {
     type Proc: RegisterProcess;
 
     /// A member of the initial population holding `initial`.
-    fn bootstrap(
-        &self,
-        id: NodeId,
-        initial: <Self::Proc as RegisterProcess>::Val,
-    ) -> Self::Proc;
+    fn bootstrap(&self, id: NodeId, initial: <Self::Proc as RegisterProcess>::Val) -> Self::Proc;
 
     /// A fresh arrival about to run `join` (identified as `join_op` in the
     /// history).
@@ -112,16 +108,36 @@ impl<F: ProtocolFactory> SpaceFactory for F {
 pub struct SpaceOf<F> {
     inner: F,
     keys: u32,
+    shard: ShardConfig,
 }
 
 impl<F> SpaceOf<F> {
-    /// A `keys`-key space over `inner`'s protocol.
+    /// A `keys`-key space over `inner`'s protocol, with the legacy
+    /// full-reply join handshake.
     ///
     /// # Panics
     /// Panics if `keys` is zero.
     pub fn new(inner: F, keys: u32) -> SpaceOf<F> {
         assert!(keys > 0, "a register space needs at least one key");
-        SpaceOf { inner, keys }
+        SpaceOf {
+            inner,
+            keys,
+            shard: ShardConfig::legacy(),
+        }
+    }
+
+    /// Shards join replies over `config.groups` responder groups
+    /// (`G = 1` keeps the legacy full-reply handshake; see
+    /// [`dynareg_core::space`]).
+    pub fn with_shards(mut self, config: ShardConfig) -> SpaceOf<F> {
+        self.shard = config;
+        self
+    }
+
+    /// The configured shard layout (groups are clamped to the key count
+    /// when each space is built).
+    pub fn shard_config(&self) -> ShardConfig {
+        self.shard
     }
 }
 
@@ -142,6 +158,7 @@ impl<F: ProtocolFactory> SpaceFactory for SpaceOf<F> {
                 .map(|_| self.inner.bootstrap(id, initial.clone()))
                 .collect(),
         )
+        .with_shards(self.shard)
     }
 
     fn space_joiner(&self, id: NodeId, join_op: OpId) -> RegisterSpace<F::Proc> {
@@ -150,6 +167,7 @@ impl<F: ProtocolFactory> SpaceFactory for SpaceOf<F> {
                 .map(|_| self.inner.joiner(id, join_op))
                 .collect(),
         )
+        .with_shards(self.shard)
     }
 
     fn space_name(&self) -> &'static str {
@@ -158,7 +176,14 @@ impl<F: ProtocolFactory> SpaceFactory for SpaceOf<F> {
 
     fn space_msg_label(msg: &SpaceMsg<<F::Proc as RegisterProcess>::Msg>) -> &'static str {
         match msg {
-            SpaceMsg::Keyed { inner, .. } | SpaceMsg::JoinAll { inner } => F::msg_label(inner),
+            // A full re-inquiry is the sharded handshake's starvation
+            // fallback — only ever sent when `G > 1`, so the distinct
+            // label cannot perturb a legacy run's label streams. A high
+            // INQUIRY_FULL count is the operational signal that shard
+            // quorums keep starving (e.g. `G` too large for `n`) and
+            // joins are degrading to the legacy full-state transfer.
+            SpaceMsg::JoinAll { full: true, .. } => "INQUIRY_FULL",
+            SpaceMsg::Keyed { inner, .. } | SpaceMsg::JoinAll { inner, .. } => F::msg_label(inner),
             SpaceMsg::Batch { .. } => "BATCH",
         }
     }
@@ -289,6 +314,31 @@ mod tests {
     }
 
     #[test]
+    fn space_of_threads_the_shard_config_into_built_spaces() {
+        use dynareg_core::space::shard_of_node;
+        let f = SpaceOf::new(SyncFactory::new(SyncConfig::new(Span::ticks(3))), 8)
+            .with_shards(ShardConfig::new(4).with_quorum(2));
+        assert_eq!(f.shard_config().groups, 4);
+        let b = f.space_bootstrap(NodeId::from_raw(7), 0);
+        assert_eq!(b.shard_config().groups, 4);
+        assert_eq!(b.shard_config().quorum, 2);
+        assert_eq!(b.responder_shard(), shard_of_node(NodeId::from_raw(7), 4));
+        // Groups clamp to the key count at build time.
+        let narrow = SpaceOf::new(SyncFactory::new(SyncConfig::new(Span::ticks(3))), 2)
+            .with_shards(ShardConfig::new(16));
+        assert_eq!(
+            narrow
+                .space_bootstrap(NodeId::from_raw(0), 0)
+                .shard_config()
+                .groups,
+            2
+        );
+        // The default is the legacy handshake.
+        let legacy = SpaceOf::new(SyncFactory::new(SyncConfig::new(Span::ticks(3))), 2);
+        assert_eq!(legacy.shard_config(), ShardConfig::legacy());
+    }
+
+    #[test]
     fn space_of_builds_one_instance_per_key() {
         use dynareg_sim::RegisterId;
         let f = SpaceOf::new(SyncFactory::new(SyncConfig::new(Span::ticks(3))), 4);
@@ -304,7 +354,8 @@ mod tests {
         // their own label.
         assert_eq!(
             <SpaceOf<SyncFactory> as SpaceFactory>::space_msg_label(&SpaceMsg::JoinAll {
-                inner: SyncMsg::<u64>::Inquiry
+                inner: SyncMsg::<u64>::Inquiry,
+                full: false
             }),
             "INQUIRY"
         );

@@ -47,7 +47,10 @@ pub mod table;
 mod workload;
 mod world;
 
-pub use dynareg_core::space::{RegisterSpace, RegisterSpaceProcess, SoloSpace, SpaceEffect, SpaceMsg};
+pub use dynareg_core::space::{
+    shard_of_key, shard_of_node, RegisterSpace, RegisterSpaceProcess, ShardConfig, SoloSpace,
+    SpaceEffect, SpaceMsg,
+};
 pub use factory::{EsFactory, ProtocolFactory, SpaceFactory, SpaceOf, SyncFactory};
 pub use scenario::{
     ChurnChoice, KeyReport, NetClass, ProtocolChoice, RunReport, Scenario, ScenarioSpec,

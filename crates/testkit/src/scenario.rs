@@ -12,7 +12,7 @@
 
 use dynareg_churn::{analysis, ChurnDriver, ChurnModel, ConstantRate, LeaveSelector, NoChurn};
 use dynareg_core::es::EsConfig;
-use dynareg_core::space::RegisterSpaceProcess;
+use dynareg_core::space::{RegisterSpaceProcess, ShardConfig};
 use dynareg_core::sync::SyncConfig;
 use dynareg_net::delay::{Asynchronous, EventuallySynchronous, Synchronous};
 use dynareg_net::{DelayModel, FaultPlan, Presence};
@@ -118,6 +118,9 @@ pub struct RunReport {
     /// Number of registers in the run's key space (1 for single-register
     /// scenarios).
     pub keys: u32,
+    /// Join-reply shard groups the run used (1 = the legacy full-reply
+    /// handshake; always 1 for single-key runs).
+    pub shards: u32,
     /// Verdicts and histories of keys `r1 …` (empty for 1-key runs; the
     /// anchor key `r0` lives in the top-level fields).
     pub extra_keys: Vec<KeyReport>,
@@ -132,6 +135,25 @@ impl RunReport {
     /// Reads checked by the safety checker on the anchor key.
     pub fn reads_checked(&self) -> usize {
         self.safety.checked_reads
+    }
+
+    /// Completed reads attributed to one register (the key-attributed
+    /// `ops.read_completed.rK` counter).
+    pub fn key_reads_completed(&self, key: RegisterId) -> u64 {
+        self.metrics
+            .keyed_counter("ops.read_completed", key.as_raw())
+    }
+
+    /// Completed writes attributed to one register.
+    pub fn key_writes_completed(&self, key: RegisterId) -> u64 {
+        self.metrics
+            .keyed_counter("ops.write_completed", key.as_raw())
+    }
+
+    /// Read-latency histogram attributed to one register, if that key
+    /// completed any reads.
+    pub fn key_read_latency(&self, key: RegisterId) -> Option<&dynareg_sim::metrics::Histogram> {
+        self.metrics.keyed_histogram("latency.read", key.as_raw())
     }
 
     /// Whether every key of the space satisfies regularity.
@@ -237,7 +259,7 @@ impl RunReport {
         }
         let (worst, violations, stuck) = self.worst_key();
         format!(
-            "{} n={} δ={} c={:.5} seed={} keys={}: safety={} inversions={} liveness={} \
+            "{} n={} δ={} c={:.5} seed={} keys={} shards={}: safety={} inversions={} liveness={} \
              (reads={}, msgs={}, worst {worst}: violations={violations} stuck={stuck})",
             self.protocol,
             self.n,
@@ -245,7 +267,12 @@ impl RunReport {
             self.churn_rate,
             self.seed,
             self.keys,
-            if self.all_keys_safe() { "OK" } else { "VIOLATED" },
+            self.shards,
+            if self.all_keys_safe() {
+                "OK"
+            } else {
+                "VIOLATED"
+            },
             self.total_inversions(),
             if self.all_keys_live() { "OK" } else { "STUCK" },
             self.total_reads_checked(),
@@ -318,6 +345,9 @@ pub struct ScenarioSpec {
     /// Zipf key-popularity exponent for keyed workloads (`0` uniform,
     /// `~1` classic skew); ignored when `keys == 1`.
     pub zipf_exponent: f64,
+    /// Join-reply shard groups `G` (clamped to `keys`; `1` = the legacy
+    /// full-reply handshake). See [`Scenario::join_shards`].
+    pub shards: u32,
 }
 
 impl ScenarioSpec {
@@ -329,12 +359,23 @@ impl ScenarioSpec {
         }
     }
 
+    /// The shard-group count the run will actually use (`shards` clamped
+    /// to the key count).
+    pub fn effective_shards(&self) -> u32 {
+        self.shards.clamp(1, self.keys.max(1))
+    }
+
+    /// The join-reply shard layout built spaces receive: `G` effective
+    /// groups, per-shard quorum 1, re-inquiries every `4δ` (≥ the sync
+    /// handshake's 2δ round trip, and a sane post-GST beat for ES).
+    fn shard_config(&self) -> ShardConfig {
+        ShardConfig::new(self.effective_shards()).with_reinquire_every(self.delta.times(4))
+    }
+
     fn build_delay(&self) -> Box<dyn DelayModel> {
         match self.net {
             NetClass::Synchronous => Box::new(Synchronous::new(self.delta)),
-            NetClass::SynchronousWorstCase => {
-                Box::new(dynareg_net::delay::Fixed::new(self.delta))
-            }
+            NetClass::SynchronousWorstCase => Box::new(dynareg_net::delay::Fixed::new(self.delta)),
             NetClass::EventuallySynchronous { gst } => {
                 Box::new(EventuallySynchronous::with_default_pre(gst, self.delta))
             }
@@ -399,13 +440,23 @@ impl ScenarioSpec {
         assert!(self.keys > 0, "a register space needs at least one key");
         let end = Time::ZERO + self.duration;
         let drain = self.drain.unwrap_or(self.delta.times(12));
-        let stop_at = Time::at(self.duration.as_ticks().saturating_sub(drain.as_ticks()).max(1));
+        let stop_at = Time::at(
+            self.duration
+                .as_ticks()
+                .saturating_sub(drain.as_ticks())
+                .max(1),
+        );
         let spaced = force_space || self.keys > 1;
+        let shards = self.effective_shards();
         match self.protocol {
             ProtocolChoice::Synchronous => {
                 let f = SyncFactory::new(SyncConfig::new(self.delta));
                 if spaced {
-                    self.run_world(SpaceOf::new(f, self.keys), end, stop_at)
+                    self.run_world(
+                        SpaceOf::new(f, self.keys).with_shards(self.shard_config()),
+                        end,
+                        stop_at,
+                    )
                 } else {
                     self.run_world(f, end, stop_at)
                 }
@@ -413,31 +464,40 @@ impl ScenarioSpec {
             ProtocolChoice::SynchronousNoWait => {
                 let f = SyncFactory::new(SyncConfig::without_join_wait(self.delta));
                 if spaced {
-                    self.run_world(SpaceOf::new(f, self.keys), end, stop_at)
+                    self.run_world(
+                        SpaceOf::new(f, self.keys).with_shards(self.shard_config()),
+                        end,
+                        stop_at,
+                    )
                 } else {
                     self.run_world(f, end, stop_at)
                 }
             }
-            ProtocolChoice::EventuallySynchronous => {
-                let mut cfg = EsConfig::new(self.n);
-                if self.trace {
-                    cfg = cfg.with_notes();
-                }
-                let f = EsFactory::new(cfg);
-                if spaced {
-                    self.run_world(SpaceOf::new(f, self.keys), end, stop_at)
+            ProtocolChoice::EventuallySynchronous | ProtocolChoice::EsAtomic => {
+                let mut cfg = if self.protocol == ProtocolChoice::EsAtomic {
+                    EsConfig::atomic(self.n)
                 } else {
-                    self.run_world(f, end, stop_at)
-                }
-            }
-            ProtocolChoice::EsAtomic => {
-                let mut cfg = EsConfig::atomic(self.n);
+                    EsConfig::new(self.n)
+                };
                 if self.trace {
                     cfg = cfg.with_notes();
                 }
+                if shards > 1 {
+                    // A sharded join only hears the `≈ n/G` responders of
+                    // one shard: size the join quorum to the shard (the
+                    // quorum-per-shard liveness trade; module docs in
+                    // `dynareg_core::space`). Reads and write acks keep the
+                    // full majority.
+                    let shard_size = (self.n / shards as usize).max(1);
+                    cfg = cfg.with_join_quorum(shard_size / 2 + 1);
+                }
                 let f = EsFactory::new(cfg);
                 if spaced {
-                    self.run_world(SpaceOf::new(f, self.keys), end, stop_at)
+                    self.run_world(
+                        SpaceOf::new(f, self.keys).with_shards(self.shard_config()),
+                        end,
+                        stop_at,
+                    )
                 } else {
                     self.run_world(f, end, stop_at)
                 }
@@ -452,6 +512,7 @@ impl ScenarioSpec {
     {
         let protocol = factory.space_name();
         let keys = factory.key_count();
+        let shards = self.effective_shards().min(keys.max(1));
         let churn_rate = self.effective_churn_rate();
         let mut world = World::new(
             factory,
@@ -515,6 +576,7 @@ impl ScenarioSpec {
             total_messages,
             trace,
             keys,
+            shards,
             extra_keys,
         }
     }
@@ -566,6 +628,7 @@ impl Scenario {
                 faults: None,
                 keys: 1,
                 zipf_exponent: 1.0,
+                shards: 1,
             },
         }
     }
@@ -735,6 +798,30 @@ impl Scenario {
     pub fn zipf(mut self, exponent: f64) -> Scenario {
         assert!(exponent >= 0.0, "Zipf exponent must be non-negative");
         self.spec.zipf_exponent = exponent;
+        self
+    }
+
+    /// Shards join replies over `groups` responder groups: each responder
+    /// answers a join inquiry only for its own key shard
+    /// (`hash(node) mod G`), cutting the per-join state transfer from
+    /// `K·n` to `K·n/G` payload entries, at the price of a per-shard
+    /// reply-quorum liveness argument (shards still short when the join
+    /// timer fires are re-inquired with a full-reply fallback). `1` (the
+    /// default) is the legacy full-reply handshake; the group count is
+    /// clamped to the key count.
+    ///
+    /// Responder shards are **hash-assigned**, so their populations are
+    /// multinomial around `n/G`: an unlucky (or too-large) `G` can leave
+    /// a shard permanently below its quorum, in which case every join
+    /// pays the re-inquiry latency and degrades to the legacy full-state
+    /// transfer. Watch the `INQUIRY_FULL` message counter — a high count
+    /// means the configuration is defeating the payload saving.
+    ///
+    /// # Panics
+    /// Panics if `groups` is zero.
+    pub fn join_shards(mut self, groups: u32) -> Scenario {
+        assert!(groups > 0, "shard groups must be positive");
+        self.spec.shards = groups;
         self
     }
 
@@ -911,7 +998,10 @@ mod tests {
             .seed(77)
             .into_spec();
         assert_eq!(spec.protocol, ProtocolChoice::EventuallySynchronous);
-        assert_eq!(spec.net, NetClass::EventuallySynchronous { gst: Time::at(50) });
+        assert_eq!(
+            spec.net,
+            NetClass::EventuallySynchronous { gst: Time::at(50) }
+        );
         assert_eq!(spec.n, 9);
         assert_eq!(spec.churn, ChurnChoice::Constant(0.01));
         assert_eq!(spec.seed, 77);

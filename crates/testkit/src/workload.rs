@@ -201,9 +201,7 @@ impl Workload for RateWorkload {
         let mut ops = Vec::new();
         // Writer fires on its period (tick 0 excluded: the initial value
         // stands in for "write 0").
-        if writer_idle
-            && now.ticks() > 0
-            && now.ticks().is_multiple_of(self.write_every.as_ticks())
+        if writer_idle && now.ticks() > 0 && now.ticks().is_multiple_of(self.write_every.as_ticks())
         {
             ops.push((writer, OpAction::Write(self.next_value).into()));
             self.next_value += 1;
@@ -282,9 +280,7 @@ impl Workload for ZipfWorkload {
             return Vec::new();
         }
         let mut ops = Vec::new();
-        if writer_idle
-            && now.ticks() > 0
-            && now.ticks().is_multiple_of(self.write_every.as_ticks())
+        if writer_idle && now.ticks() > 0 && now.ticks().is_multiple_of(self.write_every.as_ticks())
         {
             let key = self.keys.sample(rng);
             ops.push((writer, OpAction::Write(self.next_value).on_key(key)));
@@ -336,7 +332,8 @@ impl ScriptedWorkload {
     /// Schedules `action` on `node` at `t`. Accepts a bare [`OpAction`]
     /// (anchor key `r0`) or a [`KeyedAction`] addressing any key.
     pub fn at(mut self, t: Time, node: NodeId, action: impl Into<KeyedAction>) -> ScriptedWorkload {
-        self.script.push((t, ScriptTarget::Node(node), action.into()));
+        self.script
+            .push((t, ScriptTarget::Node(node), action.into()));
         self
     }
 
@@ -347,7 +344,8 @@ impl ScriptedWorkload {
         k: usize,
         action: impl Into<KeyedAction>,
     ) -> ScriptedWorkload {
-        self.script.push((t, ScriptTarget::Arrival(k), action.into()));
+        self.script
+            .push((t, ScriptTarget::Arrival(k), action.into()));
         self
     }
 
@@ -407,7 +405,11 @@ mod tests {
         for t in 0..20 {
             for (node, op) in w.tick(Time::at(t), &idle, &[], n(0), true, &mut rng) {
                 assert_eq!(node, n(0));
-                assert_eq!(op.key, RegisterId::ZERO, "rate workload targets the anchor key");
+                assert_eq!(
+                    op.key,
+                    RegisterId::ZERO,
+                    "rate workload targets the anchor key"
+                );
                 if let OpAction::Write(v) = op.action {
                     values.push(v);
                 }
@@ -420,7 +422,9 @@ mod tests {
     fn rate_workload_respects_writer_busy() {
         let mut w = RateWorkload::new(Span::ticks(5), 0.0);
         let mut rng = DetRng::seed(1);
-        assert!(w.tick(Time::at(5), &[], &[], n(0), false, &mut rng).is_empty());
+        assert!(w
+            .tick(Time::at(5), &[], &[], n(0), false, &mut rng)
+            .is_empty());
         // The skipped value is not burned: next write uses value 1.
         let ops = w.tick(Time::at(10), &[], &[], n(0), true, &mut rng);
         assert_eq!(ops, vec![(n(0), OpAction::Write(1).into())]);
@@ -443,9 +447,15 @@ mod tests {
         let mut w = RateWorkload::new(Span::ticks(2), 5.0).stopping_at(Time::at(10));
         let mut rng = DetRng::seed(3);
         let idle = vec![n(1)];
-        assert!(!w.tick(Time::at(8), &idle, &[], n(0), true, &mut rng).is_empty());
-        assert!(w.tick(Time::at(10), &idle, &[], n(0), true, &mut rng).is_empty());
-        assert!(w.tick(Time::at(12), &idle, &[], n(0), true, &mut rng).is_empty());
+        assert!(!w
+            .tick(Time::at(8), &idle, &[], n(0), true, &mut rng)
+            .is_empty());
+        assert!(w
+            .tick(Time::at(10), &idle, &[], n(0), true, &mut rng)
+            .is_empty());
+        assert!(w
+            .tick(Time::at(12), &idle, &[], n(0), true, &mut rng)
+            .is_empty());
     }
 
     #[test]
@@ -454,10 +464,14 @@ mod tests {
             .at(Time::at(3), n(1), OpAction::Read)
             .at(Time::at(3), n(2), OpAction::Write(9));
         let mut rng = DetRng::seed(4);
-        assert!(w.tick(Time::at(2), &[], &[], n(0), true, &mut rng).is_empty());
+        assert!(w
+            .tick(Time::at(2), &[], &[], n(0), true, &mut rng)
+            .is_empty());
         let due = w.tick(Time::at(3), &[], &[], n(0), true, &mut rng);
         assert_eq!(due.len(), 2);
-        assert!(w.tick(Time::at(3), &[], &[], n(0), true, &mut rng).is_empty());
+        assert!(w
+            .tick(Time::at(3), &[], &[], n(0), true, &mut rng)
+            .is_empty());
     }
 
     #[test]
@@ -514,7 +528,11 @@ mod tests {
         }
         assert!(keys_seen.len() > 4, "zipf traffic spreads over keys");
         let distinct: std::collections::HashSet<u64> = values.iter().copied().collect();
-        assert_eq!(distinct.len(), values.len(), "write values are globally unique");
+        assert_eq!(
+            distinct.len(),
+            values.len(),
+            "write values are globally unique"
+        );
     }
 
     #[test]
@@ -526,6 +544,9 @@ mod tests {
         );
         let mut rng = DetRng::seed(1);
         let due = w.tick(Time::at(2), &[], &[], n(0), true, &mut rng);
-        assert_eq!(due, vec![(n(1), OpAction::Read.on_key(RegisterId::from_raw(5)))]);
+        assert_eq!(
+            due,
+            vec![(n(1), OpAction::Read.on_key(RegisterId::from_raw(5)))]
+        );
     }
 }

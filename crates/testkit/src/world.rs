@@ -115,7 +115,11 @@ enum Pending<M> {
         idx: u32,
         slot: u32,
     },
-    Timer { node: NodeId, slot: u32, tag: u64 },
+    Timer {
+        node: NodeId,
+        slot: u32,
+        tag: u64,
+    },
     Tick,
 }
 
@@ -351,9 +355,7 @@ where
                 .presence
                 .active_nodes()
                 .into_iter()
-                .min_by_key(|&id| {
-                    (self.presence.record(id).expect("active").entered_at, id)
-                })
+                .min_by_key(|&id| (self.presence.record(id).expect("active").entered_at, id))
                 .unwrap_or(self.writer),
         }
     }
@@ -541,7 +543,9 @@ where
     }
 
     fn apply_churn(&mut self) {
-        let step = self.churn.step(&self.presence, self.now, &mut self.rng_churn);
+        let step = self
+            .churn
+            .step(&self.presence, self.now, &mut self.rng_churn);
         for victim in step.leaves {
             self.remove_node(victim);
         }
@@ -577,7 +581,8 @@ where
                 self.write_in_flight = None;
             }
         }
-        self.trace.record(self.now, TraceEvent::Leave { node: victim });
+        self.trace
+            .record(self.now, TraceEvent::Leave { node: victim });
         self.metrics.incr("churn.leaves");
     }
 
@@ -630,8 +635,8 @@ where
 
     fn apply_workload(&mut self) {
         let writer = self.writer();
-        let writer_idle = self.write_in_flight.is_none()
-            && self.idle_active.binary_search(&writer).is_ok();
+        let writer_idle =
+            self.write_in_flight.is_none() && self.idle_active.binary_search(&writer).is_ok();
         let ops = self.workload.tick(
             self.now,
             &self.idle_active,
@@ -659,14 +664,10 @@ where
             "{key} is outside this world's {}-key space",
             self.keys
         );
-        let eligible = self
-            .slot_of
-            .get(&node)
-            .copied()
-            .filter(|&i| {
-                let s = self.slots[i as usize].as_ref().expect("interned slot");
-                s.active && s.busy.is_none()
-            });
+        let eligible = self.slot_of.get(&node).copied().filter(|&i| {
+            let s = self.slots[i as usize].as_ref().expect("interned slot");
+            s.active && s.busy.is_none()
+        });
         let Some(slot_idx) = eligible else {
             self.metrics.incr("workload.skipped");
             return;
@@ -785,13 +786,11 @@ where
                             deliver_at: None,
                         },
                     );
-                    let fan = Rc::new(self.network.broadcast(
-                        &self.presence,
-                        self.now,
-                        node,
-                        label,
-                        msg,
-                    ));
+                    let fan =
+                        Rc::new(
+                            self.network
+                                .broadcast(&self.presence, self.now, node, label, msg),
+                        );
                     // The snapshot and the slot roster enumerate the same
                     // present set in the same id order: zip them instead
                     // of hashing once per recipient.
@@ -839,20 +838,43 @@ where
                         self.trace.record(self.now, TraceEvent::Activate { node });
                         self.trace.record(
                             self.now,
-                            TraceEvent::Complete { node, op: join_ops[0] },
+                            TraceEvent::Complete {
+                                node,
+                                op: join_ops[0],
+                            },
                         );
                         self.metrics.incr("ops.join_completed");
                     }
                 }
                 SpaceEffect::OpComplete { key, op, outcome } => {
+                    // Key-attributed completion counters and latency
+                    // histograms (`ops.read_completed.rK`,
+                    // `latency.read.rK`) alongside the space-wide ones.
+                    let latency = self
+                        .histories
+                        .key(key)
+                        .get(op)
+                        .map(|rec| (self.now - rec.invoked_at).as_ticks());
                     match outcome {
                         OpOutcome::Read(value) => {
-                            self.histories.key_mut(key).complete_read(op, self.now, value);
+                            self.histories
+                                .key_mut(key)
+                                .complete_read(op, self.now, value);
                             self.metrics.incr("ops.read_completed");
+                            self.metrics.incr_keyed("ops.read_completed", key.as_raw());
+                            if let Some(latency) = latency {
+                                self.metrics
+                                    .sample_keyed("latency.read", key.as_raw(), latency);
+                            }
                         }
                         OpOutcome::WriteOk => {
                             self.histories.key_mut(key).complete_write(op, self.now);
                             self.metrics.incr("ops.write_completed");
+                            self.metrics.incr_keyed("ops.write_completed", key.as_raw());
+                            if let Some(latency) = latency {
+                                self.metrics
+                                    .sample_keyed("latency.write", key.as_raw(), latency);
+                            }
                             if self.write_in_flight == Some((key, op)) {
                                 self.write_in_flight = None;
                             }
@@ -869,7 +891,8 @@ where
                     if s.active {
                         self.idle_insert(node);
                     }
-                    self.trace.record(self.now, TraceEvent::Complete { node, op });
+                    self.trace
+                        .record(self.now, TraceEvent::Complete { node, op });
                 }
                 SpaceEffect::Note { key, text } => {
                     // Keyed spaces attribute notes to their register; the
@@ -947,15 +970,7 @@ where
     /// view: the history is the anchor key's (other keys, if any, are
     /// dropped; keyed worlds decompose via
     /// [`World::into_space_outputs`]).
-    pub fn into_outputs(
-        self,
-    ) -> (
-        History<Option<Val>>,
-        Presence,
-        Metrics,
-        TraceLog,
-        Network,
-    ) {
+    pub fn into_outputs(self) -> (History<Option<Val>>, Presence, Metrics, TraceLog, Network) {
         let (space, presence, metrics, trace, network) = self.into_space_outputs();
         let history = space
             .into_histories()
@@ -1027,8 +1042,7 @@ mod tests {
                     IdSource::starting_at(n as u64),
                 ),
                 workload: Box::new(
-                    RateWorkload::new(Span::ticks(3 * delta), 1.0)
-                        .stopping_at(Time::at(180)),
+                    RateWorkload::new(Span::ticks(3 * delta), 1.0).stopping_at(Time::at(180)),
                 ),
                 seed,
                 trace: false,
@@ -1156,7 +1170,10 @@ mod tests {
         assert!(report.is_ok(), "{report}");
         let live = LivenessChecker::check(w.history());
         let min_read = live.read_latency.min().unwrap_or(0);
-        assert!(min_read >= 1, "quorum reads cannot be local (min {min_read})");
+        assert!(
+            min_read >= 1,
+            "quorum reads cannot be local (min {min_read})"
+        );
         assert!(report.checked_reads > 10);
     }
 
@@ -1191,8 +1208,8 @@ mod tests {
         w.run_until(Time::at(9)); // writer has written at t=9 (period 9)
         w.invoke(NodeId::from_raw(1), OpAction::Read);
         w.invoke(NodeId::from_raw(1), OpAction::Read); // busy → hmm, sync reads complete instantly
-        // Sync reads complete synchronously so the second is legal; this
-        // exercises the counter plumbing rather than a specific count.
+                                                       // Sync reads complete synchronously so the second is legal; this
+                                                       // exercises the counter plumbing rather than a specific count.
         let _skipped = w.metrics().counter("workload.skipped");
     }
 

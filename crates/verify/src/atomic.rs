@@ -54,9 +54,7 @@ impl AtomicityChecker {
 
     /// Counts new/old inversion pairs without running the regularity check
     /// (used by the E1/E10 experiments to quantify inversion frequency).
-    pub fn count_inversions<V: Clone + Eq + Hash + std::fmt::Debug>(
-        history: &History<V>,
-    ) -> usize {
+    pub fn count_inversions<V: Clone + Eq + Hash + std::fmt::Debug>(history: &History<V>) -> usize {
         Self::find_inversions(history).len()
     }
 
@@ -187,7 +185,9 @@ mod tests {
         let report = AtomicityChecker::check(&h);
         assert!(!report.is_ok());
         assert_eq!(report.inversions, 1);
-        assert!(report.violations[0].explanation.contains("new/old inversion"));
+        assert!(report.violations[0]
+            .explanation
+            .contains("new/old inversion"));
     }
 
     #[test]
@@ -217,12 +217,12 @@ mod tests {
         read(&mut h, 1, 2, 3, 10); // concurrent with w1, returns new value
         read(&mut h, 2, 3, 3, 0); // wait, 3 !< 3? inv must be strictly after
         read(&mut h, 2, 4, 4, 0); // invoked after r1 completed: stale initial
-        // r at [3,3]: invoked at 3, r1 completed at 3 — NOT strictly before,
-        // so no inversion from that pair; r at [4,4] IS an inversion (idx
-        // -1 < 0) … and also a regularity violation (w1 completed at 4?
-        // no: w1 completes at 4, read invoked at 4 → w1 is last-before AND
-        // concurrent; initial is legal for regular — but the inversion
-        // against r1 stands.)
+                                  // r at [3,3]: invoked at 3, r1 completed at 3 — NOT strictly before,
+                                  // so no inversion from that pair; r at [4,4] IS an inversion (idx
+                                  // -1 < 0) … and also a regularity violation (w1 completed at 4?
+                                  // no: w1 completes at 4, read invoked at 4 → w1 is last-before AND
+                                  // concurrent; initial is legal for regular — but the inversion
+                                  // against r1 stands.)
         let report = AtomicityChecker::check(&h);
         assert_eq!(report.inversions, 1);
     }
@@ -233,7 +233,10 @@ mod tests {
         read(&mut h, 1, 10, 11, 999); // fabricated
         let report = AtomicityChecker::check(&h);
         assert!(!report.is_ok());
-        assert_eq!(report.inversions, 0, "fabricated values are not inversion pairs");
+        assert_eq!(
+            report.inversions, 0,
+            "fabricated values are not inversion pairs"
+        );
     }
 
     #[test]

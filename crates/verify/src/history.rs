@@ -222,7 +222,10 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug> History<V> {
         let rec = self.rec_mut(op);
         match &mut rec.kind {
             OpKind::Read { returned } => {
-                assert!(returned.is_none() && rec.completed_at.is_none(), "{op} completed twice");
+                assert!(
+                    returned.is_none() && rec.completed_at.is_none(),
+                    "{op} completed twice"
+                );
                 *returned = Some(value);
             }
             _ => panic!("{op} is not a read"),
@@ -237,7 +240,10 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug> History<V> {
     /// Panics if `op` is not a pending write.
     pub fn complete_write(&mut self, op: OpId, t: Time) {
         let rec = self.rec_mut(op);
-        assert!(matches!(rec.kind, OpKind::Write { .. }), "{op} is not a write");
+        assert!(
+            matches!(rec.kind, OpKind::Write { .. }),
+            "{op} is not a write"
+        );
         assert!(rec.completed_at.is_none(), "{op} completed twice");
         assert!(t >= rec.invoked_at);
         rec.completed_at = Some(t);
@@ -266,7 +272,9 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug> History<V> {
 
     /// All write records (complete and pending), in serialization order.
     pub fn writes(&self) -> impl Iterator<Item = &OpRecord<V>> + '_ {
-        self.ops.iter().filter(|r| matches!(r.kind, OpKind::Write { .. }))
+        self.ops
+            .iter()
+            .filter(|r| matches!(r.kind, OpKind::Write { .. }))
     }
 
     /// All completed reads.

@@ -156,15 +156,14 @@ impl RegularityChecker {
                         read: read.op,
                         node: read.node,
                         returned: returned.clone(),
-                        explanation:
-                            "fabricated value: never written and not the initial value".into(),
+                        explanation: "fabricated value: never written and not the initial value"
+                            .into(),
                     });
                     continue;
                 }
                 Ok(p) => {
                     let last_before = sweep.last_completed_before(read.invoked_at);
-                    p == last_before
-                        || p.is_some_and(|i| sweep.by_index[i].overlaps(read))
+                    p == last_before || p.is_some_and(|i| sweep.by_index[i].overlaps(read))
                 }
             };
             if !legal {
@@ -232,7 +231,7 @@ impl RegularityChecker {
             })
             .max();
         legal.push(last_before); // None = initial value
-        // Writes concurrent with the read.
+                                 // Writes concurrent with the read.
         for w in writes {
             if w.overlaps(read) {
                 if let OpKind::Write { index, .. } = w.kind {
@@ -258,8 +257,7 @@ impl RegularityChecker {
                     read: read.op,
                     node: read.node,
                     returned: returned.clone(),
-                    explanation: "fabricated value: never written and not the initial value"
-                        .into(),
+                    explanation: "fabricated value: never written and not the initial value".into(),
                 });
             }
         };
@@ -325,14 +323,19 @@ mod tests {
         let stale = with_read(two_write_history(), 10, 11, 10);
         let report = RegularityChecker::check(&stale);
         assert_eq!(report.violation_count(), 1);
-        assert!(report.violations[0].explanation.contains("legal values are {write#1}"));
+        assert!(report.violations[0]
+            .explanation
+            .contains("legal values are {write#1}"));
     }
 
     #[test]
     fn read_concurrent_with_write_may_see_old_or_new() {
         for value in [10, 20] {
             let h = with_read(two_write_history(), 7, 8, value);
-            assert!(RegularityChecker::check(&h).is_ok(), "value {value} is legal");
+            assert!(
+                RegularityChecker::check(&h).is_ok(),
+                "value {value} is legal"
+            );
         }
         // But not the ancient initial value.
         let h = with_read(two_write_history(), 7, 8, 0);

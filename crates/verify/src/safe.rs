@@ -35,7 +35,9 @@ impl SafeChecker {
 
         for read in history.completed_reads() {
             checked += 1;
-            let comp = read.completed_at.expect("completed_reads yields completed reads");
+            let comp = read
+                .completed_at
+                .expect("completed_reads yields completed reads");
             if sweep.any_concurrent(read.invoked_at, comp) {
                 continue; // any value allowed, even fabricated
             }

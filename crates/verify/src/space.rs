@@ -14,7 +14,7 @@ use std::hash::Hash;
 use dynareg_sim::{NodeId, OpId, RegisterId, Time};
 
 use crate::atomic::AtomicityChecker;
-use crate::history::History;
+use crate::history::{History, OpKind};
 use crate::liveness::{LivenessChecker, LivenessReport};
 use crate::regular::RegularityChecker;
 use crate::report::ConsistencyReport;
@@ -67,7 +67,10 @@ impl<V: Clone + Eq + Hash + fmt::Debug> SpaceHistory<V> {
     /// Records the invocation of a join in **every** key's history,
     /// returning the per-key op ids in key order.
     pub fn invoke_join_all(&mut self, node: NodeId, t: Time) -> Vec<OpId> {
-        self.keys.iter_mut().map(|h| h.invoke_join(node, t)).collect()
+        self.keys
+            .iter_mut()
+            .map(|h| h.invoke_join(node, t))
+            .collect()
     }
 
     /// Marks the per-key join ops (as returned by
@@ -97,6 +100,26 @@ impl<V: Clone + Eq + Hash + fmt::Debug> SpaceHistory<V> {
     /// Decomposes the space into its per-key histories, in key order.
     pub fn into_histories(self) -> Vec<History<V>> {
         self.keys
+    }
+
+    /// Shard-quorum join liveness: a space join is live **iff every shard
+    /// answered**, i.e. the space activates all keys atomically, so each
+    /// node's join stream — `(node, invoked, completed)` in order — must
+    /// be identical in every key's history. A key whose join completed at
+    /// a different instant (or not at all) means some shard's quorum was
+    /// never folded into the single `JoinComplete`, which the runtime
+    /// promises never happens: sharded joiners hold the *whole* join open
+    /// until the last shard meets quorum.
+    pub fn joins_consistent(&self) -> bool {
+        let join_stream = |h: &History<V>| -> Vec<(NodeId, Time, Option<Time>)> {
+            h.ops()
+                .iter()
+                .filter(|r| matches!(r.kind, OpKind::Join))
+                .map(|r| (r.node, r.invoked_at, r.completed_at))
+                .collect()
+        };
+        let anchor = join_stream(&self.keys[0]);
+        self.keys.iter().skip(1).all(|h| join_stream(h) == anchor)
     }
 }
 
@@ -145,10 +168,15 @@ impl<V> KeyVerdict<V> {
 pub struct SpaceReport<V> {
     /// One verdict per key, in key order.
     pub keys: Vec<KeyVerdict<V>>,
+    /// Whether every node's join completed in all keys at one instant —
+    /// the shard-quorum liveness invariant ("a join is live iff all shards
+    /// answered"); see [`SpaceHistory::joins_consistent`].
+    pub joins_consistent: bool,
 }
 
 impl<V: Clone + Eq + Hash + fmt::Debug> SpaceReport<V> {
-    /// Runs every checker on every key.
+    /// Runs every checker on every key, plus the space-level join
+    /// consistency check.
     pub fn check(space: &SpaceHistory<V>) -> SpaceReport<V> {
         SpaceReport {
             keys: space
@@ -160,6 +188,7 @@ impl<V: Clone + Eq + Hash + fmt::Debug> SpaceReport<V> {
                     liveness: LivenessChecker::check(h),
                 })
                 .collect(),
+            joins_consistent: space.joins_consistent(),
         }
     }
 }
@@ -175,9 +204,11 @@ impl<V> SpaceReport<V> {
         self.keys.iter().all(|k| k.regularity.is_ok())
     }
 
-    /// Whether every key satisfies liveness.
+    /// Whether every key satisfies liveness — including the space-level
+    /// join invariant (a join is live iff all shards answered, so it must
+    /// complete in every key at once).
     pub fn all_live(&self) -> bool {
-        self.keys.iter().all(|k| k.liveness.is_ok())
+        self.joins_consistent && self.keys.iter().all(|k| k.liveness.is_ok())
     }
 
     /// Total reads checked across keys.
@@ -187,7 +218,10 @@ impl<V> SpaceReport<V> {
 
     /// Total regularity violations across keys.
     pub fn total_violations(&self) -> usize {
-        self.keys.iter().map(|k| k.regularity.violation_count()).sum()
+        self.keys
+            .iter()
+            .map(|k| k.regularity.violation_count())
+            .sum()
     }
 
     /// Total new/old inversion pairs across keys.
@@ -308,6 +342,48 @@ mod tests {
         let s: SpaceHistory<u64> = SpaceHistory::new(3, 0);
         let report = SpaceReport::check(&s);
         assert_eq!(report.worst_key().key, k(0), "clean space → anchor key");
+    }
+
+    #[test]
+    fn join_missing_from_one_key_breaks_consistency_and_liveness() {
+        let mut s: SpaceHistory<u64> = SpaceHistory::new(2, 0);
+        // A join recorded (and completed) in key 0 only: some shard never
+        // answered, yet the runtime claimed completion — the invariant the
+        // space-level check exists to catch.
+        let op = s.key_mut(k(0)).invoke_join(n(9), Time::at(1));
+        s.key_mut(k(0)).complete_join(op, Time::at(4));
+        assert!(!s.joins_consistent());
+        let report = SpaceReport::check(&s);
+        assert!(!report.joins_consistent);
+        assert!(
+            !report.all_live(),
+            "inconsistent joins are a liveness defect"
+        );
+    }
+
+    #[test]
+    fn join_completing_at_different_instants_breaks_consistency() {
+        let mut s: SpaceHistory<u64> = SpaceHistory::new(2, 0);
+        let ops = s.invoke_join_all(n(9), Time::at(1));
+        assert!(s.joins_consistent(), "pending everywhere is consistent");
+        s.key_mut(k(0)).complete_join(ops[0], Time::at(3));
+        assert!(!s.joins_consistent(), "one shard answered, one did not");
+        s.key_mut(k(1)).complete_join(ops[1], Time::at(5));
+        assert!(!s.joins_consistent(), "staggered completion is not atomic");
+    }
+
+    #[test]
+    fn atomic_joins_are_consistent() {
+        let mut s: SpaceHistory<u64> = SpaceHistory::new(3, 0);
+        let ops = s.invoke_join_all(n(9), Time::at(1));
+        s.complete_join_all(&ops, Time::at(4));
+        let pending = s.invoke_join_all(n(10), Time::at(6));
+        assert!(s.joins_consistent(), "pending in every key is consistent");
+        s.complete_join_all(&pending, Time::at(9));
+        assert!(s.joins_consistent());
+        let report = SpaceReport::check(&s);
+        assert!(report.joins_consistent);
+        assert!(report.all_live(), "{}", report.summary());
     }
 
     #[test]

@@ -63,10 +63,14 @@ fn main() {
             .filter_map(|r| r.metrics.histogram("gauge.active").and_then(|h| h.min()))
             .min()
             .unwrap_or(0);
-        let joins: u64 = reports.iter().map(|r| r.metrics.counter("ops.join_completed")).sum();
+        let joins: u64 = reports
+            .iter()
+            .map(|r| r.metrics.counter("ops.join_completed"))
+            .sum();
         let reads: usize = reports.iter().map(|r| r.reads_checked()).sum();
         let violations: usize = reports.iter().map(|r| r.safety.violation_count()).sum();
-        let bound = (n as f64 * (1.0 - 3.0 * delta.as_ticks() as f64 * fraction * threshold)).max(0.0);
+        let bound =
+            (n as f64 * (1.0 - 3.0 * delta.as_ticks() as f64 * fraction * threshold)).max(0.0);
         table.row([
             fnum(fraction),
             fnum(bound),
@@ -74,7 +78,11 @@ fn main() {
             min_active.to_string(),
             joins.to_string(),
             reads.to_string(),
-            if violations == 0 { "OK".to_string() } else { format!("{violations} viol.") },
+            if violations == 0 {
+                "OK".to_string()
+            } else {
+                format!("{violations} viol.")
+            },
         ]);
     }
     println!("{table}");

@@ -64,7 +64,11 @@ fn main() {
                 joins.median().unwrap_or(0),
                 joins.max().unwrap_or(0)
             ),
-            if report.safety.is_ok() { "OK".into() } else { format!("{} viol.", report.safety.violation_count()) },
+            if report.safety.is_ok() {
+                "OK".into()
+            } else {
+                format!("{} viol.", report.safety.violation_count())
+            },
         ]);
         assert!(report.safety.is_ok(), "regularity must survive the swarm");
     }

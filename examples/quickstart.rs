@@ -25,19 +25,33 @@ fn main() {
         .seed(2009) // ICDCS 2009 — any seed reproduces its exact run
         .run();
 
-    println!("churn: {} processes joined, {} left, population constant",
+    println!(
+        "churn: {} processes joined, {} left, population constant",
         report.presence.total_arrivals() - n,
-        report.presence.total_departures());
-    println!("operations: {} reads checked, {} messages sent",
-        report.reads_checked(), report.total_messages);
+        report.presence.total_departures()
+    );
+    println!(
+        "operations: {} reads checked, {} messages sent",
+        report.reads_checked(),
+        report.total_messages
+    );
     println!();
-    println!("safety   (read returns last or concurrent write): {}", report.safety);
+    println!(
+        "safety   (read returns last or concurrent write): {}",
+        report.safety
+    );
     println!("{}", report.liveness);
     println!();
     println!("read latency is zero — the synchronous protocol's whole point is");
     println!("purely local reads; joins and writes pay the δ waits instead.");
 
-    assert!(report.safety.is_ok(), "regularity must hold under the churn bound");
-    assert!(report.liveness.is_ok(), "every operation by a staying process returns");
+    assert!(
+        report.safety.is_ok(),
+        "regularity must hold under the churn bound"
+    );
+    assert!(
+        report.liveness.is_ok(),
+        "every operation by a staying process returns"
+    );
     println!("\nOK — the register is regular and live under churn.");
 }

@@ -150,7 +150,10 @@ fn regular_registers_admit_inversions_where_atomic_does_not() {
             .run();
         atomic_inversions += report.inversions();
     }
-    assert_eq!(atomic_inversions, 0, "the ABD write-back forbids inversions");
+    assert_eq!(
+        atomic_inversions, 0,
+        "the ABD write-back forbids inversions"
+    );
 }
 
 /// Deterministic reproduction for the ES protocol too.

@@ -67,8 +67,14 @@ fn interleaved_multi_writer_rounds_serialize() {
     // each other (cross-delivery), then ack to completion.
     let ts_a = Timestamp { sn: 1, writer: 1 };
     let ts_b = Timestamp { sn: 1, writer: 2 };
-    let wa_msg = EsMsg::Write { value: 100, ts: ts_a };
-    let wb_msg = EsMsg::Write { value: 200, ts: ts_b };
+    let wa_msg = EsMsg::Write {
+        value: 100,
+        ts: ts_a,
+    };
+    let wb_msg = EsMsg::Write {
+        value: 200,
+        ts: ts_b,
+    };
     observer.on_message(Time::at(3), nid(1), wa_msg.clone());
     observer.on_message(Time::at(3), nid(2), wb_msg.clone());
     wa.on_message(Time::at(3), nid(2), wb_msg);

@@ -24,9 +24,7 @@ use dynareg::core::sync::SyncConfig;
 use dynareg::net::delay::Fixed;
 use dynareg::net::{DelayFault, FaultAction, FaultPlan};
 use dynareg::sim::{IdSource, NodeId, Span, Time};
-use dynareg::testkit::{
-    OpAction, ScriptedWorkload, SyncFactory, World, WorldConfig, WriterPolicy,
-};
+use dynareg::testkit::{OpAction, ScriptedWorkload, SyncFactory, World, WorldConfig, WriterPolicy};
 use dynareg::verify::{LivenessChecker, RegularityChecker};
 
 const DELTA: u64 = 4;

@@ -25,13 +25,9 @@ fn measured_window_min(
     let window = delta.times(3);
     // Skip the warmup (bootstrap is all-active) and the drain (churn quiet):
     // measure the steady interval.
-    let min = analysis::window_active_minimum(
-        &report.presence,
-        Time::at(50),
-        Time::at(300),
-        window,
-    )
-    .expect("interval long enough");
+    let min =
+        analysis::window_active_minimum(&report.presence, Time::at(50), Time::at(300), window)
+            .expect("interval long enough");
     let bound = analysis::lemma2_steady_bound(n, delta, report.churn_rate);
     (min, bound)
 }

@@ -83,9 +83,11 @@ fn reader_recruits_joiner_votes() {
     reader.on_read(Time::at(1), OpId::from_raw(1)); // read_sn = 1
     reader.on_message(Time::at(2), nid(1), reply(0, 0, 1));
     reader.on_message(Time::at(2), nid(2), reply(0, 0, 1));
-    assert!(!dynareg::core::completions(
-        &reader.on_message(Time::at(3), nid(9), EsMsg::Inquiry { r_sn: 0 })
-    )
+    assert!(!dynareg::core::completions(&reader.on_message(
+        Time::at(3),
+        nid(9),
+        EsMsg::Inquiry { r_sn: 0 }
+    ))
     .iter()
     .any(|_| true));
 
@@ -109,7 +111,7 @@ fn stale_promise_replies_are_filtered() {
     }
     // Second read in flight.
     reader.on_read(Time::at(5), OpId::from_raw(2)); // read_sn = 2
-    // A joiner honours an old promise with r_sn = 1: no effect.
+                                                    // A joiner honours an old promise with r_sn = 1: no effect.
     let effects = reader.on_message(Time::at(6), nid(9), reply(0, 0, 1));
     assert!(effects.is_empty());
     // Fresh votes still complete the second read.

@@ -39,7 +39,10 @@ fn zipf_256_keys_on_a_churning_1000_node_world_is_regular_per_key() {
             .filter(|k| k.safety.checked_reads > 0 || k.history.write_count() > 0)
             .count();
     assert!(touched > 48, "only {touched} keys saw traffic");
-    assert!(report.total_reads_checked() > 200, "space-wide reads were checked");
+    assert!(
+        report.total_reads_checked() > 200,
+        "space-wide reads were checked"
+    );
     // …and every key is green.
     assert!(report.all_keys_safe(), "{}", report.summary());
     assert!(report.all_keys_live(), "{}", report.summary());
@@ -93,17 +96,37 @@ fn keyed_scripted_invocations_land_on_their_registers() {
 
     let k = RegisterId::from_raw;
     let script = ScriptedWorkload::new()
-        .at(Time::at(2), NodeId::from_raw(0), OpAction::Write(10).on_key(k(3)))
-        .at(Time::at(9), NodeId::from_raw(0), OpAction::Write(11).on_key(k(1)))
-        .at(Time::at(14), NodeId::from_raw(2), OpAction::Read.on_key(k(3)))
-        .at(Time::at(15), NodeId::from_raw(4), OpAction::Read.on_key(k(0)));
+        .at(
+            Time::at(2),
+            NodeId::from_raw(0),
+            OpAction::Write(10).on_key(k(3)),
+        )
+        .at(
+            Time::at(9),
+            NodeId::from_raw(0),
+            OpAction::Write(11).on_key(k(1)),
+        )
+        .at(
+            Time::at(14),
+            NodeId::from_raw(2),
+            OpAction::Read.on_key(k(3)),
+        )
+        .at(
+            Time::at(15),
+            NodeId::from_raw(4),
+            OpAction::Read.on_key(k(0)),
+        );
     let mut world = World::new(
         SpaceOf::new(SyncFactory::new(SyncConfig::new(Span::ticks(2))), 4),
         WorldConfig {
             n: 6,
             initial: 0,
             delay: Box::new(Synchronous::new(Span::ticks(2))),
-            churn: ChurnDriver::new(Box::new(NoChurn), LeaveSelector::Random, IdSource::starting_at(6)),
+            churn: ChurnDriver::new(
+                Box::new(NoChurn),
+                LeaveSelector::Random,
+                IdSource::starting_at(6),
+            ),
             workload: Box::new(script),
             seed: 3,
             trace: false,
@@ -117,11 +140,23 @@ fn keyed_scripted_invocations_land_on_their_registers() {
     assert_eq!(space.key(k(3)).write_count(), 1);
     assert_eq!(space.key(k(1)).write_count(), 1);
     assert_eq!(space.key(k(0)).write_count(), 0);
-    assert_eq!(space.key(k(2)).ops().len(), 0, "untouched key stays pristine");
+    assert_eq!(
+        space.key(k(2)).ops().len(),
+        0,
+        "untouched key stays pristine"
+    );
     // The key-3 read observed key 3's write, the key-0 read the initial value.
     let report = SpaceReport::check(space);
-    assert!(report.all_regular() && report.all_live(), "{}", report.summary());
-    let read3 = space.key(k(3)).completed_reads().next().expect("read on r3");
+    assert!(
+        report.all_regular() && report.all_live(),
+        "{}",
+        report.summary()
+    );
+    let read3 = space
+        .key(k(3))
+        .completed_reads()
+        .next()
+        .expect("read on r3");
     assert_eq!(
         format!("{:?}", read3.kind),
         "Read { returned: Some(Some(10)) }"
@@ -165,7 +200,11 @@ fn out_of_space_key_panics() {
             n: 3,
             initial: 0,
             delay: Box::new(Synchronous::new(Span::ticks(2))),
-            churn: ChurnDriver::new(Box::new(NoChurn), LeaveSelector::Random, IdSource::starting_at(3)),
+            churn: ChurnDriver::new(
+                Box::new(NoChurn),
+                LeaveSelector::Random,
+                IdSource::starting_at(3),
+            ),
             workload: Box::new(RateWorkload::new(Span::ticks(4), 0.0)),
             seed: 1,
             trace: false,

@@ -26,8 +26,14 @@ fn assert_equivalent(solo: &RunReport, spaced: &RunReport) {
         format!("{:?}", spaced.history.ops()),
         "op streams diverge"
     );
-    assert_eq!(solo.total_messages, spaced.total_messages, "message counts diverge");
-    assert_eq!(solo.messages, spaced.messages, "per-label message streams diverge");
+    assert_eq!(
+        solo.total_messages, spaced.total_messages,
+        "message counts diverge"
+    );
+    assert_eq!(
+        solo.messages, spaced.messages,
+        "per-label message streams diverge"
+    );
     assert_eq!(
         solo.presence.total_arrivals(),
         spaced.presence.total_arrivals()
@@ -42,7 +48,11 @@ fn assert_equivalent(solo: &RunReport, spaced: &RunReport) {
         solo.liveness.incomplete_stayer_count(),
         spaced.liveness.incomplete_stayer_count()
     );
-    assert_eq!(run_digest(solo), run_digest(spaced), "event-stream digests diverge");
+    assert_eq!(
+        run_digest(solo),
+        run_digest(spaced),
+        "event-stream digests diverge"
+    );
 }
 
 proptest! {
@@ -86,6 +96,116 @@ proptest! {
         let base = if churn == 0 { base } else { base.churn_fraction_of_bound(0.5) };
         let spec = base.into_spec();
         assert_equivalent(&spec.run(), &spec.run_spaced());
+    }
+}
+
+/// The **shard-config plumbing at `G = 1`** is the other equivalence
+/// oracle this suite pins: a multi-key world built through
+/// `SpaceOf::with_shards(ShardConfig::new(1))` must observe exactly what
+/// the legacy constructor path (no shard config attached) observes — the
+/// sharded joiner bookkeeping, batch filtering and fallback machinery are
+/// all conditioned on `groups > 1` and may not leak a single event. CI
+/// additionally `cmp`s `exp_space_throughput --shards 1` against
+/// `--legacy` digests.
+mod sharded_g1 {
+    use dynareg::churn::{ChurnDriver, ConstantRate, LeaveSelector};
+    use dynareg::net::delay::Synchronous;
+    use dynareg::sim::{IdSource, NodeId, Span, Time};
+    use dynareg::testkit::{
+        EsFactory, RegisterSpaceProcess, ShardConfig, SpaceFactory, SpaceOf, SyncFactory, World,
+        WorldConfig, WriterPolicy, ZipfKeys, ZipfWorkload,
+    };
+    use dynareg_core::es::EsConfig;
+    use dynareg_core::sync::SyncConfig;
+    use proptest::prelude::*;
+
+    /// Everything observable about a keyed world: every key's op stream,
+    /// the membership totals, and the per-label message streams.
+    fn observe<F>(
+        factory: F,
+        n: usize,
+        keys: u32,
+        churn: f64,
+        seed: u64,
+    ) -> (String, u64, u64, Vec<(&'static str, u64)>)
+    where
+        F: SpaceFactory,
+        F::Proc: RegisterSpaceProcess<Val = u64>,
+    {
+        let delta = Span::ticks(3);
+        let mut world = World::new(
+            factory,
+            WorldConfig {
+                n,
+                initial: 0,
+                delay: Box::new(Synchronous::new(delta)),
+                churn: ChurnDriver::new(
+                    Box::new(ConstantRate::new(churn)),
+                    LeaveSelector::Random,
+                    IdSource::starting_at(n as u64),
+                ),
+                workload: Box::new(
+                    ZipfWorkload::new(ZipfKeys::new(keys, 1.0), delta.times(3), 1.0)
+                        .stopping_at(Time::at(130)),
+                ),
+                seed,
+                trace: false,
+                writer_policy: WriterPolicy::FixedProtected,
+            },
+        );
+        world.protect(NodeId::from_raw(0));
+        world.run_until(Time::at(160));
+        let (space, presence, _metrics, _trace, network) = world.into_space_outputs();
+        let mut ops = String::new();
+        for (_, h) in space.iter() {
+            ops.push_str(&format!("{:?}", h.ops()));
+        }
+        (
+            ops,
+            presence.total_arrivals() as u64,
+            network.total_sent(),
+            network.sent_by_label().collect(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn g1_sync_space_equals_legacy_constructor_path(
+            n in 5usize..16,
+            keys in 2u32..6,
+            churn_plan in 0usize..3,
+            seed in 0u64..1_000_000,
+        ) {
+            let churn = [0.0, 0.01, 0.03][churn_plan];
+            let f = SyncFactory::new(SyncConfig::new(Span::ticks(3)));
+            let legacy = observe(SpaceOf::new(f, keys), n, keys, churn, seed);
+            let sharded = observe(
+                SpaceOf::new(f, keys).with_shards(ShardConfig::new(1)),
+                n,
+                keys,
+                churn,
+                seed,
+            );
+            prop_assert_eq!(legacy, sharded);
+        }
+    }
+
+    #[test]
+    fn g1_es_space_equals_legacy_constructor_path() {
+        for seed in 0..4 {
+            let f = EsFactory::new(EsConfig::new(9));
+            let legacy = observe(SpaceOf::new(f, 4), 9, 4, 0.005, seed);
+            let sharded = observe(
+                SpaceOf::new(f, 4).with_shards(ShardConfig::new(1)),
+                9,
+                4,
+                0.005,
+                seed,
+            );
+            assert_eq!(legacy, sharded);
+        }
     }
 }
 

@@ -61,7 +61,11 @@ fn operation_latencies_match_figure_1_and_2() {
     let joins = &report.liveness.join_latency;
     assert!(joins.count() > 10, "churn produced joins");
     assert_eq!(joins.min(), Some(delta), "fast path takes exactly δ");
-    assert_eq!(joins.max(), Some(3 * delta), "inquiry path takes exactly 3δ");
+    assert_eq!(
+        joins.max(),
+        Some(3 * delta),
+        "inquiry path takes exactly 3δ"
+    );
     // Either plateau is allowed, nothing in between except the two values.
     for q in [0.1, 0.5, 0.9] {
         let v = joins.quantile(q).unwrap();
@@ -170,5 +174,8 @@ fn same_seed_same_everything() {
         b.liveness.join_latency.mean()
     );
     let c = run(100);
-    assert_ne!(a.total_messages, c.total_messages, "different seed, different run");
+    assert_ne!(
+        a.total_messages, c.total_messages,
+        "different seed, different run"
+    );
 }

@@ -41,7 +41,11 @@ fn scripted_joins_enter_and_complete() {
     w.run_until(Time::at(40));
     assert_eq!(w.presence().total_arrivals(), 7);
     assert_eq!(w.metrics().counter("ops.join_completed"), 3);
-    assert_eq!(w.presence().present_count(), 7, "scripted joins are additive");
+    assert_eq!(
+        w.presence().present_count(),
+        7,
+        "scripted joins are additive"
+    );
 }
 
 #[test]
@@ -128,7 +132,11 @@ fn message_stats_are_label_accurate() {
     let mut w = base_world(5, Box::new(script));
     w.run_until(Time::at(20));
     let stats: std::collections::BTreeMap<&str, u64> = w.network().sent_by_label().collect();
-    assert_eq!(stats.get("WRITE"), Some(&5), "one broadcast to five present nodes");
+    assert_eq!(
+        stats.get("WRITE"),
+        Some(&5),
+        "one broadcast to five present nodes"
+    );
     assert_eq!(stats.get("INQUIRY"), None, "nobody joined, nobody inquired");
 }
 
