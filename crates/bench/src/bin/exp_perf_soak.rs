@@ -120,6 +120,7 @@ fn soak(
             seed: 0x000B_A1D0, // Baldoni et al.
             trace: false,
             writer_policy: WriterPolicy::FixedProtected,
+            writers: 1,
         },
     );
     world.protect(NodeId::from_raw(0));

@@ -13,17 +13,26 @@
 //! `keys=256, shards=16` row so the committed baseline records how much of
 //! the 16-key rate the sharded handshake buys back.
 //!
+//! The default set also carries two **multi-writer** rows (`W = 4` on the
+//! 256-key space): a scaling row on the standard write beat — per-(node,
+//! key) busy tracking lets four writers pipeline across keys, so completed
+//! writes scale with `W` — and a hot-key contention row (write beat every
+//! tick, Zipf-concentrated traffic) where the per-key occupancy cap and
+//! per-node busy slots are actually exercised and contention shows up as
+//! `writes_skipped_busy` instead of lost or serialized work.
+//!
 //! Prints wall-clock throughput and writes machine-readable JSON
 //! (`BENCH_space.json` by default) — the register-space perf trajectory
 //! future PRs measure against. `--digest-out PATH` additionally writes a
 //! wall-clock-free event-stream digest per scenario; CI `cmp`s the digest
 //! of `--shards 1` against `--legacy` (the constructor path without a
-//! shard config) to hold the `G = 1 ≡ legacy` contract.
+//! shard config) to hold the `G = 1 ≡ legacy` contract, and the digest of
+//! `--writers 1` against the unflagged run to hold `W = 1 ≡ default`.
 //!
 //! Usage: `exp_space_throughput [--nodes N] [--ticks T] [--out PATH]
-//! [--shards G | --legacy] [--digest-out PATH]`
+//! [--shards G | --legacy] [--writers W] [--digest-out PATH]`
 //! (defaults: 1000 nodes, 600 ticks, `BENCH_space.json`, the mixed
-//! `G ∈ {1, 16}` scenario set).
+//! `G ∈ {1, 16}` / `W ∈ {1, 4}` scenario set).
 
 use std::time::Instant;
 
@@ -42,6 +51,8 @@ use dynareg_verify::SpaceReport;
 struct SpaceResult {
     keys: u32,
     shards: u32,
+    writers: u32,
+    write_every: u64,
     nodes: usize,
     ticks: u64,
     churn_rate: f64,
@@ -51,6 +62,9 @@ struct SpaceResult {
     reads_checked: usize,
     check_secs: f64,
     keys_touched: u32,
+    writes_completed: u64,
+    writes_skipped_busy: u64,
+    writes_gated: u64,
     safety_ok: bool,
     liveness_ok: bool,
     /// FNV fold of every key's op stream plus the message/membership
@@ -70,6 +84,8 @@ impl SpaceResult {
                 "    {{\n",
                 "      \"keys\": {},\n",
                 "      \"shards\": {},\n",
+                "      \"writers\": {},\n",
+                "      \"write_every_ticks\": {},\n",
                 "      \"nodes\": {},\n",
                 "      \"ticks\": {},\n",
                 "      \"churn_rate\": {:.8},\n",
@@ -80,12 +96,17 @@ impl SpaceResult {
                 "      \"reads_checked\": {},\n",
                 "      \"check_secs\": {:.4},\n",
                 "      \"keys_touched\": {},\n",
+                "      \"writes_completed\": {},\n",
+                "      \"writes_skipped_busy\": {},\n",
+                "      \"writes_gated\": {},\n",
                 "      \"safety_ok\": {},\n",
                 "      \"liveness_ok\": {}\n",
                 "    }}"
             ),
             self.keys,
             self.shards,
+            self.writers,
+            self.write_every,
             self.nodes,
             self.ticks,
             self.churn_rate,
@@ -96,6 +117,9 @@ impl SpaceResult {
             self.reads_checked,
             self.check_secs,
             self.keys_touched,
+            self.writes_completed,
+            self.writes_skipped_busy,
+            self.writes_gated,
             self.safety_ok,
             self.liveness_ok,
         )
@@ -103,8 +127,8 @@ impl SpaceResult {
 
     fn digest_json(&self) -> String {
         format!(
-            "    {{\"keys\": {}, \"shards\": {}, \"digest\": \"{:#018x}\"}}",
-            self.keys, self.shards, self.digest
+            "    {{\"keys\": {}, \"shards\": {}, \"writers\": {}, \"digest\": \"{:#018x}\"}}",
+            self.keys, self.shards, self.writers, self.digest
         )
     }
 }
@@ -141,11 +165,30 @@ impl ChurnModel for StopAfter {
     }
 }
 
+/// One row of the scenario set: a keyed world at a writer-roster size and
+/// write beat.
+#[derive(Clone, Copy)]
+struct Row {
+    keys: u32,
+    /// `None` = the legacy constructor path (no shard config attached);
+    /// `Some(g)` threads a `ShardConfig` — `Some(1)` must be observably
+    /// identical to `None`.
+    shards: Option<u32>,
+    /// Writer-roster size and per-key write cap.
+    writers: usize,
+    /// Ticks between workload write beats (every roster writer attempts
+    /// one write per beat).
+    write_every: u64,
+}
+
 /// Runs one keyed world and measures simulation and checking separately.
-/// `shards: None` builds the space through the legacy constructor path (no
-/// shard config attached); `Some(g)` threads a `ShardConfig` — `Some(1)`
-/// must be observably identical to `None`.
-fn run_space(keys: u32, shards: Option<u32>, nodes: usize, ticks: u64) -> SpaceResult {
+fn run_space(row: Row, nodes: usize, ticks: u64) -> SpaceResult {
+    let Row {
+        keys,
+        shards,
+        writers,
+        write_every,
+    } = row;
     let delta = Span::ticks(3);
     // Absolute churn (≈0.4 joins/tick) so the per-join state transfer —
     // not the churn model — sets the load, as a production service would
@@ -173,21 +216,28 @@ fn run_space(keys: u32, shards: Option<u32>, nodes: usize, ticks: u64) -> SpaceR
                 IdSource::starting_at(nodes as u64),
             ),
             workload: Box::new(
-                ZipfWorkload::new(ZipfKeys::new(keys, 1.0), delta.times(3), 8.0).stopping_at(stop),
+                ZipfWorkload::new(ZipfKeys::new(keys, 1.0), Span::ticks(write_every), 8.0)
+                    .stopping_at(stop),
             ),
             seed: 0x000B_A1D0,
             trace: false,
             writer_policy: WriterPolicy::FixedProtected,
+            writers,
         },
     );
-    world.protect(NodeId::from_raw(0));
+    for w in 0..writers as u64 {
+        world.protect(NodeId::from_raw(w));
+    }
 
     let sim_start = Instant::now();
     world.run_until(end);
     let sim_secs = sim_start.elapsed().as_secs_f64();
     let events = world.events_processed();
 
-    let (space, presence, _metrics, _trace, network) = world.into_space_outputs();
+    let (space, presence, metrics, _trace, network) = world.into_space_outputs();
+    let writes_completed = metrics.counter("ops.write_completed");
+    let writes_skipped_busy = metrics.counter("ops.skipped_busy");
+    let writes_gated = metrics.counter("workload.write_gated");
     let messages = network.total_sent();
     let mut digest = fnv1a([], 0xCBF2_9CE4_8422_2325);
     for (_, h) in space.iter() {
@@ -219,6 +269,8 @@ fn run_space(keys: u32, shards: Option<u32>, nodes: usize, ticks: u64) -> SpaceR
     SpaceResult {
         keys,
         shards: shards.unwrap_or(1).min(keys),
+        writers: writers as u32,
+        write_every,
         nodes,
         ticks,
         churn_rate,
@@ -228,6 +280,9 @@ fn run_space(keys: u32, shards: Option<u32>, nodes: usize, ticks: u64) -> SpaceR
         reads_checked: report.total_reads_checked(),
         check_secs,
         keys_touched,
+        writes_completed,
+        writes_skipped_busy,
+        writes_gated,
         safety_ok: report.all_regular(),
         liveness_ok: report.all_live(),
         digest,
@@ -242,6 +297,11 @@ struct Args {
     /// `None` = the default mixed scenario set; `Some(None)` = the legacy
     /// constructor path; `Some(Some(g))` = `--shards g`.
     mode: Option<Option<u32>>,
+    /// `--writers W` pins every row to one roster size (and drops the
+    /// default set's extra `W = 4` rows): the explicit-W output is
+    /// row-comparable across W values, and `--writers 1` must digest-match
+    /// the unflagged run (the CI `W = 1 ≡ default` gate).
+    writers: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -251,6 +311,7 @@ fn parse_args() -> Args {
         out: "BENCH_space.json".to_string(),
         digest_out: None,
         mode: None,
+        writers: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -292,9 +353,18 @@ fn parse_args() -> Args {
                 parsed.mode = Some(None);
                 i += 1;
             }
+            "--writers" => {
+                let w = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--writers takes a positive integer");
+                assert!(w > 0, "--writers takes a positive integer");
+                parsed.writers = Some(w);
+                i += 2;
+            }
             other => panic!(
                 "unknown argument {other} (try --nodes N --ticks T --out PATH \
-                 [--shards G | --legacy] [--digest-out PATH])"
+                 [--shards G | --legacy] [--writers W] [--digest-out PATH])"
             ),
         }
     }
@@ -309,36 +379,73 @@ fn main() {
         "events/sec at 1 / 16 / 256 keys on one churning world",
     );
 
-    // The default set carries the sharded-recovery row; an explicit
-    // --shards/--legacy runs the plain trio in that one mode (the CI
-    // equivalence gate compares their digests).
-    let scenarios: Vec<(u32, Option<u32>)> = match args.mode {
-        None => vec![(1, Some(1)), (16, Some(1)), (256, Some(1)), (256, Some(16))],
-        Some(mode) => vec![(1, mode), (16, mode), (256, mode)],
+    // The default set carries the sharded-recovery row plus the two W = 4
+    // rows (multi-key write scaling on the standard beat, hot-key
+    // contention on a 1-tick beat); an explicit --shards/--legacy or
+    // --writers runs the plain trio in that one mode (the CI equivalence
+    // gates compare their digests).
+    let w = args.writers.unwrap_or(1);
+    let beat = 9; // the standard write beat, 3δ ticks
+    let row = |keys, shards, writers, write_every| Row {
+        keys,
+        shards,
+        writers,
+        write_every,
+    };
+    let scenarios: Vec<Row> = match (args.mode, args.writers) {
+        (None, None) => vec![
+            row(1, Some(1), 1, beat),
+            row(16, Some(1), 1, beat),
+            row(256, Some(1), 1, beat),
+            row(256, Some(16), 1, beat),
+            row(256, Some(1), 4, beat),
+            row(256, Some(1), 4, 1),
+        ],
+        (mode, _) => {
+            let mode = mode.unwrap_or(Some(1));
+            vec![
+                row(1, mode, w, beat),
+                row(16, mode, w, beat),
+                row(256, mode, w, beat),
+            ]
+        }
     };
 
     let mut results = Vec::new();
-    for &(keys, shards) in &scenarios {
-        let r = run_space(keys, shards, args.nodes, args.ticks);
+    for &sc in &scenarios {
+        let r = run_space(sc, args.nodes, args.ticks);
         println!(
-            "k={:<4} G={:<3} n={} ticks={} | {} events in {:.2}s = {:.0} events/sec | {} msgs | \
+            "k={:<4} G={:<3} W={:<2} beat={:<2} n={} ticks={} | {} events in {:.2}s = \
+             {:.0} events/sec | {} msgs | {} writes (+{} busy-skips) | \
              {} reads checked over {} touched keys in {:.3}s | safety={} liveness={}",
             r.keys,
             r.shards,
+            r.writers,
+            r.write_every,
             r.nodes,
             r.ticks,
             r.events,
             r.sim_secs,
             r.events_per_sec(),
             r.messages,
+            r.writes_completed,
+            r.writes_skipped_busy + r.writes_gated,
             r.reads_checked,
             r.keys_touched,
             r.check_secs,
             if r.safety_ok { "OK" } else { "VIOLATED" },
             if r.liveness_ok { "OK" } else { "STUCK" },
         );
-        assert!(r.safety_ok, "register space lost regularity at k={keys}");
-        assert!(r.liveness_ok, "register space lost liveness at k={keys}");
+        assert!(
+            r.safety_ok,
+            "register space lost regularity at k={}",
+            sc.keys
+        );
+        assert!(
+            r.liveness_ok,
+            "register space lost liveness at k={}",
+            sc.keys
+        );
         results.push(r);
     }
     // The shared handshake's signature: message counts do not scale with
@@ -351,7 +458,9 @@ fn main() {
         "physical message count must not scale with the key count"
     );
     if let (Some(full), Some(sharded)) = (
-        results.iter().find(|r| r.keys == 256 && r.shards == 1),
+        results
+            .iter()
+            .find(|r| r.keys == 256 && r.shards == 1 && r.writers == 1),
         results.iter().find(|r| r.keys == 256 && r.shards > 1),
     ) {
         println!(
@@ -363,10 +472,48 @@ fn main() {
             full.events_per_sec(),
         );
     }
+    // The tentpole's signature: per-(node, key) busy tracking lets W
+    // writers pipeline across keys, so completed writes scale with the
+    // roster — the old global write slot pinned every row to the W = 1
+    // count.
+    if let (Some(w1), Some(w4)) = (
+        results
+            .iter()
+            .find(|r| r.keys == 256 && r.shards == 1 && r.writers == 1),
+        results
+            .iter()
+            .find(|r| r.keys == 256 && r.writers == 4 && r.write_every > 1),
+    ) {
+        let scale = w4.writes_completed as f64 / (w1.writes_completed as f64).max(1e-9);
+        println!(
+            "\nmulti-writer scaling at 256 keys: W=4 completes {:.1}x the W=1 writes \
+             ({} vs {})",
+            scale, w4.writes_completed, w1.writes_completed,
+        );
+        assert!(
+            scale > 2.0,
+            "W=4 must scale multi-key write throughput (got {scale:.2}x)"
+        );
+    }
+    if let Some(hot) = results
+        .iter()
+        .find(|r| r.writers == 4 && r.write_every == 1)
+    {
+        println!(
+            "hot-key contention (W=4, 1-tick beat, Zipf 1.0): {} writes completed, \
+             {} attempts gated busy — contention is counted, never dropped or wedged",
+            hot.writes_completed,
+            hot.writes_skipped_busy + hot.writes_gated,
+        );
+        assert!(
+            hot.writes_skipped_busy + hot.writes_gated > 0,
+            "a 1-tick write beat at W=4 must actually contend"
+        );
+    }
 
     let body: Vec<String> = results.iter().map(SpaceResult::json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"dynareg-bench-space/2\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"dynareg-bench-space/3\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
     std::fs::write(&args.out, &json).expect("write benchmark json");
@@ -375,7 +522,7 @@ fn main() {
     if let Some(path) = &args.digest_out {
         let body: Vec<String> = results.iter().map(SpaceResult::digest_json).collect();
         let json = format!(
-            "{{\n  \"schema\": \"dynareg-bench-space-digest/1\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"dynareg-bench-space-digest/2\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
             body.join(",\n")
         );
         std::fs::write(path, &json).expect("write digest json");

@@ -77,6 +77,8 @@ pub struct PointOutcome {
     pub keys: u32,
     /// Join-reply shard groups of the run (1 = legacy full replies).
     pub shards: u32,
+    /// Writer-roster size (and per-key write cap) of the run.
+    pub writers: u32,
     /// The run's derived seed.
     pub seed: u64,
     /// Safety (regularity) violations, summed over every key.
@@ -127,6 +129,7 @@ impl PointOutcome {
             n: point.n,
             keys: point.keys,
             shards: point.shards,
+            writers: point.writers as u32,
             seed: point.seed,
             safety_violations: report.total_violations() as u64,
             reads_checked: report.total_reads_checked() as u64,
@@ -162,6 +165,8 @@ pub struct Cell {
     pub keys: u32,
     /// Join-reply shard groups.
     pub shards: u32,
+    /// Writer-roster size (and per-key write cap).
+    pub writers: u32,
     /// Delay bound `δ` (ticks).
     pub delta: u64,
     /// Churn fraction `c / c*`.
@@ -208,11 +213,13 @@ pub struct Cell {
 }
 
 impl Cell {
-    /// An empty cell at the given `(keys, shards, δ, fraction)` coordinate.
-    pub fn new(keys: u32, shards: u32, delta: u64, fraction: f64) -> Cell {
+    /// An empty cell at the given `(keys, shards, writers, δ, fraction)`
+    /// coordinate.
+    pub fn new(keys: u32, shards: u32, writers: u32, delta: u64, fraction: f64) -> Cell {
         Cell {
             keys,
             shards,
+            writers,
             delta,
             fraction,
             churn_rate: f64::INFINITY,
@@ -244,6 +251,7 @@ impl Cell {
             (
                 u64::from(self.keys),
                 u64::from(self.shards),
+                u64::from(self.writers),
                 self.delta,
                 self.fraction.to_bits()
             ),
@@ -295,28 +303,29 @@ impl Cell {
     }
 }
 
-/// The reduction key of an outcome: `(keys, shards, δ, fraction)`.
+/// The reduction key of an outcome: `(keys, shards, writers, δ, fraction)`.
 /// Fractions are keyed by bit pattern — exact, and ordered like the
 /// numbers for non-negative floats.
-pub fn cell_key(o: &PointOutcome) -> (u64, u64, u64, u64) {
+pub fn cell_key(o: &PointOutcome) -> (u64, u64, u64, u64, u64) {
     (
         u64::from(o.keys),
         u64::from(o.shards),
+        u64::from(o.writers),
         o.delta,
         o.fraction.to_bits(),
     )
 }
 
 /// Reduces outcomes into phase-diagram cells, sorted by
-/// `(keys, shards, δ, fraction)`. Input order does not matter (see the
-/// module docs).
+/// `(keys, shards, writers, δ, fraction)`. Input order does not matter
+/// (see the module docs).
 pub fn reduce_cells(outcomes: &[PointOutcome]) -> Vec<Cell> {
-    let mut cells: std::collections::BTreeMap<(u64, u64, u64, u64), Cell> =
+    let mut cells: std::collections::BTreeMap<(u64, u64, u64, u64, u64), Cell> =
         std::collections::BTreeMap::new();
     for o in outcomes {
         cells
             .entry(cell_key(o))
-            .or_insert_with(|| Cell::new(o.keys, o.shards, o.delta, o.fraction))
+            .or_insert_with(|| Cell::new(o.keys, o.shards, o.writers, o.delta, o.fraction))
             .absorb(o);
     }
     cells.into_values().collect()
@@ -337,6 +346,7 @@ mod tests {
             n: 10,
             keys: 1,
             shards: 1,
+            writers: 1,
             seed: 1,
             safety_violations: 0,
             reads_checked: 10,
@@ -382,19 +392,19 @@ mod tests {
 
     #[test]
     fn feasibility_requires_safety_liveness_and_availability() {
-        let mut healthy = Cell::new(1, 1, 3, 0.5);
+        let mut healthy = Cell::new(1, 1, 1, 3, 0.5);
         healthy.absorb(&outcome(3, 0.5, 0, 9, 10));
         assert!(healthy.feasible());
 
-        let mut stuck = Cell::new(1, 1, 3, 0.5);
+        let mut stuck = Cell::new(1, 1, 1, 3, 0.5);
         stuck.absorb(&outcome(3, 0.5, 3, 9, 10));
         assert!(!stuck.feasible());
 
-        let mut starved = Cell::new(1, 1, 3, 0.5);
+        let mut starved = Cell::new(1, 1, 1, 3, 0.5);
         starved.absorb(&outcome(3, 0.5, 0, 2, 10));
         assert!(!starved.feasible(), "join ratio 0.2 < 0.5");
 
-        let mut quiet = Cell::new(1, 1, 3, 0.5);
+        let mut quiet = Cell::new(1, 1, 1, 3, 0.5);
         quiet.absorb(&outcome(3, 0.5, 0, 0, 0));
         assert!(quiet.feasible(), "no churn → availability is vacuous");
     }

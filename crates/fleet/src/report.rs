@@ -25,6 +25,8 @@ pub struct Frontier {
     pub keys: u32,
     /// Join-reply shard groups of the row.
     pub shards: u32,
+    /// Writer-roster size of the row.
+    pub writers: u32,
     /// Delay bound `δ` (ticks).
     pub delta: u64,
     /// Largest feasible fraction, if any cell was feasible.
@@ -57,6 +59,7 @@ impl Frontier {
     fn from_row(
         keys: u32,
         shards: u32,
+        writers: u32,
         delta: u64,
         analytic_threshold: Option<f64>,
         row: &[&Cell],
@@ -87,6 +90,7 @@ impl Frontier {
         Frontier {
             keys,
             shards,
+            writers,
             delta,
             last_feasible,
             first_infeasible,
@@ -106,9 +110,9 @@ pub struct PhaseReport {
     pub master_seed: u64,
     /// Total runs executed.
     pub total_runs: u64,
-    /// Cells sorted by `(keys, shards, δ, fraction)`.
+    /// Cells sorted by `(keys, shards, writers, δ, fraction)`.
     pub cells: Vec<Cell>,
-    /// One frontier per distinct `(keys, shards, δ)` row, in that order.
+    /// One frontier per distinct `(keys, shards, writers, δ)` row, in that order.
     pub frontiers: Vec<Frontier>,
     /// FNV fold of every run's event-stream digest, in run-index order —
     /// equal digests mean equal fleets, whatever the thread count.
@@ -127,13 +131,17 @@ impl PhaseReport {
         };
         let cells = reduce_cells(outcomes);
         let mut frontiers = Vec::new();
-        let mut rows: Vec<(u32, u32, u64)> =
-            cells.iter().map(|c| (c.keys, c.shards, c.delta)).collect();
-        rows.dedup(); // cells are sorted by (keys, shards, δ, fraction)
-        for (keys, shards, delta) in rows {
+        let mut rows: Vec<(u32, u32, u32, u64)> = cells
+            .iter()
+            .map(|c| (c.keys, c.shards, c.writers, c.delta))
+            .collect();
+        rows.dedup(); // cells are sorted by (keys, shards, writers, δ, fraction)
+        for (keys, shards, writers, delta) in rows {
             let row: Vec<&Cell> = cells
                 .iter()
-                .filter(|c| c.keys == keys && c.shards == shards && c.delta == delta)
+                .filter(|c| {
+                    c.keys == keys && c.shards == shards && c.writers == writers && c.delta == delta
+                })
                 .collect();
             let analytic = match spec.protocol {
                 ProtocolChoice::Synchronous | ProtocolChoice::SynchronousNoWait => {
@@ -149,7 +157,9 @@ impl PhaseReport {
                     }
                 }
             };
-            frontiers.push(Frontier::from_row(keys, shards, delta, analytic, &row));
+            frontiers.push(Frontier::from_row(
+                keys, shards, writers, delta, analytic, &row,
+            ));
         }
         let fleet_digest = crate::aggregate::fnv1a(
             outcomes.iter().flat_map(|o| o.digest.to_le_bytes()),
@@ -193,19 +203,18 @@ impl PhaseReport {
         ));
         let multi_key = self.cells.iter().any(|c| c.keys > 1);
         let multi_shard = self.cells.iter().any(|c| c.shards > 1);
-        let mut rows: Vec<(u32, u32, u64)> = self
+        let multi_writer = self.cells.iter().any(|c| c.writers > 1);
+        let mut rows: Vec<(u32, u32, u32, u64)> = self
             .cells
             .iter()
-            .map(|c| (c.keys, c.shards, c.delta))
+            .map(|c| (c.keys, c.shards, c.writers, c.delta))
             .collect();
         rows.dedup();
-        for (keys, shards, delta) in rows {
+        for (keys, shards, writers, delta) in rows {
             let mut row: Vec<char> = vec![' '; fraction_bits.len()];
-            for cell in self
-                .cells
-                .iter()
-                .filter(|c| c.keys == keys && c.shards == shards && c.delta == delta)
-            {
+            for cell in self.cells.iter().filter(|c| {
+                c.keys == keys && c.shards == shards && c.writers == writers && c.delta == delta
+            }) {
                 row[col(cell.fraction.to_bits())] = if cell.unsafe_runs > 0 {
                     '!'
                 } else if cell.feasible() {
@@ -224,13 +233,17 @@ impl PhaseReport {
             if boundary == row.len() {
                 line.push('|');
             }
-            if multi_shard {
-                out.push_str(&format!("k={keys:<4} g={shards:<3} δ={delta:<3} {line}\n"));
-            } else if multi_key {
-                out.push_str(&format!("k={keys:<4} δ={delta:<3} {line}\n"));
-            } else {
-                out.push_str(&format!("δ={delta:<3} {line}\n"));
+            let mut tag = String::new();
+            if multi_key || multi_shard {
+                tag.push_str(&format!("k={keys:<4} "));
             }
+            if multi_shard {
+                tag.push_str(&format!("g={shards:<3} "));
+            }
+            if multi_writer {
+                tag.push_str(&format!("w={writers:<2} "));
+            }
+            out.push_str(&format!("{tag}δ={delta:<3} {line}\n"));
         }
         out
     }
@@ -240,6 +253,7 @@ impl PhaseReport {
         let mut t = Table::new([
             "keys",
             "G",
+            "W",
             "δ",
             "c/c*",
             "c",
@@ -258,6 +272,7 @@ impl PhaseReport {
             t.row([
                 c.keys.to_string(),
                 c.shards.to_string(),
+                c.writers.to_string(),
                 c.delta.to_string(),
                 format!("{:.3}", c.fraction),
                 format!("{:.5}", c.churn_rate),
@@ -281,6 +296,7 @@ impl PhaseReport {
         let mut t = Table::new([
             "keys",
             "G",
+            "W",
             "δ",
             "analytic c*",
             "last feasible c/c*",
@@ -292,6 +308,7 @@ impl PhaseReport {
             t.row([
                 f.keys.to_string(),
                 f.shards.to_string(),
+                f.writers.to_string(),
                 f.delta.to_string(),
                 f.analytic_threshold
                     .map_or("-".into(), |v| format!("{v:.5}")),
@@ -320,7 +337,7 @@ impl PhaseReport {
             )
         }
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"dynareg-phase-diagram/2\",\n");
+        out.push_str("{\n  \"schema\": \"dynareg-phase-diagram/3\",\n");
         out.push_str(&format!("  \"protocol\": \"{}\",\n", self.protocol));
         out.push_str(&format!("  \"master_seed\": {},\n", self.master_seed));
         out.push_str(&format!("  \"total_runs\": {},\n", self.total_runs));
@@ -332,7 +349,7 @@ impl PhaseReport {
         for (i, c) in self.cells.iter().enumerate() {
             out.push_str(&format!(
                 concat!(
-                    "    {{\"keys\": {}, \"shards\": {}, \"delta\": {}, \"fraction\": {:.6}, \"churn_rate\": {:.8}, ",
+                    "    {{\"keys\": {}, \"shards\": {}, \"writers\": {}, \"delta\": {}, \"fraction\": {:.6}, \"churn_rate\": {:.8}, ",
                     "\"runs\": {}, \"unsafe_runs\": {}, \"safety_violations\": {}, ",
                     "\"stuck_runs\": {}, \"stuck_ops\": {}, \"inversions\": {}, ",
                     "\"arrivals\": {}, \"joins_completed\": {}, \"join_ratio\": {:.4}, ",
@@ -344,6 +361,7 @@ impl PhaseReport {
                 ),
                 c.keys,
                 c.shards,
+                c.writers,
                 c.delta,
                 c.fraction,
                 c.churn_rate,
@@ -376,12 +394,13 @@ impl PhaseReport {
         for (i, f) in self.frontiers.iter().enumerate() {
             out.push_str(&format!(
                 concat!(
-                    "    {{\"keys\": {}, \"shards\": {}, \"delta\": {}, \"analytic_threshold\": {}, ",
+                    "    {{\"keys\": {}, \"shards\": {}, \"writers\": {}, \"delta\": {}, \"analytic_threshold\": {}, ",
                     "\"last_feasible_fraction\": {}, \"first_infeasible_fraction\": {}, ",
                     "\"monotone\": {}, \"brackets_bound\": {}}}{}\n",
                 ),
                 f.keys,
                 f.shards,
+                f.writers,
                 f.delta,
                 f.analytic_threshold
                     .map_or("null".to_string(), |v| format!("{v:.8}")),
@@ -434,8 +453,19 @@ mod tests {
         // Cells sorted by (δ, fraction).
         for w in report.cells.windows(2) {
             assert!(
-                (w[0].keys, w[0].shards, w[0].delta, w[0].fraction.to_bits())
-                    < (w[1].keys, w[1].shards, w[1].delta, w[1].fraction.to_bits())
+                (
+                    w[0].keys,
+                    w[0].shards,
+                    w[0].writers,
+                    w[0].delta,
+                    w[0].fraction.to_bits()
+                ) < (
+                    w[1].keys,
+                    w[1].shards,
+                    w[1].writers,
+                    w[1].delta,
+                    w[1].fraction.to_bits()
+                )
             );
         }
     }
@@ -444,7 +474,7 @@ mod tests {
     fn json_is_schema_tagged_and_free_of_wall_clock() {
         let report = small_report();
         let json = report.json();
-        assert!(json.contains("\"schema\": \"dynareg-phase-diagram/2\""));
+        assert!(json.contains("\"schema\": \"dynareg-phase-diagram/3\""));
         assert!(json.contains("\"fleet_digest\""));
         assert!(
             !json.contains("secs"),
@@ -483,7 +513,7 @@ mod tests {
     #[test]
     fn frontier_row_logic_handles_all_shapes() {
         let mk = |delta, fraction, stuck| {
-            let mut cell = Cell::new(1, 1, delta, fraction);
+            let mut cell = Cell::new(1, 1, 1, delta, fraction);
             cell.absorb(&PointOutcome {
                 index: 0,
                 delta,
@@ -492,6 +522,7 @@ mod tests {
                 n: 10,
                 keys: 1,
                 shards: 1,
+                writers: 1,
                 seed: 0,
                 safety_violations: 0,
                 reads_checked: 1,
@@ -515,20 +546,20 @@ mod tests {
         // Feasible below 1, infeasible above: brackets.
         let a = mk(4, 0.8, 0);
         let b = mk(4, 1.2, 5);
-        let f = Frontier::from_row(1, 1, 4, Some(1.0 / 12.0), &[&a, &b]);
+        let f = Frontier::from_row(1, 1, 1, 4, Some(1.0 / 12.0), &[&a, &b]);
         assert!(f.monotone && f.brackets_bound);
         assert_eq!(f.last_feasible, Some(0.8));
         assert_eq!(f.first_infeasible, Some(1.2));
         // All feasible: no bracket (frontier not observed).
-        let f = Frontier::from_row(1, 1, 4, Some(1.0 / 12.0), &[&a]);
+        let f = Frontier::from_row(1, 1, 1, 4, Some(1.0 / 12.0), &[&a]);
         assert!(f.monotone && !f.brackets_bound);
         // Infeasible below the bound: monotone but no bracket.
         let c = mk(4, 0.5, 3);
-        let f = Frontier::from_row(1, 1, 4, Some(1.0 / 12.0), &[&c, &b]);
+        let f = Frontier::from_row(1, 1, 1, 4, Some(1.0 / 12.0), &[&c, &b]);
         assert!(!f.brackets_bound);
         // Non-monotone: feasible above an infeasible cell.
         let d = mk(4, 2.0, 0);
-        let f = Frontier::from_row(1, 1, 4, Some(1.0 / 12.0), &[&c, &d]);
+        let f = Frontier::from_row(1, 1, 1, 4, Some(1.0 / 12.0), &[&c, &d]);
         assert!(!f.monotone);
     }
 }

@@ -46,8 +46,9 @@ pub enum SweepDomain {
 ///
 /// Everything is plain data (`Send + Clone`); nothing here owns a model or
 /// a thread. Expansion order is fixed — `domain × populations × gsts ×
-/// keys × shards × seeds` with the rightmost axis fastest — so `run_index`,
-/// and therefore every per-run seed, is a pure function of the spec.
+/// keys × shards × writers × seeds` with the rightmost axis fastest — so
+/// `run_index`, and therefore every per-run seed, is a pure function of
+/// the spec.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Protocol variant every point runs.
@@ -68,6 +69,10 @@ pub struct SweepSpec {
     /// independent chances to starve a shard's join quorum, so this axis
     /// is how the phase diagram maps the Theorem 1 frontier against `G`.
     pub shards: Vec<u32>,
+    /// Writer roster sizes `W` to cross with the domain (`[1]` = the
+    /// paper's single-writer model; larger entries run `W` concurrent
+    /// writers with a per-key write cap of `W`).
+    pub writers: Vec<usize>,
     /// Zipf key-popularity exponent for keyed points (ignored at 1 key).
     pub zipf_exponent: f64,
     /// Independent seeded repetitions per parameter point.
@@ -113,6 +118,8 @@ pub struct RunPoint {
     /// Join-reply shard groups of this point, clamped to the key count —
     /// the `G` the run actually used (1 = legacy full replies).
     pub shards: u32,
+    /// Writer roster size of this point (1 = single-writer).
+    pub writers: usize,
     /// The derived per-run seed (`= run_seed(master_seed, index)`).
     pub seed: u64,
     /// The fully materialized scenario.
@@ -129,6 +136,7 @@ struct Coord {
     gst: u64,
     keys: u32,
     shards: u32,
+    writers: usize,
 }
 
 /// SplitMix64 finalizer: derives the seed of run `run_index` from the
@@ -170,6 +178,7 @@ impl SweepSpec {
             gsts: vec![0],
             keys: vec![1],
             shards: vec![1],
+            writers: vec![1],
             zipf_exponent: 1.0,
             seeds_per_point: 1,
             master_seed: 0x000B_A1D0,
@@ -197,6 +206,7 @@ impl SweepSpec {
             gsts: vec![gst],
             keys: vec![1],
             shards: vec![1],
+            writers: vec![1],
             zipf_exponent: 1.0,
             seeds_per_point: 2,
             master_seed: 0x000B_A1D0,
@@ -221,6 +231,7 @@ impl SweepSpec {
             * self.gsts.len() as u64
             * self.keys.len() as u64
             * self.shards.len() as u64
+            * self.writers.len() as u64
             * self.seeds_per_point.max(1)
     }
 
@@ -268,6 +279,7 @@ impl SweepSpec {
         assert!(!self.gsts.is_empty(), "gsts axis is empty");
         assert!(!self.keys.is_empty(), "keys axis is empty");
         assert!(!self.shards.is_empty(), "shards axis is empty");
+        assert!(!self.writers.is_empty(), "writers axis is empty");
         let coords = self.domain_coords();
         assert!(!coords.is_empty(), "(c, δ) domain is empty");
         let seeds = self.seeds_per_point.max(1);
@@ -276,7 +288,8 @@ impl SweepSpec {
                 * self.populations.len()
                 * self.gsts.len()
                 * self.keys.len()
-                * self.shards.len(),
+                * self.shards.len()
+                * self.writers.len(),
         );
         let mut index = 0u64;
         for &(delta, fraction) in &coords {
@@ -284,17 +297,20 @@ impl SweepSpec {
                 for &gst in &self.gsts {
                     for &keys in &self.keys {
                         for &shards in &self.shards {
-                            for _ in 0..seeds {
-                                let coord = Coord {
-                                    delta,
-                                    fraction,
-                                    n,
-                                    gst,
-                                    keys,
-                                    shards,
-                                };
-                                points.push(self.materialize(index, coord));
-                                index += 1;
+                            for &writers in &self.writers {
+                                for _ in 0..seeds {
+                                    let coord = Coord {
+                                        delta,
+                                        fraction,
+                                        n,
+                                        gst,
+                                        keys,
+                                        shards,
+                                        writers,
+                                    };
+                                    points.push(self.materialize(index, coord));
+                                    index += 1;
+                                }
                             }
                         }
                     }
@@ -313,6 +329,7 @@ impl SweepSpec {
             gst,
             keys,
             shards,
+            writers,
         } = coord;
         // Record the *effective* shard count (the scenario clamps groups
         // to the key count), so cells and frontiers are never labeled
@@ -341,6 +358,9 @@ impl SweepSpec {
         if shards > 1 {
             sc = sc.join_shards(shards);
         }
+        if writers > 1 {
+            sc = sc.writers(writers);
+        }
         let seed = run_seed(self.master_seed, index);
         sc = sc
             .leave_selector(self.selector)
@@ -362,6 +382,7 @@ impl SweepSpec {
             gst,
             keys,
             shards,
+            writers,
             seed,
             spec: sc.into_spec(),
         }
@@ -483,6 +504,26 @@ mod tests {
         assert_eq!(points[0].spec.shards, 1, "G=1 stays the legacy handshake");
         assert_eq!(points[1].spec.shards, 4);
         assert_eq!(points[1].spec.keys, 16);
+        // Seeds still derive purely from (master, index).
+        assert_eq!(points[1].seed, run_seed(spec.master_seed, 1));
+    }
+
+    #[test]
+    fn writers_axis_expands_and_materializes_multi_writer_scenarios() {
+        let spec = SweepSpec {
+            domain: SweepDomain::Grid {
+                deltas: vec![3],
+                fractions: vec![0.5],
+            },
+            writers: vec![1, 4],
+            ..SweepSpec::theorem1_default()
+        };
+        assert_eq!(spec.run_count(), 2);
+        let points = spec.points();
+        assert_eq!(points[0].writers, 1);
+        assert_eq!(points[1].writers, 4);
+        assert_eq!(points[0].spec.writers, 1, "W=1 stays the legacy drive");
+        assert_eq!(points[1].spec.writers, 4);
         // Seeds still derive purely from (master, index).
         assert_eq!(points[1].seed, run_seed(spec.master_seed, 1));
     }

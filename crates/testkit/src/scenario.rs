@@ -121,6 +121,8 @@ pub struct RunReport {
     /// Join-reply shard groups the run used (1 = the legacy full-reply
     /// handshake; always 1 for single-key runs).
     pub shards: u32,
+    /// Writer roster size the run used (1 = single-writer).
+    pub writers: usize,
     /// Verdicts and histories of keys `r1 …` (empty for 1-key runs; the
     /// anchor key `r0` lives in the top-level fields).
     pub extra_keys: Vec<KeyReport>,
@@ -242,9 +244,14 @@ impl RunReport {
     /// One-line summary for experiment logs. Keyed runs report space-wide
     /// aggregates plus the worst key.
     pub fn summary(&self) -> String {
+        let writers_tag = if self.writers > 1 {
+            format!(" writers={}", self.writers)
+        } else {
+            String::new()
+        };
         if self.keys == 1 {
             return format!(
-                "{} n={} δ={} c={:.5} seed={}: safety={} inversions={} liveness={} (reads={}, msgs={})",
+                "{} n={} δ={} c={:.5} seed={}{writers_tag}: safety={} inversions={} liveness={} (reads={}, msgs={})",
                 self.protocol,
                 self.n,
                 self.delta,
@@ -259,7 +266,7 @@ impl RunReport {
         }
         let (worst, violations, stuck) = self.worst_key();
         format!(
-            "{} n={} δ={} c={:.5} seed={} keys={} shards={}: safety={} inversions={} liveness={} \
+            "{} n={} δ={} c={:.5} seed={} keys={} shards={}{writers_tag}: safety={} inversions={} liveness={} \
              (reads={}, msgs={}, worst {worst}: violations={violations} stuck={stuck})",
             self.protocol,
             self.n,
@@ -326,6 +333,11 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Write period (`None` = default `3δ`).
     pub write_every: Option<Span>,
+    /// Extra margin by which **writes** stop before the general workload
+    /// stop (`None` = writes run to the stop like reads). A non-zero
+    /// margin leaves a write-quiescent read suffix — what the multi-writer
+    /// convergence checks observe. See [`Scenario::quiesce_writes`].
+    pub write_quiesce: Option<Span>,
     /// Expected reads per tick.
     pub reads_per_tick: f64,
     /// Whether churn may evict the designated writer.
@@ -348,6 +360,9 @@ pub struct ScenarioSpec {
     /// Join-reply shard groups `G` (clamped to `keys`; `1` = the legacy
     /// full-reply handshake). See [`Scenario::join_shards`].
     pub shards: u32,
+    /// Writer roster size and per-key concurrent-write cap (`1` = the
+    /// paper's single-writer model). See [`Scenario::writers`].
+    pub writers: usize,
 }
 
 impl ScenarioSpec {
@@ -415,7 +430,12 @@ impl ScenarioSpec {
                 .stopping_at(stop_at),
             )
         } else {
-            Box::new(RateWorkload::new(write_every, self.reads_per_tick).stopping_at(stop_at))
+            let mut load = RateWorkload::new(write_every, self.reads_per_tick).stopping_at(stop_at);
+            if let Some(margin) = self.write_quiesce {
+                let t = Time::at(stop_at.ticks().saturating_sub(margin.as_ticks()));
+                load = load.stopping_writes_at(t);
+            }
+            Box::new(load)
         }
     }
 
@@ -529,10 +549,15 @@ impl ScenarioSpec {
                 } else {
                     WriterPolicy::FixedProtected
                 },
+                writers: self.writers,
             },
         );
         if !self.writer_churns {
-            world.protect(NodeId::from_raw(0));
+            // The whole fixed roster is shielded, exactly as the single
+            // writer was.
+            for w in 0..self.writers as u64 {
+                world.protect(NodeId::from_raw(w));
+            }
         }
         if let Some(faults) = self.faults.clone() {
             world.set_faults(faults);
@@ -577,6 +602,7 @@ impl ScenarioSpec {
             trace,
             keys,
             shards,
+            writers: self.writers,
             extra_keys,
         }
     }
@@ -620,6 +646,7 @@ impl Scenario {
                 drain: None,
                 seed: 0,
                 write_every: None,
+                write_quiesce: None,
                 reads_per_tick: 1.0,
                 writer_churns: false,
                 migrating_writer: false,
@@ -629,6 +656,7 @@ impl Scenario {
                 keys: 1,
                 zipf_exponent: 1.0,
                 shards: 1,
+                writers: 1,
             },
         }
     }
@@ -750,6 +778,15 @@ impl Scenario {
         self
     }
 
+    /// Stops the stochastic writes `margin` before the general workload
+    /// stop, leaving reads running over a write-quiescent suffix (the
+    /// default keeps the legacy behaviour: writes and reads stop
+    /// together).
+    pub fn quiesce_writes(mut self, margin: Span) -> Scenario {
+        self.spec.write_quiesce = Some(margin);
+        self
+    }
+
     /// Write period (default `3δ`).
     pub fn write_every(mut self, period: Span) -> Scenario {
         self.spec.write_every = Some(period);
@@ -822,6 +859,23 @@ impl Scenario {
     pub fn join_shards(mut self, groups: u32) -> Scenario {
         assert!(groups > 0, "shard groups must be positive");
         self.spec.shards = groups;
+        self
+    }
+
+    /// Runs `count` concurrent writers: the roster is the first `count`
+    /// bootstrap members (or, with [`Scenario::migrating_writer`], the
+    /// `count` oldest active processes), and up to `count` writes may
+    /// race on one key while writes to other keys pipeline freely. `1`
+    /// (the default) is the paper's single-writer model.
+    ///
+    /// # Panics
+    /// Panics if `count` is zero or exceeds the system size.
+    pub fn writers(mut self, count: usize) -> Scenario {
+        assert!(
+            (1..=self.spec.n).contains(&count),
+            "writer roster must have between 1 and n members"
+        );
+        self.spec.writers = count;
         self
     }
 

@@ -1,9 +1,11 @@
 //! Client operation generators.
 //!
 //! The world asks the workload once per time unit which operations to
-//! invoke. Workloads see only *eligible* processes (active, no operation in
-//! flight) so they cannot violate the per-process sequentiality the paper
-//! assumes.
+//! invoke. Readers are drawn from the *idle* roster (active, no operation
+//! in flight on any key); writes go through the per-`(node, key)`
+//! [`WriteAccess`] query, so a workload can pipeline writes across
+//! independent keys and drive several concurrent writers against one key
+//! without ever violating per-`(node, key)` sequentiality.
 //!
 //! Every generated operation addresses a `(RegisterId, action)` pair
 //! ([`KeyedAction`]); the single-register workloads target the anchor key
@@ -49,20 +51,60 @@ impl From<OpAction> for KeyedAction {
     }
 }
 
+/// The write-side view the world exposes to a workload for one tick: the
+/// designated writer roster plus a per-`(node, key)` availability query.
+///
+/// `can_write(node, key)` is true when `node` is present, active, has no
+/// operation in flight *on that key*, and the key has spare writer
+/// occupancy (at most `writers` concurrent writes per key). This replaces
+/// the old global `writer_idle` flag, which serialized writes to
+/// independent keys against each other.
+pub struct WriteAccess<'a> {
+    writers: &'a [NodeId],
+    can_write: &'a dyn Fn(NodeId, RegisterId) -> bool,
+}
+
+impl<'a> WriteAccess<'a> {
+    /// A view over `writers` with the given availability query.
+    pub fn new(
+        writers: &'a [NodeId],
+        can_write: &'a dyn Fn(NodeId, RegisterId) -> bool,
+    ) -> WriteAccess<'a> {
+        WriteAccess { writers, can_write }
+    }
+
+    /// The designated writers this tick, in roster order.
+    pub fn writers(&self) -> &'a [NodeId] {
+        self.writers
+    }
+
+    /// Whether `node` may invoke a write on `key` right now.
+    pub fn can_write(&self, node: NodeId, key: RegisterId) -> bool {
+        (self.can_write)(node, key)
+    }
+}
+
+impl std::fmt::Debug for WriteAccess<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteAccess")
+            .field("writers", &self.writers)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Per-time-unit operation source.
 pub trait Workload: std::fmt::Debug {
     /// Operations to invoke at `now`. `idle_actives` are the processes that
-    /// may legally accept an invocation (active, idle), in id order;
-    /// `arrivals` lists every churn arrival so far in join order (for
-    /// scripted targets); `writer_idle` tells whether the designated writer
-    /// (`writer`) can accept a write and no other write is in flight.
+    /// may legally accept an invocation (active, idle on every key), in id
+    /// order; `arrivals` lists every churn arrival so far in join order
+    /// (for scripted targets); `access` carries the writer roster and the
+    /// per-`(node, key)` write-availability query.
     fn tick(
         &mut self,
         now: Time,
         idle_actives: &[NodeId],
         arrivals: &[NodeId],
-        writer: NodeId,
-        writer_idle: bool,
+        access: &WriteAccess<'_>,
         rng: &mut DetRng,
     ) -> Vec<(NodeId, KeyedAction)>;
 
@@ -115,9 +157,10 @@ impl ZipfKeys {
     }
 }
 
-/// Steady stochastic load: the designated writer writes a fresh value every
-/// `write_every` ticks; an average of `reads_per_tick` reads (Poisson) land
-/// on uniformly random idle active processes.
+/// Steady stochastic load: each designated writer writes a fresh value
+/// every `write_every` ticks (skipping writers whose key slot is busy); an
+/// average of `reads_per_tick` reads (Poisson) land on uniformly random
+/// idle active processes.
 ///
 /// Values are drawn from a monotone counter starting at 1, so every write
 /// is unique (as the history requires).
@@ -127,6 +170,7 @@ pub struct RateWorkload {
     reads_per_tick: f64,
     next_value: u64,
     stop_at: Time,
+    stop_writes_at: Time,
 }
 
 impl RateWorkload {
@@ -143,12 +187,21 @@ impl RateWorkload {
             reads_per_tick,
             next_value: 1,
             stop_at: Time::MAX,
+            stop_writes_at: Time::MAX,
         }
     }
 
     /// Stops issuing operations at `t` (the scenario's drain start).
     pub fn stopping_at(mut self, t: Time) -> RateWorkload {
         self.stop_at = t;
+        self
+    }
+
+    /// Stops issuing **writes** at `t` while reads continue to the general
+    /// stop — leaving a write-quiescent read suffix (how the multi-writer
+    /// convergence checks observe the settled `(sn, writer)`-max value).
+    pub fn stopping_writes_at(mut self, t: Time) -> RateWorkload {
+        self.stop_writes_at = t;
         self
     }
 }
@@ -191,20 +244,26 @@ impl Workload for RateWorkload {
         now: Time,
         idle_actives: &[NodeId],
         _arrivals: &[NodeId],
-        writer: NodeId,
-        writer_idle: bool,
+        access: &WriteAccess<'_>,
         rng: &mut DetRng,
     ) -> Vec<(NodeId, KeyedAction)> {
         if now >= self.stop_at {
             return Vec::new();
         }
         let mut ops = Vec::new();
-        // Writer fires on its period (tick 0 excluded: the initial value
-        // stands in for "write 0").
-        if writer_idle && now.ticks() > 0 && now.ticks().is_multiple_of(self.write_every.as_ticks())
+        // Writers fire on the period (tick 0 excluded: the initial value
+        // stands in for "write 0"); a writer whose anchor-key slot is busy
+        // skips the beat without burning a value.
+        if now.ticks() > 0
+            && now < self.stop_writes_at
+            && now.ticks().is_multiple_of(self.write_every.as_ticks())
         {
-            ops.push((writer, OpAction::Write(self.next_value).into()));
-            self.next_value += 1;
+            for &writer in access.writers() {
+                if access.can_write(writer, RegisterId::ZERO) {
+                    ops.push((writer, OpAction::Write(self.next_value).into()));
+                    self.next_value += 1;
+                }
+            }
         }
         // Readers: Poisson number of reads over distinct idle actives.
         // Sampling is O(count), not O(population): a full Fisher–Yates
@@ -213,7 +272,7 @@ impl Workload for RateWorkload {
         if !idle_actives.is_empty() && self.reads_per_tick > 0.0 {
             let count = (rng.poisson(self.reads_per_tick) as usize).min(idle_actives.len());
             for node in sample_distinct(idle_actives, count, rng) {
-                if node != writer || !ops.iter().any(|(n, _)| *n == node) {
+                if !ops.iter().any(|(n, _)| *n == node) {
                     ops.push((node, OpAction::Read.into()));
                 }
             }
@@ -272,24 +331,32 @@ impl Workload for ZipfWorkload {
         now: Time,
         idle_actives: &[NodeId],
         _arrivals: &[NodeId],
-        writer: NodeId,
-        writer_idle: bool,
+        access: &WriteAccess<'_>,
         rng: &mut DetRng,
     ) -> Vec<(NodeId, KeyedAction)> {
         if now >= self.stop_at {
             return Vec::new();
         }
         let mut ops = Vec::new();
-        if writer_idle && now.ticks() > 0 && now.ticks().is_multiple_of(self.write_every.as_ticks())
-        {
-            let key = self.keys.sample(rng);
-            ops.push((writer, OpAction::Write(self.next_value).on_key(key)));
-            self.next_value += 1;
+        if now.ticks() > 0 && now.ticks().is_multiple_of(self.write_every.as_ticks()) {
+            // One Zipf draw per writer per beat: a writer blocked on the
+            // drawn key (its own in-flight write there, or the key at
+            // writer capacity) skips the beat — writes to *other* keys
+            // keep flowing, which is exactly the pipelining the per-key
+            // query buys. The value counter only advances on issued
+            // writes.
+            for &writer in access.writers() {
+                let key = self.keys.sample(rng);
+                if access.can_write(writer, key) {
+                    ops.push((writer, OpAction::Write(self.next_value).on_key(key)));
+                    self.next_value += 1;
+                }
+            }
         }
         if !idle_actives.is_empty() && self.reads_per_tick > 0.0 {
             let count = (rng.poisson(self.reads_per_tick) as usize).min(idle_actives.len());
             for node in sample_distinct(idle_actives, count, rng) {
-                if node != writer || !ops.iter().any(|(n, _)| *n == node) {
+                if !ops.iter().any(|(n, _)| *n == node) {
                     let key = self.keys.sample(rng);
                     ops.push((node, OpAction::Read.on_key(key)));
                 }
@@ -377,8 +444,7 @@ impl Workload for ScriptedWorkload {
         now: Time,
         _idle_actives: &[NodeId],
         arrivals: &[NodeId],
-        _writer: NodeId,
-        _writer_idle: bool,
+        _access: &WriteAccess<'_>,
         _rng: &mut DetRng,
     ) -> Vec<(NodeId, KeyedAction)> {
         self.take_due(now, |t| match t {
@@ -396,14 +462,21 @@ mod tests {
         NodeId::from_raw(i)
     }
 
+    /// `can_write` always true / always false, as plain fn pointers so the
+    /// tests can borrow them as `&dyn Fn`.
+    const OPEN: fn(NodeId, RegisterId) -> bool = |_, _| true;
+    const SHUT: fn(NodeId, RegisterId) -> bool = |_, _| false;
+
     #[test]
     fn rate_workload_writes_on_period_with_unique_values() {
         let mut w = RateWorkload::new(Span::ticks(5), 0.0);
         let mut rng = DetRng::seed(1);
         let idle = vec![n(0), n(1)];
+        let writers = [n(0)];
+        let open = WriteAccess::new(&writers, &OPEN);
         let mut values = Vec::new();
         for t in 0..20 {
-            for (node, op) in w.tick(Time::at(t), &idle, &[], n(0), true, &mut rng) {
+            for (node, op) in w.tick(Time::at(t), &idle, &[], &open, &mut rng) {
                 assert_eq!(node, n(0));
                 assert_eq!(
                     op.key,
@@ -422,12 +495,30 @@ mod tests {
     fn rate_workload_respects_writer_busy() {
         let mut w = RateWorkload::new(Span::ticks(5), 0.0);
         let mut rng = DetRng::seed(1);
-        assert!(w
-            .tick(Time::at(5), &[], &[], n(0), false, &mut rng)
-            .is_empty());
+        let writers = [n(0)];
+        let shut = WriteAccess::new(&writers, &SHUT);
+        let open = WriteAccess::new(&writers, &OPEN);
+        assert!(w.tick(Time::at(5), &[], &[], &shut, &mut rng).is_empty());
         // The skipped value is not burned: next write uses value 1.
-        let ops = w.tick(Time::at(10), &[], &[], n(0), true, &mut rng);
+        let ops = w.tick(Time::at(10), &[], &[], &open, &mut rng);
         assert_eq!(ops, vec![(n(0), OpAction::Write(1).into())]);
+    }
+
+    #[test]
+    fn rate_workload_drives_every_writer_in_the_roster() {
+        let mut w = RateWorkload::new(Span::ticks(5), 0.0);
+        let mut rng = DetRng::seed(1);
+        let writers = [n(0), n(3)];
+        let open = WriteAccess::new(&writers, &OPEN);
+        let ops = w.tick(Time::at(5), &[], &[], &open, &mut rng);
+        assert_eq!(
+            ops,
+            vec![
+                (n(0), OpAction::Write(1).into()),
+                (n(3), OpAction::Write(2).into()),
+            ],
+            "each roster writer gets its own unique value on the beat"
+        );
     }
 
     #[test]
@@ -435,8 +526,10 @@ mod tests {
         let mut w = RateWorkload::new(Span::ticks(1000), 2.0);
         let mut rng = DetRng::seed(2);
         let idle: Vec<NodeId> = (0..50).map(n).collect();
+        let writers = [n(0)];
+        let shut = WriteAccess::new(&writers, &SHUT);
         let total: usize = (1..500)
-            .map(|t| w.tick(Time::at(t), &idle, &[], n(0), false, &mut rng).len())
+            .map(|t| w.tick(Time::at(t), &idle, &[], &shut, &mut rng).len())
             .sum();
         let mean = total as f64 / 499.0;
         assert!((mean - 2.0).abs() < 0.3, "mean reads/tick = {mean}");
@@ -447,15 +540,11 @@ mod tests {
         let mut w = RateWorkload::new(Span::ticks(2), 5.0).stopping_at(Time::at(10));
         let mut rng = DetRng::seed(3);
         let idle = vec![n(1)];
-        assert!(!w
-            .tick(Time::at(8), &idle, &[], n(0), true, &mut rng)
-            .is_empty());
-        assert!(w
-            .tick(Time::at(10), &idle, &[], n(0), true, &mut rng)
-            .is_empty());
-        assert!(w
-            .tick(Time::at(12), &idle, &[], n(0), true, &mut rng)
-            .is_empty());
+        let writers = [n(0)];
+        let open = WriteAccess::new(&writers, &OPEN);
+        assert!(!w.tick(Time::at(8), &idle, &[], &open, &mut rng).is_empty());
+        assert!(w.tick(Time::at(10), &idle, &[], &open, &mut rng).is_empty());
+        assert!(w.tick(Time::at(12), &idle, &[], &open, &mut rng).is_empty());
     }
 
     #[test]
@@ -464,14 +553,12 @@ mod tests {
             .at(Time::at(3), n(1), OpAction::Read)
             .at(Time::at(3), n(2), OpAction::Write(9));
         let mut rng = DetRng::seed(4);
-        assert!(w
-            .tick(Time::at(2), &[], &[], n(0), true, &mut rng)
-            .is_empty());
-        let due = w.tick(Time::at(3), &[], &[], n(0), true, &mut rng);
+        let writers = [n(0)];
+        let open = WriteAccess::new(&writers, &OPEN);
+        assert!(w.tick(Time::at(2), &[], &[], &open, &mut rng).is_empty());
+        let due = w.tick(Time::at(3), &[], &[], &open, &mut rng);
         assert_eq!(due.len(), 2);
-        assert!(w
-            .tick(Time::at(3), &[], &[], n(0), true, &mut rng)
-            .is_empty());
+        assert!(w.tick(Time::at(3), &[], &[], &open, &mut rng).is_empty());
     }
 
     #[test]
@@ -516,10 +603,12 @@ mod tests {
         let mut w = ZipfWorkload::new(ZipfKeys::new(8, 1.0), Span::ticks(2), 3.0);
         let mut rng = DetRng::seed(3);
         let idle: Vec<NodeId> = (0..20).map(n).collect();
+        let writers = [n(0)];
+        let open = WriteAccess::new(&writers, &OPEN);
         let mut keys_seen = std::collections::HashSet::new();
         let mut values = Vec::new();
         for t in 1..200 {
-            for (_, op) in w.tick(Time::at(t), &idle, &[], n(0), true, &mut rng) {
+            for (_, op) in w.tick(Time::at(t), &idle, &[], &open, &mut rng) {
                 keys_seen.insert(op.key);
                 if let OpAction::Write(v) = op.action {
                     values.push(v);
@@ -543,10 +632,39 @@ mod tests {
             OpAction::Read.on_key(RegisterId::from_raw(5)),
         );
         let mut rng = DetRng::seed(1);
-        let due = w.tick(Time::at(2), &[], &[], n(0), true, &mut rng);
+        let writers = [n(0)];
+        let open = WriteAccess::new(&writers, &OPEN);
+        let due = w.tick(Time::at(2), &[], &[], &open, &mut rng);
         assert_eq!(
             due,
             vec![(n(1), OpAction::Read.on_key(RegisterId::from_raw(5)))]
         );
+    }
+
+    #[test]
+    fn zipf_workload_pipelines_writes_across_keys_when_one_key_is_busy() {
+        // A writer blocked on one key keeps writing other keys: per-key
+        // gating must not collapse back into a global writer-idle gate.
+        let mut w = ZipfWorkload::new(ZipfKeys::new(8, 1.0), Span::ticks(1), 0.0);
+        let mut rng = DetRng::seed(9);
+        let writers = [n(0)];
+        let hot = RegisterId::ZERO;
+        let only_cold: fn(NodeId, RegisterId) -> bool = |_, k| k != RegisterId::ZERO;
+        let access = WriteAccess::new(&writers, &only_cold);
+        let mut wrote_keys = std::collections::HashSet::new();
+        let mut values = Vec::new();
+        for t in 1..300 {
+            for (_, op) in w.tick(Time::at(t), &[], &[], &access, &mut rng) {
+                if let OpAction::Write(v) = op.action {
+                    wrote_keys.insert(op.key);
+                    values.push(v);
+                }
+            }
+        }
+        assert!(!wrote_keys.contains(&hot), "blocked key never written");
+        assert!(wrote_keys.len() > 2, "writes pipeline onto other keys");
+        // Values stay dense: skipped beats do not burn value numbers.
+        let expect: Vec<u64> = (1..=values.len() as u64).collect();
+        assert_eq!(values, expect);
     }
 }

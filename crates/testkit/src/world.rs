@@ -73,6 +73,10 @@ pub struct WorldConfig {
     pub trace: bool,
     /// Who issues writes.
     pub writer_policy: WriterPolicy,
+    /// Writer roster size, and per-key concurrent-write cap: up to this
+    /// many writes may race on one key while writes to *other* keys
+    /// pipeline freely. `1` is the paper's single-writer model.
+    pub writers: usize,
 }
 
 impl std::fmt::Debug for WorldConfig {
@@ -82,6 +86,7 @@ impl std::fmt::Debug for WorldConfig {
             .field("initial", &self.initial)
             .field("seed", &self.seed)
             .field("trace", &self.trace)
+            .field("writers", &self.writers)
             .finish_non_exhaustive()
     }
 }
@@ -137,13 +142,47 @@ pub enum WriterPolicy {
     OldestActive,
 }
 
-/// What a process is currently executing (at most one client op each —
-/// per-process sequentiality, stricter than per-key). Op ids are unique
-/// *per key*, so eligibility and completion carry the key alongside.
+/// What a process is currently executing on one key (per-`(node, key)`
+/// sequentiality: at most one client op per key per process). Op ids are
+/// unique *per key*, so the key lives in the [`BusyMap`] entry alongside.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Busy {
-    Read(RegisterId, OpId),
-    Write(RegisterId, OpId),
+    Read(OpId),
+    Write(OpId),
+}
+
+/// The client ops one process has in flight, keyed by register — a small
+/// linear-scan vec (a node rarely runs more than a handful of keys at
+/// once, and most run zero or one).
+#[derive(Debug, Default)]
+struct BusyMap(Vec<(RegisterId, Busy)>);
+
+impl BusyMap {
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn contains(&self, key: RegisterId) -> bool {
+        self.0.iter().any(|&(k, _)| k == key)
+    }
+
+    fn insert(&mut self, key: RegisterId, busy: Busy) {
+        debug_assert!(!self.contains(key), "one op per (node, key)");
+        self.0.push((key, busy));
+    }
+
+    fn remove(&mut self, key: RegisterId) -> Option<Busy> {
+        let i = self.0.iter().position(|&(k, _)| k == key)?;
+        Some(self.0.swap_remove(i).1)
+    }
+
+    /// The in-flight writes, as `(key, op)` pairs.
+    fn writes(&self) -> impl Iterator<Item = (RegisterId, OpId)> + '_ {
+        self.0.iter().filter_map(|&(k, b)| match b {
+            Busy::Write(op) => Some((k, op)),
+            Busy::Read(_) => None,
+        })
+    }
 }
 
 /// One live process in the slab.
@@ -156,8 +195,8 @@ struct Slot<P> {
     /// Per-key join ops of a process still joining (a joiner joins every
     /// register of the space at once), in key order.
     joining: Option<Vec<OpId>>,
-    /// Client op in flight, if any.
-    busy: Option<Busy>,
+    /// Client ops in flight, keyed by register.
+    busy: BusyMap,
 }
 
 /// Multiply-xor hasher for `NodeId`-keyed maps: node ids are small
@@ -228,22 +267,30 @@ pub struct World<F: SpaceFactory> {
     effects_buf: Vec<SpaceEffect<<F::Proc as RegisterSpaceProcess>::Msg, Val>>,
     rng_workload: DetRng,
     rng_churn: DetRng,
-    /// Active processes with no operation in flight, in id order —
-    /// maintained incrementally so the per-tick workload never rescans the
-    /// population.
+    /// Active processes with no operation in flight on *any* key, in id
+    /// order — maintained incrementally so the per-tick workload never
+    /// rescans the population.
     idle_active: Vec<NodeId>,
-    /// The single in-flight write, if any (writes are serialized across
-    /// the whole space — the paper's one-writer reading), with its key.
-    write_in_flight: Option<(RegisterId, OpId)>,
-    /// The designated writer (under `FixedProtected`).
+    /// In-flight write count per key (index = raw key id), each capped at
+    /// `writer_cap` — per-key writer occupancy instead of the old
+    /// space-global single write slot, so writes to independent keys
+    /// pipeline and up to `writers` writes may race on one key.
+    key_writes: Vec<u32>,
+    /// Maximum concurrent writes per key ([`WorldConfig::writers`]).
+    writer_cap: u32,
+    /// The first bootstrap member: anchor of the `FixedProtected` roster
+    /// and the `OldestActive` fallback when nothing is active.
     writer: NodeId,
     writer_policy: WriterPolicy,
     /// Churn arrivals in join order (for scripted workload targets).
     arrivals: Vec<NodeId>,
-    /// Writer shielded from eviction only while its write is in flight —
-    /// the paper's liveness caveat ("invokes write and does not leave the
-    /// system for at least δ", Lemma 1; analogous assumption in Lemma 7).
-    temp_write_protection: Option<NodeId>,
+    /// Writers shielded from eviction only while a write of theirs is in
+    /// flight — the paper's liveness caveat ("invokes write and does not
+    /// leave the system for at least δ", Lemma 1; analogous assumption in
+    /// Lemma 7). Refcounted per in-flight write; an entry drops (and the
+    /// shield lifts) when the node's last write completes or the node
+    /// departs.
+    temp_write_protection: Vec<(NodeId, u32)>,
     /// Figure-exact membership script: joins at given instants.
     scripted_joins: Vec<Time>,
     /// Figure-exact membership script: named departures.
@@ -261,6 +308,10 @@ where
     /// churn/workload tick.
     pub fn new(factory: F, config: WorldConfig) -> World<F> {
         assert!(config.n > 0, "population must be positive");
+        assert!(
+            (1..=config.n).contains(&config.writers),
+            "writer roster must have between 1 and n members"
+        );
         let keys = factory.key_count();
         let mut seed_rng = DetRng::seed(config.seed);
         let rng_net = seed_rng.fork(1);
@@ -283,7 +334,7 @@ where
                 proc_: factory.space_bootstrap(id, config.initial),
                 active: true,
                 joining: None,
-                busy: None,
+                busy: BusyMap::default(),
             }));
             idle_active.push(id);
         }
@@ -315,11 +366,12 @@ where
             rng_workload,
             rng_churn,
             idle_active,
-            write_in_flight: None,
+            key_writes: vec![0; keys as usize],
+            writer_cap: config.writers as u32,
             writer: NodeId::from_raw(0),
             writer_policy: config.writer_policy,
             arrivals: Vec::new(),
-            temp_write_protection: None,
+            temp_write_protection: Vec::new(),
             scripted_joins: Vec::new(),
             scripted_leaves: Vec::new(),
             now: Time::ZERO,
@@ -346,18 +398,43 @@ where
         self.network.set_faults(faults);
     }
 
-    /// The process that would issue the next write under the configured
-    /// [`WriterPolicy`].
-    pub fn writer(&self) -> NodeId {
+    /// The processes that issue writes this tick under the configured
+    /// [`WriterPolicy`], in roster order: the first `writers` bootstrap
+    /// ids under `FixedProtected`, or the `writers` oldest active
+    /// processes under `OldestActive` (fewer while the active set is
+    /// smaller; the bootstrap anchor when nothing is active, so the
+    /// roster is never empty).
+    pub fn writer_roster(&self) -> Vec<NodeId> {
         match self.writer_policy {
-            WriterPolicy::FixedProtected => self.writer,
-            WriterPolicy::OldestActive => self
-                .presence
-                .active_nodes()
-                .into_iter()
-                .min_by_key(|&id| (self.presence.record(id).expect("active").entered_at, id))
-                .unwrap_or(self.writer),
+            WriterPolicy::FixedProtected => (0..u64::from(self.writer_cap))
+                .map(NodeId::from_raw)
+                .collect(),
+            WriterPolicy::OldestActive => {
+                let mut active: Vec<(Time, NodeId)> = self
+                    .presence
+                    .active_nodes()
+                    .into_iter()
+                    .map(|id| (self.presence.record(id).expect("active").entered_at, id))
+                    .collect();
+                active.sort_unstable();
+                let roster: Vec<NodeId> = active
+                    .into_iter()
+                    .take(self.writer_cap as usize)
+                    .map(|(_, id)| id)
+                    .collect();
+                if roster.is_empty() {
+                    vec![self.writer]
+                } else {
+                    roster
+                }
+            }
         }
+    }
+
+    /// The first roster writer — *the* designated writer of one-writer
+    /// configurations (multi-writer callers use [`World::writer_roster`]).
+    pub fn writer(&self) -> NodeId {
+        self.writer_roster()[0]
     }
 
     /// Current simulated time.
@@ -571,15 +648,26 @@ where
             .expect("interned slot is occupied");
         debug_assert_eq!(slot.node, victim);
         self.free_slots.push(slot_idx);
-        if slot.active && slot.busy.is_none() {
+        if slot.active && slot.busy.is_empty() {
             self.idle_remove(victim);
         }
-        // A departing writer abandons its in-flight write; the next
-        // write may start (its pending op stays incomplete-but-excused).
-        if let Some(Busy::Write(key, op)) = slot.busy {
-            if self.write_in_flight == Some((key, op)) {
-                self.write_in_flight = None;
-            }
+        // A departing writer abandons *every* write it has in flight:
+        // each one frees its key's writer slot (the pending ops stay
+        // incomplete-but-excused), so no departure can leave a key's
+        // occupancy wedged. Any write-completion shield goes with it —
+        // the protection set must never retain a departed id.
+        for (key, _op) in slot.busy.writes() {
+            let kw = &mut self.key_writes[key.as_raw() as usize];
+            debug_assert!(*kw > 0, "an in-flight write occupies its key slot");
+            *kw -= 1;
+        }
+        if let Some(i) = self
+            .temp_write_protection
+            .iter()
+            .position(|&(n, _)| n == victim)
+        {
+            self.temp_write_protection.remove(i);
+            self.churn.unprotect(victim);
         }
         self.trace
             .record(self.now, TraceEvent::Leave { node: victim });
@@ -611,7 +699,7 @@ where
             proc_,
             active: false,
             joining: Some(join_ops),
-            busy: None,
+            busy: BusyMap::default(),
         };
         let slot_idx = match self.free_slots.pop() {
             Some(i) => {
@@ -634,26 +722,55 @@ where
     }
 
     fn apply_workload(&mut self) {
-        let writer = self.writer();
-        let writer_idle =
-            self.write_in_flight.is_none() && self.idle_active.binary_search(&writer).is_ok();
+        let roster = self.writer_roster();
+        // Disjoint field borrows: the availability query reads the slab
+        // and occupancy while the workload itself is borrowed mutably.
+        let slots = &self.slots;
+        let slot_of = &self.slot_of;
+        let key_writes = &self.key_writes;
+        let cap = self.writer_cap;
+        // Denied availability queries are the workload-level contention
+        // signal (`workload.write_gated`): the workload declines to emit
+        // the write, so `ops.skipped_busy` never sees it. Metrics are
+        // outside the event-stream digest, so counting here is free.
+        let gated = std::cell::Cell::new(0u64);
+        let can_write = |node: NodeId, key: RegisterId| -> bool {
+            let free = key_writes
+                .get(key.as_raw() as usize)
+                .is_some_and(|&w| w < cap)
+                && slot_of.get(&node).is_some_and(|&i| {
+                    let s = slots[i as usize].as_ref().expect("interned slot");
+                    s.active && !s.busy.contains(key)
+                });
+            if !free {
+                gated.set(gated.get() + 1);
+            }
+            free
+        };
+        let access = crate::workload::WriteAccess::new(&roster, &can_write);
         let ops = self.workload.tick(
             self.now,
             &self.idle_active,
             &self.arrivals,
-            writer,
-            writer_idle,
+            &access,
             &mut self.rng_workload,
         );
+        let denied = gated.get();
+        if denied > 0 {
+            self.metrics.add("workload.write_gated", denied);
+        }
         for (node, action) in ops {
             self.invoke(node, action);
         }
     }
 
-    /// Invokes a client operation on a `(register, action)` address,
-    /// skipping (and counting) requests that target busy or non-active
-    /// processes. A bare [`OpAction`] addresses the anchor key `r0`, so
-    /// single-register call sites read unchanged.
+    /// Invokes a client operation on a `(register, action)` address. Every
+    /// request that cannot start is counted, never silently dropped:
+    /// absent or still-joining targets under `workload.skipped`, requests
+    /// colliding with an op already in flight on the same `(node, key)` —
+    /// or a write finding the key at writer capacity — under
+    /// `ops.skipped_busy`. A bare [`OpAction`] addresses the anchor key
+    /// `r0`, so single-register call sites read unchanged.
     ///
     /// # Panics
     /// Panics if the addressed key is outside the world's key space.
@@ -664,18 +781,27 @@ where
             "{key} is outside this world's {}-key space",
             self.keys
         );
-        let eligible = self.slot_of.get(&node).copied().filter(|&i| {
-            let s = self.slots[i as usize].as_ref().expect("interned slot");
-            s.active && s.busy.is_none()
-        });
-        let Some(slot_idx) = eligible else {
+        let Some(&slot_idx) = self.slot_of.get(&node) else {
             self.metrics.incr("workload.skipped");
             return;
         };
+        {
+            let s = self.slots[slot_idx as usize]
+                .as_ref()
+                .expect("interned slot");
+            if !s.active {
+                self.metrics.incr("workload.skipped");
+                return;
+            }
+            if s.busy.contains(key) {
+                self.metrics.incr("ops.skipped_busy");
+                return;
+            }
+        }
         match action {
             OpAction::Read => {
                 let op = self.histories.key_mut(key).invoke_read(node, self.now);
-                self.set_busy(node, slot_idx, Busy::Read(key, op));
+                self.set_busy(node, slot_idx, key, Busy::Read(op));
                 self.trace.record(
                     self.now,
                     TraceEvent::Invoke {
@@ -693,21 +819,30 @@ where
                 self.apply_effects(node, slot_idx, &mut effects);
             }
             OpAction::Write(value) => {
-                if self.write_in_flight.is_some() {
-                    self.metrics.incr("workload.skipped");
+                let kw = &mut self.key_writes[key.as_raw() as usize];
+                if *kw >= self.writer_cap {
+                    self.metrics.incr("ops.skipped_busy");
                     return;
                 }
+                *kw += 1;
                 let op = self
                     .histories
                     .key_mut(key)
                     .invoke_write(node, self.now, Some(value));
-                self.set_busy(node, slot_idx, Busy::Write(key, op));
-                self.write_in_flight = Some((key, op));
+                self.set_busy(node, slot_idx, key, Busy::Write(op));
                 // The paper's liveness statements assume a writer stays
-                // until its write returns; shield it for exactly that long.
-                if !self.churn.protected().contains(&node) {
+                // until its write returns; shield it for exactly that long
+                // (refcounted — a writer pipelining across keys stays
+                // shielded until its *last* write returns).
+                if let Some(e) = self
+                    .temp_write_protection
+                    .iter_mut()
+                    .find(|&&mut (n, _)| n == node)
+                {
+                    e.1 += 1;
+                } else if !self.churn.protected().contains(&node) {
                     self.churn.protect(node);
-                    self.temp_write_protection = Some(node);
+                    self.temp_write_protection.push((node, 1));
                 }
                 self.trace.record(
                     self.now,
@@ -728,12 +863,31 @@ where
         }
     }
 
-    fn set_busy(&mut self, node: NodeId, slot_idx: u32, busy: Busy) {
-        self.slots[slot_idx as usize]
+    fn set_busy(&mut self, node: NodeId, slot_idx: u32, key: RegisterId, busy: Busy) {
+        let s = self.slots[slot_idx as usize]
             .as_mut()
-            .expect("interned slot")
-            .busy = Some(busy);
-        self.idle_remove(node);
+            .expect("interned slot");
+        let was_idle = s.busy.is_empty();
+        s.busy.insert(key, busy);
+        if was_idle {
+            self.idle_remove(node);
+        }
+    }
+
+    /// Drops one unit of the write-completion shield on `node`,
+    /// unprotecting it once its last in-flight write has returned.
+    fn release_write_protection(&mut self, node: NodeId) {
+        if let Some(i) = self
+            .temp_write_protection
+            .iter()
+            .position(|&(n, _)| n == node)
+        {
+            self.temp_write_protection[i].1 -= 1;
+            if self.temp_write_protection[i].1 == 0 {
+                self.temp_write_protection.remove(i);
+                self.churn.unprotect(node);
+            }
+        }
     }
 
     fn apply_effects(
@@ -875,21 +1029,21 @@ where
                                 self.metrics
                                     .sample_keyed("latency.write", key.as_raw(), latency);
                             }
-                            if self.write_in_flight == Some((key, op)) {
-                                self.write_in_flight = None;
-                            }
-                            if self.temp_write_protection == Some(node) {
-                                self.churn.unprotect(node);
-                                self.temp_write_protection = None;
-                            }
                         }
                     }
                     let s = self.slots[slot_idx as usize]
                         .as_mut()
                         .expect("effects target a live slot");
-                    s.busy = None;
-                    if s.active {
+                    let freed = s.busy.remove(key);
+                    if s.active && s.busy.is_empty() {
                         self.idle_insert(node);
+                    }
+                    if let Some(Busy::Write(started)) = freed {
+                        debug_assert_eq!(started, op, "a key completes the op it runs");
+                        let kw = &mut self.key_writes[key.as_raw() as usize];
+                        debug_assert!(*kw > 0, "an in-flight write occupies its key slot");
+                        *kw -= 1;
+                        self.release_write_protection(node);
                     }
                     self.trace
                         .record(self.now, TraceEvent::Complete { node, op });
@@ -1047,6 +1201,7 @@ mod tests {
                 seed,
                 trace: false,
                 writer_policy: WriterPolicy::FixedProtected,
+                writers: 1,
             },
         );
         world.protect(NodeId::from_raw(0)); // the writer
@@ -1120,7 +1275,7 @@ mod tests {
             .into_iter()
             .filter(|id| {
                 let idx = w.slot_of[id] as usize;
-                w.slots[idx].as_ref().unwrap().busy.is_none()
+                w.slots[idx].as_ref().unwrap().busy.is_empty()
             })
             .collect();
         expect.sort_unstable();
@@ -1156,6 +1311,7 @@ mod tests {
                 seed,
                 trace: false,
                 writer_policy: WriterPolicy::FixedProtected,
+                writers: 1,
             },
         );
         world.protect(NodeId::from_raw(0));
@@ -1194,6 +1350,7 @@ mod tests {
                 seed: 9,
                 trace: true,
                 writer_policy: WriterPolicy::FixedProtected,
+                writers: 1,
             },
         );
         w.run_until(Time::at(30));
@@ -1202,15 +1359,143 @@ mod tests {
     }
 
     #[test]
-    fn workload_skips_are_counted_not_fatal() {
+    fn invoke_on_busy_target_is_counted_skipped_busy() {
         let mut w = sync_world(5, 3, 0.0, 11);
-        // Manually invoke on a busy node.
-        w.run_until(Time::at(9)); // writer has written at t=9 (period 9)
+        w.run_until(Time::at(2)); // before the first workload write (t=9)
+        w.invoke(NodeId::from_raw(1), OpAction::Write(100));
+        // Same (node, key) while the write is in flight (sync writes hold
+        // the key for δ): busy, counted, not dropped.
         w.invoke(NodeId::from_raw(1), OpAction::Read);
-        w.invoke(NodeId::from_raw(1), OpAction::Read); // busy → hmm, sync reads complete instantly
-                                                       // Sync reads complete synchronously so the second is legal; this
-                                                       // exercises the counter plumbing rather than a specific count.
-        let _skipped = w.metrics().counter("workload.skipped");
+        // Different node, same key: the key is at writer capacity (1).
+        w.invoke(NodeId::from_raw(2), OpAction::Write(101));
+        assert_eq!(w.metrics().counter("ops.skipped_busy"), 2);
+        assert_eq!(
+            w.metrics().counter("workload.skipped"),
+            0,
+            "busy skips are not conflated with absent/inactive skips"
+        );
+        w.run_until(Time::at(30));
+        assert!(w.metrics().counter("ops.write_completed") >= 1);
+    }
+
+    #[test]
+    fn departing_writer_frees_its_key_slot_and_shield() {
+        use crate::workload::ScriptedWorkload;
+        let leaver = NodeId::from_raw(1);
+        let script = ScriptedWorkload::new()
+            // In flight t=2..5; the leave at t=3 abandons it mid-write.
+            .at(Time::at(2), leaver, OpAction::Write(100))
+            // A later writer must find the key slot free again.
+            .at(Time::at(10), NodeId::from_raw(2), OpAction::Write(101));
+        let mut w = World::new(
+            SyncFactory::new(SyncConfig::new(Span::ticks(3))),
+            WorldConfig {
+                n: 5,
+                initial: 0,
+                delay: Box::new(Synchronous::new(Span::ticks(3))),
+                churn: ChurnDriver::new(
+                    Box::new(NoChurn),
+                    LeaveSelector::Random,
+                    IdSource::starting_at(5),
+                ),
+                workload: Box::new(script),
+                seed: 17,
+                trace: false,
+                writer_policy: WriterPolicy::FixedProtected,
+                writers: 1,
+            },
+        );
+        w.schedule_leave(Time::at(3), leaver);
+        w.run_until(Time::at(40));
+        // The abandoned write freed the key's writer slot and the
+        // write-completion shield — the t=10 write went through.
+        assert_eq!(w.key_writes[0], 0);
+        assert!(!w.churn.protected().contains(&leaver));
+        assert!(w.temp_write_protection.is_empty());
+        assert_eq!(w.metrics().counter("ops.skipped_busy"), 0);
+        assert_eq!(w.metrics().counter("ops.write_completed"), 1);
+        let abandoned = w
+            .history()
+            .writes()
+            .find(|rec| rec.node == leaver)
+            .expect("the abandoned write was invoked");
+        assert!(abandoned.completed_at.is_none());
+    }
+
+    #[test]
+    fn churned_migrating_writers_never_wedge_key_occupancy() {
+        // Unprotected migrating writers under sustained churn: every
+        // departure path (random eviction and the scripted leave above)
+        // must free per-key write slots, or writes stop for good.
+        let mut w = World::new(
+            SyncFactory::new(SyncConfig::new(Span::ticks(3))),
+            WorldConfig {
+                n: 20,
+                initial: 0,
+                delay: Box::new(Synchronous::new(Span::ticks(3))),
+                churn: ChurnDriver::new(
+                    Box::new(ConstantRate::new(0.03)),
+                    LeaveSelector::Random,
+                    IdSource::starting_at(20),
+                ),
+                workload: Box::new(
+                    RateWorkload::new(Span::ticks(6), 0.5).stopping_at(Time::at(300)),
+                ),
+                seed: 23,
+                trace: false,
+                writer_policy: WriterPolicy::OldestActive,
+                writers: 2,
+            },
+        );
+        w.run_until(Time::at(400));
+        assert!(w.presence().total_arrivals() > 40, "churn actually ran");
+        let writes = w.metrics().counter("ops.write_completed");
+        assert!(
+            writes > 40,
+            "writes keep flowing across evictions ({writes})"
+        );
+        assert!(
+            w.key_writes.iter().all(|&c| c == 0),
+            "no key slot stays occupied at quiescence: {:?}",
+            w.key_writes
+        );
+        assert!(w.temp_write_protection.is_empty());
+    }
+
+    #[test]
+    fn two_es_writers_race_one_key_and_stay_regular() {
+        let mut w = World::new(
+            EsFactory::new(EsConfig::new(10)),
+            WorldConfig {
+                n: 10,
+                initial: 0,
+                delay: Box::new(Synchronous::new(Span::ticks(3))),
+                churn: ChurnDriver::new(
+                    Box::new(NoChurn),
+                    LeaveSelector::Random,
+                    IdSource::starting_at(10),
+                ),
+                workload: Box::new(
+                    RateWorkload::new(Span::ticks(6), 1.0).stopping_at(Time::at(300)),
+                ),
+                seed: 31,
+                trace: false,
+                writer_policy: WriterPolicy::FixedProtected,
+                writers: 2,
+            },
+        );
+        w.run_until(Time::at(360));
+        let h = w.history();
+        let writes: Vec<_> = h.writes().collect();
+        let overlapping = writes.iter().enumerate().any(|(i, a)| {
+            writes[i + 1..]
+                .iter()
+                .any(|b| a.node != b.node && a.overlaps(b))
+        });
+        assert!(overlapping, "both writers actually raced the key");
+        let report = RegularityChecker::check(h);
+        assert!(report.is_ok(), "{report}");
+        assert!(report.checked_reads > 20);
     }
 
     #[test]

@@ -6,7 +6,13 @@
 //! returns `w₂`'s value and `r₂` returns `w₁`'s — legal for a regular
 //! register, forbidden for an atomic one. For a single-writer register with
 //! totally ordered writes, *regular + inversion-free* is exactly atomic
-//! (Lamport 1986), which is what this checker decides.
+//! (Lamport 1986), which is what this checker decides. With concurrent
+//! writers the scan orders writes by the same hybrid relation the
+//! regularity checker uses (real-time precedence ∪ per-node invocation
+//! order): a read invokes an inversion when an earlier-completed read had
+//! already returned a write that strictly follows the one it returns —
+//! mutually concurrent cross-node writes stay unordered, so reads may
+//! return them in either order without penalty.
 
 use std::hash::Hash;
 
@@ -87,6 +93,12 @@ impl AtomicityChecker {
             node: dynareg_sim::NodeId,
             returned: V,
         }
+        // Writes addressable by invocation index (dense 0..write_count).
+        let mut by_index: Vec<&OpRecord<V>> = history.writes().collect();
+        by_index.sort_unstable_by_key(|w| match w.kind {
+            OpKind::Write { index, .. } => index,
+            _ => unreachable!("writes() yields writes"),
+        });
         let mut reads: Vec<ReadView<V>> = history
             .completed_reads()
             .filter_map(|r| {
@@ -106,17 +118,30 @@ impl AtomicityChecker {
             })
             .collect();
 
-        // Sweep: for each read in invocation order, the maximum reads-from
-        // index among reads that *completed strictly before* its invocation
-        // must not exceed its own index.
+        // Sweep: for each read in invocation order, no read that *completed
+        // strictly before* its invocation may have returned a write that
+        // strictly follows (hybrid order) the one this read returns.
         let mut by_completion: Vec<usize> = (0..reads.len()).collect();
         by_completion.sort_by_key(|&i| (reads[i].completed_at, reads[i].op));
         let mut by_invocation: Vec<usize> = (0..reads.len()).collect();
         by_invocation.sort_by_key(|&i| (reads[i].invoked_at, reads[i].op));
 
         let mut violations = Vec::new();
+        // Global max returned index (single-writer clause + the
+        // initial-value case); first read to reach it, as old readers of
+        // the report expect.
         let mut max_done: i64 = i64::MIN;
         let mut max_done_op = None;
+        // Per-writer-node max returned index: the same-node clause of the
+        // hybrid order. For a single writer this equals `max_done`.
+        let mut node_max: std::collections::HashMap<
+            dynareg_sim::NodeId,
+            (usize, dynareg_sim::OpId),
+        > = std::collections::HashMap::new();
+        // Latest invocation among returned writes: the real-time clause —
+        // a returned write invoked after write `w` completed proves `w`
+        // was already replaced.
+        let mut max_inv: Option<(Time, dynareg_sim::OpId, i64)> = None;
         let mut cp = 0;
         for &ri in &by_invocation {
             let inv = reads[ri].invoked_at;
@@ -126,19 +151,47 @@ impl AtomicityChecker {
                     max_done = done.idx;
                     max_done_op = Some(done.op);
                 }
+                if done.idx >= 0 {
+                    let w = by_index[done.idx as usize];
+                    let e = node_max
+                        .entry(w.node)
+                        .or_insert((done.idx as usize, done.op));
+                    if done.idx as usize > e.0 {
+                        *e = (done.idx as usize, done.op);
+                    }
+                    if max_inv.is_none_or(|(t, _, _)| w.invoked_at > t) {
+                        max_inv = Some((w.invoked_at, done.op, done.idx));
+                    }
+                }
                 cp += 1;
             }
-            if reads[ri].idx < max_done {
+            let r = &reads[ri];
+            let inverted = if r.idx < 0 {
+                // Initial value after some read already returned a write.
+                (max_done > -1).then(|| (max_done_op.expect("set with max_done"), max_done))
+            } else {
+                let w = by_index[r.idx as usize];
+                let same_node = node_max
+                    .get(&w.node)
+                    .filter(|&&(j, _)| j > r.idx as usize)
+                    .map(|&(j, op)| (op, j as i64));
+                same_node.or_else(|| {
+                    // Real-time clause: only a *completed* returned write
+                    // can have been invoked after; a pending write is
+                    // concurrent with everything after its invocation.
+                    let c = w.completed_at?;
+                    max_inv.filter(|&(t, _, _)| t > c).map(|(_, op, j)| (op, j))
+                })
+            };
+            if let Some((prior_op, prior_idx)) = inverted {
                 violations.push(Violation {
-                    read: reads[ri].op,
-                    node: reads[ri].node,
-                    returned: reads[ri].returned.clone(),
+                    read: r.op,
+                    node: r.node,
+                    returned: r.returned.clone(),
                     explanation: format!(
                         "new/old inversion: returned write#{} but {} (completed earlier) \
                          already returned write#{}",
-                        reads[ri].idx,
-                        max_done_op.expect("set with max_done"),
-                        max_done
+                        r.idx, prior_op, prior_idx
                     ),
                 });
             }
@@ -237,6 +290,43 @@ mod tests {
             report.inversions, 0,
             "fabricated values are not inversion pairs"
         );
+    }
+
+    #[test]
+    fn concurrent_cross_node_writes_may_be_read_in_either_order() {
+        // wa = [1,5] by n0 → 10 and wb = [2,6] by n1 → 20 are mutually
+        // concurrent: the hybrid order leaves them unordered, so sequential
+        // reads returning 20 then 10 are NOT an inversion.
+        let mut h: History<u64> = History::new(0);
+        let wa = h.invoke_write(n(0), Time::at(1), 10);
+        let wb = h.invoke_write(n(1), Time::at(2), 20);
+        h.complete_write(wa, Time::at(5));
+        h.complete_write(wb, Time::at(6));
+        read(&mut h, 1, 7, 8, 20);
+        read(&mut h, 2, 9, 10, 10);
+        assert_eq!(AtomicityChecker::count_inversions(&h), 0);
+    }
+
+    #[test]
+    fn real_time_ordered_cross_node_writes_still_invert() {
+        // wa = [1,2] by n0 completes before wb = [4,5] by n1 is invoked:
+        // real time orders them even across nodes, so reading 20 then 10
+        // sequentially IS an inversion.
+        let mut h: History<u64> = History::new(0);
+        let wa = h.invoke_write(n(0), Time::at(1), 10);
+        h.complete_write(wa, Time::at(2));
+        let wb = h.invoke_write(n(1), Time::at(4), 20);
+        h.complete_write(wb, Time::at(5));
+        read(&mut h, 1, 6, 7, 20);
+        read(&mut h, 2, 8, 9, 10);
+        let report = AtomicityChecker::check(&h);
+        assert_eq!(report.inversions, 1);
+        assert!(report
+            .violations
+            .last()
+            .unwrap()
+            .explanation
+            .contains("new/old inversion"));
     }
 
     #[test]

@@ -24,8 +24,10 @@ pub enum OpKind<V> {
     Write {
         /// The value written.
         value: V,
-        /// Serialization index among all writes (0 = first write). Assigned
-        /// at invocation; valid because writes are totally ordered.
+        /// Invocation index among all writes (0 = first write invoked).
+        /// For a single writer this is the serialization order; with
+        /// concurrent writers it only orders each node's own writes (the
+        /// checkers use the hybrid real-time ∪ same-node order).
         index: usize,
     },
 }
@@ -70,12 +72,17 @@ impl<V> OpRecord<V> {
 ///
 /// # Write ordering
 ///
-/// Writes must be *totally ordered in real time* (the paper's setting:
-/// one writer in §3, non-concurrent writers in §5). [`History::invoke_write`]
-/// asserts this and assigns each write its serialization index. Write values
-/// must be unique across the run — the paper's proofs make the same
-/// no-duplicate assumption ("without loss of generality", Theorem 4) and it
-/// is what lets checkers recover the reads-from mapping.
+/// Each *process's* writes to the register must be serial
+/// ([`History::invoke_write`] asserts it); writes by *different* processes
+/// may overlap — the multi-writer setting the ES protocol's `(sn, writer)`
+/// timestamps serialize. Checkers order writes by the hybrid relation
+/// `w < w′ iff w completed before w′ was invoked, or both are by the same
+/// node and w was invoked first`; on a single-writer history that relation
+/// is exactly the total invocation order, so the classic checks are a
+/// special case. Write values must be unique across the run — the paper's
+/// proofs make the same no-duplicate assumption ("without loss of
+/// generality", Theorem 4) and it is what lets checkers recover the
+/// reads-from mapping.
 ///
 /// # Example
 ///
@@ -97,7 +104,7 @@ pub struct History<V> {
     ops: Vec<OpRecord<V>>,
     index_of: HashMap<OpId, usize>,
     write_count: usize,
-    last_write: Option<OpId>,
+    last_write_by_node: HashMap<NodeId, OpId>,
     value_writer_index: HashMap<V, usize>,
     left_at: HashMap<NodeId, Time>,
     next_op: u64,
@@ -112,7 +119,7 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug> History<V> {
             ops: Vec::new(),
             index_of: HashMap::new(),
             write_count: 0,
-            last_write: None,
+            last_write_by_node: HashMap::new(),
             value_writer_index: HashMap::new(),
             left_at: HashMap::new(),
             next_op: 0,
@@ -165,18 +172,16 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug> History<V> {
     ///
     /// # Panics
     ///
-    /// Panics if a previous write is still pending *and its writer is still
-    /// in the system* (writes must be serialized, as the paper assumes; a
-    /// write abandoned by a departed writer stays pending — concurrent with
-    /// everything after it, as crash semantics dictate — and does not block
-    /// its successor). Also panics if `value` repeats an earlier write's
-    /// value.
+    /// Panics if `node`'s own previous write is still pending (a process's
+    /// writes to one register are serial; writes by *different* processes
+    /// may overlap — the multi-writer setting). Also panics if `value`
+    /// repeats an earlier write's value.
     pub fn invoke_write(&mut self, node: NodeId, t: Time, value: V) -> OpId {
-        if let Some(prev) = self.last_write {
+        if let Some(&prev) = self.last_write_by_node.get(&node) {
             let rec = self.get(prev).expect("recorded write");
             assert!(
-                rec.is_complete() || self.left_at.contains_key(&rec.node),
-                "concurrent writes are outside the paper's model"
+                rec.is_complete(),
+                "a process's writes on one register must be serial"
             );
         }
         assert!(
@@ -187,7 +192,7 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug> History<V> {
         self.write_count += 1;
         self.value_writer_index.insert(value.clone(), index);
         let op = self.fresh_op();
-        self.last_write = Some(op);
+        self.last_write_by_node.insert(node, op);
         self.push(OpRecord {
             op,
             node,
@@ -270,7 +275,7 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug> History<V> {
         self.index_of.get(&op).map(|&i| &self.ops[i])
     }
 
-    /// All write records (complete and pending), in serialization order.
+    /// All write records (complete and pending), in invocation order.
     pub fn writes(&self) -> impl Iterator<Item = &OpRecord<V>> + '_ {
         self.ops
             .iter()
@@ -289,7 +294,7 @@ impl<V: Clone + Eq + Hash + std::fmt::Debug> History<V> {
         self.write_count
     }
 
-    /// The serialization index of the write that produced `value`:
+    /// The invocation index of the write that produced `value`:
     /// `None` for the initial value (conceptually index −1 / "write 0" in
     /// the paper's v₀ convention), `Some(i)` for the i-th write.
     ///
@@ -348,11 +353,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "concurrent writes")]
-    fn concurrent_writes_rejected() {
+    #[should_panic(expected = "serial")]
+    fn same_node_concurrent_writes_rejected() {
         let mut h: History<u64> = History::new(0);
         h.invoke_write(n(0), Time::at(1), 10);
-        h.invoke_write(n(1), Time::at(2), 20); // first write still pending
+        h.invoke_write(n(0), Time::at(2), 20); // node 0's write still pending
+    }
+
+    #[test]
+    fn cross_node_concurrent_writes_allowed() {
+        let mut h: History<u64> = History::new(0);
+        let w1 = h.invoke_write(n(0), Time::at(1), 10);
+        let w2 = h.invoke_write(n(1), Time::at(2), 20); // overlaps w1: fine
+        h.complete_write(w2, Time::at(3));
+        h.complete_write(w1, Time::at(4));
+        assert_eq!(h.write_count(), 2);
     }
 
     #[test]

@@ -2,28 +2,58 @@
 //! value written before the read invocation, or a value written by a write
 //! operation concurrent with it."*
 
+use std::collections::HashMap;
 use std::hash::Hash;
 
-use dynareg_sim::Time;
+use dynareg_sim::{NodeId, Time};
 
 use crate::history::{History, OpKind, OpRecord};
 use crate::report::{ConsistencyReport, Violation};
 
-/// Shared sweep-line machinery over a history's totally ordered writes:
-/// answers "last write completed strictly before `t`" and "is any write
-/// concurrent with `[inv, comp]`" in O(log W) each, after an O(W log W)
-/// build. Used by both the regularity and safe checkers.
+/// The hybrid write order `a < b` used by every checker: `a` completed
+/// strictly before `b` was invoked (real time), or both were issued by the
+/// same node and `a` was invoked first. On a single-writer history this is
+/// the total invocation order; with concurrent writers it is the partial
+/// order that real time and per-process seriality actually justify —
+/// mutually concurrent cross-node writes stay unordered.
+pub(crate) fn write_precedes<V>(a: &OpRecord<V>, b: &OpRecord<V>) -> bool {
+    if a.completed_at.is_some_and(|c| c < b.invoked_at) {
+        return true;
+    }
+    a.node == b.node && write_index(a) < write_index(b)
+}
+
+/// The invocation index of a write record.
+pub(crate) fn write_index<V>(w: &OpRecord<V>) -> usize {
+    match w.kind {
+        OpKind::Write { index, .. } => index,
+        _ => unreachable!("not a write record"),
+    }
+}
+
+/// One node's completed writes in index order, with the suffix-minimum of
+/// their completion instants: "does this node complete a later write
+/// before `t`" is then two binary-search-free lookups.
+struct NodeChain {
+    indices: Vec<usize>,
+    suffix_min_comp: Vec<Time>,
+}
+
+/// Shared sweep-line machinery over a history's writes (ordered by the
+/// hybrid relation [`write_precedes`]): answers "is write `i` a legal
+/// quiescent value at `t`" and "is any write concurrent with `[inv,
+/// comp]`" in O(log W) each, after an O(W log W) build. Used by both the
+/// regularity and safe checkers.
 pub(crate) struct WriteSweep<'h, V> {
-    /// Write records addressable by serialization index.
+    /// Write records addressable by invocation index.
     pub by_index: Vec<&'h OpRecord<V>>,
     /// `(completed_at, index)` for every completed write, sorted by
     /// completion instant (ties by index).
     completions: Vec<(Time, usize)>,
-    /// `prefix_max[k]` = max serialization index among `completions[..=k]`
-    /// — the paper's "last value written" is the *highest-indexed*
-    /// completed write, which completion order alone does not give when a
-    /// write was abandoned by a departed writer.
-    prefix_max: Vec<usize>,
+    /// `prefix_max_inv[k]` = latest invocation among `completions[..=k]` —
+    /// a write is real-time-superseded at `t` iff some write invoked after
+    /// its completion has itself completed before `t`.
+    prefix_max_inv: Vec<Time>,
     /// `suffix_min_inv[k]` = earliest invocation among `completions[k..]`;
     /// invocation times of later-completing writes are what decides
     /// concurrency existence for the safe checker.
@@ -31,6 +61,9 @@ pub(crate) struct WriteSweep<'h, V> {
     /// Earliest invocation among never-completed writes (pending writes
     /// are concurrent with everything after their invocation).
     pending_min_inv: Option<Time>,
+    /// Per-writer completed-write chains for the same-node clause of
+    /// [`write_precedes`].
+    node_chains: HashMap<NodeId, NodeChain>,
 }
 
 impl<'h, V: Clone + Eq + Hash + std::fmt::Debug> WriteSweep<'h, V> {
@@ -46,11 +79,11 @@ impl<'h, V: Clone + Eq + Hash + std::fmt::Debug> WriteSweep<'h, V> {
             .filter_map(|(i, w)| w.completed_at.map(|c| (c, i)))
             .collect();
         completions.sort_unstable();
-        let mut prefix_max = Vec::with_capacity(completions.len());
-        let mut m = 0;
+        let mut prefix_max_inv = Vec::with_capacity(completions.len());
+        let mut m = Time::ZERO;
         for &(_, i) in &completions {
-            m = m.max(i);
-            prefix_max.push(m);
+            m = m.max(by_index[i].invoked_at);
+            prefix_max_inv.push(m);
         }
         let mut suffix_min_inv = vec![Time::MAX; completions.len()];
         let mut inv_min = Time::MAX;
@@ -63,24 +96,67 @@ impl<'h, V: Clone + Eq + Hash + std::fmt::Debug> WriteSweep<'h, V> {
             .filter(|w| !w.is_complete())
             .map(|w| w.invoked_at)
             .min();
+        let mut node_chains: HashMap<NodeId, NodeChain> = HashMap::new();
+        for (i, w) in by_index.iter().enumerate() {
+            if let Some(c) = w.completed_at {
+                let chain = node_chains.entry(w.node).or_insert_with(|| NodeChain {
+                    indices: Vec::new(),
+                    suffix_min_comp: Vec::new(),
+                });
+                chain.indices.push(i);
+                chain.suffix_min_comp.push(c); // rewritten to suffix-min below
+            }
+        }
+        for chain in node_chains.values_mut() {
+            for k in (1..chain.suffix_min_comp.len()).rev() {
+                let later = chain.suffix_min_comp[k];
+                let here = &mut chain.suffix_min_comp[k - 1];
+                *here = (*here).min(later);
+            }
+        }
         WriteSweep {
             by_index,
             completions,
-            prefix_max,
+            prefix_max_inv,
             suffix_min_inv,
             pending_min_inv,
+            node_chains,
         }
     }
 
-    /// Serialization index of the last write completed *strictly* before
-    /// `t`; `None` stands for the initial value.
-    pub fn last_completed_before(&self, t: Time) -> Option<usize> {
-        let k = self.completions.partition_point(|&(c, _)| c < t);
-        if k == 0 {
-            None
-        } else {
-            Some(self.prefix_max[k - 1])
+    /// Whether any write at all completed strictly before `t` — the
+    /// initial value is a legal quiescent value iff none did.
+    pub fn any_completed_before(&self, t: Time) -> bool {
+        self.completions.first().is_some_and(|&(c, _)| c < t)
+    }
+
+    /// Whether write `i` is a legal *quiescent* value at instant `t`: it
+    /// completed strictly before `t` and no write ordered after it under
+    /// [`write_precedes`] also completed strictly before `t`. On a
+    /// single-writer history exactly one write satisfies this (the
+    /// highest-indexed completed one); concurrent cross-node writes can
+    /// leave several unsuperseded.
+    pub fn unsuperseded_before(&self, i: usize, t: Time) -> bool {
+        let w = self.by_index[i];
+        let Some(wc) = w.completed_at else {
+            return false;
+        };
+        if wc >= t {
+            return false;
         }
+        // Real-time successor: a write invoked after `w` completed, itself
+        // completed before `t`. (`w` is in the prefix, but its own
+        // invocation precedes `wc`, so it never triggers the comparison.)
+        let k = self.completions.partition_point(|&(c, _)| c < t);
+        debug_assert!(k > 0, "w itself completed before t");
+        if self.prefix_max_inv[k - 1] > wc {
+            return false;
+        }
+        // Same-node successor: a later write by `w`'s node completed
+        // before `t`.
+        let chain = &self.node_chains[&w.node];
+        let pos = chain.indices.partition_point(|&j| j <= i);
+        !(pos < chain.indices.len() && chain.suffix_min_comp[pos] < t)
     }
 
     /// Whether any write (completed or pending) is concurrent with the
@@ -102,8 +178,13 @@ impl<'h, V: Clone + Eq + Hash + std::fmt::Debug> WriteSweep<'h, V> {
 ///
 /// For each completed read `r` the legal values are:
 ///
-/// 1. the value of the *last* write whose response precedes `r`'s
-///    invocation (or the initial value if there is none), and
+/// 1. the value of every write completed before `r`'s invocation that no
+///    later write (under the hybrid order `write_precedes`) had already
+///    replaced by then — for a single writer that is exactly "the *last*
+///    value written before the read invocation", the paper's wording; with
+///    concurrent writers every still-current completed write qualifies —
+///    or the initial value if no write completed before `r`'s invocation,
+///    and
 /// 2. the value of every write concurrent with `r` (a pending write is
 ///    concurrent with everything after its invocation).
 ///
@@ -132,10 +213,10 @@ impl RegularityChecker {
     /// Runs the check; the report lists every illegal read.
     ///
     /// Single pass over the reads against a `WriteSweep` of the write
-    /// intervals: per read, the last-completed-write index is one binary
-    /// search and the concurrency test for the returned value's write is
+    /// intervals: per read, the unsuperseded-before test is two binary
+    /// searches and the concurrency test for the returned value's write is
     /// one O(1) interval overlap — O((R+W) log W) overall, versus the
-    /// naive oracle's O(R·W) rescan. Violation *messages* still enumerate
+    /// naive oracle's O(R·W²) rescan. Violation *messages* still enumerate
     /// the full legal set (violations are rare; clarity wins there).
     pub fn check<V: Clone + Eq + Hash + std::fmt::Debug>(
         history: &History<V>,
@@ -161,10 +242,13 @@ impl RegularityChecker {
                     });
                     continue;
                 }
-                Ok(p) => {
-                    let last_before = sweep.last_completed_before(read.invoked_at);
-                    p == last_before || p.is_some_and(|i| sweep.by_index[i].overlaps(read))
-                }
+                Ok(p) => match p {
+                    None => !sweep.any_completed_before(read.invoked_at),
+                    Some(i) => {
+                        sweep.by_index[i].overlaps(read)
+                            || sweep.unsuperseded_before(i, read.invoked_at)
+                    }
+                },
             };
             if !legal {
                 // Rare path: rebuild the naive explanation for the report.
@@ -217,21 +301,26 @@ impl RegularityChecker {
         read: &OpRecord<V>,
     ) -> Vec<Option<usize>> {
         let mut legal = Vec::new();
-        // Last write completed *strictly* before the read's invocation.
-        // Equal instants count as concurrent, matching `OpRecord::overlaps`
-        // (closed intervals): a write completing exactly when a read starts
-        // contributes via the concurrency rule instead, and its predecessor
-        // stays legal ("the last value … before these concurrent writes").
-        let last_before = writes
+        // Writes completed *strictly* before the read's invocation that no
+        // other such write supersedes under the hybrid order. Equal
+        // instants count as concurrent, matching `OpRecord::overlaps`
+        // (closed intervals): a write completing exactly when a read
+        // starts contributes via the concurrency rule instead, and its
+        // predecessor stays legal ("the last value … before these
+        // concurrent writes"). Single writer: this is {max index}.
+        let before: Vec<&&OpRecord<V>> = writes
             .iter()
             .filter(|w| w.completed_at.is_some_and(|c| c < read.invoked_at))
-            .filter_map(|w| match w.kind {
-                OpKind::Write { index, .. } => Some(index),
-                _ => None,
-            })
-            .max();
-        legal.push(last_before); // None = initial value
-                                 // Writes concurrent with the read.
+            .collect();
+        if before.is_empty() {
+            legal.push(None); // initial value
+        }
+        for w in &before {
+            if !before.iter().any(|w2| write_precedes(**w, **w2)) {
+                legal.push(Some(write_index(**w)));
+            }
+        }
+        // Writes concurrent with the read.
         for w in writes {
             if w.overlaps(read) {
                 if let OpKind::Write { index, .. } = w.kind {
@@ -411,6 +500,53 @@ mod tests {
         assert!(RegularityChecker::check(&h1).is_ok());
         let h0 = with_read(h, 4, 5, 0);
         assert!(RegularityChecker::check(&h0).is_ok());
+    }
+
+    #[test]
+    fn concurrent_cross_node_writes_are_both_legal_until_superseded() {
+        // wa = [1,5] by n0 → 10, wb = [2,6] by n1 → 20: mutually
+        // concurrent, so *both* stay legal quiescent values after they
+        // complete — until a later write supersedes the pair.
+        let mut h: History<u64> = History::new(0);
+        let wa = h.invoke_write(n(0), Time::at(1), 10);
+        let wb = h.invoke_write(n(1), Time::at(2), 20);
+        h.complete_write(wa, Time::at(5));
+        h.complete_write(wb, Time::at(6));
+        for v in [10, 20] {
+            let h2 = with_read(h.clone(), 8, 9, v);
+            assert!(RegularityChecker::check(&h2).is_ok(), "value {v} legal");
+            assert!(RegularityChecker::check_naive(&h2).is_ok());
+        }
+        let h0 = with_read(h.clone(), 8, 9, 0);
+        assert_eq!(RegularityChecker::check(&h0).violation_count(), 1);
+        assert_eq!(RegularityChecker::check_naive(&h0).violation_count(), 1);
+        // A third write invoked after both completed supersedes both.
+        let mut h3 = h;
+        let wc = h3.invoke_write(n(0), Time::at(10), 30);
+        h3.complete_write(wc, Time::at(11));
+        let stale = with_read(h3.clone(), 12, 13, 20);
+        assert_eq!(RegularityChecker::check(&stale).violation_count(), 1);
+        assert_eq!(RegularityChecker::check_naive(&stale).violation_count(), 1);
+        let fresh = with_read(h3, 12, 13, 30);
+        assert!(RegularityChecker::check(&fresh).is_ok());
+    }
+
+    #[test]
+    fn same_node_chain_orders_writes_even_at_touching_instants() {
+        // n0 writes 10 over [1,3] then 20 over [3,5]: the second invocation
+        // touches the first completion, so real time alone leaves them
+        // unordered — the same-node clause of the hybrid order still
+        // serializes them, keeping single-writer verdicts unchanged.
+        let mut h: History<u64> = History::new(0);
+        let w1 = h.invoke_write(n(0), Time::at(1), 10);
+        h.complete_write(w1, Time::at(3));
+        let w2 = h.invoke_write(n(0), Time::at(3), 20);
+        h.complete_write(w2, Time::at(5));
+        let stale = with_read(h.clone(), 6, 7, 10);
+        assert_eq!(RegularityChecker::check(&stale).violation_count(), 1);
+        assert_eq!(RegularityChecker::check_naive(&stale).violation_count(), 1);
+        let fresh = with_read(h, 6, 7, 20);
+        assert!(RegularityChecker::check(&fresh).is_ok());
     }
 
     #[test]

@@ -51,6 +51,7 @@ fn figure3_world(config: SyncConfig) -> World<SyncFactory> {
             seed: 0,
             trace: true,
             writer_policy: WriterPolicy::FixedProtected,
+            writers: 1,
         },
     );
     world.set_faults(

@@ -131,6 +131,7 @@ fn keyed_scripted_invocations_land_on_their_registers() {
             seed: 3,
             trace: false,
             writer_policy: WriterPolicy::FixedProtected,
+            writers: 1,
         },
     );
     world.run_until(Time::at(40));
@@ -209,6 +210,7 @@ fn out_of_space_key_panics() {
             seed: 1,
             trace: false,
             writer_policy: WriterPolicy::FixedProtected,
+            writers: 1,
         },
     );
     world.run_until(Time::at(5));

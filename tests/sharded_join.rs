@@ -67,6 +67,7 @@ fn draining_one_shard_below_quorum_mid_join_refires_and_completes() {
             seed: 11,
             trace: false,
             writer_policy: WriterPolicy::FixedProtected,
+            writers: 1,
         },
     );
     // Joiner enters at t=5: waits δ (t=8), inquires, 2δ window ends t=14.
@@ -172,6 +173,7 @@ fn es_sharded_join_starved_pre_gst_completes_after_gst() {
             seed: 3,
             trace: false,
             writer_policy: WriterPolicy::FixedProtected,
+            writers: 1,
         },
     );
     // Leaves are applied before joins within a tick: shard 1 is already

@@ -56,6 +56,7 @@ fn informed_turnover(delta: u64, period: u64) -> ConsistencyReport<Option<u64>> 
             seed: 0,
             trace: false,
             writer_policy: WriterPolicy::FixedProtected,
+            writers: 1,
         },
     );
     world.schedule_join(Time::at(t_enter));

@@ -28,6 +28,7 @@ fn base_world(n: usize, workload: Box<dyn dynareg::testkit::Workload>) -> World<
             seed: 1,
             trace: true,
             writer_policy: WriterPolicy::FixedProtected,
+            writers: 1,
         },
     )
 }
@@ -105,16 +106,19 @@ fn workload_skips_busy_and_inactive_targets() {
 }
 
 #[test]
-fn concurrent_write_requests_are_serialized_by_the_world() {
-    // Two writes scripted at the same tick on different nodes: the second
-    // is skipped (the paper's no-concurrent-writes assumption, enforced).
+fn concurrent_write_requests_respect_per_key_capacity() {
+    // Two writes scripted at the same tick on different nodes against the
+    // same key: with the default one-writer cap, the second finds the key
+    // at capacity and is counted under `ops.skipped_busy` (the paper's
+    // no-concurrent-writes assumption, enforced per key).
     let script = ScriptedWorkload::new()
         .at(Time::at(5), NodeId::from_raw(0), OpAction::Write(1))
         .at(Time::at(5), NodeId::from_raw(1), OpAction::Write(2));
     let mut w = base_world(4, Box::new(script));
     w.run_until(Time::at(30));
     assert_eq!(w.metrics().counter("ops.write_completed"), 1);
-    assert_eq!(w.metrics().counter("workload.skipped"), 1);
+    assert_eq!(w.metrics().counter("ops.skipped_busy"), 1);
+    assert_eq!(w.metrics().counter("workload.skipped"), 0);
 }
 
 #[test]
@@ -157,6 +161,7 @@ fn churned_world_drops_messages_to_departed() {
             seed: 3,
             trace: false,
             writer_policy: WriterPolicy::FixedProtected,
+            writers: 1,
         },
     );
     w.protect(NodeId::from_raw(0));
