@@ -16,6 +16,7 @@ use dynareg_testkit::table::Table;
 use dynareg_testkit::Scenario;
 
 fn main() {
+    dynareg_bench::expect_no_args("exp_async_impossibility");
     header(
         "E6",
         "Theorem 2 (asynchronous impossibility)",

@@ -15,6 +15,7 @@ use dynareg_testkit::table::{fnum, Table};
 use dynareg_testkit::Scenario;
 
 fn main() {
+    dynareg_bench::expect_no_args("exp_es_assumptions");
     header(
         "E8",
         "§5.2 assumptions (majority of actives; c ≤ 1/(3δn))",

@@ -12,6 +12,7 @@ use dynareg_testkit::table::{fnum, Table};
 use dynareg_testkit::Scenario;
 
 fn main() {
+    dynareg_bench::expect_no_args("exp_es_protocol");
     header(
         "E7",
         "Figures 4–6, Theorems 3–4 (eventually synchronous protocol)",

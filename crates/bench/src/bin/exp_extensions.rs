@@ -15,6 +15,7 @@ use dynareg_testkit::table::{fnum, Table};
 use dynareg_testkit::Scenario;
 
 fn main() {
+    dynareg_bench::expect_no_args("exp_extensions");
     header(
         "E10",
         "§7 extensions (atomic upgrade; multi-writer timestamps)",

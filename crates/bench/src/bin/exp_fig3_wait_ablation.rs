@@ -74,6 +74,7 @@ fn figure3_world(config: SyncConfig) -> World<SyncFactory> {
 }
 
 fn main() {
+    dynareg_bench::expect_no_args("exp_fig3_wait_ablation");
     header(
         "E3",
         "Figure 3 (a vs b): the join wait(δ)",

@@ -12,6 +12,7 @@ use dynareg_testkit::table::{fnum, Table};
 use dynareg_testkit::Scenario;
 
 fn main() {
+    dynareg_bench::expect_no_args("exp_latency_comparison");
     header(
         "E9",
         "§3.3 design point: read cost (sync vs ES)",

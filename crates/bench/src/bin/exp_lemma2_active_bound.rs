@@ -13,6 +13,7 @@ use dynareg_testkit::table::{fnum, Table};
 use dynareg_testkit::Scenario;
 
 fn main() {
+    dynareg_bench::expect_no_args("exp_lemma2_active_bound");
     header(
         "E4",
         "Lemma 2 (active-set floor over 3δ windows)",

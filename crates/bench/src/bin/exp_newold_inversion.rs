@@ -13,6 +13,7 @@ use dynareg_testkit::table::Table;
 use dynareg_testkit::Scenario;
 
 fn main() {
+    dynareg_bench::expect_no_args("exp_newold_inversion");
     header(
         "E1",
         "§1 figure (new/old inversion)",

@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use dynareg_bench::header;
+use dynareg_bench::{header, Cli};
 use dynareg_churn::{ChurnDriver, ConstantRate, LeaveSelector};
 use dynareg_core::sync::SyncConfig;
 use dynareg_net::delay::Synchronous;
@@ -185,29 +185,17 @@ fn parse_args() -> (usize, u64, String) {
     let mut nodes = 5000usize;
     let mut ticks = 10_000u64;
     let mut out = "BENCH_baseline.json".to_string();
-    let args: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
+    let mut cli = Cli::from_env("exp_perf_soak [--nodes N] [--ticks T] [--out PATH]");
+    while let Some(flag) = cli.next_arg() {
+        match flag.as_str() {
             "--nodes" => {
-                nodes = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .expect("--nodes takes a positive integer");
-                i += 2;
+                nodes = cli.parsed_where("--nodes", "a positive integer", |&n: &usize| n > 0);
             }
             "--ticks" => {
-                ticks = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .expect("--ticks takes a positive integer");
-                i += 2;
+                ticks = cli.parsed_where("--ticks", "a positive integer", |&t: &u64| t > 0);
             }
-            "--out" => {
-                out = args.get(i + 1).expect("--out takes a path").clone();
-                i += 2;
-            }
-            other => panic!("unknown argument {other} (try --nodes N --ticks T --out PATH)"),
+            "--out" => out = cli.value("--out"),
+            other => cli.fail(&format!("unknown argument `{other}`")),
         }
     }
     (nodes, ticks, out)

@@ -20,9 +20,11 @@
 
 use std::time::Instant;
 
-use dynareg_bench::{expectation, header};
+use dynareg_bench::{expectation, header, Cli};
 use dynareg_fleet::{default_threads, run_sweep, SweepDomain, SweepSpec};
 use dynareg_sim::Span;
+
+const USAGE: &str = "exp_phase_diagram [--threads N] [--scale full|smoke] [--seed S] [--out PATH]";
 
 struct Args {
     threads: usize,
@@ -38,40 +40,23 @@ fn parse_args() -> Args {
         master_seed: 0x000B_A1D0,
         out: "BENCH_phase.json".to_string(),
     };
-    let args: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
+    let mut cli = Cli::from_env(USAGE);
+    while let Some(flag) = cli.next_arg() {
+        match flag.as_str() {
             "--threads" => {
-                parsed.threads = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&t: &usize| t > 0)
-                    .expect("--threads takes a positive integer");
-                i += 2;
+                parsed.threads =
+                    cli.parsed_where("--threads", "a positive integer", |&t: &usize| t > 0);
             }
             "--scale" => {
-                parsed.scale = args
-                    .get(i + 1)
-                    .filter(|v| v.as_str() == "full" || v.as_str() == "smoke")
-                    .expect("--scale takes full|smoke")
-                    .clone();
-                i += 2;
+                let scale = cli.value("--scale");
+                if scale != "full" && scale != "smoke" {
+                    cli.fail(&format!("--scale takes full|smoke, got `{scale}`"));
+                }
+                parsed.scale = scale;
             }
-            "--seed" => {
-                parsed.master_seed = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed takes a u64");
-                i += 2;
-            }
-            "--out" => {
-                parsed.out = args.get(i + 1).expect("--out takes a path").clone();
-                i += 2;
-            }
-            other => panic!(
-                "unknown argument {other} (try --threads N --scale full|smoke --seed S --out PATH)"
-            ),
+            "--seed" => parsed.master_seed = cli.parsed("--seed", "a u64"),
+            "--out" => parsed.out = cli.value("--out"),
+            other => cli.fail(&format!("unknown argument `{other}`")),
         }
     }
     parsed

@@ -36,7 +36,7 @@
 
 use std::time::Instant;
 
-use dynareg_bench::header;
+use dynareg_bench::{header, Cli};
 use dynareg_churn::{ChurnDriver, ChurnModel, ConstantRate, LeaveSelector};
 use dynareg_core::space::ShardConfig;
 use dynareg_core::sync::SyncConfig;
@@ -313,59 +313,34 @@ fn parse_args() -> Args {
         mode: None,
         writers: None,
     };
-    let args: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
+    let mut cli = Cli::from_env(
+        "exp_space_throughput [--nodes N] [--ticks T] [--out PATH] \
+         [--shards G | --legacy] [--writers W] [--digest-out PATH]",
+    );
+    while let Some(flag) = cli.next_arg() {
+        match flag.as_str() {
             "--nodes" => {
-                parsed.nodes = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .expect("--nodes takes a positive integer");
-                i += 2;
+                parsed.nodes =
+                    cli.parsed_where("--nodes", "a positive integer", |&n: &usize| n > 0);
             }
             "--ticks" => {
-                parsed.ticks = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .expect("--ticks takes a positive integer");
-                i += 2;
+                parsed.ticks = cli.parsed_where("--ticks", "a positive integer", |&t: &u64| t > 0);
             }
-            "--out" => {
-                parsed.out = args.get(i + 1).expect("--out takes a path").clone();
-                i += 2;
-            }
-            "--digest-out" => {
-                parsed.digest_out =
-                    Some(args.get(i + 1).expect("--digest-out takes a path").clone());
-                i += 2;
-            }
+            "--out" => parsed.out = cli.value("--out"),
+            "--digest-out" => parsed.digest_out = Some(cli.value("--digest-out")),
             "--shards" => {
-                let g = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .expect("--shards takes a positive integer");
-                assert!(g > 0, "--shards takes a positive integer");
-                parsed.mode = Some(Some(g));
-                i += 2;
+                parsed.mode = Some(Some(cli.parsed_where(
+                    "--shards",
+                    "a positive integer",
+                    |&g: &u32| g > 0,
+                )));
             }
-            "--legacy" => {
-                parsed.mode = Some(None);
-                i += 1;
-            }
+            "--legacy" => parsed.mode = Some(None),
             "--writers" => {
-                let w = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .expect("--writers takes a positive integer");
-                assert!(w > 0, "--writers takes a positive integer");
-                parsed.writers = Some(w);
-                i += 2;
+                parsed.writers =
+                    Some(cli.parsed_where("--writers", "a positive integer", |&w: &usize| w > 0));
             }
-            other => panic!(
-                "unknown argument {other} (try --nodes N --ticks T --out PATH \
-                 [--shards G | --legacy] [--writers W] [--digest-out PATH])"
-            ),
+            other => cli.fail(&format!("unknown argument `{other}`")),
         }
     }
     parsed

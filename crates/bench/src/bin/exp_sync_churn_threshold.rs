@@ -15,6 +15,7 @@ use dynareg_testkit::table::{fnum, Table};
 use dynareg_testkit::Scenario;
 
 fn main() {
+    dynareg_bench::expect_no_args("exp_sync_churn_threshold");
     header(
         "E5",
         "Theorem 1 boundary (churn sweep across 1/(3δ))",

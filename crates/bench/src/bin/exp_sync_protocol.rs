@@ -9,6 +9,7 @@ use dynareg_testkit::table::{fnum, Table};
 use dynareg_testkit::Scenario;
 
 fn main() {
+    dynareg_bench::expect_no_args("exp_sync_protocol");
     header(
         "E2",
         "Figures 1–2, Theorem 1 (synchronous protocol)",

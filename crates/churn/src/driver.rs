@@ -115,7 +115,12 @@ impl ChurnDriver {
                 None => break,
             }
         }
-        let joins: Vec<NodeId> = (0..leaves.len()).map(|_| self.ids.fresh_node()).collect();
+        // Unpaired arrivals (flash crowds) grow the population on top of
+        // the balanced refresh pairs.
+        let extra = self.model.extra_joins(now, n, rng);
+        let joins: Vec<NodeId> = (0..leaves.len() + extra)
+            .map(|_| self.ids.fresh_node())
+            .collect();
         self.total_joins += joins.len() as u64;
         self.total_leaves += leaves.len() as u64;
         ChurnStep { leaves, joins }
@@ -217,6 +222,26 @@ mod tests {
             assert!(d.step(&p, Time::at(t), &mut rng).is_empty());
         }
         assert_eq!(d.total_joins(), 0);
+    }
+
+    #[test]
+    fn flash_crowd_steps_grow_the_population() {
+        use crate::model::FlashCrowd;
+        let p = world(10);
+        let mut d = ChurnDriver::new(
+            Box::new(FlashCrowd::new(0.1, 2, 0, 5, 1)),
+            LeaveSelector::Random,
+            IdSource::starting_at(10),
+        );
+        let mut rng = DetRng::seed(7);
+        let quiet = d.step(&p, Time::at(1), &mut rng);
+        assert_eq!(quiet.joins.len(), quiet.leaves.len());
+        let wave = d.step(&p, Time::at(2), &mut rng);
+        assert_eq!(wave.joins.len(), wave.leaves.len() + 5);
+        let mut unique = wave.joins.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), wave.joins.len(), "fresh ids are distinct");
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!   (at `c·n = 2.5`, ticks alternate between 2 and 3 refreshes so the
 //!   long-run rate is exact);
 //! * extension models after the tractable-churn catalogue of Ko, Hoque &
-//!   Gupta \[19\]: [`PoissonChurn`] and [`BurstChurn`];
+//!   Gupta \[19\]: [`PoissonChurn`], [`BurstChurn`], [`DiurnalChurn`],
+//!   heavy-tailed [`SessionChurn`], and population-growing [`FlashCrowd`];
 //! * [`LeaveSelector`] policies — who gets evicted matters: the paper's
 //!   Lemma 2 worst case is "the `nc` processes that left … were present at
 //!   time τ" (i.e. the adversary removes *active* processes, never joiners),
@@ -28,5 +29,8 @@ mod model;
 mod selector;
 
 pub use driver::{ChurnDriver, ChurnStep};
-pub use model::{BurstChurn, ChurnModel, ConstantRate, NoChurn, PoissonChurn};
+pub use model::{
+    BurstChurn, ChurnModel, ConstantRate, DiurnalChurn, FlashCrowd, NoChurn, PoissonChurn,
+    SessionChurn,
+};
 pub use selector::LeaveSelector;

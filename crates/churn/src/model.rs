@@ -1,15 +1,25 @@
 //! Churn arrival/departure processes.
 
-use dynareg_sim::{DetRng, Time};
+use dynareg_sim::{DetRng, Span, Time};
 
 /// How many processes join and leave in one time unit.
 ///
 /// The paper's model keeps the population constant, so all built-in models
-/// return balanced counts; the driver pairs each leave with a join.
+/// return balanced counts; the driver pairs each leave with a join. Models
+/// may additionally report *unbalanced* joins ([`ChurnModel::extra_joins`])
+/// — arrivals with no paired departure, growing the population — which is
+/// how flash crowds enter the picture.
 pub trait ChurnModel: std::fmt::Debug {
     /// Number of join/leave pairs in the time unit starting at `now`, for a
     /// system of nominal size `n`.
     fn refreshes(&mut self, now: Time, n: usize, rng: &mut DetRng) -> usize;
+
+    /// Number of *unpaired* joins in the time unit starting at `now` —
+    /// fresh arrivals beyond the refresh pairs, so the population grows by
+    /// this much. The paper's balanced models leave the default `0`.
+    fn extra_joins(&mut self, _now: Time, _n: usize, _rng: &mut DetRng) -> usize {
+        0
+    }
 
     /// The nominal long-run churn rate `c` (refreshed fraction per time
     /// unit), if the model has one.
@@ -158,6 +168,218 @@ impl ChurnModel for BurstChurn {
     }
 }
 
+/// Flash-crowd arrivals (extension): steady balanced churn at a base rate,
+/// plus scripted **join waves** — `wave_joins` unpaired arrivals per tick
+/// for `wave_ticks` ticks, starting at `wave_at` and optionally repeating
+/// every `wave_every` ticks. Waves grow the population (no paired leaves),
+/// modelling the flash crowds of the churn literature \[19, 22\]: a
+/// popular event pulls a burst of newcomers through the join protocol at
+/// once, stressing the inquiry fan-in far beyond the paper's steady-state
+/// `c·n`.
+#[derive(Debug, Clone)]
+pub struct FlashCrowd {
+    base: ConstantRate,
+    wave_at: u64,
+    wave_every: u64,
+    wave_joins: usize,
+    wave_ticks: u64,
+}
+
+impl FlashCrowd {
+    /// Base balanced churn at `base_rate`, with waves of `wave_joins`
+    /// joins per tick for `wave_ticks` ticks starting at `wave_at`,
+    /// repeating every `wave_every` ticks (`0` = a single wave).
+    ///
+    /// # Panics
+    /// Panics if `base_rate` is invalid, `wave_ticks` is zero, or a
+    /// nonzero `wave_every` is shorter than `wave_ticks`.
+    pub fn new(
+        base_rate: f64,
+        wave_at: u64,
+        wave_every: u64,
+        wave_joins: usize,
+        wave_ticks: u64,
+    ) -> FlashCrowd {
+        assert!(wave_ticks > 0, "a wave must last at least one tick");
+        assert!(
+            wave_every == 0 || wave_every >= wave_ticks,
+            "repeating waves must not overlap"
+        );
+        FlashCrowd {
+            base: ConstantRate::new(base_rate),
+            wave_at,
+            wave_every,
+            wave_joins,
+            wave_ticks,
+        }
+    }
+
+    /// Whether `now` falls inside a join wave.
+    pub fn in_wave(&self, now: Time) -> bool {
+        let t = now.ticks();
+        if t < self.wave_at {
+            return false;
+        }
+        let since = t - self.wave_at;
+        if self.wave_every == 0 {
+            since < self.wave_ticks
+        } else {
+            since % self.wave_every < self.wave_ticks
+        }
+    }
+}
+
+impl ChurnModel for FlashCrowd {
+    fn refreshes(&mut self, now: Time, n: usize, rng: &mut DetRng) -> usize {
+        self.base.refreshes(now, n, rng)
+    }
+
+    fn extra_joins(&mut self, now: Time, _n: usize, _rng: &mut DetRng) -> usize {
+        if self.in_wave(now) {
+            self.wave_joins
+        } else {
+            0
+        }
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        Some(self.base.rate())
+    }
+}
+
+/// Diurnal churn (extension): the refresh rate follows a day/night cosine
+/// between `peak` (at phase 0) and `trough` (half a period later), with
+/// the same exact fractional accounting as [`ConstantRate`]. The long-run
+/// rate is the midpoint `(peak + trough) / 2`.
+#[derive(Debug, Clone)]
+pub struct DiurnalChurn {
+    peak: f64,
+    trough: f64,
+    period: u64,
+    carry: f64,
+}
+
+impl DiurnalChurn {
+    /// Cosine-modulated churn between `trough` and `peak` with the given
+    /// period in ticks.
+    ///
+    /// # Panics
+    /// Panics if the rates are invalid, `peak < trough`, or the period is
+    /// zero.
+    pub fn new(peak: f64, trough: f64, period: u64) -> DiurnalChurn {
+        assert!(
+            peak.is_finite() && trough.is_finite() && (0.0..=1.0).contains(&peak),
+            "churn rate must be in [0,1]"
+        );
+        assert!((0.0..=peak).contains(&trough), "need 0 <= trough <= peak");
+        assert!(period > 0, "period must be positive");
+        DiurnalChurn {
+            peak,
+            trough,
+            period,
+            carry: 0.0,
+        }
+    }
+
+    /// The instantaneous rate at `now`.
+    pub fn rate_at(&self, now: Time) -> f64 {
+        let phase = (now.ticks() % self.period) as f64 / self.period as f64;
+        let swing = (1.0 + (std::f64::consts::TAU * phase).cos()) / 2.0;
+        self.trough + (self.peak - self.trough) * swing
+    }
+}
+
+impl ChurnModel for DiurnalChurn {
+    fn refreshes(&mut self, now: Time, n: usize, _rng: &mut DetRng) -> usize {
+        self.carry += self.rate_at(now) * n as f64;
+        let whole = self.carry.floor();
+        self.carry -= whole;
+        whole as usize
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        Some((self.peak + self.trough) / 2.0)
+    }
+}
+
+/// Heavy-tailed session-length churn (extension): instead of a rate, each
+/// process lives a Pareto-distributed **session** (shape `alpha`, minimum
+/// `min_ticks`) and is replaced when it expires — the empirically observed
+/// peer-to-peer pattern \[19\]: most sessions are short, a few are very
+/// long, so instantaneous churn is bursty even though the population is
+/// constant. Sessions are seeded lazily for the population the first call
+/// sees; every replacement starts a fresh sampled session.
+#[derive(Debug, Clone)]
+pub struct SessionChurn {
+    alpha: f64,
+    min_ticks: u64,
+    /// Min-heap of session expiry instants (ticks).
+    expiries: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
+}
+
+impl SessionChurn {
+    /// Pareto sessions with shape `alpha` and minimum length `min_ticks`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is not positive or `min_ticks` is zero.
+    pub fn new(alpha: f64, min_ticks: u64) -> SessionChurn {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        assert!(min_ticks > 0, "sessions must last at least one tick");
+        SessionChurn {
+            alpha,
+            min_ticks,
+            expiries: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    fn sample_session(&self, rng: &mut DetRng) -> u64 {
+        // Truncate the tail at 10⁴× the minimum: long enough that the
+        // mean is effectively the Pareto mean for alpha > 1, bounded so a
+        // single outlier cannot outlive any plausible run.
+        let cap = Span::ticks(self.min_ticks.saturating_mul(10_000));
+        rng.heavy_tail_span(Span::ticks(self.min_ticks), self.alpha, cap)
+            .as_ticks()
+    }
+}
+
+impl ChurnModel for SessionChurn {
+    fn refreshes(&mut self, now: Time, n: usize, rng: &mut DetRng) -> usize {
+        if self.expiries.is_empty() {
+            // Seed the initial population's sessions.
+            for _ in 0..n {
+                let end = now.ticks().saturating_add(self.sample_session(rng));
+                self.expiries.push(std::cmp::Reverse(end));
+            }
+        }
+        let mut expired = 0;
+        while self
+            .expiries
+            .peek()
+            .is_some_and(|&std::cmp::Reverse(end)| end <= now.ticks())
+        {
+            self.expiries.pop();
+            expired += 1;
+        }
+        // Each replacement starts its own freshly sampled session.
+        for _ in 0..expired {
+            let end = now.ticks() + self.sample_session(rng);
+            self.expiries.push(std::cmp::Reverse(end));
+        }
+        expired
+    }
+
+    fn nominal_rate(&self) -> Option<f64> {
+        // Mean session length is min·α/(α−1) for α > 1 (infinite below),
+        // and the long-run churn rate is its reciprocal.
+        if self.alpha > 1.0 {
+            let mean = self.min_ticks as f64 * self.alpha / (self.alpha - 1.0);
+            Some(1.0 / mean)
+        } else {
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +461,81 @@ mod tests {
         assert_eq!(quiet, 0);
         let nominal = m.nominal_rate().unwrap();
         assert!((nominal - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flash_crowd_waves_grow_only_inside_windows() {
+        let mut m = FlashCrowd::new(0.1, 20, 50, 7, 3);
+        let mut rng = DetRng::seed(4);
+        // Before the first wave: no unpaired joins.
+        for t in 0..20 {
+            assert_eq!(m.extra_joins(Time::at(t), 100, &mut rng), 0, "t={t}");
+        }
+        // Wave ticks: [20, 23) and then every 50 ticks, [70, 73), …
+        for t in [20, 21, 22, 70, 72, 120] {
+            assert_eq!(m.extra_joins(Time::at(t), 100, &mut rng), 7, "t={t}");
+        }
+        for t in [23, 45, 73, 119] {
+            assert_eq!(m.extra_joins(Time::at(t), 100, &mut rng), 0, "t={t}");
+        }
+        // One-shot wave when wave_every = 0.
+        let mut once = FlashCrowd::new(0.1, 5, 0, 3, 2);
+        assert_eq!(once.extra_joins(Time::at(6), 100, &mut rng), 3);
+        assert_eq!(once.extra_joins(Time::at(500), 100, &mut rng), 0);
+        // The balanced base keeps running regardless of waves.
+        assert_eq!(m.refreshes(Time::at(21), 100, &mut rng), 10);
+        assert_eq!(m.nominal_rate(), Some(0.1));
+    }
+
+    #[test]
+    fn diurnal_swings_between_peak_and_trough() {
+        let mut m = DiurnalChurn::new(0.2, 0.02, 100);
+        assert!((m.rate_at(Time::ZERO) - 0.2).abs() < 1e-12);
+        assert!((m.rate_at(Time::at(50)) - 0.02).abs() < 1e-12);
+        assert!((m.rate_at(Time::at(100)) - 0.2).abs() < 1e-12);
+        let mut rng = DetRng::seed(5);
+        // Over whole periods, the realized rate converges to the midpoint.
+        let total: usize = (0..1000)
+            .map(|t| m.refreshes(Time::at(t), 100, &mut rng))
+            .sum();
+        let realized = total as f64 / (1000.0 * 100.0);
+        let nominal = m.nominal_rate().unwrap();
+        assert!((nominal - 0.11).abs() < 1e-12);
+        assert!(
+            (realized - nominal).abs() < 0.005,
+            "realized {realized} should track nominal {nominal}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "trough <= peak")]
+    fn diurnal_rejects_inverted_rates() {
+        let _ = DiurnalChurn::new(0.05, 0.2, 100);
+    }
+
+    #[test]
+    fn session_churn_is_bursty_but_averages_to_pareto_mean() {
+        let mut m = SessionChurn::new(1.5, 20);
+        let mut rng = DetRng::seed(6);
+        let n = 200;
+        let ticks = 20_000;
+        let total: usize = (0..ticks)
+            .map(|t| m.refreshes(Time::at(t), n, &mut rng))
+            .sum();
+        // Mean session = 20·1.5/0.5 = 60 ticks ⇒ rate 1/60 per process.
+        let nominal = m.nominal_rate().unwrap();
+        assert!((nominal - 1.0 / 60.0).abs() < 1e-12);
+        let realized = total as f64 / (ticks as f64 * n as f64);
+        assert!(
+            (realized - nominal).abs() / nominal < 0.25,
+            "realized {realized} should be near nominal {nominal}"
+        );
+        // No session expires before its minimum length.
+        let mut fresh = SessionChurn::new(1.5, 50);
+        for t in 0..50 {
+            assert_eq!(fresh.refreshes(Time::at(t), 10, &mut rng), 0, "t={t}");
+        }
+        // Below alpha = 1 the mean diverges: no nominal rate.
+        assert_eq!(SessionChurn::new(0.9, 20).nominal_rate(), None);
     }
 }

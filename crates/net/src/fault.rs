@@ -1,11 +1,38 @@
-//! Targeted latency faults layered on top of a [`crate::DelayModel`].
+//! Scripted network adversaries layered on top of a [`crate::DelayModel`].
 //!
-//! The paper's network is reliable, so the only adversarial lever is *time*:
+//! The paper's network is reliable, so its only adversarial lever is *time*:
 //! Theorem 2's impossibility argument needs an adversary that stretches
 //! specific messages beyond whatever bound a protocol assumed, and the
 //! eventually-synchronous experiments need pre-GST turbulence aimed at
-//! specific processes. A [`FaultPlan`] is an ordered list of [`DelayFault`]
-//! rules applied after the base model's sample.
+//! specific processes. Beyond that delay shaping, the chaos harness adds
+//! faults the paper's model cannot express:
+//!
+//! * **partitions** ([`Partition`]) — a node-set bipartition active over a
+//!   tick window; every message crossing the cut is dropped until the heal;
+//! * **probabilistic drops** ([`DropRule`]) — per-link loss with a given
+//!   probability, seeded and deterministic;
+//! * a **region delay matrix** ([`RegionMatrix`]) — nodes assigned to
+//!   regions, with a baseline inter-region latency added on top of the
+//!   delay model's sample.
+//!
+//! # Resolution order
+//!
+//! A [`FaultPlan`] resolves overlapping rules in a fixed, documented order,
+//! independent of insertion order for everything whose semantics commute:
+//!
+//! 1. **Partitions**: if *any* active partition separates sender and
+//!    recipient, the message is dropped (attributed to the first matching
+//!    partition). Which partition matches first never changes the verdict.
+//! 2. **Probabilistic drops**: all matching [`DropRule`]s combine into one
+//!    survival probability `Π(1 − pᵢ)`; a single per-message coin decides.
+//!    The drop-or-deliver verdict depends only on the product, so rule
+//!    order cannot change it (attribution of *which* rule dropped the
+//!    message follows insertion order and feeds metrics only).
+//! 3. **Region baseline**: delivered messages crossing regions gain the
+//!    matrix's baseline span (addition — commutes with everything).
+//! 4. **Delay rules** ([`DelayFault`]): applied in insertion order; `Add`
+//!    stacks (commutative), `Set` overrides (deliberately order-sensitive,
+//!    pinned by `rules_stack_in_order`).
 
 use dynareg_sim::{NodeId, Span, Time};
 
@@ -73,11 +100,216 @@ impl DelayFault {
     }
 }
 
-/// An ordered collection of fault rules; later rules see the effect of
-/// earlier ones (Add stacks, Set overrides).
-#[derive(Debug, Clone, Default)]
+/// A plain-data description of a set of processes, usable as one side of a
+/// [`Partition`]. Sets are described *intensionally* (by id arithmetic),
+/// not extensionally, so churned-in joiners with fresh ids are covered
+/// without the plan knowing them in advance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeSet {
+    /// An explicit id list.
+    Ids(Vec<NodeId>),
+    /// Every process whose raw id is `< bound` — e.g. `FirstRaw(n)` is the
+    /// bootstrap population, so its complement is "every churn arrival".
+    FirstRaw(u64),
+    /// Every process with `raw % modulo == residue` — e.g.
+    /// `Modulo { modulo: 2, residue: 0 }` is the even half of the world,
+    /// joiners included.
+    Modulo {
+        /// The divisor (must be nonzero to match anything).
+        modulo: u64,
+        /// The residue class selected.
+        residue: u64,
+    },
+}
+
+impl NodeSet {
+    /// Whether `node` belongs to the set.
+    pub fn contains(&self, node: NodeId) -> bool {
+        let raw = node.as_raw();
+        match self {
+            NodeSet::Ids(ids) => ids.contains(&node),
+            NodeSet::FirstRaw(bound) => raw < *bound,
+            NodeSet::Modulo { modulo, residue } => *modulo > 0 && raw % modulo == residue % modulo,
+        }
+    }
+}
+
+/// A scripted partition-and-heal: over `[from_time, until_time)` the system
+/// is split into `side_a` and its complement, and every message crossing
+/// the cut is dropped. At `until_time` the partition heals — messages sent
+/// from then on flow normally (messages *in flight* across the cut when the
+/// partition formed were already assigned their delivery; the cut applies
+/// at send time, like every windowed rule here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// One side of the bipartition; the other side is its complement.
+    pub side_a: NodeSet,
+    /// Start of the partition (inclusive).
+    pub from_time: Time,
+    /// The heal instant (exclusive); `Time::MAX` = never heals.
+    pub until_time: Time,
+}
+
+impl Partition {
+    /// A partition splitting `side_a` from the rest over the window.
+    pub fn new(side_a: NodeSet, from_time: Time, until_time: Time) -> Partition {
+        Partition {
+            side_a,
+            from_time,
+            until_time,
+        }
+    }
+
+    /// The classic even/odd halving of the world over a window.
+    pub fn even_odd(from_time: Time, until_time: Time) -> Partition {
+        Partition::new(
+            NodeSet::Modulo {
+                modulo: 2,
+                residue: 0,
+            },
+            from_time,
+            until_time,
+        )
+    }
+
+    /// Whether a message sent at `now` from `from` to `to` crosses the cut.
+    pub fn separates(&self, now: Time, from: NodeId, to: NodeId) -> bool {
+        self.from_time <= now
+            && now < self.until_time
+            && self.side_a.contains(from) != self.side_a.contains(to)
+    }
+}
+
+/// Probabilistic per-link loss: messages matching the endpoint filters in
+/// the window are dropped with `probability`, decided by one seeded coin
+/// per message (deterministic for a given scenario seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropRule {
+    /// Only messages from this sender (any if `None`).
+    pub from: Option<NodeId>,
+    /// Only messages to this recipient (any if `None`).
+    pub to: Option<NodeId>,
+    /// Start of the active window (inclusive).
+    pub from_time: Time,
+    /// End of the active window (exclusive); `Time::MAX` = forever.
+    pub until_time: Time,
+    /// Per-message drop probability in `[0, 1]`.
+    pub probability: f64,
+}
+
+impl DropRule {
+    /// A rule dropping every message in the window with `probability`.
+    pub fn lossy_everything(from_time: Time, until_time: Time, probability: f64) -> DropRule {
+        DropRule {
+            from: None,
+            to: None,
+            from_time,
+            until_time,
+            probability,
+        }
+    }
+
+    fn matches(&self, now: Time, from: NodeId, to: NodeId) -> bool {
+        self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+            && self.from_time <= now
+            && now < self.until_time
+    }
+}
+
+/// A region-structured delay baseline: every process belongs to region
+/// `raw mod regions` (joiners included), and a message from region `a` to
+/// region `b` gains `delay[a][b]` on top of the delay model's sample.
+///
+/// This models geo-distributed deployments — same-region traffic at the
+/// model's base latency, cross-region traffic paying a structural extra —
+/// while keeping the plan plain data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMatrix {
+    regions: u32,
+    /// Row-major `regions × regions` baseline spans.
+    delay: Vec<Span>,
+}
+
+impl RegionMatrix {
+    /// A matrix of `regions` regions with all-zero baselines.
+    ///
+    /// # Panics
+    /// Panics if `regions` is zero.
+    pub fn new(regions: u32) -> RegionMatrix {
+        assert!(regions > 0, "a region matrix needs at least one region");
+        RegionMatrix {
+            regions,
+            delay: vec![Span::ZERO; (regions as usize) * (regions as usize)],
+        }
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> u32 {
+        self.regions
+    }
+
+    /// The region `node` belongs to.
+    pub fn region_of(&self, node: NodeId) -> u32 {
+        (node.as_raw() % u64::from(self.regions)) as u32
+    }
+
+    /// Sets the directed baseline from region `a` to region `b`.
+    ///
+    /// # Panics
+    /// Panics if either region is out of range.
+    pub fn set(&mut self, a: u32, b: u32, extra: Span) {
+        assert!(a < self.regions && b < self.regions, "region out of range");
+        self.delay[(a as usize) * (self.regions as usize) + b as usize] = extra;
+    }
+
+    /// Builder form of [`RegionMatrix::set`] setting both directions.
+    pub fn with_link(mut self, a: u32, b: u32, extra: Span) -> RegionMatrix {
+        self.set(a, b, extra);
+        self.set(b, a, extra);
+        self
+    }
+
+    /// The directed baseline from region `a` to region `b`.
+    pub fn get(&self, a: u32, b: u32) -> Span {
+        self.delay[(a as usize) * (self.regions as usize) + b as usize]
+    }
+
+    /// The baseline a message from `from` to `to` pays.
+    pub fn baseline(&self, from: NodeId, to: NodeId) -> Span {
+        self.get(self.region_of(from), self.region_of(to))
+    }
+}
+
+/// Why a message was dropped by the fault layer (rule attribution for the
+/// `net.dropped.fault.*` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropKind {
+    /// Dropped by the `i`-th [`Partition`] of the plan.
+    Partition(usize),
+    /// Dropped by the `i`-th [`DropRule`] of the plan.
+    Random(usize),
+}
+
+/// What the fault layer decided for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// Deliver with this (fault-adjusted) latency.
+    Deliver(Span),
+    /// Drop the message; the kind names the responsible rule.
+    Dropped(DropKind),
+}
+
+/// A complete scripted adversary: delay rules, partitions, probabilistic
+/// drops and an optional region matrix. Resolution order per message:
+/// partitions, then probabilistic drops, then the region baseline, then
+/// delay rules in insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     rules: Vec<DelayFault>,
+    partitions: Vec<Partition>,
+    drops: Vec<DropRule>,
+    region: Option<RegionMatrix>,
 }
 
 impl FaultPlan {
@@ -86,25 +318,101 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Adds a rule, returning `self` for chaining.
+    /// Adds a delay rule, returning `self` for chaining.
     pub fn with(mut self, rule: DelayFault) -> FaultPlan {
         self.rules.push(rule);
         self
     }
 
-    /// Adds a rule in place.
+    /// Adds a delay rule in place.
     pub fn push(&mut self, rule: DelayFault) {
         self.rules.push(rule);
     }
 
-    /// Whether the plan has any rules.
-    pub fn is_empty(&self) -> bool {
-        self.rules.is_empty()
+    /// Adds a scripted partition, returning `self` for chaining.
+    pub fn with_partition(mut self, partition: Partition) -> FaultPlan {
+        self.partitions.push(partition);
+        self
     }
 
-    /// Applies all matching rules in order to a base latency sample.
+    /// Adds a scripted partition in place.
+    pub fn push_partition(&mut self, partition: Partition) {
+        self.partitions.push(partition);
+    }
+
+    /// Adds a probabilistic drop rule, returning `self` for chaining.
+    pub fn with_drop(mut self, rule: DropRule) -> FaultPlan {
+        self.drops.push(rule);
+        self
+    }
+
+    /// Adds a probabilistic drop rule in place.
+    pub fn push_drop(&mut self, rule: DropRule) {
+        self.drops.push(rule);
+    }
+
+    /// Installs the region delay matrix (replacing any previous one).
+    pub fn with_region(mut self, region: RegionMatrix) -> FaultPlan {
+        self.region = Some(region);
+        self
+    }
+
+    /// Installs or clears the region delay matrix in place.
+    pub fn set_region(&mut self, region: Option<RegionMatrix>) {
+        self.region = region;
+    }
+
+    /// Mutable access to the region delay matrix, if any.
+    pub fn region_mut(&mut self) -> Option<&mut RegionMatrix> {
+        self.region.as_mut()
+    }
+
+    /// Whether the plan has no rules of any kind.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+            && self.partitions.is_empty()
+            && self.drops.is_empty()
+            && self.region.is_none()
+    }
+
+    /// Whether the plan can drop messages (partitions or probabilistic
+    /// drops). Plans without chaos never consume drop coins, so a
+    /// delay-only (or empty) plan leaves the network's random streams —
+    /// and therefore the whole run — byte-identical to the pre-chaos
+    /// engine.
+    pub fn has_chaos(&self) -> bool {
+        !self.partitions.is_empty() || !self.drops.is_empty()
+    }
+
+    /// The delay rules, in insertion order.
+    pub fn delay_rules(&self) -> &[DelayFault] {
+        &self.rules
+    }
+
+    /// The scripted partitions, in insertion order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// The probabilistic drop rules, in insertion order.
+    pub fn drops(&self) -> &[DropRule] {
+        &self.drops
+    }
+
+    /// The region delay matrix, if any.
+    pub fn region(&self) -> Option<&RegionMatrix> {
+        self.region.as_ref()
+    }
+
+    /// Applies the latency-shaping stages (region baseline, then delay
+    /// rules in insertion order) to a base sample. This is the whole story
+    /// for plans without chaos; [`FaultPlan::evaluate`] adds the drop
+    /// stages in front.
     pub fn apply(&self, base: Span, now: Time, from: NodeId, to: NodeId) -> Span {
         let mut latency = base;
+        if let Some(region) = &self.region {
+            latency = latency + region.baseline(from, to);
+        }
         for rule in &self.rules {
             if rule.matches(now, from, to) {
                 latency = match rule.action {
@@ -114,6 +422,46 @@ impl FaultPlan {
             }
         }
         latency
+    }
+
+    /// Full fault resolution for one message: partitions, then the
+    /// combined drop coin, then latency shaping (see the module docs).
+    /// `coin` is one uniform `[0, 1)` draw dedicated to this message; the
+    /// drop-or-deliver verdict depends only on the *set* of matching
+    /// rules, never their order.
+    pub fn evaluate(
+        &self,
+        base: Span,
+        now: Time,
+        from: NodeId,
+        to: NodeId,
+        coin: f64,
+    ) -> FaultVerdict {
+        for (i, p) in self.partitions.iter().enumerate() {
+            if p.separates(now, from, to) {
+                return FaultVerdict::Dropped(DropKind::Partition(i));
+            }
+        }
+        // One coin against the combined survival probability Π(1 − pᵢ):
+        // the message drops iff coin < 1 − Π, a product that commutes
+        // over rule order. Attribution scans the same cumulative
+        // intervals, so exactly one rule owns each dropped coin.
+        let mut survival = 1.0;
+        let mut dropped_by = None;
+        for (i, d) in self.drops.iter().enumerate() {
+            if d.matches(now, from, to) {
+                let before = 1.0 - survival;
+                survival *= 1.0 - d.probability.clamp(0.0, 1.0);
+                let after = 1.0 - survival;
+                if dropped_by.is_none() && before <= coin && coin < after {
+                    dropped_by = Some(i);
+                }
+            }
+        }
+        if let Some(i) = dropped_by {
+            return FaultVerdict::Dropped(DropKind::Random(i));
+        }
+        FaultVerdict::Deliver(self.apply(base, now, from, to))
     }
 }
 
@@ -129,9 +477,14 @@ mod tests {
     fn empty_plan_is_identity() {
         let plan = FaultPlan::none();
         assert!(plan.is_empty());
+        assert!(!plan.has_chaos());
         assert_eq!(
             plan.apply(Span::ticks(4), Time::ZERO, n(0), n(1)),
             Span::ticks(4)
+        );
+        assert_eq!(
+            plan.evaluate(Span::ticks(4), Time::ZERO, n(0), n(1), 0.0),
+            FaultVerdict::Deliver(Span::ticks(4))
         );
     }
 
@@ -198,6 +551,114 @@ mod tests {
         assert_eq!(
             plan.apply(Span::UNIT, Time::ZERO, n(1), n(2)),
             Span::ticks(50)
+        );
+    }
+
+    #[test]
+    fn node_sets_cover_joiners() {
+        let evens = NodeSet::Modulo {
+            modulo: 2,
+            residue: 0,
+        };
+        assert!(evens.contains(n(0)));
+        assert!(!evens.contains(n(1)));
+        assert!(evens.contains(n(1_000_002)), "fresh joiners are covered");
+        let boot = NodeSet::FirstRaw(20);
+        assert!(boot.contains(n(19)));
+        assert!(!boot.contains(n(20)));
+        let listed = NodeSet::Ids(vec![n(3), n(7)]);
+        assert!(listed.contains(n(7)));
+        assert!(!listed.contains(n(8)));
+    }
+
+    #[test]
+    fn partition_drops_cross_cut_messages_in_window_only() {
+        let plan =
+            FaultPlan::none().with_partition(Partition::even_odd(Time::at(10), Time::at(20)));
+        assert!(plan.has_chaos());
+        // Crossing the cut inside the window: dropped.
+        assert_eq!(
+            plan.evaluate(Span::UNIT, Time::at(10), n(0), n(1), 0.99),
+            FaultVerdict::Dropped(DropKind::Partition(0))
+        );
+        // Same side: delivered.
+        assert_eq!(
+            plan.evaluate(Span::UNIT, Time::at(10), n(0), n(2), 0.99),
+            FaultVerdict::Deliver(Span::UNIT)
+        );
+        // After the heal: delivered.
+        assert_eq!(
+            plan.evaluate(Span::UNIT, Time::at(20), n(0), n(1), 0.99),
+            FaultVerdict::Deliver(Span::UNIT)
+        );
+    }
+
+    #[test]
+    fn drop_rules_combine_order_independently() {
+        let a = DropRule::lossy_everything(Time::ZERO, Time::MAX, 0.5);
+        let b = DropRule::lossy_everything(Time::ZERO, Time::MAX, 0.2);
+        let ab = FaultPlan::none().with_drop(a.clone()).with_drop(b.clone());
+        let ba = FaultPlan::none().with_drop(b).with_drop(a);
+        // Combined drop probability 1 − 0.5·0.8 = 0.6 either way.
+        for coin in [0.0, 0.3, 0.59, 0.61, 0.99] {
+            let da = matches!(
+                ab.evaluate(Span::UNIT, Time::ZERO, n(0), n(1), coin),
+                FaultVerdict::Dropped(_)
+            );
+            let db = matches!(
+                ba.evaluate(Span::UNIT, Time::ZERO, n(0), n(1), coin),
+                FaultVerdict::Dropped(_)
+            );
+            assert_eq!(da, db, "verdict at coin {coin} is order-independent");
+            assert_eq!(da, coin < 0.6, "drop iff coin < combined probability");
+        }
+    }
+
+    #[test]
+    fn drop_attribution_partitions_the_coin_space() {
+        let plan = FaultPlan::none()
+            .with_drop(DropRule::lossy_everything(Time::ZERO, Time::MAX, 0.5))
+            .with_drop(DropRule::lossy_everything(Time::ZERO, Time::MAX, 0.2));
+        assert_eq!(
+            plan.evaluate(Span::UNIT, Time::ZERO, n(0), n(1), 0.25),
+            FaultVerdict::Dropped(DropKind::Random(0))
+        );
+        assert_eq!(
+            plan.evaluate(Span::UNIT, Time::ZERO, n(0), n(1), 0.55),
+            FaultVerdict::Dropped(DropKind::Random(1))
+        );
+        assert!(matches!(
+            plan.evaluate(Span::UNIT, Time::ZERO, n(0), n(1), 0.65),
+            FaultVerdict::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn region_matrix_adds_cross_region_baseline() {
+        let matrix = RegionMatrix::new(2).with_link(0, 1, Span::ticks(10));
+        let plan = FaultPlan::none().with_region(matrix);
+        assert!(!plan.has_chaos(), "a region matrix alone drops nothing");
+        // Cross-region: base + 10.
+        assert_eq!(
+            plan.apply(Span::ticks(2), Time::ZERO, n(0), n(1)),
+            Span::ticks(12)
+        );
+        // Same region (0 and 2 are both region 0 of 2): base only.
+        assert_eq!(
+            plan.apply(Span::ticks(2), Time::ZERO, n(0), n(2)),
+            Span::ticks(2)
+        );
+    }
+
+    #[test]
+    fn partitions_shadow_drop_rules() {
+        let plan = FaultPlan::none()
+            .with_drop(DropRule::lossy_everything(Time::ZERO, Time::MAX, 1.0))
+            .with_partition(Partition::even_odd(Time::ZERO, Time::MAX));
+        assert_eq!(
+            plan.evaluate(Span::UNIT, Time::ZERO, n(0), n(1), 0.5),
+            FaultVerdict::Dropped(DropKind::Partition(0)),
+            "partitions resolve before probabilistic drops"
         );
     }
 }

@@ -34,6 +34,9 @@ mod network;
 mod presence;
 
 pub use delay::DelayModel;
-pub use fault::{DelayFault, FaultAction, FaultPlan};
+pub use fault::{
+    DelayFault, DropKind, DropRule, FaultAction, FaultPlan, FaultVerdict, NodeSet, Partition,
+    RegionMatrix,
+};
 pub use network::{Envelope, Fanout, Network};
 pub use presence::{LifeRecord, NodeStatus, Presence};

@@ -10,7 +10,7 @@
 use dynareg_sim::{DetRng, NodeId, Time};
 
 use crate::delay::DelayModel;
-use crate::fault::FaultPlan;
+use crate::fault::{DropKind, FaultPlan, FaultVerdict};
 use crate::presence::Presence;
 
 /// A message in flight: who, what, when sent, when (tentatively) delivered.
@@ -123,6 +123,14 @@ impl<M> Fanout<M> {
 ///   a protocol bug, not traffic: it panics in debug builds and counts
 ///   the whole attempt as dropped (without sending) in release builds,
 ///   identically for `send` and `broadcast`.
+/// * **Fault-induced drops count as sent *and* as dropped**: a message
+///   lost to a partition or a probabilistic [`crate::DropRule`] used its
+///   channel (the sender paid for it), so `sent_by_label` counts it like
+///   any other send — a broadcast still counts one per process in its
+///   snapshot even when the fault layer swallows some copies — and the
+///   loss is tallied separately under the per-rule fault-drop counters
+///   ([`Network::dropped_to_faults`], [`Network::fault_drops_by_rule`]).
+///   Probabilistic drops are never silent.
 ///
 /// # Example
 ///
@@ -143,12 +151,22 @@ pub struct Network {
     delay: Box<dyn DelayModel>,
     faults: FaultPlan,
     rng: DetRng,
+    /// Dedicated stream for fault drop coins, forked from the latency rng
+    /// only when the plan can drop messages ([`FaultPlan::has_chaos`]) —
+    /// so chaos-free plans leave the latency stream, and therefore the
+    /// whole run, byte-identical to a network with no plan at all.
+    fault_rng: Option<DetRng>,
     /// Per-label send counters. A handful of protocol labels exist and the
     /// counter is bumped once per message, so a pointer-first linear scan
     /// beats any map on the hot path; [`Network::sent_by_label`] sorts on
     /// read for deterministic reporting.
     sent_by_label: Vec<(&'static str, u64)>,
     dropped_departed: u64,
+    /// Fault drops attributed per partition (index = partition order in
+    /// the plan).
+    dropped_by_partition: Vec<u64>,
+    /// Fault drops attributed per probabilistic drop rule.
+    dropped_by_drop_rule: Vec<u64>,
 }
 
 impl Network {
@@ -159,8 +177,11 @@ impl Network {
             delay,
             faults: FaultPlan::none(),
             rng,
+            fault_rng: None,
             sent_by_label: Vec::new(),
             dropped_departed: 0,
+            dropped_by_partition: Vec::new(),
+            dropped_by_drop_rule: Vec::new(),
         }
     }
 
@@ -177,8 +198,18 @@ impl Network {
         self.sent_by_label.push((label, n));
     }
 
-    /// Installs a fault plan (replacing any previous one).
+    /// Installs a fault plan (replacing any previous one). Plans that can
+    /// drop messages get a dedicated coin stream forked off the latency
+    /// rng here, once; delay-only (and empty) plans consume nothing, so
+    /// installing them is free.
     pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.fault_rng = if faults.has_chaos() {
+            Some(self.rng.fork(0xFA))
+        } else {
+            None
+        };
+        self.dropped_by_partition = vec![0; faults.partitions().len()];
+        self.dropped_by_drop_rule = vec![0; faults.drops().len()];
         self.faults = faults;
     }
 
@@ -193,9 +224,27 @@ impl Network {
         self.delay.synchronous_from()
     }
 
-    fn latency(&mut self, now: Time, from: NodeId, to: NodeId) -> dynareg_sim::Span {
+    /// Samples one message's fate: `Some(latency)` to deliver, `None` when
+    /// the fault layer dropped it (already counted). The latency rng is
+    /// always consumed (the base sample happens before fault resolution),
+    /// so installing drop rules never shifts the latency stream of the
+    /// messages that survive.
+    fn route(&mut self, now: Time, from: NodeId, to: NodeId) -> Option<dynareg_sim::Span> {
         let base = self.delay.sample(now, from, to, &mut self.rng);
-        self.faults.apply(base, now, from, to)
+        let Some(coin) = self.fault_rng.as_mut().map(|r| r.unit()) else {
+            return Some(self.faults.apply(base, now, from, to));
+        };
+        match self.faults.evaluate(base, now, from, to, coin) {
+            FaultVerdict::Deliver(latency) => Some(latency),
+            FaultVerdict::Dropped(DropKind::Partition(i)) => {
+                self.dropped_by_partition[i] += 1;
+                None
+            }
+            FaultVerdict::Dropped(DropKind::Random(i)) => {
+                self.dropped_by_drop_rule[i] += 1;
+                None
+            }
+        }
     }
 
     /// Handles a departed sender uniformly for `send` and `broadcast` (see
@@ -235,12 +284,14 @@ impl Network {
             self.dropped_departed += 1;
             return None;
         }
-        Some(self.send_present(now, from, to, label, msg))
+        self.send_present(now, from, to, label, msg)
     }
 
     /// Unicast fast path: like [`Network::send`], but the caller attests
     /// that both endpoints are present (the runtime knows — it holds the
-    /// live-node slab), so no presence lookups happen here.
+    /// live-node slab), so no presence lookups happen here. Returns `None`
+    /// when the fault layer drops the message in flight (counted as sent
+    /// *and* as a fault drop; see *Message accounting* on [`Network`]).
     pub fn send_present<M>(
         &mut self,
         now: Time,
@@ -248,17 +299,17 @@ impl Network {
         to: NodeId,
         label: &'static str,
         msg: M,
-    ) -> Envelope<M> {
+    ) -> Option<Envelope<M>> {
         self.bump_label(label, 1);
-        let deliver_at = now + self.latency(now, from, to);
-        Envelope {
+        let deliver_at = now + self.route(now, from, to)?;
+        Some(Envelope {
             from,
             to,
             sent_at: now,
             deliver_at,
             label,
             msg,
-        }
+        })
     }
 
     /// Broadcasts `msg` to **every process in the system at `now`**
@@ -294,12 +345,15 @@ impl Network {
             };
         }
         let mut recipients = Vec::with_capacity(presence.present_count());
-        // Id order → deterministic latency sampling.
+        // Id order → deterministic latency sampling. Fault-dropped copies
+        // simply never enter the snapshot (the runtime schedules nothing
+        // for them), but they still count as sent below.
         for to in presence.present_iter() {
-            let deliver_at = now + self.latency(now, from, to);
-            recipients.push((to, deliver_at));
+            if let Some(latency) = self.route(now, from, to) {
+                recipients.push((to, now + latency));
+            }
         }
-        self.bump_label(label, recipients.len() as u64);
+        self.bump_label(label, presence.present_count() as u64);
         Fanout {
             from,
             sent_at: now,
@@ -346,6 +400,29 @@ impl Network {
     /// time).
     pub fn dropped_to_departed(&self) -> u64 {
         self.dropped_departed
+    }
+
+    /// Messages dropped by the fault layer (partitions and probabilistic
+    /// drop rules), total.
+    pub fn dropped_to_faults(&self) -> u64 {
+        self.dropped_by_partition.iter().sum::<u64>()
+            + self.dropped_by_drop_rule.iter().sum::<u64>()
+    }
+
+    /// Fault drops attributed per rule, as `(kind, rule_index, count)`
+    /// with kind `"partition"` or `"drop"` — indices follow the plan's
+    /// insertion order.
+    pub fn fault_drops_by_rule(&self) -> impl Iterator<Item = (&'static str, usize, u64)> + '_ {
+        self.dropped_by_partition
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ("partition", i, c))
+            .chain(
+                self.dropped_by_drop_rule
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| ("drop", i, c)),
+            )
     }
 }
 
@@ -464,6 +541,89 @@ mod tests {
         let fast = net.send(&p, Time::ZERO, n(1), n(0), "X", ()).unwrap();
         assert_eq!(slow.deliver_at, Time::at(500));
         assert_eq!(fast.deliver_at, Time::at(2));
+    }
+
+    #[test]
+    fn partition_drops_cross_cut_and_counts() {
+        use crate::fault::Partition;
+        let (p, mut net) = three_node_world();
+        net.set_faults(
+            FaultPlan::none().with_partition(Partition::even_odd(Time::ZERO, Time::at(50))),
+        );
+        // 0 → 1 crosses the even/odd cut: dropped but counted as sent.
+        assert!(net.send(&p, Time::at(1), n(0), n(1), "X", ()).is_none());
+        // 0 → 2 stays on the even side: delivered.
+        assert!(net.send(&p, Time::at(1), n(0), n(2), "X", ()).is_some());
+        // After the heal everything flows.
+        assert!(net.send(&p, Time::at(50), n(0), n(1), "X", ()).is_some());
+        assert_eq!(net.dropped_to_faults(), 1);
+        assert_eq!(net.total_sent(), 3, "fault drops still count as sent");
+        assert_eq!(net.dropped_to_departed(), 0);
+        let by_rule: Vec<_> = net.fault_drops_by_rule().collect();
+        assert_eq!(by_rule, vec![("partition", 0, 1)]);
+    }
+
+    #[test]
+    fn broadcast_under_partition_reaches_own_side_only() {
+        use crate::fault::Partition;
+        let (p, mut net) = three_node_world();
+        net.set_faults(
+            FaultPlan::none().with_partition(Partition::even_odd(Time::ZERO, Time::MAX)),
+        );
+        let fan = net.broadcast(&p, Time::at(1), n(0), "WRITE", ());
+        let tos: Vec<NodeId> = fan.recipients.iter().map(|&(to, _)| to).collect();
+        assert_eq!(tos, vec![n(0), n(2)], "odd side never hears the write");
+        assert_eq!(net.dropped_to_faults(), 1);
+        let stats: std::collections::BTreeMap<_, _> = net.sent_by_label().collect();
+        assert_eq!(stats["WRITE"], 3, "the snapshot size counts as sent");
+    }
+
+    #[test]
+    fn probabilistic_drops_are_seeded_and_counted() {
+        use crate::fault::DropRule;
+        let run = |seed| {
+            let mut p = Presence::new();
+            p.bootstrap([n(0), n(1), n(2)], Time::ZERO);
+            let mut net = Network::new(Box::new(Fixed::new(Span::ticks(2))), DetRng::seed(seed));
+            net.set_faults(FaultPlan::none().with_drop(DropRule::lossy_everything(
+                Time::ZERO,
+                Time::MAX,
+                0.5,
+            )));
+            let mut fates = Vec::new();
+            for t in 0..200 {
+                fates.push(net.send(&p, Time::at(t), n(0), n(1), "X", ()).is_some());
+            }
+            (fates, net.dropped_to_faults())
+        };
+        let (fates_a, drops_a) = run(7);
+        let (fates_b, drops_b) = run(7);
+        assert_eq!(fates_a, fates_b, "same seed, same drop decisions");
+        assert!(
+            drops_a > 50 && drops_a < 150,
+            "roughly half drop: {drops_a}"
+        );
+        assert_eq!(drops_a, drops_b);
+        let (fates_c, _) = run(8);
+        assert_ne!(fates_a, fates_c, "different seed, different coins");
+    }
+
+    #[test]
+    fn delay_only_plans_leave_latency_stream_untouched() {
+        // A delay-only plan must not consume coins: the surviving latency
+        // stream is identical to the no-plan network's.
+        let (p, mut plain) = three_node_world();
+        let mut faulted = Network::new(Box::new(Synchronous::new(Span::ticks(5))), DetRng::seed(1));
+        faulted.set_faults(FaultPlan::none().with(DelayFault::slow_everything(
+            Time::at(1000),
+            Time::at(2000),
+            Span::ticks(9),
+        )));
+        for t in 0..100 {
+            let a = plain.send(&p, Time::at(t), n(0), n(1), "X", ()).unwrap();
+            let b = faulted.send(&p, Time::at(t), n(0), n(1), "X", ()).unwrap();
+            assert_eq!(a.deliver_at, b.deliver_at);
+        }
     }
 
     #[test]

@@ -268,6 +268,13 @@ impl Metrics {
         self.keyed_counters.entry((name, key)).or_default().incr();
     }
 
+    /// Adds `n` to the counter attributed to `key` (also used for non-key
+    /// attributions such as per-fault-rule drop counts, where the key is
+    /// the rule index).
+    pub fn add_keyed(&mut self, name: &'static str, key: u32, n: u64) {
+        self.keyed_counters.entry((name, key)).or_default().add(n);
+    }
+
     /// Current value of the counter attributed to register `key` (zero if
     /// never touched).
     pub fn keyed_counter(&self, name: &'static str, key: u32) -> u64 {

@@ -43,6 +43,7 @@
 pub mod experiment;
 mod factory;
 mod scenario;
+mod scenfile;
 pub mod table;
 mod workload;
 mod world;
@@ -55,6 +56,7 @@ pub use factory::{EsFactory, ProtocolFactory, SpaceFactory, SpaceOf, SyncFactory
 pub use scenario::{
     ChurnChoice, KeyReport, NetClass, ProtocolChoice, RunReport, Scenario, ScenarioSpec,
 };
+pub use scenfile::{parse_scenario, scenario_hash, write_scenario, ScenError, FORMAT_LINE};
 pub use workload::{
     KeyedAction, OpAction, RateWorkload, ScriptTarget, ScriptedWorkload, Workload, ZipfKeys,
     ZipfWorkload,

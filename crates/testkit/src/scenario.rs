@@ -10,7 +10,10 @@
 //!   reproduces the exact same run.
 //! * [`Scenario`] — the ergonomic builder over a spec, unchanged API.
 
-use dynareg_churn::{analysis, ChurnDriver, ChurnModel, ConstantRate, LeaveSelector, NoChurn};
+use dynareg_churn::{
+    analysis, BurstChurn, ChurnDriver, ChurnModel, ConstantRate, DiurnalChurn, FlashCrowd,
+    LeaveSelector, NoChurn, SessionChurn,
+};
 use dynareg_core::es::EsConfig;
 use dynareg_core::space::{RegisterSpaceProcess, ShardConfig};
 use dynareg_core::sync::SyncConfig;
@@ -113,6 +116,11 @@ pub struct RunReport {
     pub messages: Vec<(&'static str, u64)>,
     /// Total messages sent.
     pub total_messages: u64,
+    /// Messages the fault layer dropped (partitions + probabilistic drop
+    /// rules); per-rule attribution lives in the metrics under
+    /// `net.dropped.fault.partition` / `net.dropped.fault.drop`, keyed by
+    /// rule index. Always zero for chaos-free runs.
+    pub fault_drops: u64,
     /// Rendered trace (empty unless tracing enabled).
     pub trace: TraceLog,
     /// Number of registers in the run's key space (1 for single-register
@@ -297,6 +305,89 @@ pub enum ChurnChoice {
     Constant(f64),
     /// Poisson churn with mean rate `c` (extension model).
     Poisson(f64),
+    /// Alternating storm/quiet phases ([`BurstChurn`]).
+    Burst {
+        /// Storm-phase rate.
+        on: f64,
+        /// Storm-phase length in ticks.
+        on_ticks: u64,
+        /// Quiet-phase rate.
+        off: f64,
+        /// Quiet-phase length in ticks.
+        off_ticks: u64,
+    },
+    /// Day/night cosine-modulated rate ([`DiurnalChurn`]).
+    Diurnal {
+        /// Rate at the peak of the cycle.
+        peak: f64,
+        /// Rate at the trough of the cycle.
+        trough: f64,
+        /// Cycle period in ticks.
+        period: u64,
+    },
+    /// Heavy-tailed Pareto session lengths ([`SessionChurn`]).
+    Sessions {
+        /// Pareto shape (`> 1` for a finite mean).
+        alpha: f64,
+        /// Minimum session length in ticks.
+        min_ticks: u64,
+    },
+    /// Balanced base churn plus population-growing join waves
+    /// ([`FlashCrowd`]).
+    FlashCrowd {
+        /// Base balanced rate.
+        base: f64,
+        /// First-wave start tick.
+        wave_at: u64,
+        /// Wave repeat period (`0` = one-shot).
+        wave_every: u64,
+        /// Unpaired joins per wave tick.
+        wave_joins: u32,
+        /// Wave length in ticks.
+        wave_ticks: u64,
+    },
+}
+
+impl ChurnChoice {
+    /// Instantiates the chosen model.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid for the chosen model (rates
+    /// outside `[0, 1]`, zero periods, …).
+    pub fn build(self) -> Box<dyn ChurnModel> {
+        match self {
+            ChurnChoice::None => Box::new(NoChurn),
+            ChurnChoice::Constant(c) => Box::new(ConstantRate::new(c)),
+            ChurnChoice::Poisson(c) => Box::new(dynareg_churn::PoissonChurn::new(c)),
+            ChurnChoice::Burst {
+                on,
+                on_ticks,
+                off,
+                off_ticks,
+            } => Box::new(BurstChurn::new(on, on_ticks, off, off_ticks)),
+            ChurnChoice::Diurnal {
+                peak,
+                trough,
+                period,
+            } => Box::new(DiurnalChurn::new(peak, trough, period)),
+            ChurnChoice::Sessions { alpha, min_ticks } => {
+                Box::new(SessionChurn::new(alpha, min_ticks))
+            }
+            ChurnChoice::FlashCrowd {
+                base,
+                wave_at,
+                wave_every,
+                wave_joins,
+                wave_ticks,
+            } => Box::new(FlashCrowd::new(
+                base,
+                wave_at,
+                wave_every,
+                wave_joins as usize,
+                wave_ticks,
+            )),
+        }
+    }
 }
 
 /// Plain-data description of a complete simulated run.
@@ -311,7 +402,7 @@ pub enum ChurnChoice {
 /// Most users construct specs through the [`Scenario`] builder and extract
 /// them with [`Scenario::into_spec`]; the fields are public so sweep
 /// engines can also assemble them directly.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Protocol variant to run.
     pub protocol: ProtocolChoice,
@@ -371,6 +462,9 @@ impl ScenarioSpec {
         match self.churn {
             ChurnChoice::None => 0.0,
             ChurnChoice::Constant(c) | ChurnChoice::Poisson(c) => c,
+            // The extension models report their own long-run rate;
+            // heavy-tailed sessions below α = 1 have no finite mean.
+            choice => choice.build().nominal_rate().unwrap_or(0.0),
         }
     }
 
@@ -403,11 +497,7 @@ impl ScenarioSpec {
     }
 
     fn build_churn(&self, stop_at: Time, n: usize) -> ChurnDriver {
-        let inner: Box<dyn ChurnModel> = match self.churn {
-            ChurnChoice::None => Box::new(NoChurn),
-            ChurnChoice::Constant(c) => Box::new(ConstantRate::new(c)),
-            ChurnChoice::Poisson(c) => Box::new(dynareg_churn::PoissonChurn::new(c)),
-        };
+        let inner = self.churn.build();
         ChurnDriver::new(
             Box::new(StopAfter { inner, stop_at }),
             self.selector,
@@ -585,6 +675,7 @@ impl ScenarioSpec {
         let liveness = anchor.liveness;
         let messages: Vec<(&'static str, u64)> = network.sent_by_label().collect();
         let total_messages = network.total_sent();
+        let fault_drops = metrics.counter("net.dropped.fault");
         RunReport {
             protocol,
             n: self.n,
@@ -599,6 +690,7 @@ impl ScenarioSpec {
             presence,
             messages,
             total_messages,
+            fault_drops,
             trace,
             keys,
             shards,
@@ -750,6 +842,14 @@ impl Scenario {
     /// Poisson churn with mean rate `c` (extension model).
     pub fn churn_poisson(mut self, c: f64) -> Scenario {
         self.spec.churn = ChurnChoice::Poisson(c);
+        self
+    }
+
+    /// Any churn-model choice, including the extension models
+    /// ([`ChurnChoice::Burst`], [`ChurnChoice::Diurnal`],
+    /// [`ChurnChoice::Sessions`], [`ChurnChoice::FlashCrowd`]).
+    pub fn churn_choice(mut self, choice: ChurnChoice) -> Scenario {
+        self.spec.churn = choice;
         self
     }
 
@@ -955,6 +1055,14 @@ impl ChurnModel for StopAfter {
         }
     }
 
+    fn extra_joins(&mut self, now: Time, n: usize, rng: &mut DetRng) -> usize {
+        if now >= self.stop_at {
+            0
+        } else {
+            self.inner.extra_joins(now, n, rng)
+        }
+    }
+
     fn nominal_rate(&self) -> Option<f64> {
         self.inner.nominal_rate()
     }
@@ -1010,6 +1118,46 @@ mod tests {
         let s = report.summary();
         assert!(s.contains("sync"));
         assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn flash_crowd_scenario_grows_population_and_stays_safe() {
+        let report = Scenario::synchronous(12, Span::ticks(3))
+            .churn_choice(ChurnChoice::FlashCrowd {
+                base: 0.02,
+                wave_at: 60,
+                wave_every: 0,
+                wave_joins: 4,
+                wave_ticks: 3,
+            })
+            .duration(Span::ticks(300))
+            .seed(9)
+            .run();
+        assert!(report.safety.is_ok(), "{}", report.safety);
+        assert!(report.liveness.is_ok(), "{}", report.liveness);
+        // 12 unpaired arrivals on top of the balanced refreshes.
+        assert!(
+            report.presence.present_count() >= 12 + 12,
+            "population grew: {}",
+            report.presence.present_count()
+        );
+    }
+
+    #[test]
+    fn extension_churn_choices_report_their_long_run_rate() {
+        let burst = Scenario::synchronous(10, Span::ticks(5)).churn_choice(ChurnChoice::Burst {
+            on: 0.2,
+            on_ticks: 10,
+            off: 0.0,
+            off_ticks: 40,
+        });
+        assert!((burst.effective_churn_rate() - 0.04).abs() < 1e-12);
+        let sessions =
+            Scenario::synchronous(10, Span::ticks(5)).churn_choice(ChurnChoice::Sessions {
+                alpha: 1.5,
+                min_ticks: 20,
+            });
+        assert!((sessions.effective_churn_rate() - 1.0 / 60.0).abs() < 1e-12);
     }
 
     #[test]

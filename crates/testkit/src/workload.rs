@@ -375,7 +375,7 @@ impl Workload for ZipfWorkload {
 ///
 /// Targets may be absolute node ids or "the k-th churn arrival", resolved
 /// by the world at run time.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScriptedWorkload {
     script: Vec<(Time, ScriptTarget, KeyedAction)>,
 }

@@ -907,7 +907,22 @@ where
                         self.network.note_dropped_departed();
                         continue;
                     };
-                    let env = self.network.send_present(self.now, node, to, label, msg);
+                    let Some(env) = self.network.send_present(self.now, node, to, label, msg)
+                    else {
+                        // The fault layer swallowed it (partition or drop
+                        // rule) — counted inside the network; a send event
+                        // with no delivery instant marks it in the trace.
+                        self.trace.record(
+                            self.now,
+                            TraceEvent::Send {
+                                from: node,
+                                to: Some(to),
+                                label,
+                                deliver_at: None,
+                            },
+                        );
+                        continue;
+                    };
                     self.trace.record(
                         self.now,
                         TraceEvent::Send {
@@ -945,15 +960,20 @@ where
                             self.network
                                 .broadcast(&self.presence, self.now, node, label, msg),
                         );
-                    // The snapshot and the slot roster enumerate the same
-                    // present set in the same id order: zip them instead
-                    // of hashing once per recipient.
-                    debug_assert_eq!(fan.recipients.len(), self.present_slots.len());
-                    for (idx, (&(to, deliver_at), &(rnode, slot))) in
-                        fan.recipients.iter().zip(&self.present_slots).enumerate()
-                    {
-                        debug_assert_eq!(to, rnode);
-                        let _ = to;
+                    // The snapshot is an (id-ordered) subset of the slot
+                    // roster — equal when no fault drops thinned it — so a
+                    // single merge walk resolves every recipient's slot
+                    // without hashing once per recipient.
+                    debug_assert!(fan.recipients.len() <= self.present_slots.len());
+                    let mut roster = self.present_slots.iter();
+                    for (idx, &(to, deliver_at)) in fan.recipients.iter().enumerate() {
+                        let slot = loop {
+                            let &(rnode, slot) =
+                                roster.next().expect("every fan recipient holds a slot");
+                            if rnode == to {
+                                break slot;
+                            }
+                        };
                         self.queue.schedule_class(
                             deliver_at,
                             CLASS_DELIVER,
@@ -1146,6 +1166,23 @@ where
         Network,
     ) {
         self.metrics.add("net.delivered", self.delivered_msgs);
+        // Fault-induced losses are never silent: the total and the
+        // per-rule attribution both land in the metrics (precedent:
+        // `ops.skipped_busy`).
+        let fault_drops = self.network.dropped_to_faults();
+        if fault_drops > 0 {
+            self.metrics.add("net.dropped.fault", fault_drops);
+        }
+        let by_rule: Vec<(&'static str, usize, u64)> = self.network.fault_drops_by_rule().collect();
+        for (kind, rule, count) in by_rule {
+            if count > 0 {
+                let name = match kind {
+                    "partition" => "net.dropped.fault.partition",
+                    _ => "net.dropped.fault.drop",
+                };
+                self.metrics.add_keyed(name, rule as u32, count);
+            }
+        }
         (
             self.histories,
             self.presence,

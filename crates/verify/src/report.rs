@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use dynareg_sim::{NodeId, OpId};
+use dynareg_sim::{NodeId, OpId, Time};
+
+use crate::history::History;
 
 /// One explained safety violation found by a checker.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +52,32 @@ impl<V> ConsistencyReport<V> {
     /// Number of violations.
     pub fn violation_count(&self) -> usize {
         self.violations.len()
+    }
+
+    /// Completion times of the violating reads, looked up in `history`.
+    ///
+    /// Violations only ever cite completed reads, so every entry has a
+    /// concrete time. Lets chaos tests attribute bad reads to a fault
+    /// window instead of eyeballing a pass/fail verdict.
+    pub fn violation_completion_times(&self, history: &History<V>) -> Vec<Time>
+    where
+        V: Clone + Eq + std::hash::Hash + fmt::Debug,
+    {
+        self.violations
+            .iter()
+            .filter_map(|v| history.get(v.read).and_then(|rec| rec.completed_at))
+            .collect()
+    }
+
+    /// How many violating reads completed inside `[from, until)`.
+    pub fn violations_completed_in(&self, history: &History<V>, from: Time, until: Time) -> usize
+    where
+        V: Clone + Eq + std::hash::Hash + fmt::Debug,
+    {
+        self.violation_completion_times(history)
+            .into_iter()
+            .filter(|t| *t >= from && *t < until)
+            .count()
     }
 }
 
