@@ -26,8 +26,9 @@ use dynareg_bench::{header, Cli};
 use dynareg_churn::{ChurnDriver, ConstantRate, LeaveSelector};
 use dynareg_core::sync::SyncConfig;
 use dynareg_net::delay::Synchronous;
+use dynareg_sim::obs::TickProfile;
 use dynareg_sim::{IdSource, NodeId, Span, Time};
-use dynareg_testkit::{RateWorkload, SyncFactory, World, WorldConfig, WriterPolicy};
+use dynareg_testkit::{ObsConfig, RateWorkload, SyncFactory, World, WorldConfig, WriterPolicy};
 use dynareg_verify::{AtomicityChecker, LivenessChecker};
 
 /// One measured scenario: what ran and how fast.
@@ -43,6 +44,10 @@ struct SoakResult {
     check_secs: f64,
     safety_ok: bool,
     liveness_ok: bool,
+    /// Wall-clock split of `sim_secs` across tick phases (delivery,
+    /// timers, churn, workload, sampling) from the observability layer's
+    /// tick profiler.
+    tick_phases: TickProfile,
 }
 
 impl SoakResult {
@@ -70,7 +75,8 @@ impl SoakResult {
                 "      \"check_secs\": {:.4},\n",
                 "      \"reads_checked_per_sec\": {:.0},\n",
                 "      \"safety_ok\": {},\n",
-                "      \"liveness_ok\": {}\n",
+                "      \"liveness_ok\": {},\n",
+                "      \"tick_phases\": {}\n",
                 "    }}"
             ),
             self.name,
@@ -86,6 +92,7 @@ impl SoakResult {
             self.reads_per_sec(),
             self.safety_ok,
             self.liveness_ok,
+            self.tick_phases.json(),
         )
     }
 }
@@ -124,11 +131,21 @@ fn soak(
         },
     );
     world.protect(NodeId::from_raw(0));
+    // Profiling only: no spans, no timeseries — the per-event `Instant`
+    // reads are the whole overhead, and the event stream is untouched.
+    world.set_obs(ObsConfig {
+        tick_profile: true,
+        ..ObsConfig::off()
+    });
 
     let sim_start = Instant::now();
     world.run_until(end);
     let sim_secs = sim_start.elapsed().as_secs_f64();
     let events = world.events_processed();
+    let tick_phases = world
+        .take_obs_report()
+        .and_then(|r| r.tick_profile)
+        .unwrap_or_default();
 
     let (history, _presence, _metrics, _trace, network) = world.into_outputs();
     let messages = network.total_sent();
@@ -156,6 +173,7 @@ fn soak(
         check_secs,
         safety_ok,
         liveness_ok: liveness.is_ok(),
+        tick_phases,
     }
 }
 
@@ -224,7 +242,7 @@ fn main() {
     report(&edge);
 
     let json = format!(
-        "{{\n  \"schema\": \"dynareg-bench-soak/1\",\n  \"scenarios\": [\n{},\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"dynareg-bench-soak/2\",\n  \"scenarios\": [\n{},\n{}\n  ]\n}}\n",
         scale.json(),
         edge.json()
     );
@@ -250,4 +268,5 @@ fn report(r: &SoakResult) {
         if r.safety_ok { "OK" } else { "VIOLATED" },
         if r.liveness_ok { "OK" } else { "STUCK" },
     );
+    println!("       phases: {}", r.tick_phases);
 }

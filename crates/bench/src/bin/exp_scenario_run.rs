@@ -8,22 +8,36 @@
 //! byte-identical: the same file and seed always print the same hash and
 //! digest, which is what the CI `scenario-corpus` job `cmp`-gates.
 //!
+//! With `--obs` (implied by `--trace-out` / `--timeseries-out`) the run
+//! carries the observability layer: causal op spans with per-message
+//! fates, a bounded flight-recorder trace ring, and an optional per-tick
+//! gauge timeseries. Observability never touches the event stream — the
+//! printed run digest is identical with and without it (CI's obs-smoke
+//! gate `cmp`s exactly this). When any key's verdict fails, the stuck
+//! operations' `why_stuck` chains — which messages were lost, and to
+//! which fault rule — are printed, and the full flight-recorder dump
+//! (JSONL, `dynareg-flight/1`) lands in `--trace-out`.
+//!
 //! Usage: `exp_scenario_run <scenario.dyn> [--seed S]
-//! [--duration-ticks T] [--digest-out PATH]`
+//! [--duration-ticks T] [--digest-out PATH] [--obs] [--trace-out PATH]
+//! [--timeseries-out PATH]`
 
 use dynareg_bench::{header, Cli};
 use dynareg_fleet::run_digest;
 use dynareg_sim::Span;
-use dynareg_testkit::{parse_scenario, scenario_hash, RunReport};
+use dynareg_testkit::{parse_scenario, scenario_hash, ObsConfig, RunReport};
 
-const USAGE: &str =
-    "exp_scenario_run <scenario.dyn> [--seed S] [--duration-ticks T] [--digest-out PATH]";
+const USAGE: &str = "exp_scenario_run <scenario.dyn> [--seed S] [--duration-ticks T] \
+     [--digest-out PATH] [--obs] [--trace-out PATH] [--timeseries-out PATH]";
 
 struct Args {
     path: String,
     seed: Option<u64>,
     duration_ticks: Option<u64>,
     digest_out: Option<String>,
+    obs: bool,
+    trace_out: Option<String>,
+    timeseries_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +47,9 @@ fn parse_args() -> Args {
         seed: None,
         duration_ticks: None,
         digest_out: None,
+        obs: false,
+        trace_out: None,
+        timeseries_out: None,
     };
     while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
@@ -45,6 +62,9 @@ fn parse_args() -> Args {
                 ));
             }
             "--digest-out" => parsed.digest_out = Some(cli.value("--digest-out")),
+            "--obs" => parsed.obs = true,
+            "--trace-out" => parsed.trace_out = Some(cli.value("--trace-out")),
+            "--timeseries-out" => parsed.timeseries_out = Some(cli.value("--timeseries-out")),
             flag if flag.starts_with('-') => cli.fail(&format!("unknown argument `{flag}`")),
             path if parsed.path.is_empty() => parsed.path = path.to_string(),
             extra => cli.fail(&format!("unexpected extra argument `{extra}`")),
@@ -53,6 +73,8 @@ fn parse_args() -> Args {
     if parsed.path.is_empty() {
         cli.fail("missing scenario file");
     }
+    // Either output file wants obs data, so asking for one opts in.
+    parsed.obs |= parsed.trace_out.is_some() || parsed.timeseries_out.is_some();
     parsed
 }
 
@@ -130,7 +152,17 @@ fn main() {
 
     let partition_rules = spec.faults.as_ref().map_or(0, |p| p.partitions().len());
     let drop_rules = spec.faults.as_ref().map_or(0, |p| p.drops().len());
-    let report = spec.run();
+    let report = if args.obs {
+        let obs = ObsConfig {
+            spans: true,
+            timeseries_every: args.timeseries_out.as_ref().map(|_| 1),
+            flight_recorder: Some(4096),
+            tick_profile: false,
+        };
+        spec.run_observed(obs)
+    } else {
+        spec.run()
+    };
 
     println!("{}\n", report.summary());
     println!("per-key space report:");
@@ -152,6 +184,52 @@ fn main() {
                 .metrics
                 .keyed_counter("net.dropped.fault.drop", i as u32)
         );
+    }
+    if report.delta_overruns > 0 {
+        // δ-derived verdicts assume the bound holds; flag every breach.
+        print!(
+            "\nWARNING: {} deliveries exceeded the configured δ={} after the \
+             synchrony guarantee began",
+            report.delta_overruns, report.delta
+        );
+        if let Some((at, from, to, latency)) = report.delta_overrun_example {
+            print!(" (first: {from} -> {to} at {at}, effective latency {latency})");
+        }
+        println!();
+    }
+    if report.inquiry_full() > 0 {
+        println!(
+            "shard starvation: {} INQUIRY_FULL message(s) over {} re-inquiry round(s)",
+            report.inquiry_full(),
+            report.reinquiry_rounds()
+        );
+    }
+
+    if let Some(obs) = &report.obs {
+        let stuck = obs.why_stuck_all();
+        if !stuck.is_empty() {
+            println!("\nstuck operations ({}):", stuck.len());
+            for why in &stuck {
+                print!("{why}");
+            }
+        }
+        if let Some(path) = &args.trace_out {
+            let dump = obs.flight_dump(&report.trace);
+            if let Err(e) = std::fs::write(path, dump) {
+                cli.fail(&format!("cannot write `{path}`: {e}"));
+            }
+            println!("flight-recorder dump written to {path}");
+        }
+        if let Some(path) = &args.timeseries_out {
+            let ts = obs
+                .timeseries
+                .as_ref()
+                .expect("--timeseries-out enables the recorder");
+            if let Err(e) = std::fs::write(path, ts.to_jsonl()) {
+                cli.fail(&format!("cannot write `{path}`: {e}"));
+            }
+            println!("timeseries written to {path}");
+        }
     }
 
     let digest = run_digest(&report);

@@ -99,6 +99,12 @@ pub struct PointOutcome {
     pub writes_completed: u64,
     /// Messages sent.
     pub messages: u64,
+    /// `INQUIRY_FULL` messages sent (sharded-join starvation escalation
+    /// traffic; 0 for unsharded runs).
+    pub inquiry_full: u64,
+    /// Deliveries whose effective latency broke the configured `δ` after
+    /// the synchrony guarantee began.
+    pub delta_overruns: u64,
     /// Per-tick `|A(τ)|` samples.
     pub active: Histogram,
     /// Measured `min_τ |A(τ, τ+3δ)|` (Lemma 2's left-hand side), if the
@@ -140,6 +146,8 @@ impl PointOutcome {
             reads_completed: report.metrics.counter("ops.read_completed"),
             writes_completed: report.metrics.counter("ops.write_completed"),
             messages: report.total_messages,
+            inquiry_full: report.inquiry_full(),
+            delta_overruns: report.delta_overruns,
             active: report
                 .metrics
                 .histogram("gauge.active")
@@ -198,6 +206,11 @@ pub struct Cell {
     pub writes_completed: u64,
     /// Total messages sent.
     pub messages: u64,
+    /// Total `INQUIRY_FULL` escalation messages.
+    pub inquiry_full: u64,
+    /// Total δ-overrun deliveries (non-zero marks the cell's `δ`-derived
+    /// verdicts as timing-suspect).
+    pub delta_overruns: u64,
     /// Merged per-tick `|A(τ)|` samples.
     pub active: Histogram,
     /// Minimum measured `|A(τ, τ+3δ)|` across runs, if any run measured it.
@@ -235,6 +248,8 @@ impl Cell {
             reads_completed: 0,
             writes_completed: 0,
             messages: 0,
+            inquiry_full: 0,
+            delta_overruns: 0,
             active: Histogram::new(),
             min_window_active: None,
             lemma2_steady_bound: 0.0,
@@ -270,6 +285,8 @@ impl Cell {
         self.reads_completed += o.reads_completed;
         self.writes_completed += o.writes_completed;
         self.messages += o.messages;
+        self.inquiry_full += o.inquiry_full;
+        self.delta_overruns += o.delta_overruns;
         self.active.merge(&o.active);
         self.min_window_active = match (self.min_window_active, o.min_window_active) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -357,6 +374,8 @@ mod tests {
             reads_completed: 10,
             writes_completed: 2,
             messages: 100,
+            inquiry_full: 0,
+            delta_overruns: 0,
             active: Histogram::new(),
             min_window_active: Some(5),
             lemma2_steady_bound: 1.0,

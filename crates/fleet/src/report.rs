@@ -337,7 +337,7 @@ impl PhaseReport {
             )
         }
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"dynareg-phase-diagram/3\",\n");
+        out.push_str("{\n  \"schema\": \"dynareg-phase-diagram/4\",\n");
         out.push_str(&format!("  \"protocol\": \"{}\",\n", self.protocol));
         out.push_str(&format!("  \"master_seed\": {},\n", self.master_seed));
         out.push_str(&format!("  \"total_runs\": {},\n", self.total_runs));
@@ -354,7 +354,8 @@ impl PhaseReport {
                     "\"stuck_runs\": {}, \"stuck_ops\": {}, \"inversions\": {}, ",
                     "\"arrivals\": {}, \"joins_completed\": {}, \"join_ratio\": {:.4}, ",
                     "\"reads_checked\": {}, \"reads_completed\": {}, \"writes_completed\": {}, ",
-                    "\"messages\": {}, \"min_active\": {}, \"mean_active\": {:.4}, ",
+                    "\"messages\": {}, \"inquiry_full\": {}, \"delta_overruns\": {}, ",
+                    "\"min_active\": {}, \"mean_active\": {:.4}, ",
                     "\"min_window_active\": {}, \"lemma2_steady_floor\": {:.4}, ",
                     "\"feasible\": {}, \"join_latency\": {}, \"read_latency\": {}, ",
                     "\"write_latency\": {}}}{}\n",
@@ -378,6 +379,8 @@ impl PhaseReport {
                 c.reads_completed,
                 c.writes_completed,
                 c.messages,
+                c.inquiry_full,
+                c.delta_overruns,
                 c.active.min().unwrap_or(0),
                 c.active.mean().unwrap_or(0.0),
                 c.min_window_active
@@ -474,7 +477,9 @@ mod tests {
     fn json_is_schema_tagged_and_free_of_wall_clock() {
         let report = small_report();
         let json = report.json();
-        assert!(json.contains("\"schema\": \"dynareg-phase-diagram/3\""));
+        assert!(json.contains("\"schema\": \"dynareg-phase-diagram/4\""));
+        assert!(json.contains("\"inquiry_full\""));
+        assert!(json.contains("\"delta_overruns\""));
         assert!(json.contains("\"fleet_digest\""));
         assert!(
             !json.contains("secs"),
@@ -533,6 +538,8 @@ mod tests {
                 reads_completed: 1,
                 writes_completed: 1,
                 messages: 1,
+                inquiry_full: 0,
+                delta_overruns: 0,
                 active: Histogram::new(),
                 min_window_active: None,
                 lemma2_steady_bound: 0.0,

@@ -38,5 +38,5 @@ pub use fault::{
     DelayFault, DropKind, DropRule, FaultAction, FaultPlan, FaultVerdict, NodeSet, Partition,
     RegionMatrix,
 };
-pub use network::{Envelope, Fanout, Network};
+pub use network::{Envelope, Fanout, MsgRecord, Network, SendFate};
 pub use presence::{LifeRecord, NodeStatus, Presence};

@@ -7,7 +7,7 @@
 //! message was in flight — the paper's processes "no longer send or receive
 //! messages" after leaving).
 
-use dynareg_sim::{DetRng, NodeId, Time};
+use dynareg_sim::{DetRng, NodeId, Span, Time};
 
 use crate::delay::DelayModel;
 use crate::fault::{DropKind, FaultPlan, FaultVerdict};
@@ -16,6 +16,10 @@ use crate::presence::Presence;
 /// A message in flight: who, what, when sent, when (tentatively) delivered.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope<M> {
+    /// Deterministic message sequence id (see [`Network`]: one per send
+    /// attempt, in send order). Lets a delivery be linked back to the
+    /// exact send that caused it.
+    pub seq: u64,
     /// Sender.
     pub from: NodeId,
     /// Recipient.
@@ -28,6 +32,48 @@ pub struct Envelope<M> {
     pub label: &'static str,
     /// The payload.
     pub msg: M,
+}
+
+/// What became of one send attempt, recorded in the optional message log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFate {
+    /// The copy was scheduled for delivery at the given instant. (Whether
+    /// it actually lands also depends on the recipient still being present
+    /// then — the runtime owns that check.)
+    Scheduled {
+        /// The sampled delivery instant.
+        deliver_at: Time,
+    },
+    /// The fault layer swallowed the copy; `kind` is `"partition"` or
+    /// `"drop"` and `rule` the plan index, matching
+    /// [`Network::fault_drops_by_rule`].
+    FaultDropped {
+        /// Rule category: `"partition"` or `"drop"`.
+        kind: &'static str,
+        /// Rule index within its category (plan insertion order).
+        rule: usize,
+    },
+}
+
+/// One entry of the optional per-message fate log
+/// ([`Network::enable_msg_log`]): every send attempt — including
+/// fault-dropped broadcast copies that never reach a [`Fanout`] snapshot —
+/// with its sequence id and fate. The causal-span layer joins this against
+/// delivery records to explain wedged operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// Deterministic sequence id of the attempt.
+    pub seq: u64,
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient of this copy.
+    pub to: NodeId,
+    /// Protocol-level label.
+    pub label: &'static str,
+    /// Send instant.
+    pub sent_at: Time,
+    /// What happened to the copy.
+    pub fate: SendFate,
 }
 
 /// A broadcast in flight: **one** payload shared by every recipient, plus
@@ -54,7 +100,7 @@ pub struct Envelope<M> {
 ///
 /// let fan = net.broadcast(&presence, Time::ZERO, NodeId::from_raw(0), "PING", ());
 /// assert_eq!(fan.len(), 3); // self-delivery included
-/// assert!(fan.recipients.iter().all(|&(_, at)| at <= Time::at(4)));
+/// assert!(fan.recipients.iter().all(|&(_, at, _)| at <= Time::at(4)));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fanout<M> {
@@ -67,8 +113,10 @@ pub struct Fanout<M> {
     /// The payload, stored exactly once.
     pub msg: M,
     /// The timely-broadcast snapshot: every process present at `sent_at`
-    /// (in id order, deterministic) with its sampled delivery instant.
-    pub recipients: Vec<(NodeId, Time)>,
+    /// (in id order, deterministic) with its sampled delivery instant and
+    /// the copy's message sequence id. Fault-dropped copies consumed a
+    /// sequence id too but never enter the snapshot.
+    pub recipients: Vec<(NodeId, Time, u64)>,
 }
 
 impl<M> Fanout<M> {
@@ -91,7 +139,8 @@ impl<M> Fanout<M> {
     {
         self.recipients
             .iter()
-            .map(move |&(to, deliver_at)| Envelope {
+            .map(move |&(to, deliver_at, seq)| Envelope {
+                seq,
                 from: self.from,
                 to,
                 sent_at: self.sent_at,
@@ -167,12 +216,33 @@ pub struct Network {
     dropped_by_partition: Vec<u64>,
     /// Fault drops attributed per probabilistic drop rule.
     dropped_by_drop_rule: Vec<u64>,
+    /// Next message sequence id. Bumped once per send attempt (including
+    /// fault-dropped copies), in deterministic send order — a plain
+    /// counter, outside both rng streams and the event-stream digest.
+    next_seq: u64,
+    /// Optional per-attempt fate log ([`Network::enable_msg_log`]); `None`
+    /// (the default) records nothing and costs one branch per send.
+    msg_log: Option<Vec<MsgRecord>>,
+    /// The delay model's advertised δ, cached at construction (the boxed
+    /// model is behind a vtable; the overrun check runs per message).
+    delta_bound: Option<Span>,
+    /// Cached GST: overruns are only meaningful once the model claims δ
+    /// holds.
+    sync_from: Time,
+    /// Deliveries whose effective latency (base sample + region matrix +
+    /// delay faults) exceeded the advertised δ after GST.
+    delta_overruns: u64,
+    /// First overrun seen, kept for the diagnostic report:
+    /// `(sent_at, from, to, latency)`.
+    first_overrun: Option<(Time, NodeId, NodeId, Span)>,
 }
 
 impl Network {
     /// A network over the given delay model, drawing latency randomness from
     /// `rng`.
     pub fn new(delay: Box<dyn DelayModel>, rng: DetRng) -> Network {
+        let delta_bound = delay.delta();
+        let sync_from = delay.synchronous_from();
         Network {
             delay,
             faults: FaultPlan::none(),
@@ -182,6 +252,12 @@ impl Network {
             dropped_departed: 0,
             dropped_by_partition: Vec::new(),
             dropped_by_drop_rule: Vec::new(),
+            next_seq: 0,
+            msg_log: None,
+            delta_bound,
+            sync_from,
+            delta_overruns: 0,
+            first_overrun: None,
         }
     }
 
@@ -215,36 +291,62 @@ impl Network {
 
     /// The delay model's advertised bound `δ`, if the synchrony class has
     /// one.
-    pub fn delta(&self) -> Option<dynareg_sim::Span> {
-        self.delay.delta()
+    pub fn delta(&self) -> Option<Span> {
+        self.delta_bound
     }
 
     /// First instant from which the network is synchronous (GST).
     pub fn synchronous_from(&self) -> Time {
-        self.delay.synchronous_from()
+        self.sync_from
     }
 
-    /// Samples one message's fate: `Some(latency)` to deliver, `None` when
-    /// the fault layer dropped it (already counted). The latency rng is
-    /// always consumed (the base sample happens before fault resolution),
-    /// so installing drop rules never shifts the latency stream of the
-    /// messages that survive.
-    fn route(&mut self, now: Time, from: NodeId, to: NodeId) -> Option<dynareg_sim::Span> {
+    /// Samples one message's fate: `Ok(latency)` to deliver, `Err((kind,
+    /// rule))` when the fault layer dropped it (already counted; the
+    /// attribution is returned so send sites can log it). The latency rng
+    /// is always consumed (the base sample happens before fault
+    /// resolution), so installing drop rules never shifts the latency
+    /// stream of the messages that survive. Surviving latencies are
+    /// checked against the advertised δ here — the one chokepoint every
+    /// copy passes through — so a region baseline or delay fault that
+    /// silently breaks the synchrony assumption is counted, not ignored.
+    fn route(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Span, (&'static str, usize)> {
         let base = self.delay.sample(now, from, to, &mut self.rng);
-        let Some(coin) = self.fault_rng.as_mut().map(|r| r.unit()) else {
-            return Some(self.faults.apply(base, now, from, to));
+        let latency = match self.fault_rng.as_mut().map(|r| r.unit()) {
+            None => self.faults.apply(base, now, from, to),
+            Some(coin) => match self.faults.evaluate(base, now, from, to, coin) {
+                FaultVerdict::Deliver(latency) => latency,
+                FaultVerdict::Dropped(DropKind::Partition(i)) => {
+                    self.dropped_by_partition[i] += 1;
+                    return Err(("partition", i));
+                }
+                FaultVerdict::Dropped(DropKind::Random(i)) => {
+                    self.dropped_by_drop_rule[i] += 1;
+                    return Err(("drop", i));
+                }
+            },
         };
-        match self.faults.evaluate(base, now, from, to, coin) {
-            FaultVerdict::Deliver(latency) => Some(latency),
-            FaultVerdict::Dropped(DropKind::Partition(i)) => {
-                self.dropped_by_partition[i] += 1;
-                None
-            }
-            FaultVerdict::Dropped(DropKind::Random(i)) => {
-                self.dropped_by_drop_rule[i] += 1;
-                None
+        if let Some(delta) = self.delta_bound {
+            if latency > delta && now >= self.sync_from {
+                if self.delta_overruns == 0 {
+                    self.first_overrun = Some((now, from, to, latency));
+                }
+                self.delta_overruns += 1;
             }
         }
+        Ok(latency)
+    }
+
+    /// Assigns the next message sequence id (one per send attempt).
+    #[inline]
+    fn assign_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
     }
 
     /// Handles a departed sender uniformly for `send` and `broadcast` (see
@@ -301,15 +403,44 @@ impl Network {
         msg: M,
     ) -> Option<Envelope<M>> {
         self.bump_label(label, 1);
-        let deliver_at = now + self.route(now, from, to)?;
-        Some(Envelope {
-            from,
-            to,
-            sent_at: now,
-            deliver_at,
-            label,
-            msg,
-        })
+        let seq = self.assign_seq();
+        match self.route(now, from, to) {
+            Ok(latency) => {
+                let deliver_at = now + latency;
+                if let Some(log) = self.msg_log.as_mut() {
+                    log.push(MsgRecord {
+                        seq,
+                        from,
+                        to,
+                        label,
+                        sent_at: now,
+                        fate: SendFate::Scheduled { deliver_at },
+                    });
+                }
+                Some(Envelope {
+                    seq,
+                    from,
+                    to,
+                    sent_at: now,
+                    deliver_at,
+                    label,
+                    msg,
+                })
+            }
+            Err((kind, rule)) => {
+                if let Some(log) = self.msg_log.as_mut() {
+                    log.push(MsgRecord {
+                        seq,
+                        from,
+                        to,
+                        label,
+                        sent_at: now,
+                        fate: SendFate::FaultDropped { kind, rule },
+                    });
+                }
+                None
+            }
+        }
     }
 
     /// Broadcasts `msg` to **every process in the system at `now`**
@@ -347,10 +478,38 @@ impl Network {
         let mut recipients = Vec::with_capacity(presence.present_count());
         // Id order → deterministic latency sampling. Fault-dropped copies
         // simply never enter the snapshot (the runtime schedules nothing
-        // for them), but they still count as sent below.
+        // for them), but they still count as sent below — and still burn a
+        // sequence id, so the fate log can name exactly which copies of a
+        // broadcast were lost.
         for to in presence.present_iter() {
-            if let Some(latency) = self.route(now, from, to) {
-                recipients.push((to, now + latency));
+            let seq = self.assign_seq();
+            match self.route(now, from, to) {
+                Ok(latency) => {
+                    let deliver_at = now + latency;
+                    if let Some(log) = self.msg_log.as_mut() {
+                        log.push(MsgRecord {
+                            seq,
+                            from,
+                            to,
+                            label,
+                            sent_at: now,
+                            fate: SendFate::Scheduled { deliver_at },
+                        });
+                    }
+                    recipients.push((to, deliver_at, seq));
+                }
+                Err((kind, rule)) => {
+                    if let Some(log) = self.msg_log.as_mut() {
+                        log.push(MsgRecord {
+                            seq,
+                            from,
+                            to,
+                            label,
+                            sent_at: now,
+                            fate: SendFate::FaultDropped { kind, rule },
+                        });
+                    }
+                }
             }
         }
         self.bump_label(label, presence.present_count() as u64);
@@ -391,6 +550,15 @@ impl Network {
         sorted.into_iter()
     }
 
+    /// Messages sent so far under one label (0 if the label never
+    /// appeared) — the cheap point query behind per-tick label gauges.
+    pub fn sent_of(&self, label: &str) -> u64 {
+        self.sent_by_label
+            .iter()
+            .find(|&&(l, _)| l == label)
+            .map_or(0, |&(_, c)| c)
+    }
+
     /// Total messages sent (all labels).
     pub fn total_sent(&self) -> u64 {
         self.sent_by_label.iter().map(|&(_, v)| v).sum()
@@ -423,6 +591,52 @@ impl Network {
                     .enumerate()
                     .map(|(i, &c)| ("drop", i, c)),
             )
+    }
+
+    /// The sequence id the next send attempt will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The sequence id of the most recent send attempt, or `None` before
+    /// the first. Lets a caller attribute a unicast whose envelope was
+    /// fault-dropped (`send_present` returned `None`) — the attempt still
+    /// consumed exactly one id.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.next_seq.checked_sub(1)
+    }
+
+    /// Starts recording a [`MsgRecord`] per send attempt. Off by default;
+    /// the log grows with every message, so only diagnostics turn it on.
+    pub fn enable_msg_log(&mut self) {
+        if self.msg_log.is_none() {
+            self.msg_log = Some(Vec::new());
+        }
+    }
+
+    /// The fate log so far, if enabled.
+    pub fn msg_log(&self) -> Option<&[MsgRecord]> {
+        self.msg_log.as_deref()
+    }
+
+    /// Takes the fate log, leaving recording disabled; empty when it was
+    /// never enabled.
+    pub fn take_msg_log(&mut self) -> Vec<MsgRecord> {
+        self.msg_log.take().unwrap_or_default()
+    }
+
+    /// Deliveries whose effective latency exceeded the advertised δ after
+    /// the model's GST — each one a silent break of the synchrony
+    /// assumption the protocols' timers are derived from. Always counted
+    /// (one comparison per delivered message); zero for models without a
+    /// bound.
+    pub fn delta_overruns(&self) -> u64 {
+        self.delta_overruns
+    }
+
+    /// The first δ-overrun observed, as `(sent_at, from, to, latency)`.
+    pub fn first_delta_overrun(&self) -> Option<(Time, NodeId, NodeId, Span)> {
+        self.first_overrun
     }
 }
 
@@ -479,7 +693,7 @@ mod tests {
         let (mut p, mut net) = three_node_world();
         p.enter(n(9), Time::at(1)); // listening joiner must receive
         let fan = net.broadcast(&p, Time::at(2), n(0), "WRITE", 7u64);
-        let tos: Vec<NodeId> = fan.recipients.iter().map(|&(to, _)| to).collect();
+        let tos: Vec<NodeId> = fan.recipients.iter().map(|&(to, _, _)| to).collect();
         assert_eq!(tos, vec![n(0), n(1), n(2), n(9)], "snapshot in id order");
         assert_eq!(fan.len(), 4);
         // Lazy expansion clones the payload per materialized envelope.
@@ -495,7 +709,7 @@ mod tests {
         let (mut p, mut net) = three_node_world();
         let fan = net.broadcast(&p, Time::at(2), n(0), "WRITE", ());
         p.enter(n(9), Time::at(3)); // enters after the broadcast
-        assert!(fan.recipients.iter().all(|&(to, _)| to != n(9)));
+        assert!(fan.recipients.iter().all(|&(to, _, _)| to != n(9)));
     }
 
     #[test]
@@ -571,7 +785,7 @@ mod tests {
             FaultPlan::none().with_partition(Partition::even_odd(Time::ZERO, Time::MAX)),
         );
         let fan = net.broadcast(&p, Time::at(1), n(0), "WRITE", ());
-        let tos: Vec<NodeId> = fan.recipients.iter().map(|&(to, _)| to).collect();
+        let tos: Vec<NodeId> = fan.recipients.iter().map(|&(to, _, _)| to).collect();
         assert_eq!(tos, vec![n(0), n(2)], "odd side never hears the write");
         assert_eq!(net.dropped_to_faults(), 1);
         let stats: std::collections::BTreeMap<_, _> = net.sent_by_label().collect();
@@ -633,5 +847,94 @@ mod tests {
         let a = net1.broadcast(&p, Time::ZERO, n(0), "X", ());
         let b = net2.broadcast(&p, Time::ZERO, n(0), "X", ());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sequence_ids_count_every_attempt_including_dropped_copies() {
+        use crate::fault::Partition;
+        let (p, mut net) = three_node_world();
+        assert_eq!(net.last_seq(), None);
+        net.set_faults(
+            FaultPlan::none().with_partition(Partition::even_odd(Time::ZERO, Time::MAX)),
+        );
+        // Broadcast into 3 nodes: copies 0,1,2. The cross-cut copy to n(1)
+        // is dropped but still consumes seq 1.
+        let fan = net.broadcast(&p, Time::at(1), n(0), "WRITE", ());
+        let seqs: Vec<u64> = fan.recipients.iter().map(|&(_, _, s)| s).collect();
+        assert_eq!(seqs, vec![0, 2], "dropped copy burned seq 1");
+        assert_eq!(net.next_seq(), 3);
+        // A fault-dropped unicast still advances the counter.
+        assert!(net.send(&p, Time::at(2), n(0), n(1), "X", ()).is_none());
+        assert_eq!(net.last_seq(), Some(3));
+        let env = net.send(&p, Time::at(2), n(0), n(2), "X", ()).unwrap();
+        assert_eq!(env.seq, 4);
+    }
+
+    #[test]
+    fn msg_log_records_fates_per_attempt() {
+        use crate::fault::Partition;
+        let (p, mut net) = three_node_world();
+        net.enable_msg_log();
+        net.set_faults(
+            FaultPlan::none().with_partition(Partition::even_odd(Time::ZERO, Time::MAX)),
+        );
+        net.broadcast(&p, Time::at(1), n(0), "INQUIRY", ());
+        let log = net.msg_log().unwrap();
+        assert_eq!(log.len(), 3, "one record per copy, dropped included");
+        assert_eq!(log[0].seq, 0);
+        assert!(matches!(log[0].fate, SendFate::Scheduled { .. }));
+        assert_eq!(log[1].to, n(1));
+        assert_eq!(
+            log[1].fate,
+            SendFate::FaultDropped {
+                kind: "partition",
+                rule: 0
+            }
+        );
+        assert!(log.iter().all(|r| r.label == "INQUIRY" && r.from == n(0)));
+        let taken = net.take_msg_log();
+        assert_eq!(taken.len(), 3);
+        assert!(net.msg_log().is_none(), "taking the log disables it");
+    }
+
+    #[test]
+    fn delta_overruns_count_post_gst_breaches_only() {
+        use crate::delay::{Asynchronous, EventuallySynchronous};
+        let mut p = Presence::new();
+        p.bootstrap([n(0), n(1)], Time::ZERO);
+        // δ=2 advertised from GST=100; stretch every delivery to 500 ticks.
+        let pre = Asynchronous::new(Span::ticks(1), 0.5, Span::ticks(10));
+        let mut net = Network::new(
+            Box::new(EventuallySynchronous::new(
+                Time::at(100),
+                Span::ticks(2),
+                pre,
+            )),
+            DetRng::seed(3),
+        );
+        net.set_faults(FaultPlan::none().with(DelayFault::slow_everything(
+            Time::ZERO,
+            Time::MAX,
+            Span::ticks(500),
+        )));
+        net.send(&p, Time::at(1), n(0), n(1), "X", ()).unwrap();
+        assert_eq!(net.delta_overruns(), 0, "pre-GST latency is fair game");
+        net.send(&p, Time::at(150), n(0), n(1), "X", ()).unwrap();
+        net.send(&p, Time::at(151), n(0), n(1), "X", ()).unwrap();
+        assert_eq!(net.delta_overruns(), 2);
+        let (at, from, to, latency) = net.first_delta_overrun().unwrap();
+        assert_eq!((at, from, to), (Time::at(150), n(0), n(1)));
+        assert!(latency > Span::ticks(2));
+    }
+
+    #[test]
+    fn clean_synchronous_traffic_never_overruns() {
+        let (p, mut net) = three_node_world();
+        for t in 0..200 {
+            net.send(&p, Time::at(t), n(0), n(1), "X", ()).unwrap();
+        }
+        net.broadcast(&p, Time::at(200), n(0), "WRITE", ());
+        assert_eq!(net.delta_overruns(), 0);
+        assert!(net.first_delta_overrun().is_none());
     }
 }

@@ -34,6 +34,7 @@
 mod event;
 mod ids;
 pub mod metrics;
+pub mod obs;
 mod rng;
 mod time;
 pub mod trace;

@@ -126,6 +126,12 @@ impl fmt::Display for TraceEntry {
 
 /// Append-only trace of a run, with optional capacity-bounded retention.
 ///
+/// With a capacity limit the log is a true **ring buffer** (a flight
+/// recorder): once full, each new entry overwrites the oldest in place —
+/// O(1) per record, where the seed implementation paid an O(n)
+/// `Vec::remove(0)` shift per entry. [`TraceLog::entries`] always yields
+/// oldest-first regardless of where the ring's write head sits.
+///
 /// # Example
 ///
 /// ```
@@ -140,6 +146,9 @@ impl fmt::Display for TraceEntry {
 #[derive(Debug, Clone, Default)]
 pub struct TraceLog {
     entries: Vec<TraceEntry>,
+    /// Ring head: index of the **oldest** retained entry. Always 0 until
+    /// the capacity limit is first hit.
+    start: usize,
     enabled: bool,
     dropped: u64,
     capacity: Option<usize>,
@@ -150,6 +159,7 @@ impl TraceLog {
     pub fn enabled() -> TraceLog {
         TraceLog {
             entries: Vec::new(),
+            start: 0,
             enabled: true,
             dropped: 0,
             capacity: None,
@@ -161,6 +171,7 @@ impl TraceLog {
     pub fn disabled() -> TraceLog {
         TraceLog {
             entries: Vec::new(),
+            start: 0,
             enabled: false,
             dropped: 0,
             capacity: None,
@@ -171,6 +182,7 @@ impl TraceLog {
     pub fn with_capacity_limit(cap: usize) -> TraceLog {
         TraceLog {
             entries: Vec::new(),
+            start: 0,
             enabled: true,
             dropped: 0,
             capacity: Some(cap),
@@ -188,17 +200,25 @@ impl TraceLog {
             return;
         }
         if let Some(cap) = self.capacity {
-            if self.entries.len() >= cap {
-                self.entries.remove(0);
+            if cap == 0 {
                 self.dropped += 1;
+                return;
+            }
+            if self.entries.len() >= cap {
+                self.entries[self.start] = TraceEntry { time, event };
+                self.start = (self.start + 1) % cap;
+                self.dropped += 1;
+                return;
             }
         }
         self.entries.push(TraceEntry { time, event });
     }
 
-    /// All retained entries in order.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries[self.start..]
+            .iter()
+            .chain(self.entries[..self.start].iter())
     }
 
     /// Number of retained entries.
@@ -216,11 +236,11 @@ impl TraceLog {
         self.dropped
     }
 
-    /// Entries concerning a specific node (as actor or counterpart).
+    /// Entries concerning a specific node (as actor or counterpart),
+    /// oldest first.
     pub fn for_node(&self, node: NodeId) -> Vec<&TraceEntry> {
         use TraceEvent::*;
-        self.entries
-            .iter()
+        self.entries()
             .filter(|e| match &e.event {
                 Enter { node: n } | Activate { node: n } | Leave { node: n } => *n == node,
                 Send { from, to, .. } => *from == node || *to == Some(node),
@@ -237,7 +257,7 @@ impl TraceLog {
     /// deterministic run, so it doubles as a determinism test fixture.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in &self.entries {
+        for e in self.entries() {
             out.push_str(&e.to_string());
             out.push('\n');
         }
@@ -268,7 +288,35 @@ mod tests {
         }
         assert_eq!(log.len(), 2);
         assert_eq!(log.dropped(), 3);
-        assert_eq!(log.entries()[0].time, Time::at(3));
+        assert_eq!(log.entries().next().unwrap().time, Time::at(3));
+    }
+
+    #[test]
+    fn ring_keeps_order_across_many_wraps() {
+        let mut log = TraceLog::with_capacity_limit(3);
+        for i in 0..11 {
+            log.record(Time::at(i), TraceEvent::Enter { node: n(i) });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 8);
+        let times: Vec<Time> = log.entries().map(|e| e.time).collect();
+        assert_eq!(times, vec![Time::at(8), Time::at(9), Time::at(10)]);
+        // render and for_node follow the same oldest-first order.
+        let rendered = log.render();
+        assert_eq!(rendered.lines().count(), 3);
+        assert!(rendered.starts_with("[t8]"));
+        let hits = log.for_node(n(9));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].time, Time::at(9));
+    }
+
+    #[test]
+    fn zero_capacity_ring_retains_nothing_but_counts() {
+        let mut log = TraceLog::with_capacity_limit(0);
+        log.record(Time::at(1), TraceEvent::Enter { node: n(1) });
+        log.record(Time::at(2), TraceEvent::Enter { node: n(2) });
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 2);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 pub mod experiment;
 mod factory;
+pub mod obs;
 mod scenario;
 mod scenfile;
 pub mod table;
@@ -53,6 +54,9 @@ pub use dynareg_core::space::{
     SpaceEffect, SpaceMsg,
 };
 pub use factory::{EsFactory, ProtocolFactory, SpaceFactory, SpaceOf, SyncFactory};
+pub use obs::{
+    MsgFate, MsgInfo, ObsConfig, ObsReport, OpPhase, OpSpan, PhaseEvent, WhyStuck, FLIGHT_SCHEMA,
+};
 pub use scenario::{
     ChurnChoice, KeyReport, NetClass, ProtocolChoice, RunReport, Scenario, ScenarioSpec,
 };

@@ -25,6 +25,7 @@ use dynareg_sim::{DetRng, IdSource, NodeId, RegisterId, Span, Time};
 use dynareg_verify::{ConsistencyReport, History, LivenessReport, SpaceReport};
 
 use crate::factory::{EsFactory, SpaceFactory, SpaceOf, SyncFactory};
+use crate::obs::{ObsConfig, ObsReport};
 use crate::workload::{RateWorkload, ScriptedWorkload, Workload, ZipfKeys, ZipfWorkload};
 use crate::world::{Val, World, WorldConfig, WriterPolicy};
 
@@ -134,6 +135,18 @@ pub struct RunReport {
     /// Verdicts and histories of keys `r1 …` (empty for 1-key runs; the
     /// anchor key `r0` lives in the top-level fields).
     pub extra_keys: Vec<KeyReport>,
+    /// Deliveries whose effective latency exceeded the configured `δ`
+    /// after the synchrony guarantee began — a non-zero count means the
+    /// run's timing assumption was violated (a delay adversary, or a
+    /// mis-parameterised scenario) and `δ`-derived verdicts are suspect.
+    pub delta_overruns: u64,
+    /// The first δ-overrun as `(when, from, to, effective latency)`, for
+    /// the diagnostic line experiment binaries print.
+    pub delta_overrun_example: Option<(Time, NodeId, NodeId, Span)>,
+    /// The observability report (op spans, message fates, timeseries,
+    /// tick profile); present only for [`ScenarioSpec::run_observed`]
+    /// runs.
+    pub obs: Option<ObsReport>,
 }
 
 impl RunReport {
@@ -145,6 +158,28 @@ impl RunReport {
     /// Reads checked by the safety checker on the anchor key.
     pub fn reads_checked(&self) -> usize {
         self.safety.checked_reads
+    }
+
+    /// Sharded-join full-re-inquiry messages sent (`INQUIRY_FULL` wave
+    /// size × rounds) — the shard-starvation escalation traffic. Zero for
+    /// unsharded runs.
+    pub fn inquiry_full(&self) -> u64 {
+        self.messages
+            .iter()
+            .find(|&&(l, _)| l == "INQUIRY_FULL")
+            .map_or(0, |&(_, c)| c)
+    }
+
+    /// Full re-inquiry rounds joiners escalated to after a starved shard
+    /// (one per `INQUIRY_FULL` broadcast). Zero for unsharded runs.
+    pub fn reinquiry_rounds(&self) -> u64 {
+        self.metrics.counter("join.reinquiry_rounds")
+    }
+
+    /// Wall-clock tick-phase profile, if the run was observed with
+    /// [`ObsConfig::tick_profile`] on.
+    pub fn tick_profile(&self) -> Option<&dynareg_sim::obs::TickProfile> {
+        self.obs.as_ref()?.tick_profile.as_ref()
     }
 
     /// Completed reads attributed to one register (the key-attributed
@@ -535,7 +570,7 @@ impl ScenarioSpec {
     /// byte-identical to the pre-register-space engine; keyed specs run a
     /// [`SpaceOf`] world under Zipf traffic.
     pub fn run(&self) -> RunReport {
-        self.dispatch(false)
+        self.dispatch(false, ObsConfig::off())
     }
 
     /// Runs the spec through the [`crate::RegisterSpace`] multiplexer even
@@ -543,10 +578,20 @@ impl ScenarioSpec {
     /// must produce the same observable run as `run()` (the property tests
     /// compare their digests), while exercising the `SpaceMsg` wire layer.
     pub fn run_spaced(&self) -> RunReport {
-        self.dispatch(true)
+        self.dispatch(true, ObsConfig::off())
     }
 
-    fn dispatch(&self, force_space: bool) -> RunReport {
+    /// Runs the spec with the observability layer on: the returned
+    /// report carries [`RunReport::obs`] (op spans with message fates,
+    /// timeseries, tick profile). The observed run's event stream is
+    /// byte-identical to [`ScenarioSpec::run`]'s — observability never
+    /// consumes randomness or reorders events (the digest-identity
+    /// property tests pin this).
+    pub fn run_observed(&self, obs: ObsConfig) -> RunReport {
+        self.dispatch(false, obs)
+    }
+
+    fn dispatch(&self, force_space: bool, obs: ObsConfig) -> RunReport {
         assert!(self.keys > 0, "a register space needs at least one key");
         let end = Time::ZERO + self.duration;
         let drain = self.drain.unwrap_or(self.delta.times(12));
@@ -566,9 +611,10 @@ impl ScenarioSpec {
                         SpaceOf::new(f, self.keys).with_shards(self.shard_config()),
                         end,
                         stop_at,
+                        obs,
                     )
                 } else {
-                    self.run_world(f, end, stop_at)
+                    self.run_world(f, end, stop_at, obs)
                 }
             }
             ProtocolChoice::SynchronousNoWait => {
@@ -578,9 +624,10 @@ impl ScenarioSpec {
                         SpaceOf::new(f, self.keys).with_shards(self.shard_config()),
                         end,
                         stop_at,
+                        obs,
                     )
                 } else {
-                    self.run_world(f, end, stop_at)
+                    self.run_world(f, end, stop_at, obs)
                 }
             }
             ProtocolChoice::EventuallySynchronous | ProtocolChoice::EsAtomic => {
@@ -607,15 +654,16 @@ impl ScenarioSpec {
                         SpaceOf::new(f, self.keys).with_shards(self.shard_config()),
                         end,
                         stop_at,
+                        obs,
                     )
                 } else {
-                    self.run_world(f, end, stop_at)
+                    self.run_world(f, end, stop_at, obs)
                 }
             }
         }
     }
 
-    fn run_world<F>(&self, factory: F, end: Time, stop_at: Time) -> RunReport
+    fn run_world<F>(&self, factory: F, end: Time, stop_at: Time, obs: ObsConfig) -> RunReport
     where
         F: SpaceFactory,
         F::Proc: RegisterSpaceProcess<Val = Val>,
@@ -652,8 +700,10 @@ impl ScenarioSpec {
         if let Some(faults) = self.faults.clone() {
             world.set_faults(faults);
         }
+        world.set_obs(obs);
         world.run_until(end);
 
+        let obs_report = world.take_obs_report();
         let (space, presence, metrics, trace, network) = world.into_space_outputs();
         // One source of per-key checking: the verify crate's space report.
         let mut verdicts = SpaceReport::check(&space).keys.into_iter();
@@ -676,6 +726,8 @@ impl ScenarioSpec {
         let messages: Vec<(&'static str, u64)> = network.sent_by_label().collect();
         let total_messages = network.total_sent();
         let fault_drops = metrics.counter("net.dropped.fault");
+        let delta_overruns = network.delta_overruns();
+        let delta_overrun_example = network.first_delta_overrun();
         RunReport {
             protocol,
             n: self.n,
@@ -696,6 +748,9 @@ impl ScenarioSpec {
             shards,
             writers: self.writers,
             extra_keys,
+            delta_overruns,
+            delta_overrun_example,
+            obs: obs_report,
         }
     }
 }
@@ -1036,6 +1091,12 @@ impl Scenario {
     /// Runs the scenario to completion and checks the result.
     pub fn run(self) -> RunReport {
         self.spec.run()
+    }
+
+    /// Runs the scenario with the observability layer on (see
+    /// [`ScenarioSpec::run_observed`]).
+    pub fn run_observed(self, obs: ObsConfig) -> RunReport {
+        self.spec.run_observed(obs)
     }
 }
 

@@ -43,11 +43,13 @@ use dynareg_core::space::{RegisterSpaceProcess, SpaceEffect};
 use dynareg_core::OpOutcome;
 use dynareg_net::{Fanout, Network, Presence};
 use dynareg_sim::metrics::Metrics;
+use dynareg_sim::obs::TickPhase;
 use dynareg_sim::trace::{TraceEvent, TraceLog};
 use dynareg_sim::{DetRng, EventQueue, NodeId, OpId, RegisterId, Span, Time};
 use dynareg_verify::{History, SpaceHistory};
 
 use crate::factory::SpaceFactory;
+use crate::obs::{Cause, ObsConfig, ObsReport, WorldObs};
 use crate::workload::{KeyedAction, OpAction, Workload};
 
 /// The register value type used by scenarios; histories wrap it in
@@ -111,6 +113,9 @@ enum Pending<M> {
         to: NodeId,
         slot: u32,
         label: &'static str,
+        /// The network's sequence id for this copy (links the delivery to
+        /// its send in the observability layer; inert otherwise).
+        seq: u64,
         msg: M,
     },
     /// One recipient's share of a broadcast: the payload lives once inside
@@ -291,6 +296,11 @@ pub struct World<F: SpaceFactory> {
     /// shield lifts) when the node's last write completes or the node
     /// departs.
     temp_write_protection: Vec<(NodeId, u32)>,
+    /// The observability collector, absent unless installed via
+    /// [`World::set_obs`] — every hook sits behind this `Option`, so an
+    /// uninstrumented world pays one predictable branch per hook site and
+    /// its event stream (and digest) is untouched.
+    obs: Option<Box<WorldObs>>,
     /// Figure-exact membership script: joins at given instants.
     scripted_joins: Vec<Time>,
     /// Figure-exact membership script: named departures.
@@ -372,6 +382,7 @@ where
             writer_policy: config.writer_policy,
             arrivals: Vec::new(),
             temp_write_protection: Vec::new(),
+            obs: None,
             scripted_joins: Vec::new(),
             scripted_leaves: Vec::new(),
             now: Time::ZERO,
@@ -396,6 +407,36 @@ where
     /// Installs a network fault plan (delay adversary).
     pub fn set_faults(&mut self, faults: dynareg_net::FaultPlan) {
         self.network.set_faults(faults);
+    }
+
+    /// Installs the observability layer. A fully-off config installs
+    /// nothing, leaving the run bit-for-bit what it was without the call;
+    /// otherwise spans turn on the network's send log, a flight-recorder
+    /// capacity turns the trace into a bounded ring (unless full tracing
+    /// was already requested), and the collector starts listening.
+    pub fn set_obs(&mut self, cfg: ObsConfig) {
+        if cfg.is_off() {
+            return;
+        }
+        if cfg.spans {
+            self.network.enable_msg_log();
+        }
+        if let Some(cap) = cfg.flight_recorder {
+            if !self.trace.is_enabled() {
+                self.trace = TraceLog::with_capacity_limit(cap);
+            }
+        }
+        self.obs = Some(Box::new(WorldObs::new(cfg)));
+    }
+
+    /// Extracts the observability report (spans with resolved message
+    /// fates, timeseries, tick profile), detaching the collector. Call
+    /// before [`World::into_space_outputs`]; returns `None` if no
+    /// observability was installed.
+    pub fn take_obs_report(&mut self) -> Option<ObsReport> {
+        let obs = self.obs.take()?;
+        let log = self.network.take_msg_log();
+        Some(obs.into_report(log))
     }
 
     /// The processes that issue writes this tick under the configured
@@ -472,6 +513,10 @@ where
     /// Runs the world until (and including) `end`.
     pub fn run_until(&mut self, end: Time) {
         self.end = end;
+        if self.obs.as_deref().is_some_and(|o| o.cfg.tick_profile) {
+            self.run_until_profiled(end);
+            return;
+        }
         while let Some(t) = self.queue.peek_time() {
             if t > end {
                 break;
@@ -484,8 +529,9 @@ where
                     to,
                     slot,
                     label,
+                    seq,
                     msg,
-                } => self.handle_delivery(from, to, slot, label, msg),
+                } => self.handle_delivery(from, to, slot, label, seq, msg),
                 Pending::Fan { fan, idx, slot } => self.handle_fan(fan, idx, slot),
                 Pending::Timer { node, slot, tag } => self.handle_timer(node, slot, tag),
                 Pending::Tick => self.handle_tick(),
@@ -494,24 +540,74 @@ where
         self.now = end;
     }
 
+    /// The profiled twin of the main loop: identical dispatch, plus a
+    /// wall-clock stamp around each event class. Kept separate so the
+    /// unprofiled path carries no `Instant` reads.
+    fn run_until_profiled(&mut self, end: Time) {
+        use std::time::Instant;
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.time;
+            match ev.payload {
+                Pending::Deliver {
+                    from,
+                    to,
+                    slot,
+                    label,
+                    seq,
+                    msg,
+                } => {
+                    let t0 = Instant::now();
+                    self.handle_delivery(from, to, slot, label, seq, msg);
+                    self.profile_add(TickPhase::Deliver, t0.elapsed());
+                }
+                Pending::Fan { fan, idx, slot } => {
+                    let t0 = Instant::now();
+                    self.handle_fan(fan, idx, slot);
+                    self.profile_add(TickPhase::Deliver, t0.elapsed());
+                }
+                Pending::Timer { node, slot, tag } => {
+                    let t0 = Instant::now();
+                    self.handle_timer(node, slot, tag);
+                    self.profile_add(TickPhase::Timer, t0.elapsed());
+                }
+                Pending::Tick => self.handle_tick_profiled(),
+            }
+        }
+        self.now = end;
+    }
+
+    #[inline]
+    fn profile_add(&mut self, phase: TickPhase, elapsed: std::time::Duration) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.profile.add(phase, elapsed);
+        }
+    }
+
     fn handle_fan(
         &mut self,
         fan: Rc<Fanout<<F::Proc as RegisterSpaceProcess>::Msg>>,
         idx: u32,
         slot: u32,
     ) {
-        let to = fan.recipients[idx as usize].0;
+        let (to, _, seq) = fan.recipients[idx as usize];
         // Clone lazily: a recipient that left in flight never costs a copy.
         if self.live_slot(to, slot).is_none() {
-            self.drop_delivery(to, fan.label);
+            self.drop_delivery(to, fan.label, seq);
             return;
         }
         let msg = fan.msg.clone();
-        self.deliver_to_live_slot(fan.from, to, slot, fan.label, msg);
+        self.deliver_to_live_slot(fan.from, to, slot, fan.label, seq, msg);
     }
 
-    fn drop_delivery(&mut self, to: NodeId, label: &'static str) {
+    fn drop_delivery(&mut self, to: NodeId, label: &'static str, seq: u64) {
         self.network.note_dropped_departed();
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.note_drop_departed(seq, self.now);
+        }
         self.trace.record(self.now, TraceEvent::Drop { to, label });
     }
 
@@ -521,13 +617,14 @@ where
         to: NodeId,
         slot: u32,
         label: &'static str,
+        seq: u64,
         msg: <F::Proc as RegisterSpaceProcess>::Msg,
     ) {
         if self.live_slot(to, slot).is_none() {
-            self.drop_delivery(to, label);
+            self.drop_delivery(to, label, seq);
             return;
         }
-        self.deliver_to_live_slot(from, to, slot, label, msg);
+        self.deliver_to_live_slot(from, to, slot, label, seq, msg);
     }
 
     /// Delivery core; the caller has already verified `slot` is live for
@@ -539,9 +636,16 @@ where
         to: NodeId,
         slot: u32,
         label: &'static str,
+        seq: u64,
         msg: <F::Proc as RegisterSpaceProcess>::Msg,
     ) {
         let now = self.now;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.note_delivered(seq, to, label, now);
+            // Sends the handler emits inherit this delivery's attribution.
+            let op = obs.op_of_seq(seq);
+            obs.cause = Cause::Deliver(seq, op);
+        }
         // Reuse one effects buffer across all deliveries (the protocols'
         // `on_message_into` fast path): zero allocations per message.
         let mut buf = std::mem::take(&mut self.effects_buf);
@@ -557,16 +661,44 @@ where
         self.apply_effects(to, slot, &mut buf);
         buf.clear();
         self.effects_buf = buf;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.cause = Cause::None;
+        }
     }
 
     fn handle_timer(&mut self, node: NodeId, slot: u32, tag: u64) {
         let now = self.now;
+        let track = self.obs.as_deref().is_some_and(|o| o.cfg.spans);
         // The node may have left since setting the timer.
         let Some(s) = self.live_slot(node, slot) else {
             return;
         };
+        // Attribute the timer to the node's sole in-flight operation when
+        // that is unambiguous (a joiner's anchor join op, or a single busy
+        // client op); re-sends it triggers become Refire phases.
+        let anchor = if track {
+            if let Some(join_ops) = &s.joining {
+                Some((RegisterId::ZERO, join_ops[0]))
+            } else if s.busy.0.len() == 1 {
+                let (key, busy) = s.busy.0[0];
+                let op = match busy {
+                    Busy::Read(op) | Busy::Write(op) => op,
+                };
+                Some((key, op))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
         let mut effects = s.proc_.on_timer(now, tag);
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.cause = Cause::Timer(anchor);
+        }
         self.apply_effects(node, slot, &mut effects);
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.cause = Cause::None;
+        }
     }
 
     fn handle_tick(&mut self) {
@@ -576,10 +708,71 @@ where
         }
         self.apply_workload();
         self.sample_gauges();
+        self.obs_tick_row();
         let next = self.now + Span::UNIT;
         if next <= self.end {
             self.queue.schedule_class(next, CLASS_TICK, Pending::Tick);
         }
+    }
+
+    /// The profiled twin of [`World::handle_tick`]: same work, with each
+    /// sub-phase (membership, workload, sampling) stamped separately.
+    fn handle_tick_profiled(&mut self) {
+        use std::time::Instant;
+        let t0 = Instant::now();
+        self.apply_scripted_membership();
+        if self.now > Time::ZERO {
+            self.apply_churn();
+        }
+        let t1 = Instant::now();
+        self.apply_workload();
+        let t2 = Instant::now();
+        self.sample_gauges();
+        self.obs_tick_row();
+        let t3 = Instant::now();
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.profile.add(TickPhase::Churn, t1 - t0);
+            obs.profile.add(TickPhase::Workload, t2 - t1);
+            obs.profile.add(TickPhase::Sample, t3 - t2);
+            obs.profile.ticks += 1;
+        }
+        let next = self.now + Span::UNIT;
+        if next <= self.end {
+            self.queue.schedule_class(next, CLASS_TICK, Pending::Tick);
+        }
+    }
+
+    /// Appends one timeseries row if the recorder is on and the cadence
+    /// says this tick is due. Gauges are read-only views of state the run
+    /// maintains anyway, so a row costs a handful of loads.
+    fn obs_tick_row(&mut self) {
+        let Some(obs) = self.obs.as_deref_mut() else {
+            return;
+        };
+        let Some(ts) = obs.timeseries.as_mut() else {
+            return;
+        };
+        let tick = self.now.ticks();
+        if !ts.due(tick) {
+            return;
+        }
+        let active = self.presence.active_count() as u64;
+        let present = self.presence.present_count() as u64;
+        let busy_writers: u64 = self.key_writes.iter().map(|&w| u64::from(w)).sum();
+        ts.push_row(
+            tick,
+            &[
+                ("active", active),
+                ("present", present),
+                ("joining", present - active),
+                ("inflight", self.queue.len() as u64),
+                ("busy_writers", busy_writers),
+                ("delivered", self.delivered_msgs),
+                ("fault_drops", self.network.dropped_to_faults()),
+                ("inquiry_full", self.network.sent_of("INQUIRY_FULL")),
+                ("delta_overruns", self.network.delta_overruns()),
+            ],
+        );
     }
 
     fn apply_scripted_membership(&mut self) {
@@ -693,6 +886,10 @@ where
             },
         );
         self.metrics.incr("churn.joins");
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.op_invoked(RegisterId::ZERO, join_op, id, "join", self.now);
+            obs.cause = Cause::Op(RegisterId::ZERO, join_op);
+        }
         let mut effects = proc_.on_enter(self.now);
         let slot = Slot {
             node: id,
@@ -719,6 +916,9 @@ where
             .expect_err("fresh id cannot already hold a slot");
         self.present_slots.insert(i, (id, slot_idx));
         self.apply_effects(id, slot_idx, &mut effects);
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.cause = Cause::None;
+        }
     }
 
     fn apply_workload(&mut self) {
@@ -810,6 +1010,10 @@ where
                         label: "read",
                     },
                 );
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.op_invoked(key, op, node, "read", self.now);
+                    obs.cause = Cause::Op(key, op);
+                }
                 let now = self.now;
                 let mut effects = self.slots[slot_idx as usize]
                     .as_mut()
@@ -817,6 +1021,9 @@ where
                     .proc_
                     .on_read(now, key, op);
                 self.apply_effects(node, slot_idx, &mut effects);
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.cause = Cause::None;
+                }
             }
             OpAction::Write(value) => {
                 let kw = &mut self.key_writes[key.as_raw() as usize];
@@ -852,6 +1059,10 @@ where
                         label: "write",
                     },
                 );
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.op_invoked(key, op, node, "write", self.now);
+                    obs.cause = Cause::Op(key, op);
+                }
                 let now = self.now;
                 let mut effects = self.slots[slot_idx as usize]
                     .as_mut()
@@ -859,6 +1070,9 @@ where
                     .proc_
                     .on_write(now, key, op, value);
                 self.apply_effects(node, slot_idx, &mut effects);
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.cause = Cause::None;
+                }
             }
         }
     }
@@ -912,6 +1126,15 @@ where
                         // The fault layer swallowed it (partition or drop
                         // rule) — counted inside the network; a send event
                         // with no delivery instant marks it in the trace.
+                        // The attempt consumed a sequence id, so the span
+                        // layer still attributes the lost copy.
+                        if self.obs.is_some() {
+                            if let Some(seq) = self.network.last_seq() {
+                                if let Some(obs) = self.obs.as_deref_mut() {
+                                    obs.note_send(seq, 1, label, self.now);
+                                }
+                            }
+                        }
                         self.trace.record(
                             self.now,
                             TraceEvent::Send {
@@ -923,6 +1146,9 @@ where
                         );
                         continue;
                     };
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        obs.note_send(env.seq, 1, label, self.now);
+                    }
                     self.trace.record(
                         self.now,
                         TraceEvent::Send {
@@ -940,12 +1166,19 @@ where
                             to: env.to,
                             slot: rslot,
                             label: env.label,
+                            seq: env.seq,
                             msg: env.msg,
                         },
                     );
                 }
                 SpaceEffect::Broadcast { msg } => {
                     let label = F::space_msg_label(&msg);
+                    // A full re-inquiry wave marks one shard-starvation
+                    // round; the counter is outside the digest, so it is
+                    // always on (see `RunReport::reinquiry_rounds`).
+                    if label == "INQUIRY_FULL" {
+                        self.metrics.incr("join.reinquiry_rounds");
+                    }
                     self.trace.record(
                         self.now,
                         TraceEvent::Send {
@@ -955,18 +1188,33 @@ where
                             deliver_at: None,
                         },
                     );
+                    let obs_first = if self.obs.is_some() {
+                        Some(self.network.next_seq())
+                    } else {
+                        None
+                    };
                     let fan =
                         Rc::new(
                             self.network
                                 .broadcast(&self.presence, self.now, node, label, msg),
                         );
+                    if let Some(first) = obs_first {
+                        // Every copy in the snapshot burned a sequence id,
+                        // including the ones the fault layer swallowed —
+                        // attribute the whole range so lost copies stay
+                        // visible to `why_stuck`.
+                        let count = self.network.next_seq() - first;
+                        if let Some(obs) = self.obs.as_deref_mut() {
+                            obs.note_send(first, count, label, self.now);
+                        }
+                    }
                     // The snapshot is an (id-ordered) subset of the slot
                     // roster — equal when no fault drops thinned it — so a
                     // single merge walk resolves every recipient's slot
                     // without hashing once per recipient.
                     debug_assert!(fan.recipients.len() <= self.present_slots.len());
                     let mut roster = self.present_slots.iter();
-                    for (idx, &(to, deliver_at)) in fan.recipients.iter().enumerate() {
+                    for (idx, &(to, deliver_at, _seq)) in fan.recipients.iter().enumerate() {
                         let slot = loop {
                             let &(rnode, slot) =
                                 roster.next().expect("every fan recipient holds a slot");
@@ -1009,6 +1257,9 @@ where
                         self.presence.activate(node, self.now);
                         self.histories.complete_join_all(&join_ops, self.now);
                         self.idle_insert(node);
+                        if let Some(obs) = self.obs.as_deref_mut() {
+                            obs.op_completed(RegisterId::ZERO, join_ops[0], self.now);
+                        }
                         self.trace.record(self.now, TraceEvent::Activate { node });
                         self.trace.record(
                             self.now,
@@ -1064,6 +1315,9 @@ where
                         debug_assert!(*kw > 0, "an in-flight write occupies its key slot");
                         *kw -= 1;
                         self.release_write_protection(node);
+                    }
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        obs.op_completed(key, op, self.now);
                     }
                     self.trace
                         .record(self.now, TraceEvent::Complete { node, op });
