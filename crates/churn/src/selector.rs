@@ -238,7 +238,7 @@ mod tests {
         );
         // Different draws from one stream cover the whole pool eventually.
         let mut rng = DetRng::seed(10);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
             seen.insert(LeaveSelector::Random.pick(&p, &[], &mut rng).unwrap());
         }

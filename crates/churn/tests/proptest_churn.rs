@@ -102,7 +102,7 @@ proptest! {
             IdSource::starting_at(n),
         );
         let mut rng = DetRng::seed(seed);
-        let mut seen: std::collections::HashSet<NodeId> =
+        let mut seen: std::collections::BTreeSet<NodeId> =
             (0..n).map(NodeId::from_raw).collect();
         for t in 1..10 {
             let step = driver.step(&p, Time::at(t), &mut rng);

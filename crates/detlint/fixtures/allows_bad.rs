@@ -1,0 +1,17 @@
+// Fixture: the three ways an annotation can itself be a finding.
+use std::time::Instant;
+
+fn reasonless() -> u128 {
+    let t0 = Instant::now(); // detlint: allow(wall-clock)
+    t0.elapsed().as_nanos()
+}
+
+fn unknown_rule() -> u128 {
+    let t0 = Instant::now(); // detlint: allow(no-such-rule) -- reason present
+    t0.elapsed().as_nanos()
+}
+
+fn unused() -> u64 {
+    let x = 3; // detlint: allow(wall-clock) -- nothing here reads a clock
+    x
+}

@@ -1,0 +1,14 @@
+// Fixture: well-formed allows suppress their findings (and show up as
+// allowed, never unallowed).
+use std::time::Instant;
+
+fn profiled() -> u128 {
+    let t0 = Instant::now(); // detlint: allow(wall-clock) -- fixture: profiler timing
+    t0.elapsed().as_nanos()
+}
+
+fn profiled_with_leading_comment() -> u128 {
+    // detlint: allow(wall-clock) -- fixture: annotation on the preceding line
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,16 @@
+// Fixture: drawing from an injected DetRng is the sanctioned pattern.
+fn pick(rng: &mut DetRng, n: u64) -> u64 {
+    // Forking a child stream derives from the scenario seed, not entropy.
+    let mut child = rng.fork(0xC0FFEE);
+    child.pick(n)
+}
+
+struct DetRng;
+impl DetRng {
+    fn fork(&mut self, _label: u64) -> DetRng {
+        DetRng
+    }
+    fn pick(&mut self, n: u64) -> u64 {
+        n / 2
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: RNG construction and seeding outside the DetRng derivation.
+use rand::rngs::{OsRng, SmallRng, StdRng};
+use rand::SeedableRng;
+
+fn ambient() -> u64 {
+    let mut r = rand::thread_rng();
+    let s = SmallRng::seed_from_u64(7);
+    let t = StdRng::from_entropy();
+    drop((s, t));
+    r.next_u64()
+}

@@ -1,0 +1,9 @@
+// Fixture: integer accumulation and min/max folds are the fleet contract.
+fn aggregate(samples: &[u64]) -> (u64, u64) {
+    let mut total = 0u64;
+    for s in samples {
+        total += s;
+    }
+    let hi = samples.iter().copied().max().unwrap_or(0);
+    (total, hi)
+}

@@ -1,0 +1,10 @@
+// Fixture: float accumulation in a fleet aggregation path (the synthetic
+// context places this file under crates/fleet/).
+fn aggregate(samples: &[f64]) -> (f64, f64) {
+    let mut total = 0.0f64;
+    for s in samples {
+        total += s;
+    }
+    let direct: f64 = samples.iter().sum::<f64>();
+    (total, direct)
+}

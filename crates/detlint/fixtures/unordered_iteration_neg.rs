@@ -1,0 +1,27 @@
+// Fixture: ordered containers and lookup-only hash maps are clean.
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+fn ordered(m: &BTreeMap<u64, u64>, s: &BTreeSet<u64>) -> u64 {
+    let mut acc = 0;
+    for (k, v) in m.iter() {
+        acc += k + v;
+    }
+    for x in s {
+        acc += x;
+    }
+    acc
+}
+
+fn lookup_only(table: &HashMap<u64, u64>, key: u64) -> Option<u64> {
+    // Probing by key never observes storage order. (Ident tracking is
+    // file-scoped: `table` must not be reused for an ordered container.)
+    table.get(&key).copied()
+}
+
+fn ranges_are_not_maps(n: u64) -> u64 {
+    let mut acc = 0;
+    for i in 0..n {
+        acc += i;
+    }
+    acc
+}

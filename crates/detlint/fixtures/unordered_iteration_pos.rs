@@ -1,0 +1,27 @@
+// Fixture: every way hash-order can leak into simulation effects.
+use std::collections::{HashMap, HashSet};
+
+type NodeMap = HashMap<u64, u32>;
+
+struct Roster {
+    members: HashSet<u64>,
+    slots: NodeMap,
+}
+
+fn leak(r: &Roster, extra: HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for id in r.members.iter() {
+        out.push(*id);
+    }
+    for (k, _) in &extra {
+        out.push(*k);
+    }
+    for v in r.slots.values() {
+        out.push(u64::from(*v));
+    }
+    out
+}
+
+fn drain_in_storage_order(m: &mut HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    m.drain().collect()
+}

@@ -1,0 +1,6 @@
+// Fixture: a crate root that forbids unsafe code.
+#![forbid(unsafe_code)]
+
+pub fn safe() -> u64 {
+    9
+}

@@ -1,0 +1,4 @@
+// Fixture: a crate root missing `#![forbid(unsafe_code)]`.
+pub fn safe_enough() -> u64 {
+    9
+}

@@ -1,0 +1,12 @@
+// Fixture: simulated time and prose mentions of clocks are clean.
+fn advance(now: u64, delta: u64) -> u64 {
+    // The string below mentions Instant::now but never calls it.
+    let label = "Instant::now is banned here";
+    let _ = label;
+    now + delta
+}
+
+/// Doc prose naming `SystemTime` is not a clock read either.
+fn sim_clock() -> u64 {
+    42
+}

@@ -1,0 +1,9 @@
+// Fixture: host-clock reads inside simulation logic.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    drop(wall);
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,176 @@
+//! The `// detlint: allow(<rule>) -- <reason>` annotation.
+//!
+//! Suppression is *only* possible through this inline form, and the reason
+//! is mandatory — every exception to the determinism contract is documented
+//! at the site it excuses. A reason-less or malformed annotation is itself
+//! a finding (`bad-allow`), never a silent no-op.
+
+use std::fmt;
+
+use crate::rules::Rule;
+
+/// A parsed allow annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being excused.
+    pub rule: Rule,
+    /// Why the site is exempt (mandatory, non-empty).
+    pub reason: String,
+}
+
+impl Allow {
+    /// Renders the canonical annotation text (without the leading `//`).
+    /// `parse_comment(&a.render())` round-trips.
+    pub fn render(&self) -> String {
+        format!("detlint: allow({}) -- {}", self.rule.name(), self.reason)
+    }
+}
+
+impl fmt::Display for Allow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Why an annotation failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllowError {
+    /// The `detlint:` marker is present but not followed by
+    /// `allow(<rule>)`.
+    Malformed,
+    /// The named rule does not exist (or is a meta-diagnostic that cannot
+    /// be allowed).
+    UnknownRule(String),
+    /// No ` -- <reason>` after the rule, or the reason is empty.
+    MissingReason,
+}
+
+impl fmt::Display for AllowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllowError::Malformed => write!(f, "expected `detlint: allow(<rule>) -- <reason>`"),
+            AllowError::UnknownRule(r) => write!(f, "unknown rule `{r}`"),
+            AllowError::MissingReason => {
+                write!(
+                    f,
+                    "allow annotations require a reason: `-- <why this site is exempt>`"
+                )
+            }
+        }
+    }
+}
+
+/// Parses a line-comment text (the part after `//`). Returns `None` when
+/// the comment carries no `detlint:` marker at all; `Some(Err(..))` when a
+/// marker is present but the annotation is unusable.
+pub fn parse_comment(text: &str) -> Option<Result<Allow, AllowError>> {
+    let rest = text.split_once("detlint:")?.1;
+    Some(parse_after_marker(rest))
+}
+
+fn parse_after_marker(rest: &str) -> Result<Allow, AllowError> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Err(AllowError::Malformed);
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err(AllowError::Malformed);
+    };
+    let Some((name, rest)) = rest.split_once(')') else {
+        return Err(AllowError::Malformed);
+    };
+    let name = name.trim();
+    let Some(rule) = Rule::allowable_from_name(name) else {
+        return Err(AllowError::UnknownRule(name.to_string()));
+    };
+    let rest = rest.trim_start();
+    let Some(reason) = rest.strip_prefix("--") else {
+        return Err(AllowError::MissingReason);
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err(AllowError::MissingReason);
+    }
+    Ok(Allow {
+        rule,
+        reason: reason.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_form() {
+        let got = parse_comment(" detlint: allow(wall-clock) -- profiler timing, outside digest");
+        assert_eq!(
+            got,
+            Some(Ok(Allow {
+                rule: Rule::WallClock,
+                reason: "profiler timing, outside digest".to_string(),
+            }))
+        );
+    }
+
+    #[test]
+    fn non_annotations_are_ignored() {
+        assert_eq!(parse_comment(" just a comment about determinism"), None);
+        assert_eq!(parse_comment(""), None);
+    }
+
+    #[test]
+    fn reasonless_allows_are_rejected() {
+        assert_eq!(
+            parse_comment("detlint: allow(wall-clock)"),
+            Some(Err(AllowError::MissingReason))
+        );
+        assert_eq!(
+            parse_comment("detlint: allow(wall-clock) -- "),
+            Some(Err(AllowError::MissingReason))
+        );
+        assert_eq!(
+            parse_comment("detlint: allow(wall-clock) --"),
+            Some(Err(AllowError::MissingReason))
+        );
+    }
+
+    #[test]
+    fn unknown_and_meta_rules_are_rejected() {
+        assert_eq!(
+            parse_comment("detlint: allow(no-such-rule) -- x"),
+            Some(Err(AllowError::UnknownRule("no-such-rule".to_string())))
+        );
+        // Meta-diagnostics cannot be excused.
+        assert_eq!(
+            parse_comment("detlint: allow(bad-allow) -- x"),
+            Some(Err(AllowError::UnknownRule("bad-allow".to_string())))
+        );
+        assert_eq!(
+            parse_comment("detlint: allow(unused-allow) -- x"),
+            Some(Err(AllowError::UnknownRule("unused-allow".to_string())))
+        );
+    }
+
+    #[test]
+    fn malformed_markers_are_findings_not_ignored() {
+        assert_eq!(
+            parse_comment("detlint: allowed(wall-clock) -- x"),
+            Some(Err(AllowError::Malformed))
+        );
+        assert_eq!(
+            parse_comment("detlint: allow wall-clock -- x"),
+            Some(Err(AllowError::Malformed))
+        );
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let a = Allow {
+            rule: Rule::AmbientRng,
+            reason: "DetRng is the sanctioned construction site".to_string(),
+        };
+        assert_eq!(parse_comment(&a.render()), Some(Ok(a)));
+    }
+}

@@ -1,0 +1,101 @@
+//! CLI entry point: `cargo run -p dynareg-detlint -- --workspace`.
+//!
+//! Exit codes: `0` when every finding carries a documented allow, `1` when
+//! any unallowed finding (or bad/unused allow) remains, `2` on usage or IO
+//! errors. `--list-allowed` prints the documented exceptions too.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dynareg_detlint::{find_workspace_root, lint_workspace, partition};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list_allowed = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--list-allowed" => list_allowed = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("detlint: cannot read cwd: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("detlint: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (allowed, unallowed) = partition(&findings);
+    for f in &unallowed {
+        println!("{f}");
+    }
+    if list_allowed {
+        for f in &allowed {
+            println!("{f}");
+        }
+    }
+    println!(
+        "detlint: {} findings ({} allowed with documented reasons, {} unallowed)",
+        findings.len(),
+        allowed.len(),
+        unallowed.len()
+    );
+    if unallowed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+const USAGE: &str = "\
+dynareg-detlint — workspace determinism auditor
+
+USAGE:
+    dynareg-detlint [--workspace] [--root <path>] [--list-allowed]
+
+OPTIONS:
+    --workspace       audit the cargo workspace above the cwd (default)
+    --root <path>     audit the workspace rooted at <path>
+    --list-allowed    also print findings suppressed by documented allows
+    -h, --help        this text
+
+Suppress a finding only with an inline annotation carrying a reason:
+    // detlint: allow(<rule>) -- <why this site is exempt>";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,649 @@
+//! The determinism rules and the per-file engine that applies them.
+//!
+//! Every rule is a *source-level over-approximation* of a dynamic
+//! nondeterminism class: it may flag a site that happens to be harmless
+//! today (that is what `// detlint: allow(<rule>) -- <reason>` is for),
+//! but a site it stays silent on cannot belong to the class by the
+//! patterns below. The rules:
+//!
+//! | rule | class it rules out |
+//! |---|---|
+//! | `unordered-iteration` | hash-order leaking into effects, digests or reports |
+//! | `wall-clock` | host time observable by simulation logic |
+//! | `ambient-rng` | randomness not derived from the scenario seed |
+//! | `float-reduction` | f64 accumulation in fleet aggregation (order-sensitive) |
+//! | `unsafe-audit` | crates that have not opted into `#![forbid(unsafe_code)]` |
+//!
+//! Two meta-diagnostics keep the annotation system honest: `bad-allow`
+//! (malformed or reason-less annotations) and `unused-allow` (annotations
+//! excusing nothing). Neither can itself be allowed.
+
+use std::collections::BTreeSet;
+
+use crate::allow::{parse_comment, Allow};
+use crate::scanner::{scan_source, tokenize, Token};
+
+/// A rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Iteration over a `HashMap`/`HashSet` (or an alias of one), whose
+    /// order is unspecified and can leak into effects.
+    UnorderedIteration,
+    /// `Instant::now` / `SystemTime` outside allowlisted timing sites.
+    WallClock,
+    /// RNG construction or seeding outside the `DetRng` derivation.
+    AmbientRng,
+    /// Floating-point accumulation in fleet aggregation paths.
+    FloatReduction,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    UnsafeAudit,
+    /// Meta: a `detlint:` annotation that does not parse (reason-less,
+    /// unknown rule, bad syntax). Cannot be allowed.
+    BadAllow,
+    /// Meta: an allow annotation whose anchor line has no matching
+    /// finding. Cannot be allowed.
+    UnusedAllow,
+}
+
+impl Rule {
+    /// The five allowable rules, in reporting order.
+    pub const CORE: [Rule; 5] = [
+        Rule::UnorderedIteration,
+        Rule::WallClock,
+        Rule::AmbientRng,
+        Rule::FloatReduction,
+        Rule::UnsafeAudit,
+    ];
+
+    /// The kebab-case rule name used in reports and allow annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnorderedIteration => "unordered-iteration",
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::FloatReduction => "float-reduction",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::BadAllow => "bad-allow",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    /// Resolves an allowable rule name; meta-diagnostics and unknown names
+    /// return `None`.
+    pub fn allowable_from_name(name: &str) -> Option<Rule> {
+        Rule::CORE.into_iter().find(|r| r.name() == name)
+    }
+}
+
+/// Where a scanned file sits in the workspace — the engine scopes rules by
+/// path, so fixtures can exercise any rule by choosing a synthetic path.
+#[derive(Debug, Clone, Default)]
+pub struct FileContext {
+    /// Workspace-relative path with forward slashes (e.g.
+    /// `crates/net/src/presence.rs`).
+    pub rel_path: String,
+    /// Whether this file is a crate root (`lib.rs`/`main.rs`), where the
+    /// `unsafe-audit` rule applies.
+    pub is_crate_root: bool,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// What happened at the site.
+    pub message: String,
+    /// The documented reason, when an allow annotation suppresses the
+    /// finding. `None` means unallowed: the gate fails.
+    pub allowed: Option<String>,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )?;
+        if let Some(reason) = &self.allowed {
+            write!(f, " [allowed: {reason}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Lints one file's source. Pure — all IO stays in the caller.
+pub fn lint_source(src: &str, ctx: &FileContext) -> Vec<Finding> {
+    let lines = scan_source(src);
+    let toks: Vec<Vec<Token<'_>>> = lines.iter().map(|l| tokenize(&l.code)).collect();
+
+    // Allow annotations: anchor each to its own line if it carries code,
+    // else to the next line that does.
+    let mut allows: Vec<AllowSite> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(comment) = &line.comment else {
+            continue;
+        };
+        match parse_comment(comment) {
+            None => {}
+            Some(Err(e)) => findings.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: i + 1,
+                rule: Rule::BadAllow,
+                message: e.to_string(),
+                allowed: None,
+            }),
+            Some(Ok(allow)) => {
+                let anchor = if line.code.trim().is_empty() {
+                    lines[i + 1..]
+                        .iter()
+                        .position(|l| !l.code.trim().is_empty())
+                        .map(|off| i + 1 + off)
+                        .unwrap_or(i)
+                } else {
+                    i
+                };
+                allows.push(AllowSite {
+                    line: i,
+                    anchor,
+                    allow,
+                    used: false,
+                });
+            }
+        }
+    }
+
+    // Raw rule hits, one per (line, rule).
+    let mut hits: Vec<(usize, Rule, String)> = Vec::new();
+    unordered_iteration(&toks, &mut hits);
+    wall_clock(&toks, &mut hits);
+    ambient_rng(&toks, &mut hits);
+    if ctx.rel_path.starts_with("crates/fleet/") {
+        float_reduction(&toks, &mut hits);
+    }
+    if ctx.is_crate_root {
+        unsafe_audit(&lines, &mut hits);
+    }
+    hits.sort();
+    hits.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1));
+
+    for (line_idx, rule, message) in hits {
+        let allowed = allows
+            .iter_mut()
+            .find(|a| {
+                a.allow.rule == rule
+                    && if rule == Rule::UnsafeAudit {
+                        true // file-scoped: the crate root is one site
+                    } else {
+                        a.anchor == line_idx
+                    }
+            })
+            .map(|a| {
+                a.used = true;
+                a.allow.reason.clone()
+            });
+        findings.push(Finding {
+            file: ctx.rel_path.clone(),
+            line: line_idx + 1,
+            rule,
+            message,
+            allowed,
+        });
+    }
+
+    for a in allows.iter().filter(|a| !a.used) {
+        findings.push(Finding {
+            file: ctx.rel_path.clone(),
+            line: a.line + 1,
+            rule: Rule::UnusedAllow,
+            message: format!(
+                "allow({}) excuses nothing on its anchor line; delete it or move it to the finding",
+                a.allow.rule.name()
+            ),
+            allowed: None,
+        });
+    }
+
+    findings.sort();
+    findings
+}
+
+struct AllowSite {
+    /// 0-based line of the annotation itself.
+    line: usize,
+    /// 0-based line the annotation excuses.
+    anchor: usize,
+    allow: Allow,
+    used: bool,
+}
+
+/// Hash-backed collection types. File-local `type` aliases of these are
+/// tracked too.
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Methods whose call on a hash-backed value iterates it in storage order.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+fn unordered_iteration(toks: &[Vec<Token<'_>>], hits: &mut Vec<(usize, Rule, String)>) {
+    // Pass 1: file-local aliases (`type NodeMap<V> = HashMap<…>`).
+    let mut types: BTreeSet<&str> = HASH_TYPES.into_iter().collect();
+    for line in toks {
+        for w in line.windows(2) {
+            if w[0].ident() == Some("type") {
+                if let (Some(alias), true) = (w[1].ident(), mentions_any(line, &types)) {
+                    types.insert(alias);
+                }
+            }
+        }
+    }
+
+    // Pass 2: identifiers declared (or assigned) with a hash-backed type.
+    let mut tracked: BTreeSet<&str> = BTreeSet::new();
+    for line in toks {
+        for (i, t) in line.iter().enumerate() {
+            if t.ident().is_some_and(|s| types.contains(s)) {
+                if let Some(owner) = owner_of_type_mention(line, i) {
+                    tracked.insert(owner);
+                }
+            }
+        }
+    }
+
+    // Pass 3: iteration over a tracked identifier.
+    for (li, line) in toks.iter().enumerate() {
+        for (i, t) in line.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            if !tracked.contains(name) {
+                continue;
+            }
+            if line.get(i + 1).is_some_and(|t| t.is_punct('.')) {
+                if let Some(m) = line.get(i + 2).and_then(|t| t.ident()) {
+                    if ITER_METHODS.contains(&m) && line.get(i + 3).is_some_and(|t| t.is_punct('('))
+                    {
+                        hits.push((
+                            li,
+                            Rule::UnorderedIteration,
+                            format!("`.{m}()` iterates hash-backed `{name}` in storage order"),
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(name) = for_loop_over(line, &tracked) {
+            hits.push((
+                li,
+                Rule::UnorderedIteration,
+                format!("`for … in` iterates hash-backed `{name}` in storage order"),
+            ));
+        }
+    }
+}
+
+/// Whether any token on the line names one of `types`.
+fn mentions_any(line: &[Token<'_>], types: &BTreeSet<&str>) -> bool {
+    line.iter()
+        .any(|t| t.ident().is_some_and(|s| types.contains(s)))
+}
+
+/// For a type-name token at `i`, walks left to the identifier the type
+/// belongs to: `records: HashMap<…>` and `let m = HashMap::new()` both
+/// resolve; generic-nested mentions (`Vec<HashMap<…>>`) resolve to
+/// nothing.
+fn owner_of_type_mention<'a>(line: &[Token<'a>], i: usize) -> Option<&'a str> {
+    let mut k = i.checked_sub(1)?;
+    // Skip reference/lifetime/mut/dyn noise before the type path.
+    loop {
+        match line[k] {
+            Token::Punct('&') | Token::Punct('\'') => k = k.checked_sub(1)?,
+            Token::Ident("mut") | Token::Ident("dyn") => k = k.checked_sub(1)?,
+            // Leading path segments: `seg ::` pairs.
+            Token::Punct(':') if k >= 1 && line[k - 1].is_punct(':') => {
+                k = k.checked_sub(2)?;
+                match line[k] {
+                    Token::Ident(_) => k = k.checked_sub(1)?,
+                    _ => return None,
+                }
+            }
+            _ => break,
+        }
+    }
+    match line[k] {
+        // Single colon: a type annotation — the owner sits just before.
+        Token::Punct(':') if k == 0 || !line[k - 1].is_punct(':') => {
+            line[k.checked_sub(1)?].ident().filter(|s| !is_keyword(s))
+        }
+        // Assignment: `… name = HashMap::new()`.
+        Token::Punct('=') => line[k.checked_sub(1)?].ident().filter(|s| !is_keyword(s)),
+        _ => None,
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(s, "let" | "mut" | "pub" | "const" | "static" | "ref")
+}
+
+/// Detects `for <pat> in [&][mut] place.path { …`, returning the final
+/// identifier when it is tracked. Ranges (`..`) and calls disqualify the
+/// expression (a call decides its own order).
+fn for_loop_over<'a>(line: &[Token<'a>], tracked: &BTreeSet<&str>) -> Option<&'a str> {
+    let fi = line.iter().position(|t| t.ident() == Some("for"))?;
+    let ii = fi + line[fi..].iter().position(|t| t.ident() == Some("in"))?;
+    let expr_end = line[ii..]
+        .iter()
+        .position(|t| t.is_punct('{'))
+        .map(|p| ii + p)
+        .unwrap_or(line.len());
+    let expr = &line[ii + 1..expr_end];
+    if expr.is_empty() {
+        return None;
+    }
+    let mut last_ident = None;
+    let mut prev_dot = false;
+    for t in expr {
+        match *t {
+            Token::Punct('&') | Token::Ident("mut") => prev_dot = false,
+            Token::Punct('.') => {
+                if prev_dot {
+                    return None; // a `..` range
+                }
+                prev_dot = true;
+            }
+            Token::Ident(s) => {
+                last_ident = Some(s);
+                prev_dot = false;
+            }
+            _ => return None, // calls, indexing, tuples: not a plain place
+        }
+    }
+    last_ident.filter(|s| tracked.contains(s))
+}
+
+fn wall_clock(toks: &[Vec<Token<'_>>], hits: &mut Vec<(usize, Rule, String)>) {
+    for (li, line) in toks.iter().enumerate() {
+        for (i, t) in line.iter().enumerate() {
+            match t.ident() {
+                Some("Instant")
+                    if line.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                        && line.get(i + 3).and_then(|t| t.ident()) == Some("now") =>
+                {
+                    hits.push((
+                        li,
+                        Rule::WallClock,
+                        "`Instant::now()` reads the host clock".to_string(),
+                    ));
+                }
+                Some("SystemTime") => {
+                    hits.push((
+                        li,
+                        Rule::WallClock,
+                        "`SystemTime` exposes the host clock".to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// RNG constructors and seeds that bypass the `DetRng` SplitMix64
+/// derivation from the scenario seed.
+const RNG_PATTERNS: [&str; 9] = [
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "seed_from_u64",
+    "SmallRng",
+    "StdRng",
+    "OsRng",
+    "getrandom",
+    "RandomState",
+];
+
+fn ambient_rng(toks: &[Vec<Token<'_>>], hits: &mut Vec<(usize, Rule, String)>) {
+    for (li, line) in toks.iter().enumerate() {
+        for t in line {
+            if let Some(s) = t.ident() {
+                if RNG_PATTERNS.contains(&s) {
+                    hits.push((
+                        li,
+                        Rule::AmbientRng,
+                        format!("`{s}` constructs or seeds an RNG outside the DetRng derivation"),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn float_reduction(toks: &[Vec<Token<'_>>], hits: &mut Vec<(usize, Rule, String)>) {
+    // Identifiers declared as floats (annotation or float-literal init).
+    let mut tracked: BTreeSet<&str> = BTreeSet::new();
+    for line in toks {
+        for (i, t) in line.iter().enumerate() {
+            match t {
+                Token::Ident("f64") | Token::Ident("f32") => {
+                    if let Some(owner) = owner_of_type_mention(line, i) {
+                        tracked.insert(owner);
+                    }
+                }
+                Token::Number(n) if is_float_literal(n) => {
+                    if let Some(owner) = owner_of_type_mention(line, i) {
+                        tracked.insert(owner);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for (li, line) in toks.iter().enumerate() {
+        for (i, t) in line.iter().enumerate() {
+            // `x += …` / `x -= …` on a float accumulator.
+            if let Some(name) = t.ident() {
+                if tracked.contains(name)
+                    && line
+                        .get(i + 1)
+                        .is_some_and(|t| t.is_punct('+') || t.is_punct('-'))
+                    && line.get(i + 2).is_some_and(|t| t.is_punct('='))
+                {
+                    hits.push((
+                        li,
+                        Rule::FloatReduction,
+                        format!("float accumulation into `{name}` (aggregation is integer/min/max-only)"),
+                    ));
+                }
+            }
+            // `.sum::<f64>()` and `fold(0.0, …)`.
+            // `.sum::<f64>()` — turbofish: sum, ':', ':', '<', f64.
+            if t.ident() == Some("sum")
+                && line.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && line
+                    .get(i + 4)
+                    .and_then(|t| t.ident())
+                    .is_some_and(|s| s == "f64" || s == "f32")
+            {
+                hits.push((
+                    li,
+                    Rule::FloatReduction,
+                    "`.sum::<f64>()` reduces floats (aggregation is integer/min/max-only)"
+                        .to_string(),
+                ));
+            }
+            if t.ident() == Some("fold")
+                && line.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && matches!(line.get(i + 2), Some(Token::Number(n)) if is_float_literal(n))
+            {
+                hits.push((
+                    li,
+                    Rule::FloatReduction,
+                    "`fold` with a float accumulator (aggregation is integer/min/max-only)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+fn is_float_literal(n: &str) -> bool {
+    n.contains('.') || n.ends_with("f64") || n.ends_with("f32")
+}
+
+fn unsafe_audit(lines: &[crate::scanner::SourceLine], hits: &mut Vec<(usize, Rule, String)>) {
+    let has_forbid = lines.iter().any(|l| {
+        let squeezed: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+        squeezed.contains("#![forbid(unsafe_code)]")
+    });
+    if !has_forbid {
+        hits.push((
+            0,
+            Rule::UnsafeAudit,
+            "crate root missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str) -> FileContext {
+        FileContext {
+            rel_path: path.to_string(),
+            is_crate_root: false,
+        }
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hashmap_field_iteration_is_flagged() {
+        let src = "struct S { records: HashMap<NodeId, LifeRecord> }\n\
+                   fn f(s: &S) { for (k, v) in &s.records { use_it(k, v); } }\n\
+                   fn g(s: &S) { let _ = s.records.keys().count(); }";
+        let f = lint_source(src, &ctx("crates/net/src/x.rs"));
+        assert_eq!(
+            rules_of(&f),
+            vec![Rule::UnorderedIteration, Rule::UnorderedIteration]
+        );
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 3);
+    }
+
+    #[test]
+    fn btreemap_iteration_is_clean() {
+        let src = "struct S { records: BTreeMap<NodeId, LifeRecord> }\n\
+                   fn f(s: &S) { for (k, v) in &s.records { use_it(k, v); } }";
+        assert!(lint_source(src, &ctx("crates/net/src/x.rs")).is_empty());
+    }
+
+    #[test]
+    fn aliases_of_hashmap_are_tracked() {
+        let src = "type NodeMap<V> = HashMap<NodeId, V, BuildHasherDefault<H>>;\n\
+                   fn f(m: &NodeMap<u32>) { for v in m.values() { go(v); } }";
+        let f = lint_source(src, &ctx("crates/testkit/src/x.rs"));
+        assert_eq!(rules_of(&f), vec![Rule::UnorderedIteration]);
+    }
+
+    #[test]
+    fn lookup_only_hashmap_is_clean() {
+        let src = "struct S { idx: HashMap<u64, usize> }\n\
+                   fn f(s: &S, k: u64) -> Option<usize> { s.idx.get(&k).copied() }";
+        assert!(lint_source(src, &ctx("crates/verify/src/x.rs")).is_empty());
+    }
+
+    #[test]
+    fn range_for_loops_are_not_confused_with_places() {
+        let src = "fn f(n: HashMap<u32, u32>) { for i in 0..n.len() { go(i); } }";
+        assert!(lint_source(src, &ctx("crates/sim/src/x.rs")).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_allow() {
+        let src = "fn f() { let t = Instant::now(); }\n\
+                   fn g() { let t = Instant::now(); } // detlint: allow(wall-clock) -- bench timing\n";
+        let f = lint_source(src, &ctx("crates/bench/src/x.rs"));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].allowed, None);
+        assert_eq!(f[1].allowed.as_deref(), Some("bench timing"));
+    }
+
+    #[test]
+    fn allow_on_preceding_comment_line_anchors_to_next_code() {
+        let src = "// detlint: allow(ambient-rng) -- sanctioned site\n\
+                   let r = SmallRng::seed_from_u64(7);";
+        let f = lint_source(src, &ctx("crates/sim/src/x.rs"));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::AmbientRng);
+        assert!(f[0].allowed.is_some());
+    }
+
+    #[test]
+    fn reasonless_allow_is_a_bad_allow_finding() {
+        let src = "fn f() { let t = Instant::now(); } // detlint: allow(wall-clock)";
+        let f = lint_source(src, &ctx("crates/bench/src/x.rs"));
+        assert_eq!(rules_of(&f), vec![Rule::WallClock, Rule::BadAllow]);
+        assert!(f.iter().all(|x| x.allowed.is_none()));
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let src = "fn f() { let x = 1; } // detlint: allow(wall-clock) -- stale";
+        let f = lint_source(src, &ctx("crates/sim/src/x.rs"));
+        assert_eq!(rules_of(&f), vec![Rule::UnusedAllow]);
+    }
+
+    #[test]
+    fn float_reduction_only_in_fleet() {
+        let src = "fn f() { let mut acc = 0.0; acc += x; }";
+        assert!(lint_source(src, &ctx("crates/churn/src/x.rs")).is_empty());
+        let f = lint_source(src, &ctx("crates/fleet/src/x.rs"));
+        assert_eq!(rules_of(&f), vec![Rule::FloatReduction]);
+    }
+
+    #[test]
+    fn integer_accumulation_in_fleet_is_clean() {
+        let src = "fn f() { let mut runs = 0u64; runs += 1; self.stuck += o.stuck; }";
+        assert!(lint_source(src, &ctx("crates/fleet/src/x.rs")).is_empty());
+    }
+
+    #[test]
+    fn unsafe_audit_fires_on_crate_roots_only() {
+        let src = "pub fn f() {}";
+        let mut c = ctx("crates/x/src/lib.rs");
+        assert!(lint_source(src, &c).is_empty());
+        c.is_crate_root = true;
+        let f = lint_source(src, &c);
+        assert_eq!(rules_of(&f), vec![Rule::UnsafeAudit]);
+        let good = "#![forbid(unsafe_code)]\npub fn f() {}";
+        assert!(lint_source(good, &c).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = "fn f() { log(\"Instant::now SmallRng HashMap.iter()\"); }\n\
+                   // Instant::now in prose is fine\n";
+        assert!(lint_source(src, &ctx("crates/sim/src/x.rs")).is_empty());
+    }
+}

@@ -1,0 +1,419 @@
+//! A hand-rolled line/token-level Rust scanner.
+//!
+//! The rule engine never wants to see the *inside* of a string literal or
+//! a comment — `"Instant::now"` in a log message is not a wall-clock read —
+//! so the scanner's job is to split every source line into
+//!
+//! * `code` — the line with comments removed and string/char literal
+//!   contents blanked (the delimiters stay, so token shapes survive), and
+//! * `comment` — the text of the line comment, where
+//!   `// detlint: allow(..)` annotations live.
+//!
+//! It also marks lines inside `#[cfg(test)]` items, so reports can say
+//! whether a finding sits in test code. The scanner is a deliberate
+//! over-approximation of real Rust lexing (it has no macro or lifetime
+//! semantics); the one heuristic — telling `'a'` char literals from
+//! `'a` lifetimes — is the standard two-char lookahead.
+
+/// One scanned source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceLine {
+    /// Code with comments stripped and literal contents blanked.
+    pub code: String,
+    /// Text after the first `//` on the line, excluding the slashes.
+    /// `None` when the line has no line comment. Doc comments (`///`,
+    /// `//!`) are prose and are not captured — an allow annotation must be
+    /// a plain line comment.
+    pub comment: Option<String>,
+    /// Whether the line sits inside a `#[cfg(test)]` item body.
+    pub in_test: bool,
+}
+
+/// Lexer state that survives a newline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Normal,
+    /// Nested block comment depth.
+    Block(u32),
+    /// Inside a `"…"` string (they may span lines).
+    Str,
+    /// Inside a raw string with this many `#`s.
+    RawStr(u32),
+}
+
+/// Splits `src` into scanned lines. Infallible: unterminated literals and
+/// comments simply run to end of input, matching how rustc would later
+/// reject the file anyway.
+pub fn scan_source(src: &str) -> Vec<SourceLine> {
+    let mut lines = Vec::new();
+    let mut mode = Mode::Normal;
+    for raw in src.lines() {
+        let (code, comment, next) = scan_line(raw, mode);
+        mode = next;
+        lines.push(SourceLine {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Scans one line starting in `mode`; returns the blanked code, the line
+/// comment (if any), and the mode the next line starts in.
+fn scan_line(raw: &str, mut mode: Mode) -> (String, Option<String>, Mode) {
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = None;
+    let b = raw.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match mode {
+            Mode::Block(depth) => {
+                if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    mode = if depth == 1 {
+                        Mode::Normal
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                    i += 2;
+                } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if b[i] == b'\\' {
+                    i += 2; // skip the escaped byte (may run past EOL; fine)
+                } else if b[i] == b'"' {
+                    code.push('"');
+                    mode = Mode::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if b[i] == b'"' && closes_raw(b, i + 1, hashes) {
+                    code.push('"');
+                    mode = Mode::Normal;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Normal => {
+                match b[i] {
+                    b'/' if b.get(i + 1) == Some(&b'/') => {
+                        // Line comment: capture the text, stop lexing. Doc
+                        // comments (`///`, `//!`) are prose, not annotation
+                        // carriers — an allow-annotation template quoted in
+                        // rustdoc must not parse as a (bad) allow.
+                        let is_doc = matches!(b.get(i + 2), Some(&b'/') | Some(&b'!'));
+                        if !is_doc {
+                            comment = Some(raw[i + 2..].to_string());
+                        }
+                        i = b.len();
+                    }
+                    b'/' if b.get(i + 1) == Some(&b'*') => {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    }
+                    b'"' => {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    }
+                    b'r' | b'b' if is_raw_string_start(b, i) => {
+                        let (hashes, skip) = raw_string_open(b, i);
+                        code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i += skip;
+                    }
+                    b'\'' => {
+                        // Char literal vs lifetime: 'x' or '\n' is a
+                        // literal; anything else is a lifetime tick.
+                        if b.get(i + 1) == Some(&b'\\') {
+                            code.push_str("''");
+                            i += 2;
+                            while i < b.len() && b[i] != b'\'' {
+                                i += 1;
+                            }
+                            i += 1; // closing quote
+                        } else if b.get(i + 2) == Some(&b'\'') {
+                            code.push_str("''");
+                            i += 3;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    c => {
+                        code.push(c as char);
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    (code, comment, mode)
+}
+
+/// Whether `b[i]` starts `r"`, `r#"`, `br"`, or `br#"` (only when the `r`
+/// is not the tail of a longer identifier).
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// Returns (hash count, bytes to skip past the opening quote).
+fn raw_string_open(b: &[u8], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the 'r'
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j + 1 - i) // +1 for the opening quote
+}
+
+/// Whether `hashes` `#`s follow position `i` (a raw-string close).
+fn closes_raw(b: &[u8], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| b.get(i + k) == Some(&b'#'))
+}
+
+/// Marks lines inside `#[cfg(test)]` item bodies by brace counting on the
+/// blanked code (strings cannot confuse the count).
+fn mark_test_regions(lines: &mut [SourceLine]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // The region runs from this attribute to the close of the next
+        // brace-balanced item body (or the `;` of a bodiless item).
+        let start = i;
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut end = lines.len() - 1; // unterminated: test to EOF
+        'scan: for (j, line) in lines.iter().enumerate().skip(start) {
+            for ch in line.code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    // `#[cfg(test)] use …;` before any brace: no body.
+                    ';' if !opened && depth == 0 => {
+                        end = j;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                end = j;
+                break 'scan;
+            }
+        }
+        for line in &mut lines[start..=end] {
+            line.in_test = true;
+        }
+        i = end + 1;
+    }
+}
+
+/// Splits blanked code into coarse tokens: identifiers (including keywords)
+/// and single-char punctuation. Multi-char operators arrive as their parts
+/// (`+=` is `+`, `=`), which is all the rules need.
+pub fn tokenize(code: &str) -> Vec<Token<'_>> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == b'_' || c.is_ascii_digit() {
+            let start = i;
+            while i < b.len()
+                && (b[i].is_ascii_alphanumeric()
+                    || b[i] == b'_'
+                    || (b[i] == b'.' && is_float(b, start, i)))
+            {
+                i += 1;
+            }
+            let text = &code[start..i];
+            out.push(if text.as_bytes()[0].is_ascii_digit() {
+                Token::Number(text)
+            } else {
+                Token::Ident(text)
+            });
+        } else {
+            out.push(Token::Punct(c as char));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Whether the `.` at `i` continues a numeric literal that began at
+/// `start` (so `0.05` is one number token but `m.iter` splits).
+fn is_float(b: &[u8], start: usize, i: usize) -> bool {
+    b[start].is_ascii_digit() && b.get(i + 1).is_none_or(|d| d.is_ascii_digit())
+}
+
+/// A coarse token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token<'a> {
+    /// Identifier or keyword (or a numeric literal with suffix).
+    Ident(&'a str),
+    /// A numeric literal.
+    Number(&'a str),
+    /// One punctuation character.
+    Punct(char),
+}
+
+impl<'a> Token<'a> {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(self) -> Option<&'a str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(self, c: char) -> bool {
+        self == Token::Punct(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scan_source(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let c = codes(r#"let x = "Instant::now inside a string";"#);
+        assert_eq!(c, vec![r#"let x = "";"#]);
+    }
+
+    #[test]
+    fn line_comments_are_captured_not_coded() {
+        let lines = scan_source("let a = 1; // detlint: allow(wall-clock) -- why");
+        assert_eq!(lines[0].code, "let a = 1; ");
+        assert_eq!(
+            lines[0].comment.as_deref(),
+            Some(" detlint: allow(wall-clock) -- why")
+        );
+    }
+
+    #[test]
+    fn doc_comments_are_prose_not_annotations() {
+        let lines = scan_source(
+            "//! module docs: detlint: allow(wall-clock) -- template\n\
+             /// item docs showing `detlint: allow(ambient-rng) -- x`\n\
+             fn f() {} // detlint: allow(wall-clock) -- real annotation",
+        );
+        assert_eq!(lines[0].comment, None, "inner doc comment is not captured");
+        assert_eq!(lines[1].comment, None, "outer doc comment is not captured");
+        assert!(lines[2].comment.is_some(), "plain line comment is captured");
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let c = codes("a /* x\n /* nested */ still\n out */ b");
+        assert_eq!(c, vec!["a ", "", " b"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        // Embedded quotes do not close a hashed raw string; the code after
+        // the real close survives.
+        let c = codes("let s = r#\"HashMap . iter ( ) \"quoted\" \"#; done");
+        assert_eq!(c, vec!["let s = \"\"; done"]);
+        let c2 = codes("let s = r#\"x\"#; HashMap");
+        assert_eq!(c2, vec!["let s = \"\"; HashMap"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let c = codes(r"let c = 'x'; fn f<'a>(v: &'a str) { let n = '\n'; }");
+        assert!(!c[0].contains('x'), "char literal content blanked: {c:?}");
+        assert!(c[0].contains("'a"), "lifetimes survive: {c:?}");
+    }
+
+    #[test]
+    fn multiline_string_blanks_following_lines() {
+        let c = codes("let s = \"first\nsecond Instant::now\nthird\"; code");
+        assert_eq!(c[1], "");
+        assert!(c[2].contains("code"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}";
+        let lines = scan_source(src);
+        let flags: Vec<bool> = lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_semicolon_item_does_not_swallow_file() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn live() {}";
+        let lines = scan_source(src);
+        assert!(lines[1].in_test);
+        assert!(!lines[2].in_test, "region ends at the semicolon");
+    }
+
+    #[test]
+    fn tokenizer_splits_idents_and_punct() {
+        let toks = tokenize("self.records.iter()");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("self"),
+                Token::Punct('.'),
+                Token::Ident("records"),
+                Token::Punct('.'),
+                Token::Ident("iter"),
+                Token::Punct('('),
+                Token::Punct(')'),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizer_keeps_float_literals_whole() {
+        let toks = tokenize("f += 0.05;");
+        assert!(toks.contains(&Token::Number("0.05")));
+        let toks = tokenize("let mut f = 0.1f64;");
+        assert!(toks.contains(&Token::Number("0.1f64")));
+    }
+}

@@ -1,0 +1,137 @@
+//! Rule corpus: every rule has a firing (positive) and a clean (negative)
+//! fixture, and the full corpus output is pinned against a golden file so
+//! any behavior change in the rule engine is a reviewed diff, not a silent
+//! drift.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use dynareg_detlint::{lint_source, FileContext, Rule};
+
+/// `(fixture, synthetic workspace path, is_crate_root)`. The float fixtures
+/// get a `crates/fleet/` path because `float-reduction` is scoped to fleet
+/// aggregation; the unsafe fixtures pose as crate roots because
+/// `unsafe-audit` only applies there.
+const CORPUS: &[(&str, &str, bool)] = &[
+    (
+        "unordered_iteration_pos.rs",
+        "crates/net/src/fixture.rs",
+        false,
+    ),
+    (
+        "unordered_iteration_neg.rs",
+        "crates/net/src/fixture.rs",
+        false,
+    ),
+    ("wall_clock_pos.rs", "crates/core/src/fixture.rs", false),
+    ("wall_clock_neg.rs", "crates/core/src/fixture.rs", false),
+    ("ambient_rng_pos.rs", "crates/churn/src/fixture.rs", false),
+    ("ambient_rng_neg.rs", "crates/churn/src/fixture.rs", false),
+    (
+        "float_reduction_pos.rs",
+        "crates/fleet/src/fixture.rs",
+        false,
+    ),
+    (
+        "float_reduction_neg.rs",
+        "crates/fleet/src/fixture.rs",
+        false,
+    ),
+    ("unsafe_audit_pos.rs", "crates/demo/src/lib.rs", true),
+    ("unsafe_audit_neg.rs", "crates/demo/src/lib.rs", true),
+    ("allows_pos.rs", "crates/core/src/fixture.rs", false),
+    ("allows_bad.rs", "crates/core/src/fixture.rs", false),
+];
+
+fn fixture_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn lint_fixture(name: &str, rel_path: &str, is_crate_root: bool) -> Vec<dynareg_detlint::Finding> {
+    let src = std::fs::read_to_string(fixture_dir().join(name))
+        .unwrap_or_else(|e| panic!("reading fixture {name}: {e}"));
+    lint_source(
+        &src,
+        &FileContext {
+            rel_path: rel_path.to_string(),
+            is_crate_root,
+        },
+    )
+}
+
+#[test]
+fn every_core_rule_has_a_firing_fixture_and_a_clean_one() {
+    let cases = [
+        (Rule::UnorderedIteration, "unordered_iteration"),
+        (Rule::WallClock, "wall_clock"),
+        (Rule::AmbientRng, "ambient_rng"),
+        (Rule::FloatReduction, "float_reduction"),
+        (Rule::UnsafeAudit, "unsafe_audit"),
+    ];
+    for (rule, stem) in cases {
+        let (_, rel, root) = CORPUS
+            .iter()
+            .find(|(f, _, _)| *f == format!("{stem}_pos.rs"))
+            .expect("positive fixture is in the corpus");
+        let pos = lint_fixture(&format!("{stem}_pos.rs"), rel, *root);
+        assert!(
+            pos.iter().any(|f| f.rule == rule && f.allowed.is_none()),
+            "{stem}_pos.rs must fire {} unallowed, got: {pos:?}",
+            rule.name()
+        );
+        let neg = lint_fixture(&format!("{stem}_neg.rs"), rel, *root);
+        assert!(
+            neg.is_empty(),
+            "{stem}_neg.rs must be finding-free, got: {neg:?}"
+        );
+    }
+}
+
+#[test]
+fn well_formed_allows_suppress_and_are_reported_as_allowed() {
+    let findings = lint_fixture("allows_pos.rs", "crates/core/src/fixture.rs", false);
+    assert!(
+        !findings.is_empty() && findings.iter().all(|f| f.allowed.is_some()),
+        "every finding in allows_pos.rs is excused: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_and_unused_allows_are_unallowable_findings() {
+    let findings = lint_fixture("allows_bad.rs", "crates/core/src/fixture.rs", false);
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::BadAllow),
+        "reason-less and unknown-rule annotations are bad-allow: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::UnusedAllow),
+        "an annotation excusing nothing is unused-allow: {findings:?}"
+    );
+    assert!(
+        findings.iter().all(|f| f.allowed.is_none()),
+        "meta findings can never be allowed: {findings:?}"
+    );
+}
+
+#[test]
+fn corpus_output_matches_golden() {
+    let mut got = String::new();
+    for (file, rel, root) in CORPUS {
+        for f in lint_fixture(file, rel, *root) {
+            let _ = writeln!(got, "{file}: {f}");
+        }
+    }
+    let golden_path = fixture_dir().join("golden_findings.txt");
+    if std::env::var_os("DETLINT_BLESS").is_some() {
+        std::fs::write(&golden_path, &got).expect("blessing golden corpus");
+    }
+    let want = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", golden_path.display()));
+    assert_eq!(
+        got, want,
+        "rule-engine output drifted from the golden corpus; \
+         review the diff and update fixtures/golden_findings.txt deliberately"
+    );
+}

@@ -1,0 +1,79 @@
+//! Property tests for the allow-annotation grammar: rendering always
+//! round-trips, and the reason really is mandatory for every rule and any
+//! amount of trailing whitespace.
+
+#![forbid(unsafe_code)]
+
+use dynareg_detlint::{parse_comment, Allow, AllowError, Rule};
+use proptest::prelude::*;
+
+fn core_rule() -> impl Strategy<Value = Rule> {
+    prop::sample::select(Rule::CORE.to_vec())
+}
+
+/// Trim-stable, newline-free reasons — what a real annotation can carry.
+/// Interior characters may include spaces and punctuation; the ends stay
+/// non-whitespace so `render → parse` reproduces the reason byte-for-byte.
+fn reason() -> impl Strategy<Value = String> {
+    const ENDS: &str = "abcdefghijklmnopqrstuvwxyz0123456789";
+    const INTERIOR: &str = "abcdefghijklmnopqrstuvwxyz0123456789 ()/,.:-";
+    let end = prop::sample::select(ENDS.chars().collect::<Vec<char>>());
+    let interior = prop::collection::vec(
+        prop::sample::select(INTERIOR.chars().collect::<Vec<char>>()),
+        0..40,
+    );
+    (end.clone(), interior, end).prop_map(|(first, mid, last)| {
+        let mut s = String::new();
+        s.push(first);
+        s.extend(mid);
+        s.push(last);
+        s
+    })
+}
+
+/// Runs of spaces and tabs, possibly empty.
+fn padding() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(vec![' ', '\t']), 0..6)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(render(a)) == a` for every rule and reason, with or without
+    /// leading comment padding.
+    #[test]
+    fn render_parse_round_trips(rule in core_rule(), why in reason(), pad in 0usize..4) {
+        let a = Allow { rule, reason: why };
+        let text = format!("{}{}", " ".repeat(pad), a.render());
+        prop_assert_eq!(parse_comment(&text), Some(Ok(a)));
+    }
+
+    /// A reason-less annotation is rejected no matter which rule it names
+    /// or how much whitespace pads it — never parsed, never ignored.
+    #[test]
+    fn reasonless_allows_never_parse(rule in core_rule(), tail in padding()) {
+        let text = format!("detlint: allow({}){}", rule.name(), tail);
+        prop_assert_eq!(
+            parse_comment(&text),
+            Some(Err(AllowError::MissingReason))
+        );
+        // A bare `--` with nothing after it is still reason-less.
+        let text = format!("detlint: allow({}) --{}", rule.name(), tail);
+        prop_assert_eq!(
+            parse_comment(&text),
+            Some(Err(AllowError::MissingReason))
+        );
+    }
+
+    /// Comments with no marker never parse as annotations, whatever they
+    /// say about rules.
+    #[test]
+    fn markerless_comments_are_ignored(words in prop::collection::vec(
+        prop::sample::select("abcdefghijklmnopqrstuvwxyz -".chars().collect::<Vec<char>>()),
+        0..40,
+    )) {
+        let text: String = words.into_iter().collect();
+        prop_assert_eq!(parse_comment(&text), None);
+    }
+}

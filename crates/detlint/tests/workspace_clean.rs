@@ -1,0 +1,41 @@
+//! The gate itself, as a test: the real workspace must carry zero
+//! unallowed findings. This is what `cargo test` enforces on every run and
+//! what the CI detlint step re-checks via the CLI exit code.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+
+use dynareg_detlint::{lint_workspace, unallowed};
+
+#[test]
+fn workspace_has_zero_unallowed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lint_workspace(&root).expect("workspace lints");
+    let open = unallowed(&findings);
+    assert!(
+        open.is_empty(),
+        "determinism contract violations without a documented allow:\n{}",
+        open.iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_allow_in_the_workspace_carries_a_reason() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lint_workspace(&root).expect("workspace lints");
+    // `allowed` holds the reason text; the parser already rejects empty
+    // reasons, so an allowed finding with a blank reason is impossible —
+    // assert it anyway as the contract this suite advertises.
+    for f in &findings {
+        if let Some(reason) = &f.allowed {
+            assert!(
+                !reason.trim().is_empty(),
+                "allow without a reason survived at {f}"
+            );
+        }
+    }
+}

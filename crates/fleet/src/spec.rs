@@ -161,7 +161,7 @@ impl SweepSpec {
         let mut f = 0.1f64;
         while fractions.len() < 24 {
             fractions.push((f * 1000.0).round() / 1000.0);
-            f += 0.05; // 0.10, 0.15, … 1.25
+            f += 0.05; // 0.10, 0.15, … 1.25 // detlint: allow(float-reduction) -- fixed-order grid construction, rounded to 1e-3; not an aggregation
         }
         for f in [
             1.35, 1.5, 1.65, 1.8, 2.0, 2.2, 2.4, 2.6, 2.8, 3.0, 3.2, 3.4, 3.6, 3.8, 3.9, 4.0,

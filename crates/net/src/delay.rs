@@ -225,7 +225,7 @@ mod tests {
     fn synchronous_uses_full_range() {
         let model = Synchronous::new(Span::ticks(4));
         let mut rng = DetRng::seed(2);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..500 {
             seen.insert(model.sample(Time::ZERO, n(0), n(1), &mut rng).as_ticks());
         }

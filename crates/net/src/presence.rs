@@ -11,7 +11,7 @@
 //! history (for `A(τ)` / `A(τ₁, τ₂)` measurements after the fact — the
 //! Lemma 2 experiment).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dynareg_sim::{NodeId, Time};
 
@@ -81,9 +81,11 @@ impl LifeRecord {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Presence {
-    records: HashMap<NodeId, LifeRecord>,
-    // BTreeSets so iteration order (and thus the whole simulation) is
-    // deterministic.
+    // Ordered containers throughout, so iteration order (and thus the whole
+    // simulation, and every history report derived from it) is
+    // deterministic. Record access is one lookup per lifecycle event; the
+    // history queries below iterate, which a hash map must never back.
+    records: BTreeMap<NodeId, LifeRecord>,
     listening: BTreeSet<NodeId>,
     active: BTreeSet<NodeId>,
     /// Sorted dense mirror of listening ∪ active. Broadcast snapshots and
@@ -237,32 +239,28 @@ impl Presence {
         self.records.get(&node)
     }
 
-    /// Historical `A(τ)`: processes active at instant `t`.
+    /// Historical `A(τ)`: processes active at instant `t`, in node-id order
+    /// (free: `records` is ordered).
     pub fn active_set_at(&self, t: Time) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self
-            .records
+        self.records
             .iter()
             .filter(|(_, r)| r.active_at(t))
             .map(|(&id, _)| id)
-            .collect();
-        v.sort_unstable();
-        v
+            .collect()
     }
 
-    /// Historical `A(τ₁, τ₂)`: processes active during the whole interval.
+    /// Historical `A(τ₁, τ₂)`: processes active during the whole interval,
+    /// in node-id order.
     ///
     /// # Panics
     /// Panics if `t1 > t2`.
     pub fn active_set_throughout(&self, t1: Time, t2: Time) -> Vec<NodeId> {
         assert!(t1 <= t2, "interval must be ordered");
-        let mut v: Vec<NodeId> = self
-            .records
+        self.records
             .iter()
             .filter(|(_, r)| r.active_throughout(t1, t2))
             .map(|(&id, _)| id)
-            .collect();
-        v.sort_unstable();
-        v
+            .collect()
     }
 
     /// `|A(τ₁, τ₂)|` without materializing the set.
@@ -277,9 +275,7 @@ impl Presence {
     /// Iterates over every lifecycle record of the run (including departed
     /// processes), in node-id order.
     pub fn records(&self) -> impl Iterator<Item = (NodeId, &LifeRecord)> + '_ {
-        let mut ids: Vec<NodeId> = self.records.keys().copied().collect();
-        ids.sort_unstable();
-        ids.into_iter().map(move |id| (id, &self.records[&id]))
+        self.records.iter().map(|(&id, r)| (id, r))
     }
 
     /// Total number of processes that ever entered over the run.

@@ -174,12 +174,12 @@ impl IdSource {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn ids_are_never_reused() {
         let mut src = IdSource::new();
-        let ids: HashSet<NodeId> = (0..1000).map(|_| src.fresh_node()).collect();
+        let ids: BTreeSet<NodeId> = (0..1000).map(|_| src.fresh_node()).collect();
         assert_eq!(ids.len(), 1000);
     }
 

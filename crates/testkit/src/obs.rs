@@ -20,6 +20,11 @@
 //! run is digest-identical to an uninstrumented one (the zero-cost claim
 //! CI gates with a byte-compare).
 
+// Lookup-only attribution maps keyed by dense sequence ids / op ids:
+// probed on delivery, never iterated (detlint's unordered-iteration rule
+// guards that), and on the per-message hot path where hashing beats a
+// B-tree walk.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::fmt;
 
@@ -347,6 +352,7 @@ pub(crate) enum Cause {
 /// invoked behind an `Option` check, so a world without observability
 /// never touches any of this.
 #[derive(Debug)]
+#[allow(clippy::disallowed_types)] // lookup-only attribution maps, see the import note
 pub(crate) struct WorldObs {
     pub(crate) cfg: ObsConfig,
     spans: Vec<OpSpan>,
@@ -366,6 +372,7 @@ pub(crate) struct WorldObs {
 }
 
 impl WorldObs {
+    #[allow(clippy::disallowed_types)] // lookup-only attribution maps, see the import note
     pub(crate) fn new(cfg: ObsConfig) -> WorldObs {
         WorldObs {
             cfg,

@@ -605,7 +605,7 @@ mod tests {
         let idle: Vec<NodeId> = (0..20).map(n).collect();
         let writers = [n(0)];
         let open = WriteAccess::new(&writers, &OPEN);
-        let mut keys_seen = std::collections::HashSet::new();
+        let mut keys_seen = std::collections::BTreeSet::new();
         let mut values = Vec::new();
         for t in 1..200 {
             for (_, op) in w.tick(Time::at(t), &idle, &[], &open, &mut rng) {
@@ -616,7 +616,7 @@ mod tests {
             }
         }
         assert!(keys_seen.len() > 4, "zipf traffic spreads over keys");
-        let distinct: std::collections::HashSet<u64> = values.iter().copied().collect();
+        let distinct: std::collections::BTreeSet<u64> = values.iter().copied().collect();
         assert_eq!(
             distinct.len(),
             values.len(),
@@ -651,7 +651,7 @@ mod tests {
         let hot = RegisterId::ZERO;
         let only_cold: fn(NodeId, RegisterId) -> bool = |_, k| k != RegisterId::ZERO;
         let access = WriteAccess::new(&writers, &only_cold);
-        let mut wrote_keys = std::collections::HashSet::new();
+        let mut wrote_keys = std::collections::BTreeSet::new();
         let mut values = Vec::new();
         for t in 1..300 {
             for (_, op) in w.tick(Time::at(t), &[], &[], &access, &mut rng) {

@@ -34,6 +34,10 @@
 //! idle-active roster the workload samples from is maintained
 //! incrementally instead of being re-collected every tick.
 
+// `NodeMap` below: a lookup-only interning map on the per-event hot path.
+// Probed by node id, never iterated outside an order-insensitive test
+// assertion (detlint's unordered-iteration rule guards that).
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
@@ -229,6 +233,7 @@ impl Hasher for NodeIdHasher {
     }
 }
 
+#[allow(clippy::disallowed_types)] // lookup-only, see the import note
 type NodeMap<V> = HashMap<NodeId, V, BuildHasherDefault<NodeIdHasher>>;
 
 /// The deterministic simulation world for the spaces `F` builds.
@@ -543,6 +548,7 @@ where
     /// The profiled twin of the main loop: identical dispatch, plus a
     /// wall-clock stamp around each event class. Kept separate so the
     /// unprofiled path carries no `Instant` reads.
+    #[allow(clippy::disallowed_methods)] // profiler timing, outside the simulation clock
     fn run_until_profiled(&mut self, end: Time) {
         use std::time::Instant;
         while let Some(t) = self.queue.peek_time() {
@@ -560,17 +566,17 @@ where
                     seq,
                     msg,
                 } => {
-                    let t0 = Instant::now();
+                    let t0 = Instant::now(); // detlint: allow(wall-clock) -- TickProfile wall timing, reported out-of-band, never in digests
                     self.handle_delivery(from, to, slot, label, seq, msg);
                     self.profile_add(TickPhase::Deliver, t0.elapsed());
                 }
                 Pending::Fan { fan, idx, slot } => {
-                    let t0 = Instant::now();
+                    let t0 = Instant::now(); // detlint: allow(wall-clock) -- TickProfile wall timing, reported out-of-band, never in digests
                     self.handle_fan(fan, idx, slot);
                     self.profile_add(TickPhase::Deliver, t0.elapsed());
                 }
                 Pending::Timer { node, slot, tag } => {
-                    let t0 = Instant::now();
+                    let t0 = Instant::now(); // detlint: allow(wall-clock) -- TickProfile wall timing, reported out-of-band, never in digests
                     self.handle_timer(node, slot, tag);
                     self.profile_add(TickPhase::Timer, t0.elapsed());
                 }
@@ -717,19 +723,20 @@ where
 
     /// The profiled twin of [`World::handle_tick`]: same work, with each
     /// sub-phase (membership, workload, sampling) stamped separately.
+    #[allow(clippy::disallowed_methods)] // profiler timing, outside the simulation clock
     fn handle_tick_profiled(&mut self) {
         use std::time::Instant;
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // detlint: allow(wall-clock) -- TickProfile wall timing, reported out-of-band, never in digests
         self.apply_scripted_membership();
         if self.now > Time::ZERO {
             self.apply_churn();
         }
-        let t1 = Instant::now();
+        let t1 = Instant::now(); // detlint: allow(wall-clock) -- TickProfile wall timing, reported out-of-band, never in digests
         self.apply_workload();
-        let t2 = Instant::now();
+        let t2 = Instant::now(); // detlint: allow(wall-clock) -- TickProfile wall timing, reported out-of-band, never in digests
         self.sample_gauges();
         self.obs_tick_row();
-        let t3 = Instant::now();
+        let t3 = Instant::now(); // detlint: allow(wall-clock) -- TickProfile wall timing, reported out-of-band, never in digests
         if let Some(obs) = self.obs.as_deref_mut() {
             obs.profile.add(TickPhase::Churn, t1 - t0);
             obs.profile.add(TickPhase::Workload, t2 - t1);
@@ -1549,6 +1556,7 @@ mod tests {
             "interning map mirrors the present set"
         );
         // Every interned slot holds the node it claims to.
+        // detlint: allow(unordered-iteration) -- test-only, order-insensitive per-entry assertion
         for (&node, &idx) in &w.slot_of {
             assert_eq!(w.slots[idx as usize].as_ref().unwrap().node, node);
         }

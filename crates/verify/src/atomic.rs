@@ -134,10 +134,10 @@ impl AtomicityChecker {
         let mut max_done_op = None;
         // Per-writer-node max returned index: the same-node clause of the
         // hybrid order. For a single writer this equals `max_done`.
-        let mut node_max: std::collections::HashMap<
+        let mut node_max: std::collections::BTreeMap<
             dynareg_sim::NodeId,
             (usize, dynareg_sim::OpId),
-        > = std::collections::HashMap::new();
+        > = std::collections::BTreeMap::new();
         // Latest invocation among returned writes: the real-time clause —
         // a returned write invoked after write `w` completed proves `w`
         // was already replaced.

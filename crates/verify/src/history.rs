@@ -5,6 +5,11 @@
 //! with what value. The simulation runtime appends to the history as
 //! operations progress; checkers consume it read-only afterwards.
 
+// Lookup-only acceleration indexes: inserted and probed by key, never
+// iterated (detlint's unordered-iteration rule guards that), and
+// `value_writer_index` is keyed by the generic `V: Hash` which has no `Ord`
+// bound — a BTreeMap cannot back it.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -99,6 +104,7 @@ impl<V> OpRecord<V> {
 /// assert_eq!(h.completed_reads().count(), 1);
 /// ```
 #[derive(Debug, Clone)]
+#[allow(clippy::disallowed_types)] // lookup-only indexes, see the import note
 pub struct History<V> {
     initial: V,
     ops: Vec<OpRecord<V>>,
@@ -113,6 +119,7 @@ pub struct History<V> {
 impl<V: Clone + Eq + Hash + std::fmt::Debug> History<V> {
     /// A history over a register whose initial value is `initial` (the
     /// paper initializes every `register_k` to a common value, §3.3).
+    #[allow(clippy::disallowed_types)] // lookup-only indexes, see the import note
     pub fn new(initial: V) -> History<V> {
         History {
             initial,

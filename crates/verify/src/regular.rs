@@ -2,7 +2,7 @@
 //! value written before the read invocation, or a value written by a write
 //! operation concurrent with it."*
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::Hash;
 
 use dynareg_sim::{NodeId, Time};
@@ -63,7 +63,7 @@ pub(crate) struct WriteSweep<'h, V> {
     pending_min_inv: Option<Time>,
     /// Per-writer completed-write chains for the same-node clause of
     /// [`write_precedes`].
-    node_chains: HashMap<NodeId, NodeChain>,
+    node_chains: BTreeMap<NodeId, NodeChain>,
 }
 
 impl<'h, V: Clone + Eq + Hash + std::fmt::Debug> WriteSweep<'h, V> {
@@ -96,7 +96,7 @@ impl<'h, V: Clone + Eq + Hash + std::fmt::Debug> WriteSweep<'h, V> {
             .filter(|w| !w.is_complete())
             .map(|w| w.invoked_at)
             .min();
-        let mut node_chains: HashMap<NodeId, NodeChain> = HashMap::new();
+        let mut node_chains: BTreeMap<NodeId, NodeChain> = BTreeMap::new();
         for (i, w) in by_index.iter().enumerate() {
             if let Some(c) = w.completed_at {
                 let chain = node_chains.entry(w.node).or_insert_with(|| NodeChain {
