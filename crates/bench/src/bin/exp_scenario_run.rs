@@ -204,6 +204,13 @@ fn main() {
             report.reinquiry_rounds()
         );
     }
+    if report.join_retransmits() > 0 {
+        println!(
+            "join retransmits: {} silence-triggered inquiry re-broadcast(s) \
+             (loss-tolerant handshake; docs/PROTOCOL.md)",
+            report.join_retransmits()
+        );
+    }
 
     if let Some(obs) = &report.obs {
         let stuck = obs.why_stuck_all();

@@ -94,6 +94,15 @@ pub trait RegisterProcess: fmt::Debug {
     /// Whether the join operation has returned.
     fn is_active(&self) -> bool;
 
+    /// Number of distinct join-phase replies gathered so far, while the
+    /// join is in flight. `None` (the default) means the protocol does not
+    /// expose a count — the space layer's bounded join retransmission
+    /// (`RetransmitConfig` in the `space` module) then never intercepts a
+    /// join timer on its behalf and treats every silence beat as silent.
+    fn join_replies(&self) -> Option<usize> {
+        None
+    }
+
     /// The process enters the system and starts its `join` operation.
     fn on_enter(&mut self, now: Time) -> Vec<Effect<Self::Msg, Self::Val>>;
 

@@ -536,6 +536,14 @@ impl<V: Value> RegisterProcess for EsRegister<V> {
         self.active
     }
 
+    fn join_replies(&self) -> Option<usize> {
+        // `repliesᵢ` is keyed by sender, so duplicates from a retransmitted
+        // inquiry overwrite rather than inflate the count. After activation
+        // the same map serves quorum reads and must not be interpreted as
+        // join progress.
+        (!self.active).then_some(self.replies.len())
+    }
+
     /// `operation join(i)` — Figure 4 lines 01–04.
     fn on_enter(&mut self, _now: Time) -> Vec<Effect<EsMsg<V>, V>> {
         if self.active {

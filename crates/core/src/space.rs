@@ -69,6 +69,38 @@
 //! filter and fallback below is conditioned on `groups > 1`, and the
 //! equivalence property tests plus the CI `cmp` gate hold the digest
 //! identity.
+//!
+//! # Loss-tolerant join retransmission
+//!
+//! The paper assumes reliable channels, so a lost inquiry or reply is a
+//! case its join never handles: a sync joiner blind-activates at `⊥` and a
+//! quorum-driven (ES) joiner wedges **forever**. [`RetransmitConfig`]
+//! bounds that gap for unsharded (`G = 1`) handshakes — sharded spaces
+//! already re-fire via the withheld-expiry/re-inquiry machinery above:
+//!
+//! * **Timer-driven joins** (sync): when the post-inquiry wait expires
+//!   with *zero* replies gathered ([`RegisterProcess::join_replies`]), the
+//!   space re-fires the inquiry and re-arms the same wait instead of
+//!   dispatching the expiry, up to [`RetransmitConfig::budget`] times per
+//!   join; the budget exhausted, the expiry dispatches normally and the
+//!   paper's blind `⊥` activation proceeds.
+//! * **Timer-less joins** (ES): the space arms its own silence timer
+//!   ([`RETRANSMIT_TAG`]); each expiry with no new replies since the last
+//!   beat re-broadcasts the inquiry and doubles the wait (capped after
+//!   `budget` doublings — the "current timeout estimate"), so a joiner
+//!   whose handshake was swallowed converges within a bounded number of
+//!   rounds once the network turns lossless.
+//!
+//! Every retransmission is marked by a digest-invisible
+//! [`SpaceEffect::Retransmit`] so the runtime can count
+//! `join.retransmits` without parsing wire labels. Responders are
+//! idempotent by construction: a re-received inquiry is re-answered from
+//! current state, and duplicate `Batch` replies never double-count a
+//! shard quorum (`shard_heard` is a set per shard).
+//!
+//! The full wire-level lifecycle (message grammar, shard striping, the
+//! retransmit state machine) is specified in `docs/PROTOCOL.md` at the
+//! repository root.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -163,6 +195,11 @@ pub enum SpaceEffect<M, V> {
         /// Message text.
         text: String,
     },
+    /// The join handshake was re-fired after silence (see the module's
+    /// "Loss-tolerant join retransmission"). A marker, not a message: the
+    /// runtime counts it (`join.retransmits`) and annotates the join span,
+    /// but it is invisible to the event stream and the run digest.
+    Retransmit,
 }
 
 /// A keyed register-space instance bound to one process: the runtime-facing
@@ -248,6 +285,24 @@ pub struct SoloSpace<P: RegisterProcess> {
     inner: P,
     /// Reused scratch so the delivery fast path stays allocation-free.
     scratch: Vec<Effect<P::Msg, P::Val>>,
+    /// Join-retransmit policy (`None` = the pre-retransmit path, bit for
+    /// bit — the default of [`SoloSpace::new`]).
+    retransmit: Option<RetransmitConfig>,
+    /// Whether the join broadcast its inquiry yet.
+    inquired: bool,
+    /// The observed inquiry payload, kept for re-fires.
+    last_inquiry: Option<P::Msg>,
+    /// `(tag, delay)` of join-phase timers the inner protocol armed, so a
+    /// zero-reply interception can re-arm the expiring wait.
+    join_timers: Vec<(u64, Span)>,
+    /// Whether the silence ([`RETRANSMIT_TAG`]) timer is outstanding.
+    retransmit_armed: bool,
+    /// Consecutive silent beats (the backoff exponent, plateaued).
+    retransmit_attempts: u32,
+    /// Zero-reply interceptions consumed (timer-driven joins).
+    retransmit_used: u32,
+    /// Reply count at the last silence beat (progress detection).
+    retransmit_seen: usize,
 }
 
 impl<P: RegisterProcess> SoloSpace<P> {
@@ -256,7 +311,21 @@ impl<P: RegisterProcess> SoloSpace<P> {
         SoloSpace {
             inner,
             scratch: Vec::new(),
+            retransmit: None,
+            inquired: false,
+            last_inquiry: None,
+            join_timers: Vec::new(),
+            retransmit_armed: false,
+            retransmit_attempts: 0,
+            retransmit_used: 0,
+            retransmit_seen: 0,
         }
+    }
+
+    /// Installs (or clears) the bounded join-retransmit policy.
+    pub fn with_retransmit(mut self, config: Option<RetransmitConfig>) -> SoloSpace<P> {
+        self.retransmit = config;
+        self
     }
 
     /// The wrapped instance.
@@ -268,6 +337,90 @@ impl<P: RegisterProcess> SoloSpace<P> {
         effects: impl IntoIterator<Item = Effect<P::Msg, P::Val>>,
     ) -> Vec<SpaceEffect<P::Msg, P::Val>> {
         effects.into_iter().map(lift_effect).collect()
+    }
+
+    /// Observes a join-phase step's lifted effects (inquiry payload and
+    /// armed waits) and appends the silence timer for timer-less joins —
+    /// the solo mirror of [`RegisterSpace::flush`]'s bookkeeping. A no-op
+    /// unless a retransmit policy is installed and the join is still in
+    /// flight.
+    fn observe_join_step(&mut self, out: &mut Vec<SpaceEffect<P::Msg, P::Val>>) {
+        let Some(cfg) = self.retransmit else {
+            return;
+        };
+        if self.inner.is_active() {
+            return;
+        }
+        for effect in out.iter() {
+            match effect {
+                SpaceEffect::Broadcast { msg } if !self.inquired => {
+                    self.inquired = true;
+                    self.last_inquiry = Some(msg.clone());
+                }
+                SpaceEffect::SetTimer { delay, tag }
+                    if *tag != RETRANSMIT_TAG
+                        && !self.join_timers.iter().any(|(t, _)| t == tag) =>
+                {
+                    self.join_timers.push((*tag, *delay));
+                }
+                _ => {}
+            }
+        }
+        if self.inquired && !self.retransmit_armed && self.join_timers.is_empty() {
+            // A timer-less (quorum) protocol inquired: arm the space's own
+            // silence timer so a swallowed handshake re-fires.
+            out.push(SpaceEffect::SetTimer {
+                delay: cfg.backoff(self.retransmit_attempts),
+                tag: RETRANSMIT_TAG,
+            });
+            self.retransmit_armed = true;
+            self.retransmit_seen = self.inner.join_replies().unwrap_or(0);
+        }
+    }
+
+    /// The silence timer fired (timer-less joins): re-broadcast the
+    /// inquiry if no reply arrived since the last beat, back the window
+    /// off, and re-arm.
+    fn retransmit_fire(&mut self) -> Vec<SpaceEffect<P::Msg, P::Val>> {
+        self.retransmit_armed = false;
+        let Some(cfg) = self.retransmit else {
+            return Vec::new();
+        };
+        if self.inner.is_active() {
+            return Vec::new();
+        }
+        let heard = self.inner.join_replies().unwrap_or(0);
+        let silent = heard <= self.retransmit_seen;
+        self.retransmit_seen = heard;
+        let mut out = Vec::new();
+        if silent {
+            if let Some(msg) = self.last_inquiry.clone() {
+                out.push(SpaceEffect::Broadcast { msg });
+                out.push(SpaceEffect::Retransmit);
+            }
+            self.retransmit_attempts = (self.retransmit_attempts + 1).min(cfg.budget);
+        } else {
+            self.retransmit_attempts = 0;
+        }
+        out.push(SpaceEffect::SetTimer {
+            delay: cfg.backoff(self.retransmit_attempts),
+            tag: RETRANSMIT_TAG,
+        });
+        self.retransmit_armed = true;
+        out
+    }
+
+    /// Whether a timer-driven join's expiring wait must be intercepted:
+    /// the inquiry is out, zero replies were gathered, and budget remains.
+    fn intercepts(&self, tag: u64) -> bool {
+        let Some(cfg) = self.retransmit else {
+            return false;
+        };
+        !self.inner.is_active()
+            && self.inquired
+            && self.retransmit_used < cfg.budget
+            && self.inner.join_replies() == Some(0)
+            && self.join_timers.iter().any(|&(t, _)| t == tag)
     }
 }
 
@@ -307,7 +460,9 @@ impl<P: RegisterProcess> RegisterSpaceProcess for SoloSpace<P> {
     }
 
     fn on_enter(&mut self, now: Time) -> Vec<SpaceEffect<P::Msg, P::Val>> {
-        Self::lift(self.inner.on_enter(now))
+        let mut out = Self::lift(self.inner.on_enter(now));
+        self.observe_join_step(&mut out);
+        out
     }
 
     fn on_message_into(
@@ -325,7 +480,29 @@ impl<P: RegisterProcess> RegisterSpaceProcess for SoloSpace<P> {
     }
 
     fn on_timer(&mut self, now: Time, tag: u64) -> Vec<SpaceEffect<P::Msg, P::Val>> {
-        Self::lift(self.inner.on_timer(now, tag))
+        if tag == RETRANSMIT_TAG {
+            // The space's own silence timer — never forwarded (timer-less
+            // inner protocols panic on unknown tags).
+            return self.retransmit_fire();
+        }
+        if self.intercepts(tag) {
+            // A timer-driven join's wait expired with zero replies: re-fire
+            // the inquiry and re-arm the same wait instead of dispatching
+            // the expiry (which would blind-activate at ⊥).
+            self.retransmit_used += 1;
+            let mut out = Vec::new();
+            if let Some(msg) = self.last_inquiry.clone() {
+                out.push(SpaceEffect::Broadcast { msg });
+                out.push(SpaceEffect::Retransmit);
+            }
+            if let Some(&(t, delay)) = self.join_timers.iter().find(|&&(t, _)| t == tag) {
+                out.push(SpaceEffect::SetTimer { delay, tag: t });
+            }
+            return out;
+        }
+        let mut out = Self::lift(self.inner.on_timer(now, tag));
+        self.observe_join_step(&mut out);
+        out
     }
 
     fn on_read(
@@ -360,6 +537,60 @@ const INNER_TAG_MASK: u64 = (1 << KEY_TAG_SHIFT) - 1;
 /// no join timers). Inner tags fit 32 bits, so bit 62 cannot collide with
 /// a forwarded shared tag.
 const REINQUIRE_TAG: u64 = SHARED_TAG | (1 << 62);
+/// The unsharded join-retransmit silence timer (timer-less protocols under
+/// [`RetransmitConfig`]). Like `REINQUIRE_TAG`, bit 61 cannot collide
+/// with a forwarded inner tag.
+pub const RETRANSMIT_TAG: u64 = SHARED_TAG | (1 << 61);
+
+/// Bounded join-handshake retransmission policy (see the module's
+/// "Loss-tolerant join retransmission"). Attached to a space via
+/// [`SoloSpace::with_retransmit`] / [`RegisterSpace::with_retransmit`];
+/// absent (the default of every raw constructor), the space behaves
+/// exactly as before — lossless paths are bit-identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitConfig {
+    /// The initial silence window: how long a joiner's inquiry may go
+    /// unanswered before the handshake re-fires (`2δ` in the scenario
+    /// harness — the paper's post-inquiry wait).
+    pub base: Span,
+    /// Retry cap: timer-driven joins intercept at most this many
+    /// zero-reply expiries; timer-less joins stop doubling their silence
+    /// window after this many consecutive silent beats (the window then
+    /// plateaus at `base << budget`, so liveness after the loss stops is
+    /// still guaranteed).
+    pub budget: u32,
+}
+
+impl RetransmitConfig {
+    /// A policy re-firing after `base` ticks of silence, budget 4.
+    ///
+    /// # Panics
+    /// Panics if `base` is zero.
+    pub fn after(base: Span) -> RetransmitConfig {
+        assert!(
+            !base.is_zero(),
+            "retransmit silence window must be positive"
+        );
+        RetransmitConfig { base, budget: 4 }
+    }
+
+    /// Sets the retry budget (interception cap / backoff plateau).
+    ///
+    /// # Panics
+    /// Panics if `budget` is zero.
+    pub fn with_budget(mut self, budget: u32) -> RetransmitConfig {
+        assert!(budget > 0, "retransmit budget must be positive");
+        self.budget = budget;
+        self
+    }
+
+    /// The silence window after `attempts` consecutive silent beats:
+    /// `base << min(attempts, budget)`, shift capped so the window can
+    /// never overflow.
+    fn backoff(&self, attempts: u32) -> Span {
+        Span::ticks(self.base.as_ticks() << attempts.min(self.budget).min(16))
+    }
+}
 
 /// Deterministic shard of a responder: SplitMix64 finalizer over the node
 /// id, reduced mod `groups`. Stable across runs and thread counts.
@@ -470,10 +701,22 @@ pub struct RegisterSpace<P: RegisterProcess> {
     /// keys (joiner-side quorum tracking; empty unless `groups > 1`).
     shard_heard: Vec<BTreeSet<NodeId>>,
     /// `(inner tag, delay)` of shared join timers armed so far, so a
-    /// withheld expiry can re-arm itself (tracked only when `groups > 1`).
+    /// withheld (or zero-reply-intercepted) expiry can re-arm itself.
     join_timer_delays: Vec<(u64, Span)>,
     /// Whether the space's own re-inquiry timer is outstanding.
     reinquire_armed: bool,
+    /// Unsharded join-retransmit policy (`None` = pre-retransmit path).
+    /// Inert while `groups > 1` — sharded handshakes already re-fire via
+    /// the withheld-expiry / re-inquiry machinery.
+    retransmit: Option<RetransmitConfig>,
+    /// Whether the silence ([`RETRANSMIT_TAG`]) timer is outstanding.
+    retransmit_armed: bool,
+    /// Consecutive silent beats (the backoff exponent, plateaued).
+    retransmit_attempts: u32,
+    /// Zero-reply interceptions consumed (timer-driven joins).
+    retransmit_used: u32,
+    /// Reply count at the last silence beat (progress detection).
+    retransmit_seen: usize,
 }
 
 /// One target's pending fan-in replies: `(target, per-key payloads)`.
@@ -561,6 +804,11 @@ impl<P: RegisterProcess> RegisterSpace<P> {
             shard_heard: Vec::new(),
             join_timer_delays: Vec::new(),
             reinquire_armed: false,
+            retransmit: None,
+            retransmit_armed: false,
+            retransmit_attempts: 0,
+            retransmit_used: 0,
+            retransmit_seen: 0,
         }
     }
 
@@ -577,6 +825,13 @@ impl<P: RegisterProcess> RegisterSpace<P> {
         } else {
             Vec::new()
         };
+        self
+    }
+
+    /// Installs (or clears) the bounded join-retransmit policy. Only an
+    /// unsharded (`G = 1`) handshake uses it; see [`RetransmitConfig`].
+    pub fn with_retransmit(mut self, config: Option<RetransmitConfig>) -> RegisterSpace<P> {
+        self.retransmit = config;
         self
     }
 
@@ -599,6 +854,70 @@ impl<P: RegisterProcess> RegisterSpace<P> {
     /// meaningful while `groups > 1`).
     fn shard_quorum_met(&self, shard: u32) -> bool {
         self.shard_heard[shard as usize].len() >= self.shard.quorum
+    }
+
+    /// Total join replies gathered by still-joining instances, if any
+    /// instance reports a count ([`RegisterProcess::join_replies`]).
+    fn joining_replies(&self) -> Option<usize> {
+        let mut total = None;
+        for r in &self.regs {
+            if !r.is_active() {
+                if let Some(n) = r.join_replies() {
+                    total = Some(total.unwrap_or(0) + n);
+                }
+            }
+        }
+        total
+    }
+
+    /// The silence timer fired (unsharded timer-less joins): re-broadcast
+    /// the inquiry if no reply arrived since the last beat, back the
+    /// window off, and re-arm — the spaced mirror of
+    /// [`SoloSpace::retransmit_fire`].
+    fn retransmit_fire(&mut self) -> Vec<SpaceEffect<SpaceMsg<P::Msg>, P::Val>> {
+        self.retransmit_armed = false;
+        let Some(cfg) = self.retransmit else {
+            return Vec::new();
+        };
+        if self.join_done {
+            return Vec::new();
+        }
+        let heard = self.joining_replies().unwrap_or(0);
+        let silent = heard <= self.retransmit_seen;
+        self.retransmit_seen = heard;
+        let mut out = Vec::new();
+        if silent {
+            if let Some(inner) = self.last_inquiry.clone() {
+                out.push(SpaceEffect::Broadcast {
+                    msg: SpaceMsg::JoinAll { inner, full: false },
+                });
+                out.push(SpaceEffect::Retransmit);
+            }
+            self.retransmit_attempts = (self.retransmit_attempts + 1).min(cfg.budget);
+        } else {
+            self.retransmit_attempts = 0;
+        }
+        out.push(SpaceEffect::SetTimer {
+            delay: cfg.backoff(self.retransmit_attempts),
+            tag: RETRANSMIT_TAG,
+        });
+        self.retransmit_armed = true;
+        out
+    }
+
+    /// Whether an expiring shared join wait must be intercepted (unsharded
+    /// timer-driven joins): the inquiry is out, every joining instance
+    /// gathered zero replies, and retry budget remains.
+    fn intercepts(&self, inner_tag: u64) -> bool {
+        let Some(cfg) = self.retransmit else {
+            return false;
+        };
+        self.shard.groups == 1
+            && !self.join_done
+            && self.inquired
+            && self.retransmit_used < cfg.budget
+            && self.joining_replies() == Some(0)
+            && self.join_timer_delays.iter().any(|&(t, _)| t == inner_tag)
     }
 
     /// Routes one instance's raw effects into the step context.
@@ -628,13 +947,11 @@ impl<P: RegisterProcess> RegisterSpace<P> {
                     } else if ctx.join_broadcast.is_none() {
                         // Shared handshake: one inquiry covers every key
                         // (join-phase broadcasts are key-agnostic; module
-                        // docs, contract 1). Sharded spaces remember the
-                        // payload for re-inquiries; the first inquiry asks
-                        // each responder only for its own shard.
+                        // docs, contract 1). The payload is remembered for
+                        // re-inquiries and retransmits; the first sharded
+                        // inquiry asks each responder only for its shard.
                         self.inquired = true;
-                        if self.shard.groups > 1 {
-                            self.last_inquiry = Some(msg.clone());
-                        }
+                        self.last_inquiry = Some(msg.clone());
                         ctx.join_broadcast = Some((msg, false));
                     }
                 }
@@ -683,11 +1000,9 @@ impl<P: RegisterProcess> RegisterSpace<P> {
             });
         }
         for (delay, tag) in ctx.join_timers.drain(..) {
-            if self.shard.groups > 1 {
-                match self.join_timer_delays.iter_mut().find(|(t, _)| *t == tag) {
-                    Some((_, d)) => *d = delay,
-                    None => self.join_timer_delays.push((tag, delay)),
-                }
+            match self.join_timer_delays.iter_mut().find(|(t, _)| *t == tag) {
+                Some((_, d)) => *d = delay,
+                None => self.join_timer_delays.push((tag, delay)),
             }
             out.push(SpaceEffect::SetTimer {
                 delay,
@@ -707,6 +1022,23 @@ impl<P: RegisterProcess> RegisterSpace<P> {
                 tag: REINQUIRE_TAG,
             });
             self.reinquire_armed = true;
+        }
+        if let Some(cfg) = self.retransmit {
+            if self.shard.groups == 1
+                && !self.join_done
+                && self.inquired
+                && !self.retransmit_armed
+                && self.join_timer_delays.is_empty()
+            {
+                // Unsharded timer-less join: arm the silence timer (the
+                // solo path arms the same one — `observe_join_step`).
+                out.push(SpaceEffect::SetTimer {
+                    delay: cfg.backoff(self.retransmit_attempts),
+                    tag: RETRANSMIT_TAG,
+                });
+                self.retransmit_armed = true;
+                self.retransmit_seen = self.joining_replies().unwrap_or(0);
+            }
         }
         if let Some(groups) = ctx.fan_sends.take() {
             for (to, mut entries) in groups {
@@ -839,6 +1171,10 @@ impl<P: RegisterProcess> RegisterSpaceProcess for RegisterSpace<P> {
     }
 
     fn on_timer(&mut self, now: Time, tag: u64) -> Vec<SpaceEffect<Self::Msg, Self::Val>> {
+        if tag == RETRANSMIT_TAG {
+            // The unsharded silence timer — never forwarded to instances.
+            return self.retransmit_fire();
+        }
         if tag == REINQUIRE_TAG {
             // The space's own re-inquiry beat (timer-less protocols): while
             // the shared join is incomplete, re-broadcast a full inquiry —
@@ -870,6 +1206,31 @@ impl<P: RegisterProcess> RegisterSpaceProcess for RegisterSpace<P> {
             // Multi-instance step → per-target sends batch, so postponed
             // replies flushed at activation stay one message per inquirer.
             let inner_tag = tag & !SHARED_TAG;
+            if self.intercepts(inner_tag) {
+                // Unsharded zero-reply expiry: re-fire the inquiry and
+                // re-arm the same wait instead of dispatching (which would
+                // blind-activate every key at ⊥) — the spaced mirror of the
+                // solo interception, effect for effect.
+                self.retransmit_used += 1;
+                let mut out = Vec::new();
+                if let Some(inner) = self.last_inquiry.clone() {
+                    out.push(SpaceEffect::Broadcast {
+                        msg: SpaceMsg::JoinAll { inner, full: false },
+                    });
+                    out.push(SpaceEffect::Retransmit);
+                }
+                if let Some(&(t, delay)) = self
+                    .join_timer_delays
+                    .iter()
+                    .find(|&&(t, _)| t == inner_tag)
+                {
+                    out.push(SpaceEffect::SetTimer {
+                        delay,
+                        tag: SHARED_TAG | t,
+                    });
+                }
+                return out;
+            }
             let groups = self.shard.groups;
             // Snapshot the gate before stepping: the first dispatched
             // instance may broadcast the inquiry (flipping `inquired`)
@@ -949,6 +1310,7 @@ impl<P: RegisterProcess> RegisterSpaceProcess for RegisterSpace<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::es::{EsConfig, EsMsg, EsRegister, Timestamp};
     use crate::sync::{SyncConfig, SyncMsg, SyncRegister};
 
     fn nid(i: u64) -> NodeId {
@@ -1541,6 +1903,283 @@ mod tests {
             seen.iter().all(|&c| c > 20),
             "1000 nodes spread over 16 shards without starving one: {seen:?}"
         );
+    }
+
+    fn solo_sync_joiner(retransmit: Option<RetransmitConfig>) -> SoloSpace<SyncRegister<u64>> {
+        SoloSpace::new(SyncRegister::new_joiner(nid(9), cfg(), oid(900)))
+            .with_retransmit(retransmit)
+    }
+
+    /// Drives a solo sync joiner to its post-inquiry wait, returning the
+    /// 2δ timer tag.
+    fn inquire_solo_sync(s: &mut SoloSpace<SyncRegister<u64>>) -> u64 {
+        let enter = s.on_enter(Time::ZERO);
+        let [SpaceEffect::SetTimer { tag, .. }] = enter.as_slice() else {
+            panic!("expected the δ wait, got {enter:?}");
+        };
+        let inquire = s.on_timer(Time::at(3), *tag);
+        assert!(matches!(
+            inquire[0],
+            SpaceEffect::Broadcast {
+                msg: SyncMsg::Inquiry
+            }
+        ));
+        let SpaceEffect::SetTimer { tag: t2, delay } = inquire[1] else {
+            panic!("expected the 2δ wait, got {inquire:?}");
+        };
+        assert_eq!(delay, Span::ticks(6));
+        t2
+    }
+
+    #[test]
+    fn solo_sync_intercepts_zero_reply_expiries_until_the_budget() {
+        let rc = RetransmitConfig::after(Span::ticks(6)).with_budget(2);
+        let mut s = solo_sync_joiner(Some(rc));
+        let t2 = inquire_solo_sync(&mut s);
+        // Two zero-reply expiries are intercepted: the inquiry re-fires and
+        // the same 2δ wait is re-armed instead of dispatching the expiry.
+        let mut now = 9;
+        for round in 0..2 {
+            let fired = s.on_timer(Time::at(now), t2);
+            assert_eq!(
+                fired,
+                vec![
+                    SpaceEffect::Broadcast {
+                        msg: SyncMsg::Inquiry
+                    },
+                    SpaceEffect::Retransmit,
+                    SpaceEffect::SetTimer {
+                        delay: Span::ticks(6),
+                        tag: t2,
+                    },
+                ],
+                "interception {round}"
+            );
+            assert!(!s.is_active(), "still joining after interception {round}");
+            now += 6;
+        }
+        // Budget exhausted: the next expiry dispatches normally, so the
+        // paper's blind ⊥ activation is preserved — only delayed.
+        let done = s.on_timer(Time::at(now), t2);
+        assert!(done.contains(&SpaceEffect::JoinComplete), "{done:?}");
+        assert!(s.is_active());
+        assert_eq!(s.inner().local_value(), None, "blind activation is at ⊥");
+    }
+
+    #[test]
+    fn solo_sync_dispatches_normally_once_a_reply_arrived() {
+        let mut s = solo_sync_joiner(Some(RetransmitConfig::after(Span::ticks(6))));
+        let t2 = inquire_solo_sync(&mut s);
+        s.on_message_into(
+            Time::at(5),
+            nid(1),
+            SyncMsg::Reply {
+                value: Some(41),
+                sn: 2,
+            },
+            &mut Vec::new(),
+        );
+        // One reply is enough to stand down: the expiry adopts and
+        // activates exactly as the pre-retransmit protocol would.
+        let done = s.on_timer(Time::at(9), t2);
+        assert!(done.contains(&SpaceEffect::JoinComplete), "{done:?}");
+        assert!(s.is_active());
+        assert_eq!(s.inner().local_value(), Some(&41));
+    }
+
+    #[test]
+    fn sync_retransmit_policy_is_invisible_on_a_lossless_handshake() {
+        let mut plain = solo_sync_joiner(None);
+        let mut with_policy = solo_sync_joiner(Some(RetransmitConfig::after(Span::ticks(6))));
+        assert_eq!(plain.on_enter(Time::ZERO), with_policy.on_enter(Time::ZERO));
+        let (ta, tb) = (
+            inquire_solo_sync(&mut plain),
+            inquire_solo_sync(&mut with_policy),
+        );
+        assert_eq!(ta, tb);
+        for s in [&mut plain, &mut with_policy] {
+            s.on_message_into(
+                Time::at(5),
+                nid(1),
+                SyncMsg::Reply {
+                    value: Some(41),
+                    sn: 2,
+                },
+                &mut Vec::new(),
+            );
+        }
+        // Replies landed before the wait expired: effect-for-effect
+        // identical with and without the policy (the digest-equivalence
+        // contract of the lossless path).
+        assert_eq!(
+            plain.on_timer(Time::at(9), ta),
+            with_policy.on_timer(Time::at(9), tb)
+        );
+        assert!(plain.is_active() && with_policy.is_active());
+    }
+
+    #[test]
+    fn solo_es_silence_timer_rebroadcasts_with_backoff_and_resets_on_progress() {
+        // n = 3 ⇒ join quorum 2: one reply is progress but not completion.
+        let ecfg = EsConfig::new(3);
+        let rc = RetransmitConfig::after(Span::ticks(8)).with_budget(2);
+        let mut s = SoloSpace::new(EsRegister::<u64>::new_joiner(nid(9), ecfg, oid(900)))
+            .with_retransmit(Some(rc));
+        // ES joins arm no timers, so the space appends its own silence
+        // timer right behind the inquiry.
+        assert_eq!(
+            s.on_enter(Time::ZERO),
+            vec![
+                SpaceEffect::Broadcast {
+                    msg: EsMsg::Inquiry { r_sn: 0 }
+                },
+                SpaceEffect::SetTimer {
+                    delay: Span::ticks(8),
+                    tag: RETRANSMIT_TAG,
+                },
+            ]
+        );
+        // Silent beats re-fire the inquiry and double the window (8 → 16 →
+        // 32); after `budget = 2` silent beats the window plateaus at
+        // `base << 2` — retries stay unbounded, backoff does not.
+        for (at, next) in [(8, 16), (24, 32), (56, 32)] {
+            assert_eq!(
+                s.on_timer(Time::at(at), RETRANSMIT_TAG),
+                vec![
+                    SpaceEffect::Broadcast {
+                        msg: EsMsg::Inquiry { r_sn: 0 }
+                    },
+                    SpaceEffect::Retransmit,
+                    SpaceEffect::SetTimer {
+                        delay: Span::ticks(next),
+                        tag: RETRANSMIT_TAG,
+                    },
+                ],
+                "silent beat at {at}"
+            );
+        }
+        // One reply (below quorum) is progress: the next beat re-arms at
+        // the base window without re-broadcasting.
+        s.on_message_into(
+            Time::at(60),
+            nid(1),
+            EsMsg::Reply {
+                value: Some(7),
+                ts: Timestamp::INITIAL,
+                r_sn: 0,
+            },
+            &mut Vec::new(),
+        );
+        assert!(!s.is_active());
+        assert_eq!(
+            s.on_timer(Time::at(88), RETRANSMIT_TAG),
+            vec![SpaceEffect::SetTimer {
+                delay: Span::ticks(8),
+                tag: RETRANSMIT_TAG,
+            }]
+        );
+        // Quorum reached: the join completes, and the stale beat stands
+        // down without re-arming.
+        let mut out = Vec::new();
+        s.on_message_into(
+            Time::at(90),
+            nid(2),
+            EsMsg::Reply {
+                value: Some(7),
+                ts: Timestamp::INITIAL,
+                r_sn: 0,
+            },
+            &mut out,
+        );
+        assert!(out.contains(&SpaceEffect::JoinComplete), "{out:?}");
+        assert!(s.is_active());
+        assert_eq!(s.on_timer(Time::at(96), RETRANSMIT_TAG), vec![]);
+    }
+
+    fn spaced_es_joiner(keys: u32) -> RegisterSpace<EsRegister<u64>> {
+        let ecfg = EsConfig::new(3).with_join_quorum(2);
+        RegisterSpace::new_joiner(
+            (0..keys)
+                .map(|_| EsRegister::<u64>::new_joiner(nid(9), ecfg, oid(900)))
+                .collect(),
+        )
+        .with_retransmit(Some(RetransmitConfig::after(Span::ticks(8))))
+    }
+
+    #[test]
+    fn spaced_one_group_es_join_retransmits_like_solo() {
+        let mut s = spaced_es_joiner(2);
+        // Both keys' inquiries coalesce into one JoinAll; the silence
+        // timer rides right behind it — the solo sequence, spaced.
+        assert_eq!(
+            s.on_enter(Time::ZERO),
+            vec![
+                SpaceEffect::Broadcast {
+                    msg: SpaceMsg::JoinAll {
+                        inner: EsMsg::Inquiry { r_sn: 0 },
+                        full: false,
+                    }
+                },
+                SpaceEffect::SetTimer {
+                    delay: Span::ticks(8),
+                    tag: RETRANSMIT_TAG,
+                },
+            ]
+        );
+        assert_eq!(
+            s.on_timer(Time::at(8), RETRANSMIT_TAG),
+            vec![
+                SpaceEffect::Broadcast {
+                    msg: SpaceMsg::JoinAll {
+                        inner: EsMsg::Inquiry { r_sn: 0 },
+                        full: false,
+                    }
+                },
+                SpaceEffect::Retransmit,
+                SpaceEffect::SetTimer {
+                    delay: Span::ticks(16),
+                    tag: RETRANSMIT_TAG,
+                },
+            ]
+        );
+        assert!(!s.is_active());
+    }
+
+    #[test]
+    fn duplicate_batch_replies_never_complete_a_join_early() {
+        let mut s = spaced_es_joiner(2);
+        s.on_enter(Time::ZERO);
+        let batch = || SpaceMsg::Batch {
+            replies: (0..2)
+                .map(|k| {
+                    (
+                        key(k),
+                        EsMsg::Reply {
+                            value: Some(7),
+                            ts: Timestamp::INITIAL,
+                            r_sn: 0,
+                        },
+                    )
+                })
+                .collect(),
+        };
+        // A retransmitted inquiry often elicits duplicate replies: the
+        // same responder's batch delivered twice is still one vote toward
+        // join quorum 2.
+        for round in 0..2 {
+            let mut out = Vec::new();
+            s.on_message_into(Time::at(5), nid(1), batch(), &mut out);
+            assert!(
+                !out.contains(&SpaceEffect::JoinComplete),
+                "duplicate delivery {round} completed the join: {out:?}"
+            );
+        }
+        assert!(!s.is_active(), "a duplicate reply is not a second vote");
+        // A second *distinct* responder reaches the quorum.
+        let mut out = Vec::new();
+        s.on_message_into(Time::at(6), nid(2), batch(), &mut out);
+        assert!(out.contains(&SpaceEffect::JoinComplete), "{out:?}");
+        assert!(s.is_active());
     }
 
     #[test]

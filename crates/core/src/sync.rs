@@ -311,6 +311,18 @@ impl<V: Value> RegisterProcess for SyncRegister<V> {
         self.active
     }
 
+    fn join_replies(&self) -> Option<usize> {
+        if self.active {
+            return None;
+        }
+        // Count distinct senders so a retransmitted inquiry that elicits a
+        // duplicate `REPLY` cannot masquerade as progress.
+        let mut senders: Vec<NodeId> = self.replies.iter().map(|(id, _, _)| *id).collect();
+        senders.sort_unstable();
+        senders.dedup();
+        Some(senders.len())
+    }
+
     /// `operation join(i)` — Figure 1.
     fn on_enter(&mut self, _now: Time) -> Vec<Effect<SyncMsg<V>, V>> {
         if self.active {

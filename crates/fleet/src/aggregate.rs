@@ -102,6 +102,9 @@ pub struct PointOutcome {
     /// `INQUIRY_FULL` messages sent (sharded-join starvation escalation
     /// traffic; 0 for unsharded runs).
     pub inquiry_full: u64,
+    /// Silence-triggered join-inquiry retransmissions (the loss-tolerant
+    /// handshake; 0 whenever every handshake completes in time).
+    pub join_retransmits: u64,
     /// Deliveries whose effective latency broke the configured `δ` after
     /// the synchrony guarantee began.
     pub delta_overruns: u64,
@@ -147,6 +150,7 @@ impl PointOutcome {
             writes_completed: report.metrics.counter("ops.write_completed"),
             messages: report.total_messages,
             inquiry_full: report.inquiry_full(),
+            join_retransmits: report.join_retransmits(),
             delta_overruns: report.delta_overruns,
             active: report
                 .metrics
@@ -208,6 +212,8 @@ pub struct Cell {
     pub messages: u64,
     /// Total `INQUIRY_FULL` escalation messages.
     pub inquiry_full: u64,
+    /// Total silence-triggered join-inquiry retransmissions.
+    pub join_retransmits: u64,
     /// Total δ-overrun deliveries (non-zero marks the cell's `δ`-derived
     /// verdicts as timing-suspect).
     pub delta_overruns: u64,
@@ -249,6 +255,7 @@ impl Cell {
             writes_completed: 0,
             messages: 0,
             inquiry_full: 0,
+            join_retransmits: 0,
             delta_overruns: 0,
             active: Histogram::new(),
             min_window_active: None,
@@ -286,6 +293,7 @@ impl Cell {
         self.writes_completed += o.writes_completed;
         self.messages += o.messages;
         self.inquiry_full += o.inquiry_full;
+        self.join_retransmits += o.join_retransmits;
         self.delta_overruns += o.delta_overruns;
         self.active.merge(&o.active);
         self.min_window_active = match (self.min_window_active, o.min_window_active) {
@@ -375,6 +383,7 @@ mod tests {
             writes_completed: 2,
             messages: 100,
             inquiry_full: 0,
+            join_retransmits: 0,
             delta_overruns: 0,
             active: Histogram::new(),
             min_window_active: Some(5),

@@ -52,7 +52,7 @@ mod spec;
 
 pub use aggregate::{cell_key, reduce_cells, run_digest, Cell, PointOutcome};
 pub use pool::{default_threads, run_points};
-pub use report::{Frontier, PhaseReport, BRACKET_TOL};
+pub use report::{Frontier, PhaseReport, BRACKET_TOL, PHASE_SCHEMA};
 pub use spec::{run_seed, RunPoint, SweepDomain, SweepSpec};
 
 /// Expands `spec`, runs every point on up to `threads` workers, and

@@ -55,6 +55,12 @@ pub struct Frontier {
 /// `c/c* = 1.05` at `δ = 2, n = 24`) before availability collapses.
 pub const BRACKET_TOL: f64 = 0.1;
 
+/// Schema tag of the rendered phase-diagram JSON (`BENCH_phase.json`).
+/// Version history: `/4` added `inquiry_full`/`delta_overruns` cell
+/// columns; `/5` added `join_retransmits`. The format is specified in
+/// `docs/FORMATS.md`, whose doc-sync test pins this constant.
+pub const PHASE_SCHEMA: &str = "dynareg-phase-diagram/5";
+
 impl Frontier {
     fn from_row(
         keys: u32,
@@ -337,7 +343,7 @@ impl PhaseReport {
             )
         }
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"dynareg-phase-diagram/4\",\n");
+        out.push_str(&format!("{{\n  \"schema\": \"{PHASE_SCHEMA}\",\n"));
         out.push_str(&format!("  \"protocol\": \"{}\",\n", self.protocol));
         out.push_str(&format!("  \"master_seed\": {},\n", self.master_seed));
         out.push_str(&format!("  \"total_runs\": {},\n", self.total_runs));
@@ -354,7 +360,7 @@ impl PhaseReport {
                     "\"stuck_runs\": {}, \"stuck_ops\": {}, \"inversions\": {}, ",
                     "\"arrivals\": {}, \"joins_completed\": {}, \"join_ratio\": {:.4}, ",
                     "\"reads_checked\": {}, \"reads_completed\": {}, \"writes_completed\": {}, ",
-                    "\"messages\": {}, \"inquiry_full\": {}, \"delta_overruns\": {}, ",
+                    "\"messages\": {}, \"inquiry_full\": {}, \"join_retransmits\": {}, \"delta_overruns\": {}, ",
                     "\"min_active\": {}, \"mean_active\": {:.4}, ",
                     "\"min_window_active\": {}, \"lemma2_steady_floor\": {:.4}, ",
                     "\"feasible\": {}, \"join_latency\": {}, \"read_latency\": {}, ",
@@ -380,6 +386,7 @@ impl PhaseReport {
                 c.writes_completed,
                 c.messages,
                 c.inquiry_full,
+                c.join_retransmits,
                 c.delta_overruns,
                 c.active.min().unwrap_or(0),
                 c.active.mean().unwrap_or(0.0),
@@ -477,8 +484,9 @@ mod tests {
     fn json_is_schema_tagged_and_free_of_wall_clock() {
         let report = small_report();
         let json = report.json();
-        assert!(json.contains("\"schema\": \"dynareg-phase-diagram/4\""));
+        assert!(json.contains(&format!("\"schema\": \"{PHASE_SCHEMA}\"")));
         assert!(json.contains("\"inquiry_full\""));
+        assert!(json.contains("\"join_retransmits\""));
         assert!(json.contains("\"delta_overruns\""));
         assert!(json.contains("\"fleet_digest\""));
         assert!(
@@ -539,6 +547,7 @@ mod tests {
                 writes_completed: 1,
                 messages: 1,
                 inquiry_full: 0,
+                join_retransmits: 0,
                 delta_overruns: 0,
                 active: Histogram::new(),
                 min_window_active: None,

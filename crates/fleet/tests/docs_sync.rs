@@ -1,0 +1,239 @@
+//! Doc-sync gates: the normative specs under `docs/` must match the
+//! code they describe, and no Markdown link in the repo's documentation
+//! may dangle.
+//!
+//! Two families of checks, both air-gapped (plain string scanning — no
+//! Markdown parser dependency):
+//!
+//! * **Version pinning** — every on-disk format's version string quoted
+//!   in `docs/FORMATS.md` must equal the constant in the owning module,
+//!   so bumping a schema in code without updating the spec (or vice
+//!   versa) fails CI.
+//! * **Dead links** — every `[text](target)` link in `README.md` and
+//!   `docs/*.md` must resolve: relative paths to files that exist,
+//!   `#anchors` to headings that exist in the target document (GitHub
+//!   slug rules). External URLs are skipped (the checker must run
+//!   offline).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dynareg_fleet::PHASE_SCHEMA;
+use dynareg_sim::obs::TIMESERIES_SCHEMA;
+use dynareg_testkit::{FLIGHT_SCHEMA, FORMAT_LINE};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read(path: &Path) -> String {
+    fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// The documentation set the link checker walks: the README plus every
+/// Markdown file under `docs/`.
+fn doc_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    for entry in fs::read_dir(root.join("docs")).expect("docs/ exists") {
+        let path = entry.expect("docs/ entry").path();
+        if path.extension().map(|e| e == "md").unwrap_or(false) {
+            files.push(path);
+        }
+    }
+    assert!(
+        files.len() >= 3,
+        "README + at least PROTOCOL.md, FORMATS.md"
+    );
+    files
+}
+
+/// `docs/FORMATS.md` quotes every format's version string; each must be
+/// the constant the owning module actually writes, and the version
+/// tables must not mention a stale predecessor (e.g. a `/4` surviving a
+/// `/5` bump) outside the explicitly-labelled version history.
+#[test]
+fn formats_spec_pins_the_code_version_strings() {
+    let spec = read(&repo_root().join("docs/FORMATS.md"));
+    for (name, tag) in [
+        ("scenario", FORMAT_LINE),
+        ("flight", FLIGHT_SCHEMA),
+        ("timeseries", TIMESERIES_SCHEMA),
+        ("phase-diagram", PHASE_SCHEMA),
+    ] {
+        assert!(
+            spec.contains(tag),
+            "docs/FORMATS.md must quote the {name} version string `{tag}` \
+             (the code constant changed without a spec update, or vice versa)"
+        );
+        // The spec's summary table must carry the tag verbatim in a code
+        // span, so a reader greps one canonical spelling.
+        assert!(
+            spec.contains(&format!("`{tag}`")),
+            "docs/FORMATS.md must show `{tag}` as a code span"
+        );
+    }
+}
+
+/// `docs/PROTOCOL.md` names the protocol structures it specifies; if
+/// one of these is renamed in code the spec must follow.
+#[test]
+fn protocol_spec_names_the_wire_structures() {
+    let spec = read(&repo_root().join("docs/PROTOCOL.md"));
+    for needle in [
+        "JoinAll",
+        "Batch",
+        "Keyed",
+        "INQUIRY",
+        "RetransmitConfig",
+        "join.retransmits",
+        "shard_of_node",
+    ] {
+        assert!(
+            spec.contains(needle),
+            "docs/PROTOCOL.md no longer mentions `{needle}` — wire spec drift?"
+        );
+    }
+}
+
+/// GitHub's heading-to-anchor slug: lowercase, alphanumerics kept,
+/// spaces and hyphens become hyphens, everything else dropped.
+fn slug(heading: &str) -> String {
+    let mut out = String::new();
+    for ch in heading.trim().chars() {
+        match ch {
+            c if c.is_alphanumeric() => out.extend(c.to_lowercase()),
+            ' ' | '-' => out.push('-'),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// All heading anchors of a Markdown document (ATX headings only, which
+/// is all this repo uses). Code fences are skipped so a `# comment` in
+/// an example block is not a heading.
+fn anchors(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        let level = trimmed.chars().take_while(|&c| c == '#').count();
+        if (1..=6).contains(&level) && trimmed[level..].starts_with(' ') {
+            out.push(slug(&trimmed[level..]));
+        }
+    }
+    out
+}
+
+/// Extracts `(target, line_number)` of every inline Markdown link,
+/// skipping code fences and inline code spans.
+fn links(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        let mut in_code = false;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'`' => in_code = !in_code,
+                b']' if !in_code && i + 1 < bytes.len() && bytes[i + 1] == b'(' => {
+                    if let Some(close) = line[i + 2..].find(')') {
+                        out.push((line[i + 2..i + 2 + close].to_string(), ln + 1));
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Every relative link in the documentation set resolves to a file in
+/// the repository, and every `#anchor` resolves to a heading of its
+/// target document.
+#[test]
+fn documentation_has_no_dead_links() {
+    let root = repo_root().canonicalize().expect("repo root resolves");
+    let mut broken: Vec<String> = Vec::new();
+    for file in doc_files() {
+        let text = read(&file);
+        let own_anchors = anchors(&text);
+        let dir = file.parent().expect("doc file has a parent");
+        for (target, line) in links(&text) {
+            let at = || format!("{}:{line} -> {target}", file.display());
+            if target.starts_with("http://") || target.starts_with("https://") {
+                continue; // air-gapped checker: external URLs are out of scope
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((p, a)) => (p, Some(a)),
+                None => (target.as_str(), None),
+            };
+            let (resolved_text, exists) = if path_part.is_empty() {
+                (Some(text.clone()), true)
+            } else {
+                let resolved = dir.join(path_part);
+                match resolved.canonicalize() {
+                    Ok(p) => {
+                        assert!(
+                            p.starts_with(&root),
+                            "{}: link escapes the repository",
+                            at()
+                        );
+                        let t = p
+                            .extension()
+                            .map(|e| e == "md")
+                            .unwrap_or(false)
+                            .then(|| read(&p));
+                        (t, true)
+                    }
+                    Err(_) => (None, false),
+                }
+            };
+            if !exists {
+                broken.push(format!("{} (missing file)", at()));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                let found = match &resolved_text {
+                    Some(_) if path_part.is_empty() => own_anchors.contains(&anchor.to_string()),
+                    Some(t) => anchors(t).contains(&anchor.to_string()),
+                    None => false, // anchor into a non-Markdown file
+                };
+                if !found {
+                    broken.push(format!("{} (missing anchor)", at()));
+                }
+            }
+        }
+    }
+    assert!(broken.is_empty(), "dead documentation links:\n{broken:#?}");
+}
+
+/// The README links into `docs/` — the tree is discoverable from the
+/// front page, not an orphan.
+#[test]
+fn readme_links_to_the_docs_tree() {
+    let readme = read(&repo_root().join("README.md"));
+    for doc in ["docs/PROTOCOL.md", "docs/FORMATS.md"] {
+        assert!(
+            readme.contains(doc),
+            "README.md must link to {doc} so the specs are discoverable"
+        );
+    }
+}

@@ -11,7 +11,9 @@
 //!   [`SpaceOf`] lifts one to a `k`-key [`RegisterSpace`] multiplexer.
 
 use dynareg_core::es::{EsConfig, EsMsg, EsRegister};
-use dynareg_core::space::{RegisterSpace, RegisterSpaceProcess, ShardConfig, SoloSpace, SpaceMsg};
+use dynareg_core::space::{
+    RegisterSpace, RegisterSpaceProcess, RetransmitConfig, ShardConfig, SoloSpace, SpaceMsg,
+};
 use dynareg_core::sync::{SyncConfig, SyncMsg, SyncRegister};
 use dynareg_core::RegisterProcess;
 use dynareg_sim::{NodeId, OpId};
@@ -37,6 +39,13 @@ pub trait ProtocolFactory {
 
     /// Trace/statistics label of a message.
     fn msg_label(msg: &<Self::Proc as RegisterProcess>::Msg) -> &'static str;
+
+    /// Loss-tolerant join retransmission policy the space layer wraps
+    /// around built joiners (`None`, the default, disables it — the
+    /// paper's reliable-channel behavior).
+    fn retransmit(&self) -> Option<RetransmitConfig> {
+        None
+    }
 }
 
 /// How the [`crate::World`] spawns **register-space** instances — the
@@ -89,7 +98,7 @@ impl<F: ProtocolFactory> SpaceFactory for F {
     }
 
     fn space_joiner(&self, id: NodeId, join_op: OpId) -> SoloSpace<F::Proc> {
-        SoloSpace::new(self.joiner(id, join_op))
+        SoloSpace::new(self.joiner(id, join_op)).with_retransmit(self.retransmit())
     }
 
     fn space_name(&self) -> &'static str {
@@ -168,6 +177,7 @@ impl<F: ProtocolFactory> SpaceFactory for SpaceOf<F> {
                 .collect(),
         )
         .with_shards(self.shard)
+        .with_retransmit(self.inner.retransmit())
     }
 
     fn space_name(&self) -> &'static str {
@@ -194,12 +204,23 @@ impl<F: ProtocolFactory> SpaceFactory for SpaceOf<F> {
 pub struct SyncFactory {
     /// Protocol configuration (δ and the Figure 3 ablation flag).
     pub config: SyncConfig,
+    retransmit: Option<RetransmitConfig>,
 }
 
 impl SyncFactory {
-    /// A factory for the given configuration.
+    /// A factory for the given configuration (retransmission off).
     pub fn new(config: SyncConfig) -> SyncFactory {
-        SyncFactory { config }
+        SyncFactory {
+            config,
+            retransmit: None,
+        }
+    }
+
+    /// Wraps built joiners in the space layer's loss-tolerant join
+    /// retransmission (see [`RetransmitConfig`]).
+    pub fn with_retransmit(mut self, config: Option<RetransmitConfig>) -> SyncFactory {
+        self.retransmit = config;
+        self
     }
 }
 
@@ -225,6 +246,10 @@ impl ProtocolFactory for SyncFactory {
     fn msg_label(msg: &SyncMsg<u64>) -> &'static str {
         msg.label()
     }
+
+    fn retransmit(&self) -> Option<RetransmitConfig> {
+        self.retransmit
+    }
 }
 
 /// Factory for the eventually synchronous protocol (Figures 4–6).
@@ -232,12 +257,23 @@ impl ProtocolFactory for SyncFactory {
 pub struct EsFactory {
     /// Protocol configuration (`n`, atomic write-back flag).
     pub config: EsConfig,
+    retransmit: Option<RetransmitConfig>,
 }
 
 impl EsFactory {
-    /// A factory for the given configuration.
+    /// A factory for the given configuration (retransmission off).
     pub fn new(config: EsConfig) -> EsFactory {
-        EsFactory { config }
+        EsFactory {
+            config,
+            retransmit: None,
+        }
+    }
+
+    /// Wraps built joiners in the space layer's loss-tolerant join
+    /// retransmission (see [`RetransmitConfig`]).
+    pub fn with_retransmit(mut self, config: Option<RetransmitConfig>) -> EsFactory {
+        self.retransmit = config;
+        self
     }
 }
 
@@ -262,6 +298,10 @@ impl ProtocolFactory for EsFactory {
 
     fn msg_label(msg: &EsMsg<u64>) -> &'static str {
         msg.label()
+    }
+
+    fn retransmit(&self) -> Option<RetransmitConfig> {
+        self.retransmit
     }
 }
 

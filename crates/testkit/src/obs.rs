@@ -49,6 +49,9 @@ pub enum OpPhase {
     /// A protocol timer re-fired for this operation and sent again (e.g.
     /// a sharded join's `INQUIRY_FULL` re-inquiry round).
     Refire,
+    /// The space layer re-broadcast the join inquiry after a silence
+    /// window (loss-tolerant bounded retransmission; `docs/PROTOCOL.md`).
+    Retransmit,
     /// The operation returned to the client.
     Completed,
 }
@@ -60,6 +63,7 @@ impl fmt::Display for OpPhase {
             OpPhase::Sent => "sent",
             OpPhase::Progress => "progress",
             OpPhase::Refire => "re-fire",
+            OpPhase::Retransmit => "retransmit",
             OpPhase::Completed => "completed",
         };
         f.write_str(s)
@@ -432,6 +436,24 @@ impl WorldObs {
             refires: 0,
         });
         self.span_ix.insert((key, op), ix);
+    }
+
+    /// The space layer retransmitted the join inquiry of `(key, op)`
+    /// after a silence window. The re-broadcast itself is a separate send
+    /// (counted under [`OpSpan::refires`] via the timer cause); this adds
+    /// the distinguishing phase event.
+    pub(crate) fn op_retransmit(&mut self, key: RegisterId, op: OpId, now: Time) {
+        if !self.cfg.spans {
+            return;
+        }
+        let Some(&ix) = self.span_ix.get(&(key, op)) else {
+            return;
+        };
+        self.spans[ix].phases.push(PhaseEvent {
+            at: now,
+            phase: OpPhase::Retransmit,
+            label: "INQUIRY",
+        });
     }
 
     /// A client operation completed.

@@ -15,7 +15,7 @@ use dynareg_churn::{
     LeaveSelector, NoChurn, SessionChurn,
 };
 use dynareg_core::es::EsConfig;
-use dynareg_core::space::{RegisterSpaceProcess, ShardConfig};
+use dynareg_core::space::{RegisterSpaceProcess, RetransmitConfig, ShardConfig};
 use dynareg_core::sync::SyncConfig;
 use dynareg_net::delay::{Asynchronous, EventuallySynchronous, Synchronous};
 use dynareg_net::{DelayModel, FaultPlan, Presence};
@@ -174,6 +174,13 @@ impl RunReport {
     /// (one per `INQUIRY_FULL` broadcast). Zero for unsharded runs.
     pub fn reinquiry_rounds(&self) -> u64 {
         self.metrics.counter("join.reinquiry_rounds")
+    }
+
+    /// Join-inquiry retransmissions the space layer fired after a silence
+    /// window (loss-tolerant bounded retransmit; `docs/PROTOCOL.md`).
+    /// Always zero on a lossless run whose handshakes complete in time.
+    pub fn join_retransmits(&self) -> u64 {
+        self.metrics.counter("join.retransmits")
     }
 
     /// Wall-clock tick-phase profile, if the run was observed with
@@ -591,6 +598,15 @@ impl ScenarioSpec {
         self.dispatch(false, obs)
     }
 
+    /// The loss-tolerance policy every scenario run wraps around joiners:
+    /// re-fire a silent join inquiry after `2δ`, doubling up to the retry
+    /// budget. On a lossless run the handshake completes before the first
+    /// beat can observe silence, so the policy is digest-invisible there
+    /// (pinned by the equivalence property tests).
+    fn retransmit_config(&self) -> Option<RetransmitConfig> {
+        Some(RetransmitConfig::after(self.delta.times(2)))
+    }
+
     fn dispatch(&self, force_space: bool, obs: ObsConfig) -> RunReport {
         assert!(self.keys > 0, "a register space needs at least one key");
         let end = Time::ZERO + self.duration;
@@ -605,7 +621,8 @@ impl ScenarioSpec {
         let shards = self.effective_shards();
         match self.protocol {
             ProtocolChoice::Synchronous => {
-                let f = SyncFactory::new(SyncConfig::new(self.delta));
+                let f = SyncFactory::new(SyncConfig::new(self.delta))
+                    .with_retransmit(self.retransmit_config());
                 if spaced {
                     self.run_world(
                         SpaceOf::new(f, self.keys).with_shards(self.shard_config()),
@@ -618,7 +635,8 @@ impl ScenarioSpec {
                 }
             }
             ProtocolChoice::SynchronousNoWait => {
-                let f = SyncFactory::new(SyncConfig::without_join_wait(self.delta));
+                let f = SyncFactory::new(SyncConfig::without_join_wait(self.delta))
+                    .with_retransmit(self.retransmit_config());
                 if spaced {
                     self.run_world(
                         SpaceOf::new(f, self.keys).with_shards(self.shard_config()),
@@ -648,7 +666,7 @@ impl ScenarioSpec {
                     let shard_size = (self.n / shards as usize).max(1);
                     cfg = cfg.with_join_quorum(shard_size / 2 + 1);
                 }
-                let f = EsFactory::new(cfg);
+                let f = EsFactory::new(cfg).with_retransmit(self.retransmit_config());
                 if spaced {
                     self.run_world(
                         SpaceOf::new(f, self.keys).with_shards(self.shard_config()),

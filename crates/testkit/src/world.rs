@@ -778,6 +778,7 @@ where
                 ("fault_drops", self.network.dropped_to_faults()),
                 ("inquiry_full", self.network.sent_of("INQUIRY_FULL")),
                 ("delta_overruns", self.network.delta_overruns()),
+                ("retransmits", self.metrics.counter("join.retransmits")),
             ],
         );
     }
@@ -1328,6 +1329,19 @@ where
                     }
                     self.trace
                         .record(self.now, TraceEvent::Complete { node, op });
+                }
+                SpaceEffect::Retransmit => {
+                    // Digest-invisible marker: the re-broadcast itself is
+                    // the preceding `Broadcast` effect; this arm only
+                    // attributes it (always-on counter + obs phase event).
+                    self.metrics.incr("join.retransmits");
+                    let join_op = self.slots[slot_idx as usize]
+                        .as_ref()
+                        .and_then(|s| s.joining.as_ref())
+                        .map(|ops| ops[0]);
+                    if let (Some(op), Some(obs)) = (join_op, self.obs.as_deref_mut()) {
+                        obs.op_retransmit(RegisterId::ZERO, op, self.now);
+                    }
                 }
                 SpaceEffect::Note { key, text } => {
                     // Keyed spaces attribute notes to their register; the

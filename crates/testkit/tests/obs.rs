@@ -6,10 +6,13 @@ use dynareg_sim::obs::{ObsConfig, Timeseries, TIMESERIES_SCHEMA};
 use dynareg_sim::{Span, Time};
 use dynareg_testkit::{parse_scenario, OpPhase, Scenario};
 
-/// The committed lossy-ES corpus scenario: heavy drops before GST wedge
-/// joiners. `why_stuck` must name the actual lost join messages and the
-/// drop rule that swallowed them — the one-query diagnosis the layer
-/// exists for.
+/// A total-loss variant of the lossy-ES corpus scenario: with every
+/// message dropped for the whole run, joiners wedge no matter how often
+/// the bounded retransmit re-fires (the committed corpus file itself now
+/// converges once its loss window ends — that direction is pinned in
+/// `loss_convergence.rs`). `why_stuck` must name the actual lost join
+/// messages and the drop rule that swallowed them — the one-query
+/// diagnosis the layer exists for.
 #[test]
 fn why_stuck_names_the_dropped_join_messages_in_the_lossy_es_wedge() {
     let path = concat!(
@@ -17,6 +20,15 @@ fn why_stuck_names_the_dropped_join_messages_in_the_lossy_es_wedge() {
         "/../../scenarios/drop_lossy_es.dyn"
     );
     let text = std::fs::read_to_string(path).expect("drop_lossy_es.dyn is committed");
+    // Escalate the committed loss windows to a permanent 100% drop: no
+    // handshake (or retransmission of one) can ever land, so the wedge
+    // this test dissects is guaranteed to persist.
+    let text = text
+        .replace(
+            "fault drop any any 0 200 0.25",
+            "fault drop any any 0 700 1.0",
+        )
+        .replace("fault drop any any 200 550 0.05", "");
     let spec = parse_scenario(&text).expect("corpus file parses");
     let report = spec.run_observed(ObsConfig {
         spans: true,
@@ -130,7 +142,7 @@ fn timeseries_jsonl_round_trips_and_matches_golden_header() {
     let golden_header = format!(
         "{{\"schema\":\"{TIMESERIES_SCHEMA}\",\"every\":5,\"columns\":[\"active\",\"present\",\
          \"joining\",\"inflight\",\"busy_writers\",\"delivered\",\"fault_drops\",\
-         \"inquiry_full\",\"delta_overruns\"]}}"
+         \"inquiry_full\",\"delta_overruns\",\"retransmits\"]}}"
     );
     assert_eq!(jsonl.lines().next().unwrap(), golden_header);
     assert_eq!(ts.len(), 5, "ticks 0,5,10,15,20 under every=5");
